@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the core data structures: LRU list operations, the
+//! I/O controller fast path, and the discrete-event engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::{SimTime, Simulation};
+use pagecache::{FileId, IoController, LruLists, MemoryManager, PageCacheConfig};
+use storage_model::units::{GB, MB};
+use storage_model::{DeviceSpec, Disk, MemoryDevice};
+
+fn bench_lru_operations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru_lists");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &blocks in &[100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("add_and_read", blocks), &blocks, |b, &n| {
+            b.iter(|| {
+                let mut lru = LruLists::new();
+                let file: FileId = "f".into();
+                for i in 0..n {
+                    lru.add_clean(file.clone(), 1.0 * MB, SimTime::from_secs(i as f64));
+                }
+                lru.read_cached(&file, n as f64 * MB, SimTime::from_secs(n as f64));
+                lru.total_cached()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flush_and_evict", blocks), &blocks, |b, &n| {
+            b.iter(|| {
+                let mut lru = LruLists::new();
+                for i in 0..n {
+                    lru.add_dirty(FileId::new(format!("f{}", i % 10)), 1.0 * MB, SimTime::from_secs(i as f64));
+                }
+                lru.flush_lru(n as f64 * MB / 2.0, None);
+                lru.evict(n as f64 * MB / 4.0, None);
+                lru.block_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_io_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("io_controller");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &file_gb in &[1.0f64, 10.0] {
+        group.bench_with_input(
+            BenchmarkId::new("read_write_cycle", format!("{file_gb}GB")),
+            &file_gb,
+            |b, &file_gb| {
+                b.iter(|| {
+                    let sim = Simulation::new();
+                    let ctx = sim.context();
+                    let memory =
+                        MemoryDevice::new(&ctx, DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY));
+                    let disk =
+                        Disk::new(&ctx, "d", DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY));
+                    let mm = MemoryManager::new(
+                        &ctx,
+                        PageCacheConfig::with_memory(32.0 * GB),
+                        memory,
+                        disk,
+                    );
+                    let io = IoController::new(&ctx, mm);
+                    sim.spawn(async move {
+                        io.write_file(&"out".into(), file_gb * GB).await;
+                        io.read_file(&"out".into(), file_gb * GB).await;
+                    });
+                    sim.run().as_secs()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_des_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_engine");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &processes in &[10usize, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::new("sleep_storm", processes), &processes, |b, &n| {
+            b.iter(|| {
+                let sim = Simulation::new();
+                for i in 0..n {
+                    let ctx = sim.context();
+                    sim.spawn(async move {
+                        for k in 0..20u32 {
+                            ctx.sleep(((i + k as usize) % 7 + 1) as f64).await;
+                        }
+                    });
+                }
+                sim.run().as_secs()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru_operations, bench_io_controller, bench_des_engine);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 8 benchmark: wall-clock simulation time as a function of the number of
+//! concurrent application instances, for the cacheless simulator and
+//! WRENCH-cache, on local and NFS storage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::platform::paper_platform;
+use storage_model::units::GB;
+use workflow::{run_scenario, ApplicationSpec, Scenario, SimulatorKind};
+
+fn bench_simulation_time(c: &mut Criterion) {
+    let platform = paper_platform();
+    let app = ApplicationSpec::synthetic_pipeline(3.0 * GB);
+    let mut group = c.benchmark_group("fig8_simulation_time");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &instances in &[1usize, 8, 16, 32] {
+        for (label, kind, nfs) in [
+            ("wrench_local", SimulatorKind::Cacheless, false),
+            ("wrench_nfs", SimulatorKind::Cacheless, true),
+            ("wrench_cache_local", SimulatorKind::PageCache, false),
+            ("wrench_cache_nfs", SimulatorKind::PageCache, true),
+        ] {
+            let platform = if nfs { platform.clone().with_nfs() } else { platform.clone() };
+            let scenario = Scenario::new(platform, app.clone(), kind)
+                .with_instances(instances)
+                .with_sample_interval(None);
+            group.bench_with_input(
+                BenchmarkId::new(label, instances),
+                &scenario,
+                |b, scenario| b.iter(|| run_scenario(scenario).expect("scenario failed")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation_time);
+criterion_main!(benches);

@@ -1,0 +1,707 @@
+//! The discrete-event execution engine.
+//!
+//! The engine owns a set of *processes* (plain Rust futures), a virtual clock,
+//! and a timer wheel. A process runs until it awaits something that takes
+//! virtual time (a [`sleep`](crate::SimContext::sleep), a storage transfer, a
+//! semaphore, ...). When no process is runnable, the clock jumps to the next
+//! scheduled event. Execution is fully deterministic: processes are resumed in
+//! FIFO order and simultaneous timers fire in the order they were scheduled.
+//!
+//! This is the same execution model as SimGrid's actors, which the paper's
+//! WRENCH-cache implementation relies on, reduced to what a page-cache /
+//! storage simulation needs.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+use crate::time::SimTime;
+
+/// Identifier of a spawned process.
+pub type TaskId = u64;
+
+/// Identifier of a scheduled timer, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// What to do when a timer fires.
+pub(crate) enum TimerAction {
+    /// Wake a future that is waiting on this timer.
+    Wake(Waker),
+    /// Run an arbitrary callback (used by the flow-level resource models to
+    /// re-evaluate bandwidth shares at the next completion point).
+    Callback(Box<dyn FnOnce(&SimContext)>),
+}
+
+#[derive(PartialEq, Eq)]
+struct TimerKey {
+    time: SimTime,
+    seq: u64,
+    id: TimerId,
+}
+
+impl Ord for TimerKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for TimerKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Engine {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<TimerKey>>,
+    timers: HashMap<TimerId, TimerAction>,
+    tasks: HashMap<TaskId, Option<LocalFuture>>,
+    ready: VecDeque<TaskId>,
+    next_task_id: TaskId,
+    next_timer_id: u64,
+    /// Tasks woken through a `Waker`; drained into `ready` by the run loop.
+    wake_queue: Arc<Mutex<Vec<TaskId>>>,
+}
+
+impl Engine {
+    fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            timers: HashMap::new(),
+            tasks: HashMap::new(),
+            ready: VecDeque::new(),
+            next_task_id: 0,
+            next_timer_id: 0,
+            wake_queue: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, action: TimerAction) -> TimerId {
+        let id = TimerId(self.next_timer_id);
+        self.next_timer_id += 1;
+        self.seq += 1;
+        self.heap.push(Reverse(TimerKey {
+            time: at.max(self.now),
+            seq: self.seq,
+            id,
+        }));
+        self.timers.insert(id, action);
+        id
+    }
+}
+
+struct SimWaker {
+    task: TaskId,
+    queue: Arc<Mutex<Vec<TaskId>>>,
+}
+
+impl std::task::Wake for SimWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.lock().push(self.task);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.lock().push(self.task);
+    }
+}
+
+/// A handle to the simulation usable from inside simulated processes.
+///
+/// Cloning is cheap (reference-counted). All interactions with virtual time —
+/// reading the clock, sleeping, spawning further processes, scheduling
+/// callbacks — go through this handle.
+#[derive(Clone)]
+pub struct SimContext {
+    engine: Rc<RefCell<Engine>>,
+}
+
+impl SimContext {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.borrow().now
+    }
+
+    /// Returns a future that completes after `secs` seconds of virtual time.
+    pub fn sleep(&self, secs: f64) -> Sleep {
+        assert!(secs >= 0.0 && !secs.is_nan(), "sleep duration must be non-negative, got {secs}");
+        let deadline = self.now() + secs;
+        Sleep {
+            ctx: self.clone(),
+            deadline,
+            timer: None,
+        }
+    }
+
+    /// Returns a future that completes at the given absolute virtual time
+    /// (immediately if `deadline` is in the past).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            ctx: self.clone(),
+            deadline,
+            timer: None,
+        }
+    }
+
+    /// Yields to other runnable processes once, without advancing time.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { polled: false }
+    }
+
+    /// Spawns a new simulated process and returns a handle to await its result.
+    pub fn spawn<F, T>(&self, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+            finished: false,
+        }));
+        let state2 = Rc::clone(&state);
+        let wrapped = async move {
+            let out = fut.await;
+            let mut s = state2.borrow_mut();
+            s.result = Some(out);
+            s.finished = true;
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        };
+        let id = {
+            let mut eng = self.engine.borrow_mut();
+            let id = eng.next_task_id;
+            eng.next_task_id += 1;
+            eng.tasks.insert(id, Some(Box::pin(wrapped)));
+            eng.ready.push_back(id);
+            id
+        };
+        JoinHandle { state, task: id }
+    }
+
+    /// Schedules `callback` to run at virtual time `at` (clamped to now if in
+    /// the past). Returns a [`TimerId`] that can be cancelled.
+    pub fn schedule_callback<F>(&self, at: SimTime, callback: F) -> TimerId
+    where
+        F: FnOnce(&SimContext) + 'static,
+    {
+        self.engine
+            .borrow_mut()
+            .schedule(at, TimerAction::Callback(Box::new(callback)))
+    }
+
+    /// Cancels a previously scheduled timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&self, id: TimerId) {
+        self.engine.borrow_mut().timers.remove(&id);
+    }
+
+    fn schedule_wake(&self, at: SimTime, waker: Waker) -> TimerId {
+        self.engine
+            .borrow_mut()
+            .schedule(at, TimerAction::Wake(waker))
+    }
+
+    fn replace_waker(&self, id: TimerId, waker: Waker) {
+        if let Some(action) = self.engine.borrow_mut().timers.get_mut(&id) {
+            *action = TimerAction::Wake(waker);
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+/// Handle returned by [`SimContext::spawn`]; awaiting it yields the process'
+/// result.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+    task: TaskId,
+}
+
+impl<T> JoinHandle<T> {
+    /// The identifier of the spawned process.
+    pub fn id(&self) -> TaskId {
+        self.task
+    }
+
+    /// Whether the process has completed.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().finished
+    }
+
+    /// Takes the result if the process has completed, without awaiting.
+    pub fn try_take_result(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        if s.finished {
+            Poll::Ready(s.result.take().expect("JoinHandle polled after completion"))
+        } else {
+            s.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`SimContext::sleep`].
+pub struct Sleep {
+    ctx: SimContext,
+    deadline: SimTime,
+    timer: Option<TimerId>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.ctx.now() >= self.deadline {
+            if let Some(t) = self.timer.take() {
+                self.ctx.cancel_timer(t);
+            }
+            return Poll::Ready(());
+        }
+        match self.timer {
+            Some(t) => self.ctx.replace_waker(t, cx.waker().clone()),
+            None => {
+                let t = self.ctx.schedule_wake(self.deadline, cx.waker().clone());
+                self.timer = Some(t);
+            }
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`SimContext::yield_now`].
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// A complete simulation: the virtual clock, the processes, and the run loop.
+pub struct Simulation {
+    engine: Rc<RefCell<Engine>>,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            engine: Rc::new(RefCell::new(Engine::new())),
+        }
+    }
+
+    /// Returns a context handle for spawning processes and reading the clock.
+    pub fn context(&self) -> SimContext {
+        SimContext {
+            engine: Rc::clone(&self.engine),
+        }
+    }
+
+    /// Spawns a root process. Equivalent to `self.context().spawn(fut)`.
+    pub fn spawn<F, T>(&self, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+        T: 'static,
+    {
+        self.context().spawn(fut)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.borrow().now
+    }
+
+    /// Number of processes that have been spawned and not yet completed.
+    pub fn pending_tasks(&self) -> usize {
+        self.engine.borrow().tasks.len()
+    }
+
+    /// Runs until no more work can make progress, returning the final virtual
+    /// time. Processes still pending at that point are deadlocked (typically
+    /// an infinite background loop such as the periodical flusher, which is
+    /// expected and harmless).
+    pub fn run(&self) -> SimTime {
+        self.run_until(SimTime::from_secs(f64::INFINITY))
+    }
+
+    /// Runs until no more work can make progress or the clock would pass
+    /// `horizon`. Returns the final virtual time (never beyond `horizon`).
+    ///
+    /// # Panics
+    /// Panics if the simulation livelocks: tens of millions of events fire
+    /// without virtual time advancing, which indicates a model bug (e.g. a
+    /// process that re-schedules work at the current instant forever). A
+    /// correct model always moves the clock forward eventually.
+    pub fn run_until(&self, horizon: SimTime) -> SimTime {
+        const LIVELOCK_THRESHOLD: u64 = 20_000_000;
+        let mut last_time = self.now();
+        let mut stagnant_steps: u64 = 0;
+        loop {
+            self.drain_wake_queue();
+            loop {
+                let next = self.engine.borrow_mut().ready.pop_front();
+                match next {
+                    Some(task) => {
+                        self.poll_task(task);
+                        self.drain_wake_queue();
+                    }
+                    None => break,
+                }
+            }
+            if !self.advance(horizon) {
+                break;
+            }
+            let now = self.now();
+            if now > last_time {
+                last_time = now;
+                stagnant_steps = 0;
+            } else {
+                stagnant_steps += 1;
+                assert!(
+                    stagnant_steps < LIVELOCK_THRESHOLD,
+                    "simulation livelock: {LIVELOCK_THRESHOLD} events fired at virtual time {now} without progress"
+                );
+            }
+        }
+        self.now()
+    }
+
+    fn drain_wake_queue(&self) {
+        let mut eng = self.engine.borrow_mut();
+        let woken: Vec<TaskId> = std::mem::take(&mut *eng.wake_queue.lock());
+        for task in woken {
+            if eng.tasks.contains_key(&task) && !eng.ready.contains(&task) {
+                eng.ready.push_back(task);
+            }
+        }
+    }
+
+    fn poll_task(&self, task: TaskId) {
+        let (mut fut, queue) = {
+            let mut eng = self.engine.borrow_mut();
+            let fut = match eng.tasks.get_mut(&task) {
+                Some(slot) => match slot.take() {
+                    Some(f) => f,
+                    None => return, // re-entrant poll; cannot happen single-threaded
+                },
+                None => return, // already completed
+            };
+            (fut, Arc::clone(&eng.wake_queue))
+        };
+        let waker = Waker::from(Arc::new(SimWaker { task, queue }));
+        let mut cx = Context::from_waker(&waker);
+        let done = fut.as_mut().poll(&mut cx).is_ready();
+        let mut eng = self.engine.borrow_mut();
+        if done {
+            eng.tasks.remove(&task);
+        } else if let Some(slot) = eng.tasks.get_mut(&task) {
+            *slot = Some(fut);
+        }
+    }
+
+    /// Advances to the next timer event strictly necessary to make progress.
+    /// Returns false when there is nothing left to do (or the horizon is hit).
+    fn advance(&self, horizon: SimTime) -> bool {
+        loop {
+            let action = {
+                let mut eng = self.engine.borrow_mut();
+                let key = match eng.heap.pop() {
+                    Some(Reverse(k)) => k,
+                    None => return false,
+                };
+                match eng.timers.remove(&key.id) {
+                    Some(action) => {
+                        if key.time > horizon {
+                            // Put the timer back and stop at the horizon.
+                            eng.timers.insert(key.id, action);
+                            eng.seq += 1;
+                            let seq = eng.seq;
+                            eng.heap.push(Reverse(TimerKey {
+                                time: key.time,
+                                seq,
+                                id: key.id,
+                            }));
+                            eng.now = eng.now.max(horizon.min(key.time));
+                            return false;
+                        }
+                        eng.now = eng.now.max(key.time);
+                        Some(action)
+                    }
+                    None => None, // cancelled timer, skip
+                }
+            };
+            match action {
+                Some(TimerAction::Wake(waker)) => {
+                    waker.wake();
+                    return true;
+                }
+                Some(TimerAction::Callback(cb)) => {
+                    cb(&self.context());
+                    return true;
+                }
+                None => continue,
+            }
+        }
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Break potential Rc cycles between the engine and callbacks/tasks
+        // that capture SimContext handles.
+        let mut eng = self.engine.borrow_mut();
+        eng.timers.clear();
+        eng.heap.clear();
+        eng.tasks.clear();
+        eng.ready.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Simulation::new();
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let h = sim.spawn(async move {
+            ctx.sleep(5.0).await;
+            ctx.now()
+        });
+        sim.run();
+        assert_eq!(h.try_take_result().unwrap().as_secs(), 5.0);
+        assert_eq!(sim.now().as_secs(), 5.0);
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let h = sim.spawn(async move {
+            ctx.sleep(0.0).await;
+            ctx.now().as_secs()
+        });
+        sim.run();
+        assert_eq!(h.try_take_result().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sequential_sleeps_accumulate() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        sim.spawn(async move {
+            ctx.sleep(1.0).await;
+            ctx.sleep(2.0).await;
+            ctx.sleep(3.0).await;
+        });
+        let end = sim.run();
+        assert!((end.as_secs() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_processes_interleave_in_virtual_time() {
+        let sim = Simulation::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (name, delay) in [("b", 2.0), ("a", 1.0), ("c", 3.0)] {
+            let ctx = sim.context();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                ctx.sleep(delay).await;
+                order.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(sim.now().as_secs(), 3.0);
+    }
+
+    #[test]
+    fn spawn_returns_result_via_join_handle() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let handle = sim.spawn(async move {
+            ctx.sleep(1.0).await;
+            42
+        });
+        sim.run();
+        assert!(handle.is_finished());
+        assert_eq!(handle.try_take_result(), Some(42));
+    }
+
+    #[test]
+    fn join_handle_can_be_awaited() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let outer = sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                let inner = ctx.spawn({
+                    let ctx = ctx.clone();
+                    async move {
+                        ctx.sleep(4.0).await;
+                        "done"
+                    }
+                });
+                let r = inner.await;
+                (r, ctx.now().as_secs())
+            }
+        });
+        sim.run();
+        assert_eq!(outer.try_take_result(), Some(("done", 4.0)));
+    }
+
+    #[test]
+    fn callbacks_fire_in_time_order_then_schedule_order() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (tag, t) in [("x", 2.0), ("y", 1.0), ("z", 2.0)] {
+            let log = Rc::clone(&log);
+            ctx.schedule_callback(SimTime::from_secs(t), move |c| {
+                log.borrow_mut().push((tag, c.now().as_secs()));
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![("y", 1.0), ("x", 2.0), ("z", 2.0)]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let fired = Rc::new(Cell::new(false));
+        let f2 = Rc::clone(&fired);
+        let id = ctx.schedule_callback(SimTime::from_secs(1.0), move |_| f2.set(true));
+        ctx.cancel_timer(id);
+        sim.run();
+        assert!(!fired.get());
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        sim.spawn(async move {
+            ctx.sleep(100.0).await;
+        });
+        let t = sim.run_until(SimTime::from_secs(10.0));
+        assert_eq!(t.as_secs(), 10.0);
+        assert_eq!(sim.pending_tasks(), 1);
+        // Resuming finishes the process.
+        sim.run();
+        assert_eq!(sim.now().as_secs(), 100.0);
+        assert_eq!(sim.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn yield_now_lets_other_tasks_run_at_same_time() {
+        let sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let ctx = sim.context();
+        {
+            let log = Rc::clone(&log);
+            let ctx = ctx.clone();
+            sim.spawn(async move {
+                log.borrow_mut().push(1);
+                ctx.yield_now().await;
+                log.borrow_mut().push(3);
+            });
+        }
+        {
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                log.borrow_mut().push(2);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn infinite_background_loop_leaves_pending_task() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        sim.spawn(async move {
+            loop {
+                ctx.sleep(5.0).await;
+            }
+        });
+        // A bounded foreground process.
+        let ctx2 = sim.context();
+        sim.spawn(async move { ctx2.sleep(12.0).await });
+        let t = sim.run_until(SimTime::from_secs(60.0));
+        assert_eq!(t.as_secs(), 60.0);
+        assert_eq!(sim.pending_tasks(), 1);
+    }
+
+    #[test]
+    fn determinism_same_program_same_trace() {
+        fn trace() -> Vec<(u32, f64)> {
+            let sim = Simulation::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..10u32 {
+                let ctx = sim.context();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    ctx.sleep(((i * 7) % 5) as f64).await;
+                    log.borrow_mut().push((i, ctx.now().as_secs()));
+                });
+            }
+            sim.run();
+            let out = log.borrow().clone();
+            out
+        }
+        assert_eq!(trace(), trace());
+    }
+}

@@ -1,0 +1,449 @@
+//! Synchronization primitives for simulated processes.
+//!
+//! All primitives here block in *virtual* time only: a process waiting on a
+//! [`Semaphore`] or [`Notify`] is simply not runnable until another simulated
+//! process releases/notifies it. They are single-threaded (the whole engine
+//! is), so they use `Rc`/`RefCell` internally and are intentionally `!Send`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// A counting semaphore with FIFO fairness.
+///
+/// Used by the workflow layer to model bounded resources that are acquired for
+/// a whole operation (e.g. CPU cores of a host).
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<RefCell<SemInner>>,
+}
+
+struct SemInner {
+    permits: usize,
+    waiters: VecDeque<SemWaiter>,
+}
+
+struct SemWaiter {
+    granted: Rc<Cell<bool>>,
+    waker: Option<Waker>,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            inner: Rc::new(RefCell::new(SemInner {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Number of permits currently available.
+    pub fn available_permits(&self) -> usize {
+        self.inner.borrow().permits
+    }
+
+    /// Number of processes currently queued waiting for a permit.
+    pub fn waiters(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+
+    /// Acquires one permit, waiting in FIFO order if none is available.
+    /// The permit is released when the returned [`SemaphorePermit`] is dropped.
+    pub fn acquire(&self) -> Acquire {
+        Acquire {
+            sem: self.clone(),
+            ticket: None,
+        }
+    }
+
+    /// Tries to acquire a permit without waiting.
+    pub fn try_acquire(&self) -> Option<SemaphorePermit> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.permits > 0 && inner.waiters.is_empty() {
+            inner.permits -= 1;
+            Some(SemaphorePermit { sem: self.clone() })
+        } else {
+            None
+        }
+    }
+
+    fn release_one(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.permits += 1;
+        while inner.permits > 0 {
+            match inner.waiters.pop_front() {
+                Some(w) => {
+                    inner.permits -= 1;
+                    w.granted.set(true);
+                    if let Some(waker) = w.waker {
+                        waker.wake();
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// A permit acquired from a [`Semaphore`]; released on drop.
+pub struct SemaphorePermit {
+    sem: Semaphore,
+}
+
+impl Drop for SemaphorePermit {
+    fn drop(&mut self) {
+        self.sem.release_one();
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire {
+    sem: Semaphore,
+    ticket: Option<Rc<Cell<bool>>>,
+}
+
+impl Future for Acquire {
+    type Output = SemaphorePermit;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<SemaphorePermit> {
+        let sem = self.sem.clone();
+        let mut inner = sem.inner.borrow_mut();
+        match &self.ticket {
+            None => {
+                if inner.permits > 0 && inner.waiters.is_empty() {
+                    inner.permits -= 1;
+                    drop(inner);
+                    Poll::Ready(SemaphorePermit { sem })
+                } else {
+                    let granted = Rc::new(Cell::new(false));
+                    inner.waiters.push_back(SemWaiter {
+                        granted: Rc::clone(&granted),
+                        waker: Some(cx.waker().clone()),
+                    });
+                    drop(inner);
+                    self.ticket = Some(granted);
+                    Poll::Pending
+                }
+            }
+            Some(ticket) => {
+                if ticket.get() {
+                    drop(inner);
+                    self.ticket = None;
+                    Poll::Ready(SemaphorePermit { sem })
+                } else {
+                    for w in inner.waiters.iter_mut() {
+                        if Rc::ptr_eq(&w.granted, ticket) {
+                            w.waker = Some(cx.waker().clone());
+                            break;
+                        }
+                    }
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if let Some(ticket) = self.ticket.take() {
+            if ticket.get() {
+                // The permit was granted but never observed; return it.
+                self.sem.release_one();
+            } else {
+                // Still queued; remove ourselves.
+                let mut inner = self.sem.inner.borrow_mut();
+                inner.waiters.retain(|w| !Rc::ptr_eq(&w.granted, &ticket));
+            }
+        }
+    }
+}
+
+/// A notification primitive: processes wait until another process calls
+/// [`Notify::notify_all`]. Every call wakes all current waiters (level
+/// semantics are the caller's responsibility — re-check your condition).
+#[derive(Clone, Default)]
+pub struct Notify {
+    waiters: Rc<RefCell<Vec<Waker>>>,
+    generation: Rc<Cell<u64>>,
+}
+
+impl Notify {
+    /// Creates a new notifier with no pending notifications.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wakes every process currently waiting in [`Notify::notified`].
+    pub fn notify_all(&self) {
+        self.generation.set(self.generation.get() + 1);
+        for w in self.waiters.borrow_mut().drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Waits for the next notification.
+    pub fn notified(&self) -> Notified {
+        Notified {
+            notify: self.clone(),
+            armed_at: self.generation.get(),
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified {
+    notify: Notify,
+    armed_at: u64,
+}
+
+impl Future for Notified {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.notify.generation.get() != self.armed_at {
+            Poll::Ready(())
+        } else {
+            self.notify.waiters.borrow_mut().push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// An unbounded FIFO queue with asynchronous `pop`, for actor-style processes
+/// (e.g. an NFS server loop consuming requests).
+pub struct Queue<T> {
+    inner: Rc<RefCell<QueueInner<T>>>,
+}
+
+impl<T> Clone for Queue<T> {
+    fn clone(&self) -> Self {
+        Queue {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    waiters: VecDeque<Waker>,
+}
+
+impl<T> Default for Queue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Queue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Queue {
+            inner: Rc::new(RefCell::new(QueueInner {
+                items: VecDeque::new(),
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Appends an item and wakes one waiting consumer, if any.
+    pub fn push(&self, item: T) {
+        let mut inner = self.inner.borrow_mut();
+        inner.items.push_back(item);
+        if let Some(w) = inner.waiters.pop_front() {
+            w.wake();
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns the front item, waiting if the queue is empty.
+    pub fn pop(&self) -> Pop<T> {
+        Pop {
+            queue: self.clone(),
+        }
+    }
+
+    /// Removes and returns the front item without waiting.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.borrow_mut().items.pop_front()
+    }
+}
+
+/// Future returned by [`Queue::pop`].
+pub struct Pop<T> {
+    queue: Queue<T>,
+}
+
+impl<T> Future for Pop<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut inner = self.queue.inner.borrow_mut();
+        match inner.items.pop_front() {
+            Some(item) => Poll::Ready(item),
+            None => {
+                inner.waiters.push_back(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let sim = Simulation::new();
+        let sem = Semaphore::new(2);
+        let peak = Rc::new(Cell::new(0usize));
+        let current = Rc::new(Cell::new(0usize));
+        for _ in 0..6 {
+            let ctx = sim.context();
+            let sem = sem.clone();
+            let peak = Rc::clone(&peak);
+            let current = Rc::clone(&current);
+            sim.spawn(async move {
+                let _permit = sem.acquire().await;
+                current.set(current.get() + 1);
+                peak.set(peak.get().max(current.get()));
+                ctx.sleep(1.0).await;
+                current.set(current.get() - 1);
+            });
+        }
+        sim.run();
+        assert_eq!(peak.get(), 2);
+        // 6 jobs, 2 at a time, 1s each => 3s.
+        assert_eq!(sim.now().as_secs(), 3.0);
+    }
+
+    #[test]
+    fn semaphore_try_acquire() {
+        let sem = Semaphore::new(1);
+        let p = sem.try_acquire();
+        assert!(p.is_some());
+        assert!(sem.try_acquire().is_none());
+        drop(p);
+        assert!(sem.try_acquire().is_some());
+    }
+
+    #[test]
+    fn semaphore_fifo_order() {
+        let sim = Simulation::new();
+        let sem = Semaphore::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        // Occupy the semaphore for 1s, then five waiters should be served in
+        // the order they arrived.
+        {
+            let ctx = sim.context();
+            let sem = sem.clone();
+            sim.spawn(async move {
+                let _p = sem.acquire().await;
+                ctx.sleep(1.0).await;
+            });
+        }
+        for i in 0..5 {
+            let ctx = sim.context();
+            let sem = sem.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                // Stagger arrival to fix the expected order.
+                ctx.sleep(0.1 * (i + 1) as f64).await;
+                let _p = sem.acquire().await;
+                order.borrow_mut().push(i);
+                ctx.sleep(0.5).await;
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dropping_acquire_future_releases_queue_slot() {
+        let sem = Semaphore::new(0);
+        let fut = sem.acquire();
+        drop(fut);
+        assert_eq!(sem.waiters(), 0);
+    }
+
+    #[test]
+    fn notify_wakes_all_waiters() {
+        let sim = Simulation::new();
+        let notify = Notify::new();
+        let done = Rc::new(Cell::new(0));
+        for _ in 0..3 {
+            let notify = notify.clone();
+            let done = Rc::clone(&done);
+            sim.spawn(async move {
+                notify.notified().await;
+                done.set(done.get() + 1);
+            });
+        }
+        {
+            let ctx = sim.context();
+            let notify = notify.clone();
+            sim.spawn(async move {
+                ctx.sleep(2.0).await;
+                notify.notify_all();
+            });
+        }
+        sim.run();
+        assert_eq!(done.get(), 3);
+        assert_eq!(sim.now().as_secs(), 2.0);
+    }
+
+    #[test]
+    fn queue_delivers_in_order_and_blocks_when_empty() {
+        let sim = Simulation::new();
+        let queue: Queue<u32> = Queue::new();
+        let received = Rc::new(RefCell::new(Vec::new()));
+        {
+            let queue = queue.clone();
+            let received = Rc::clone(&received);
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    let v = queue.pop().await;
+                    received.borrow_mut().push(v);
+                }
+            });
+        }
+        {
+            let ctx = sim.context();
+            let queue = queue.clone();
+            sim.spawn(async move {
+                for v in [10, 20, 30] {
+                    ctx.sleep(1.0).await;
+                    queue.push(v);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*received.borrow(), vec![10, 20, 30]);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn queue_try_pop() {
+        let queue: Queue<u32> = Queue::new();
+        assert_eq!(queue.try_pop(), None);
+        queue.push(7);
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue.try_pop(), Some(7));
+    }
+}

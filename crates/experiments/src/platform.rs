@@ -1,0 +1,164 @@
+//! Platform configuration of the paper's cluster (Table III and §III-D).
+//!
+//! The simulators are parameterised with the *symmetric averages* of the
+//! measured read/write bandwidths (a SimGrid 3.25 limitation the paper calls
+//! out), while the ground-truth emulator uses the measured asymmetric values.
+
+use storage_model::units::{GB, GIB, MB};
+use storage_model::DeviceSpec;
+use workflow::{DeviceSet, PlatformSpec};
+
+/// Measured bandwidths of the cluster, in MBps (Table III, "Cluster (real)").
+pub mod measured {
+    /// Memory read bandwidth.
+    pub const MEMORY_READ: f64 = 6860.0;
+    /// Memory write bandwidth.
+    pub const MEMORY_WRITE: f64 = 2764.0;
+    /// Local disk read bandwidth.
+    pub const LOCAL_DISK_READ: f64 = 510.0;
+    /// Local disk write bandwidth.
+    pub const LOCAL_DISK_WRITE: f64 = 420.0;
+    /// Remote (NFS) disk read bandwidth.
+    pub const REMOTE_DISK_READ: f64 = 515.0;
+    /// Remote (NFS) disk write bandwidth.
+    pub const REMOTE_DISK_WRITE: f64 = 375.0;
+    /// Network bandwidth.
+    pub const NETWORK: f64 = 3000.0;
+}
+
+/// Bandwidths used to configure the simulators, in MBps (Table III, "Python
+/// prototype" / "WRENCH simulator" columns).
+pub mod simulated {
+    /// Memory bandwidth (mean of measured read and write).
+    pub const MEMORY: f64 = 4812.0;
+    /// Local disk bandwidth (mean of measured read and write).
+    pub const LOCAL_DISK: f64 = 465.0;
+    /// Remote (NFS) disk bandwidth (mean of measured read and write).
+    pub const REMOTE_DISK: f64 = 445.0;
+    /// Network bandwidth.
+    pub const NETWORK: f64 = 3000.0;
+}
+
+/// RAM of a cluster compute node (250 GiB).
+pub const NODE_MEMORY: f64 = 250.0 * GIB;
+
+/// Capacity of one local SSD (450 GiB).
+pub const LOCAL_DISK_CAPACITY: f64 = 450.0 * GIB;
+
+/// Capacity of the NFS-mounted partition used in Exp 3 (50 GiB partition of a
+/// 450 GiB remote disk; we expose the full remote disk to avoid spurious
+/// disk-full failures when many instances run concurrently).
+pub const REMOTE_DISK_CAPACITY: f64 = 450.0 * GIB;
+
+/// The platform of the paper's experiments: one 250 GiB compute node, local
+/// SSDs, and an NFS server reachable over a 25 Gbps network.
+pub fn paper_platform() -> PlatformSpec {
+    let simulated_set = DeviceSet {
+        memory: DeviceSpec::symmetric(simulated::MEMORY * MB, 0.0, f64::INFINITY),
+        disk: DeviceSpec::symmetric(simulated::LOCAL_DISK * MB, 0.0, LOCAL_DISK_CAPACITY),
+        remote_disk: DeviceSpec::symmetric(simulated::REMOTE_DISK * MB, 0.0, REMOTE_DISK_CAPACITY),
+        network_bandwidth: simulated::NETWORK * MB,
+        network_latency: 0.0,
+    };
+    let real_set = DeviceSet {
+        memory: DeviceSpec::asymmetric(
+            measured::MEMORY_READ * MB,
+            measured::MEMORY_WRITE * MB,
+            0.0,
+            f64::INFINITY,
+        ),
+        disk: DeviceSpec::asymmetric(
+            measured::LOCAL_DISK_READ * MB,
+            measured::LOCAL_DISK_WRITE * MB,
+            0.0,
+            LOCAL_DISK_CAPACITY,
+        ),
+        remote_disk: DeviceSpec::asymmetric(
+            measured::REMOTE_DISK_READ * MB,
+            measured::REMOTE_DISK_WRITE * MB,
+            0.0,
+            REMOTE_DISK_CAPACITY,
+        ),
+        network_bandwidth: measured::NETWORK * MB,
+        network_latency: 0.0,
+    };
+    let mut platform = PlatformSpec::uniform(
+        NODE_MEMORY,
+        simulated_set.memory,
+        simulated_set.disk,
+    );
+    platform.simulated = simulated_set;
+    platform.real = real_set;
+    platform.server_memory = NODE_MEMORY;
+    platform
+}
+
+/// A proportionally scaled-down platform (1/`factor` of the node memory and
+/// file sizes still expressed by the caller), useful for fast tests.
+pub fn scaled_platform(memory: f64) -> PlatformSpec {
+    let mut p = paper_platform();
+    p.host_memory = memory;
+    p.server_memory = memory;
+    p
+}
+
+/// File sizes evaluated in Exp 1 (paper: 20, 50, 75 and 100 GB; Fig. 4 reports
+/// 20 and 100 GB).
+pub fn exp1_file_sizes() -> Vec<f64> {
+    vec![20.0 * GB, 100.0 * GB]
+}
+
+/// File size of the concurrent experiments (Exp 2 and 3): 3 GB.
+pub const EXP2_FILE_SIZE: f64 = 3.0 * GB;
+
+/// Instance counts used for the concurrency sweeps (paper: 1 to 32).
+pub fn concurrency_sweep() -> Vec<usize> {
+    vec![1, 2, 4, 8, 12, 16, 20, 24, 28, 32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_matches_table3() {
+        let p = paper_platform();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.host_memory, 250.0 * GIB);
+        assert_eq!(p.simulated.memory.read_bandwidth, 4812.0 * MB);
+        assert_eq!(p.simulated.disk.read_bandwidth, 465.0 * MB);
+        assert_eq!(p.simulated.remote_disk.write_bandwidth, 445.0 * MB);
+        assert_eq!(p.real.memory.read_bandwidth, 6860.0 * MB);
+        assert_eq!(p.real.memory.write_bandwidth, 2764.0 * MB);
+        assert_eq!(p.real.disk.write_bandwidth, 420.0 * MB);
+        assert_eq!(p.real.remote_disk.read_bandwidth, 515.0 * MB);
+        assert_eq!(p.simulated.network_bandwidth, 3000.0 * MB);
+    }
+
+    #[test]
+    fn simulated_bandwidths_are_means_of_measured() {
+        assert_eq!(
+            simulated::MEMORY,
+            (measured::MEMORY_READ + measured::MEMORY_WRITE) / 2.0
+        );
+        assert_eq!(
+            simulated::LOCAL_DISK,
+            (measured::LOCAL_DISK_READ + measured::LOCAL_DISK_WRITE) / 2.0
+        );
+        assert_eq!(
+            simulated::REMOTE_DISK,
+            (measured::REMOTE_DISK_READ + measured::REMOTE_DISK_WRITE) / 2.0
+        );
+    }
+
+    #[test]
+    fn sweeps_are_sane() {
+        assert_eq!(exp1_file_sizes(), vec![20.0 * GB, 100.0 * GB]);
+        let sweep = concurrency_sweep();
+        assert_eq!(*sweep.first().unwrap(), 1);
+        assert_eq!(*sweep.last().unwrap(), 32);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        let scaled = scaled_platform(8.0 * GB);
+        assert_eq!(scaled.host_memory, 8.0 * GB);
+    }
+}

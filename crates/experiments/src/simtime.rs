@@ -1,0 +1,176 @@
+//! Figure 8: simulation (wall-clock) time as a function of the number of
+//! concurrent application instances, for WRENCH and WRENCH-cache, with local
+//! and NFS storage, including the linear fits shown in the figure.
+
+use workflow::{
+    run_scenario, ApplicationSpec, PlatformSpec, Scenario, ScenarioError, SimulatorKind,
+};
+
+/// Ordinary least-squares fit of `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fit.
+    pub slope: f64,
+    /// Intercept of the fit.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+/// Fits a line through the given points.
+///
+/// # Panics
+/// Panics if fewer than two points are given or the x values are all equal.
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points for a fit");
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    assert!(sxx > 0.0, "x values must not all be equal");
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot <= 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Wall-clock simulation times for one instance count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTimePoint {
+    /// Number of concurrent application instances simulated.
+    pub instances: usize,
+    /// Cacheless simulator, local storage.
+    pub cacheless_local: f64,
+    /// Cacheless simulator, NFS storage.
+    pub cacheless_nfs: f64,
+    /// WRENCH-cache, local storage.
+    pub cache_local: f64,
+    /// WRENCH-cache, NFS storage.
+    pub cache_nfs: f64,
+}
+
+/// Result of the Fig. 8 measurement: raw points plus the four linear fits.
+#[derive(Debug, Clone)]
+pub struct SimTimeResult {
+    /// One point per instance count.
+    pub points: Vec<SimTimePoint>,
+    /// Fit of the cacheless/local series.
+    pub fit_cacheless_local: LinearFit,
+    /// Fit of the cacheless/NFS series.
+    pub fit_cacheless_nfs: LinearFit,
+    /// Fit of the WRENCH-cache/local series.
+    pub fit_cache_local: LinearFit,
+    /// Fit of the WRENCH-cache/NFS series.
+    pub fit_cache_nfs: LinearFit,
+}
+
+/// Measures simulation wall-clock time for the four configurations of Fig. 8.
+pub fn run_simulation_time_measurement(
+    platform: &PlatformSpec,
+    file_size: f64,
+    instance_counts: &[usize],
+) -> Result<SimTimeResult, ScenarioError> {
+    let app = ApplicationSpec::synthetic_pipeline(file_size);
+    let mut points = Vec::new();
+    for &instances in instance_counts {
+        let measure = |kind: SimulatorKind, nfs: bool| -> Result<f64, ScenarioError> {
+            let platform = if nfs {
+                platform.clone().with_nfs()
+            } else {
+                platform.clone()
+            };
+            let report = run_scenario(
+                &Scenario::new(platform, app.clone(), kind)
+                    .with_instances(instances)
+                    .with_sample_interval(None),
+            )?;
+            Ok(report.wall_clock_seconds)
+        };
+        points.push(SimTimePoint {
+            instances,
+            cacheless_local: measure(SimulatorKind::Cacheless, false)?,
+            cacheless_nfs: measure(SimulatorKind::Cacheless, true)?,
+            cache_local: measure(SimulatorKind::PageCache, false)?,
+            cache_nfs: measure(SimulatorKind::PageCache, true)?,
+        });
+    }
+    let series = |pick: fn(&SimTimePoint) -> f64| -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|p| (p.instances as f64, pick(p)))
+            .collect()
+    };
+    Ok(SimTimeResult {
+        fit_cacheless_local: linear_fit(&series(|p| p.cacheless_local)),
+        fit_cacheless_nfs: linear_fit(&series(|p| p.cacheless_nfs)),
+        fit_cache_local: linear_fit(&series(|p| p.cache_local)),
+        fit_cache_nfs: linear_fit(&series(|p| p.cache_nfs)),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::scaled_platform;
+    use storage_model::units::{GB, MB};
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let points: Vec<(f64, f64)> = (1..=10).map(|x| (x as f64, 3.0 * x as f64 + 2.0)).collect();
+        let fit = linear_fit(&points);
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 2.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_handles_noisy_data() {
+        let points = vec![(1.0, 1.1), (2.0, 1.9), (3.0, 3.2), (4.0, 3.9)];
+        let fit = linear_fit(&points);
+        assert!(fit.slope > 0.8 && fit.slope < 1.2);
+        assert!(fit.r_squared > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn linear_fit_rejects_single_point() {
+        let _ = linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn simulation_time_measurement_runs_and_fits() {
+        let platform = scaled_platform(8.0 * GB);
+        let result =
+            run_simulation_time_measurement(&platform, 200.0 * MB, &[1, 2, 4]).unwrap();
+        assert_eq!(result.points.len(), 3);
+        for p in &result.points {
+            assert!(p.cacheless_local >= 0.0);
+            assert!(p.cache_local >= 0.0);
+        }
+        // Wall-clock time is noisy in a test environment; just check that the
+        // fits exist and are finite.
+        for fit in [
+            result.fit_cacheless_local,
+            result.fit_cacheless_nfs,
+            result.fit_cache_local,
+            result.fit_cache_nfs,
+        ] {
+            assert!(fit.slope.is_finite());
+            assert!(fit.intercept.is_finite());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Plain-text table formatting for the report binaries.
+//!
+//! The binaries print the same rows/series as the paper's tables and figures;
+//! this module keeps the formatting consistent and testable.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have the same number of cells as the header).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width does not match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a number of seconds with two decimals.
+pub fn secs(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Formats a byte count in GB with two decimals.
+pub fn gb(v: f64) -> String {
+    format!("{:.2}", v / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(&["phase", "real", "err %"]);
+        t.add_row(vec!["Read 1".into(), "39.22".into(), "1.5".into()]);
+        t.add_row(vec!["Write 10".into(), "7.1".into(), "320.0".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("phase"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("Read 1"));
+        assert!(lines[3].contains("Write 10"));
+        // All data lines have the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn numeric_formatting() {
+        assert_eq!(secs(1.234), "1.23");
+        assert_eq!(pct(33.33), "33.3");
+        assert_eq!(pct(f64::INFINITY), "inf");
+        assert_eq!(gb(20e9), "20.00");
+    }
+}

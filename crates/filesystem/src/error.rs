@@ -1,0 +1,55 @@
+//! Filesystem error types.
+
+use std::fmt;
+
+use pagecache::FileId;
+use storage_model::DiskFullError;
+
+/// Errors returned by the simulated filesystems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsError {
+    /// The file is not registered in the filesystem.
+    FileNotFound(FileId),
+    /// The backing disk has no room for the file.
+    DiskFull(DiskFullError),
+    /// A file with this name already exists.
+    AlreadyExists(FileId),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::FileNotFound(file) => write!(f, "file '{file}' not found"),
+            FsError::DiskFull(e) => write!(f, "{e}"),
+            FsError::AlreadyExists(file) => write!(f, "file '{file}' already exists"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<DiskFullError> for FsError {
+    fn from(e: DiskFullError) -> Self {
+        FsError::DiskFull(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FsError::FileNotFound("missing".into());
+        assert!(e.to_string().contains("missing"));
+        let e = FsError::AlreadyExists("dup".into());
+        assert!(e.to_string().contains("already exists"));
+        let e: FsError = DiskFullError {
+            disk: "d0".into(),
+            requested: 10.0,
+            available: 5.0,
+        }
+        .into();
+        assert!(e.to_string().contains("full"));
+    }
+}

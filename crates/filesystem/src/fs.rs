@@ -1,0 +1,150 @@
+//! A unified filesystem façade over the three back-ends, so the workflow
+//! layer can run the same application against the cached, cacheless and NFS
+//! configurations.
+
+use pagecache::{FileId, IoOpStats, MemoryManager};
+
+use crate::error::FsError;
+use crate::local::{CachedFileSystem, DirectFileSystem};
+use crate::nfs::NfsFileSystem;
+use crate::registry::FileRegistry;
+
+/// Any of the simulated filesystems.
+#[derive(Clone)]
+pub enum FileSystem {
+    /// Local filesystem with page caching (WRENCH-cache behaviour).
+    Cached(CachedFileSystem),
+    /// Local filesystem without page caching (vanilla WRENCH behaviour).
+    Direct(DirectFileSystem),
+    /// NFS mount (client read cache, writethrough server).
+    Nfs(NfsFileSystem),
+}
+
+impl FileSystem {
+    /// Registers a pre-existing file without simulating any I/O.
+    pub fn create_file(&self, file: &FileId, size: f64) -> Result<(), FsError> {
+        match self {
+            FileSystem::Cached(fs) => fs.create_file(file, size),
+            FileSystem::Direct(fs) => fs.create_file(file, size),
+            FileSystem::Nfs(fs) => fs.create_file(file, size),
+        }
+    }
+
+    /// Reads a whole file.
+    pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, FsError> {
+        match self {
+            FileSystem::Cached(fs) => fs.read_file(file).await,
+            FileSystem::Direct(fs) => fs.read_file(file).await,
+            FileSystem::Nfs(fs) => fs.read_file(file).await,
+        }
+    }
+
+    /// Writes (creates or overwrites) a file of `size` bytes.
+    pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, FsError> {
+        match self {
+            FileSystem::Cached(fs) => fs.write_file(file, size).await,
+            FileSystem::Direct(fs) => fs.write_file(file, size).await,
+            FileSystem::Nfs(fs) => fs.write_file(file, size).await,
+        }
+    }
+
+    /// Deletes a file.
+    pub fn delete_file(&self, file: &FileId) -> Result<(), FsError> {
+        match self {
+            FileSystem::Cached(fs) => fs.delete_file(file),
+            FileSystem::Direct(fs) => fs.delete_file(file),
+            FileSystem::Nfs(fs) => fs.delete_file(file),
+        }
+    }
+
+    /// The Memory Manager of the host running the application, when the
+    /// filesystem has one (the cacheless filesystem does not model memory).
+    pub fn memory_manager(&self) -> Option<&MemoryManager> {
+        match self {
+            FileSystem::Cached(fs) => Some(fs.memory_manager()),
+            FileSystem::Direct(_) => None,
+            FileSystem::Nfs(fs) => Some(fs.client_memory_manager()),
+        }
+    }
+
+    /// The file registry of the filesystem.
+    pub fn registry(&self) -> &FileRegistry {
+        match self {
+            FileSystem::Cached(fs) => fs.registry(),
+            FileSystem::Direct(fs) => fs.registry(),
+            FileSystem::Nfs(fs) => fs.registry(),
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FileSystem::Cached(_) => "cached-local",
+            FileSystem::Direct(_) => "direct-local",
+            FileSystem::Nfs(_) => "nfs",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::Simulation;
+    use pagecache::{IoController, PageCacheConfig};
+    use storage_model::{units::MB, DeviceSpec, Disk, MemoryDevice};
+
+    fn cached(sim: &Simulation) -> FileSystem {
+        let ctx = sim.context();
+        let memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(1000.0 * MB, 0.0, f64::INFINITY));
+        let disk = Disk::new(&ctx, "d", DeviceSpec::symmetric(100.0 * MB, 0.0, f64::INFINITY));
+        let mm = MemoryManager::new(&ctx, PageCacheConfig::with_memory(4000.0 * MB), memory, disk.clone());
+        FileSystem::Cached(CachedFileSystem::new(IoController::new(&ctx, mm), disk))
+    }
+
+    fn direct(sim: &Simulation) -> FileSystem {
+        let ctx = sim.context();
+        let disk = Disk::new(&ctx, "d", DeviceSpec::symmetric(100.0 * MB, 0.0, f64::INFINITY));
+        FileSystem::Direct(DirectFileSystem::new(&ctx, disk))
+    }
+
+    #[test]
+    fn facade_dispatches_to_cached_backend() {
+        let sim = Simulation::new();
+        let fs = cached(&sim);
+        assert_eq!(fs.kind(), "cached-local");
+        assert!(fs.memory_manager().is_some());
+        fs.create_file(&"f".into(), 100.0 * MB).unwrap();
+        assert!(fs.registry().exists(&"f".into()));
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                let r = fs.read_file(&"f".into()).await.unwrap();
+                let w = fs.write_file(&"g".into(), 50.0 * MB).await.unwrap();
+                (r, w)
+            }
+        });
+        sim.run();
+        let (r, w) = h.try_take_result().unwrap();
+        assert!(r.bytes_from_disk > 0.0);
+        assert!(w.bytes_to_cache > 0.0);
+        fs.delete_file(&"g".into()).unwrap();
+        assert!(!fs.registry().exists(&"g".into()));
+    }
+
+    #[test]
+    fn facade_dispatches_to_direct_backend() {
+        let sim = Simulation::new();
+        let fs = direct(&sim);
+        assert_eq!(fs.kind(), "direct-local");
+        assert!(fs.memory_manager().is_none());
+        fs.create_file(&"f".into(), 100.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.read_file(&"f".into()).await.unwrap() }
+        });
+        sim.run();
+        let r = h.try_take_result().unwrap();
+        assert_eq!(r.bytes_from_cache, 0.0);
+        assert!(r.bytes_from_disk > 0.0);
+    }
+}

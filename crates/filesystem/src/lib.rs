@@ -1,0 +1,27 @@
+//! # `simfs` — simulated filesystems
+//!
+//! Filesystem-level abstractions on top of the [`pagecache`] model and the
+//! [`storage_model`] devices:
+//!
+//! * [`CachedFileSystem`] — a local filesystem whose I/O goes through the
+//!   simulated Linux page cache (the paper's WRENCH-cache behaviour);
+//! * [`DirectFileSystem`] — a local filesystem that always hits the disk
+//!   (the cacheless behaviour of vanilla WRENCH, used as the baseline);
+//! * [`NfsFileSystem`] / [`NfsServer`] — a network filesystem with a client
+//!   read cache and a writethrough server cache (the paper's Exp 3 setup);
+//! * [`FileSystem`] — an enum façade so the workflow layer can drive any of
+//!   the three with the same code.
+
+#![warn(missing_docs)]
+
+mod error;
+mod fs;
+mod local;
+mod nfs;
+mod registry;
+
+pub use error::FsError;
+pub use fs::FileSystem;
+pub use local::{CachedFileSystem, DirectFileSystem};
+pub use nfs::{NfsFileSystem, NfsServer};
+pub use registry::FileRegistry;

@@ -1,0 +1,283 @@
+//! Local filesystems: page-cached (the paper's model) and direct (the
+//! cacheless behaviour of vanilla WRENCH).
+
+use des::SimContext;
+use pagecache::{FileId, IoController, IoOpStats, MemoryManager};
+use storage_model::Disk;
+
+use crate::error::FsError;
+use crate::registry::FileRegistry;
+
+/// A local filesystem whose I/O goes through the simulated page cache
+/// (WRENCH-cache behaviour).
+#[derive(Clone)]
+pub struct CachedFileSystem {
+    io: IoController,
+    disk: Disk,
+    registry: FileRegistry,
+}
+
+impl CachedFileSystem {
+    /// Creates a cached filesystem on `disk`, using the given I/O controller
+    /// (which owns the host's Memory Manager).
+    pub fn new(io: IoController, disk: Disk) -> Self {
+        CachedFileSystem {
+            io,
+            disk,
+            registry: FileRegistry::new(),
+        }
+    }
+
+    /// The host's Memory Manager.
+    pub fn memory_manager(&self) -> &MemoryManager {
+        self.io.memory_manager()
+    }
+
+    /// The I/O controller.
+    pub fn io_controller(&self) -> &IoController {
+        &self.io
+    }
+
+    /// The backing disk.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// The file registry.
+    pub fn registry(&self) -> &FileRegistry {
+        &self.registry
+    }
+
+    /// Registers an existing file (e.g. the initial input of a workflow)
+    /// without simulating any I/O.
+    pub fn create_file(&self, file: &FileId, size: f64) -> Result<(), FsError> {
+        self.disk.allocate(size)?;
+        self.registry.create(file, size)
+    }
+
+    /// Reads a whole file through the page cache.
+    pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, FsError> {
+        let size = self.registry.size(file)?;
+        Ok(self.io.read_file(file, size).await)
+    }
+
+    /// Writes (creates or overwrites) a file of `size` bytes through the page
+    /// cache.
+    pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, FsError> {
+        if let Some(old) = self.registry.create_or_replace(file, size) {
+            self.disk.free(old);
+        }
+        self.disk.allocate(size)?;
+        Ok(self.io.write_file(file, size).await)
+    }
+
+    /// Deletes a file: drops its cached data and frees its disk space.
+    pub fn delete_file(&self, file: &FileId) -> Result<(), FsError> {
+        let size = self.registry.remove(file)?;
+        self.disk.free(size);
+        self.memory_manager().invalidate_file(file);
+        Ok(())
+    }
+}
+
+/// A local filesystem that bypasses the page cache entirely: every read and
+/// write is a disk access at disk bandwidth. This reproduces the behaviour of
+/// the original (cacheless) WRENCH simulator the paper compares against.
+#[derive(Clone)]
+pub struct DirectFileSystem {
+    ctx: SimContext,
+    disk: Disk,
+    registry: FileRegistry,
+}
+
+impl DirectFileSystem {
+    /// Creates a direct (cacheless) filesystem on `disk`.
+    pub fn new(ctx: &SimContext, disk: Disk) -> Self {
+        DirectFileSystem {
+            ctx: ctx.clone(),
+            disk,
+            registry: FileRegistry::new(),
+        }
+    }
+
+    /// The backing disk.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// The file registry.
+    pub fn registry(&self) -> &FileRegistry {
+        &self.registry
+    }
+
+    /// Registers an existing file without simulating any I/O.
+    pub fn create_file(&self, file: &FileId, size: f64) -> Result<(), FsError> {
+        self.disk.allocate(size)?;
+        self.registry.create(file, size)
+    }
+
+    /// Reads a whole file directly from disk.
+    pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, FsError> {
+        let size = self.registry.size(file)?;
+        let start = self.ctx.now();
+        self.disk.read(size).await;
+        Ok(IoOpStats {
+            bytes_from_disk: size,
+            duration: self.ctx.now().duration_since(start),
+            ..IoOpStats::default()
+        })
+    }
+
+    /// Writes a file directly to disk.
+    pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, FsError> {
+        if let Some(old) = self.registry.create_or_replace(file, size) {
+            self.disk.free(old);
+        }
+        self.disk.allocate(size)?;
+        let start = self.ctx.now();
+        self.disk.write(size).await;
+        Ok(IoOpStats {
+            bytes_to_disk: size,
+            duration: self.ctx.now().duration_since(start),
+            ..IoOpStats::default()
+        })
+    }
+
+    /// Deletes a file and frees its disk space.
+    pub fn delete_file(&self, file: &FileId) -> Result<(), FsError> {
+        let size = self.registry.remove(file)?;
+        self.disk.free(size);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::Simulation;
+    use pagecache::PageCacheConfig;
+    use storage_model::{units::MB, DeviceSpec, MemoryDevice};
+
+    const MEM_BW: f64 = 1000.0 * 1e6;
+    const DISK_BW: f64 = 100.0 * 1e6;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "expected {b}, got {a}");
+    }
+
+    fn cached_fs(sim: &Simulation, memory_mb: f64, disk_capacity: f64) -> CachedFileSystem {
+        let ctx = sim.context();
+        let memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(MEM_BW, 0.0, f64::INFINITY));
+        let disk = Disk::new(&ctx, "disk0", DeviceSpec::symmetric(DISK_BW, 0.0, disk_capacity));
+        let mm = MemoryManager::new(
+            &ctx,
+            PageCacheConfig::with_memory(memory_mb * MB),
+            memory,
+            disk.clone(),
+        );
+        CachedFileSystem::new(IoController::new(&ctx, mm), disk)
+    }
+
+    #[test]
+    fn cached_fs_read_write_and_cache_hit() {
+        let sim = Simulation::new();
+        let fs = cached_fs(&sim, 10_000.0, f64::INFINITY);
+        fs.create_file(&"input".into(), 500.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                let cold = fs.read_file(&"input".into()).await.unwrap();
+                let warm = fs.read_file(&"input".into()).await.unwrap();
+                let write = fs.write_file(&"output".into(), 300.0 * MB).await.unwrap();
+                (cold, warm, write)
+            }
+        });
+        sim.run();
+        let (cold, warm, write) = h.try_take_result().unwrap();
+        approx(cold.bytes_from_disk, 500.0 * MB);
+        approx(warm.bytes_from_cache, 500.0 * MB);
+        approx(write.bytes_to_cache, 300.0 * MB);
+        assert!(warm.duration < cold.duration);
+        assert!(fs.registry().exists(&"output".into()));
+        approx(fs.disk().used(), 800.0 * MB);
+    }
+
+    #[test]
+    fn cached_fs_missing_file_and_delete() {
+        let sim = Simulation::new();
+        let fs = cached_fs(&sim, 1_000.0, f64::INFINITY);
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.read_file(&"nope".into()).await }
+        });
+        sim.run();
+        assert!(matches!(h.try_take_result().unwrap(), Err(FsError::FileNotFound(_))));
+
+        fs.create_file(&"f".into(), 100.0 * MB).unwrap();
+        fs.memory_manager().add_to_cache(&"f".into(), 100.0 * MB);
+        fs.delete_file(&"f".into()).unwrap();
+        approx(fs.disk().used(), 0.0);
+        approx(fs.memory_manager().cached(), 0.0);
+        assert!(fs.delete_file(&"f".into()).is_err());
+    }
+
+    #[test]
+    fn cached_fs_overwrite_frees_old_space() {
+        let sim = Simulation::new();
+        let fs = cached_fs(&sim, 10_000.0, 1_000.0 * MB);
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                fs.write_file(&"f".into(), 800.0 * MB).await.unwrap();
+                // Overwriting with a smaller file must free the old allocation
+                // first, otherwise this would exceed the 1 GB disk.
+                fs.write_file(&"f".into(), 600.0 * MB).await.unwrap();
+            }
+        });
+        sim.run();
+        assert!(h.is_finished());
+        approx(fs.disk().used(), 600.0 * MB);
+    }
+
+    #[test]
+    fn cached_fs_disk_full() {
+        let sim = Simulation::new();
+        let fs = cached_fs(&sim, 1_000.0, 100.0 * MB);
+        assert!(matches!(
+            fs.create_file(&"big".into(), 200.0 * MB),
+            Err(FsError::DiskFull(_))
+        ));
+    }
+
+    #[test]
+    fn direct_fs_reads_and_writes_at_disk_bandwidth() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let disk = Disk::new(&ctx, "d0", DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY));
+        let fs = DirectFileSystem::new(&ctx, disk);
+        fs.create_file(&"input".into(), 500.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                let r1 = fs.read_file(&"input".into()).await.unwrap();
+                // A second read is just as slow: no cache.
+                let r2 = fs.read_file(&"input".into()).await.unwrap();
+                let w = fs.write_file(&"out".into(), 200.0 * MB).await.unwrap();
+                (r1, r2, w)
+            }
+        });
+        sim.run();
+        let (r1, r2, w) = h.try_take_result().unwrap();
+        approx(r1.duration, 5.0);
+        approx(r2.duration, 5.0);
+        approx(r1.bytes_from_disk, 500.0 * MB);
+        approx(w.duration, 2.0);
+        approx(w.bytes_to_disk, 200.0 * MB);
+        fs.delete_file(&"out".into()).unwrap();
+        approx(fs.disk().used(), 500.0 * MB);
+        assert!(matches!(
+            fs.delete_file(&"missing".into()),
+            Err(FsError::FileNotFound(_))
+        ));
+    }
+}

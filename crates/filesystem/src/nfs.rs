@@ -1,0 +1,380 @@
+//! NFS model: a client host accessing files stored on a remote server over a
+//! network link (paper Exp 3).
+//!
+//! The configuration follows §III-D of the paper, which mirrors common HPC
+//! deployments:
+//!
+//! * there is **no client write cache** — writes travel over the network and
+//!   are written through on the server;
+//! * the **server cache is writethrough**: written data is persisted to the
+//!   server disk synchronously but stays in the server's page cache, so later
+//!   reads can hit it;
+//! * **read caches are enabled on both sides**: data read by the client is
+//!   added to the client's page cache, and data read from the server disk is
+//!   added to the server's page cache.
+
+use des::SimContext;
+use pagecache::{FileId, IoOpStats, MemoryManager, DEFAULT_CHUNK_SIZE, EPSILON};
+use storage_model::{Disk, NetworkLink};
+
+use crate::error::FsError;
+use crate::registry::FileRegistry;
+
+/// The NFS server: a remote host with a disk and a (writethrough) page cache.
+#[derive(Clone)]
+pub struct NfsServer {
+    mm: MemoryManager,
+    disk: Disk,
+}
+
+impl NfsServer {
+    /// Creates a server from its Memory Manager (normally configured in
+    /// writethrough mode) and its disk.
+    pub fn new(mm: MemoryManager, disk: Disk) -> Self {
+        NfsServer { mm, disk }
+    }
+
+    /// The server's Memory Manager.
+    pub fn memory_manager(&self) -> &MemoryManager {
+        &self.mm
+    }
+
+    /// The server's disk.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Serves `amount` bytes of a read of `file` (whose full size is
+    /// `file_size`): data cached on the server is read from memory, the rest
+    /// from the server disk (and added to the server read cache). Returns
+    /// `(from_disk, from_cache)`.
+    pub async fn serve_read(&self, file: &FileId, file_size: f64, amount: f64) -> (f64, f64) {
+        if amount <= EPSILON {
+            return (0.0, 0.0);
+        }
+        let cached = self.mm.cached_amount(file);
+        let uncached = (file_size - cached).max(0.0);
+        let from_disk = amount.min(uncached);
+        let from_cache = amount - from_disk;
+        if from_disk > EPSILON {
+            self.mm.evict(from_disk - self.mm.free_memory(), Some(file));
+            let still_missing = from_disk - self.mm.free_memory();
+            if still_missing > EPSILON {
+                self.mm.evict(still_missing, None);
+            }
+            self.disk.read(from_disk).await;
+            self.mm.add_to_cache(file, from_disk);
+        }
+        if from_cache > EPSILON {
+            self.mm.read_from_cache(file, from_cache).await;
+        }
+        (from_disk, from_cache)
+    }
+
+    /// Serves a writethrough write of `amount` bytes: synchronous disk write,
+    /// then the data is kept in the server cache as clean data.
+    pub async fn serve_write(&self, file: &FileId, amount: f64) {
+        if amount <= EPSILON {
+            return;
+        }
+        self.disk.write(amount).await;
+        self.mm.evict(amount - self.mm.free_memory(), None);
+        let to_cache = amount.min(self.mm.free_memory());
+        if to_cache > EPSILON {
+            self.mm.add_to_cache(file, to_cache);
+        }
+    }
+}
+
+/// An NFS-mounted filesystem as seen from the client host.
+#[derive(Clone)]
+pub struct NfsFileSystem {
+    ctx: SimContext,
+    link: NetworkLink,
+    server: NfsServer,
+    client_mm: MemoryManager,
+    registry: FileRegistry,
+    chunk_size: f64,
+}
+
+impl NfsFileSystem {
+    /// Creates an NFS mount: `client_mm` is the client's Memory Manager (used
+    /// only as a read cache), `link` the network between client and server.
+    pub fn new(
+        ctx: &SimContext,
+        client_mm: MemoryManager,
+        link: NetworkLink,
+        server: NfsServer,
+    ) -> Self {
+        NfsFileSystem {
+            ctx: ctx.clone(),
+            link,
+            server,
+            client_mm,
+            registry: FileRegistry::new(),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// Overrides the chunk size used for network requests.
+    pub fn with_chunk_size(mut self, chunk_size: f64) -> Self {
+        assert!(chunk_size > 0.0, "chunk size must be positive");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// The client-side Memory Manager (read cache and anonymous memory).
+    pub fn client_memory_manager(&self) -> &MemoryManager {
+        &self.client_mm
+    }
+
+    /// The server.
+    pub fn server(&self) -> &NfsServer {
+        &self.server
+    }
+
+    /// The network link.
+    pub fn link(&self) -> &NetworkLink {
+        &self.link
+    }
+
+    /// The file registry of the mount.
+    pub fn registry(&self) -> &FileRegistry {
+        &self.registry
+    }
+
+    /// Registers a pre-existing file on the server without simulating I/O.
+    pub fn create_file(&self, file: &FileId, size: f64) -> Result<(), FsError> {
+        self.server.disk.allocate(size)?;
+        self.registry.create(file, size)
+    }
+
+    /// Deletes a file: releases server disk space and both caches.
+    pub fn delete_file(&self, file: &FileId) -> Result<(), FsError> {
+        let size = self.registry.remove(file)?;
+        self.server.disk.free(size);
+        self.server.mm.invalidate_file(file);
+        self.client_mm.invalidate_file(file);
+        Ok(())
+    }
+
+    /// Reads a whole file over NFS. Client-cached data is read from client
+    /// memory; the rest is served by the server (from its cache or disk) and
+    /// travels over the network, after which it enters the client read cache.
+    pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, FsError> {
+        let size = self.registry.size(file)?;
+        let start = self.ctx.now();
+        let mut stats = IoOpStats::default();
+        let mut remaining = size;
+        while remaining > EPSILON {
+            let chunk = remaining.min(self.chunk_size);
+            let client_cached = self.client_mm.cached_amount(file);
+            let uncached = (size - client_cached).max(0.0);
+            let from_remote = chunk.min(uncached);
+            let from_client_cache = chunk - from_remote;
+
+            // Make room on the client for the anonymous copy plus the newly
+            // cached data (the client cache only holds clean data, so eviction
+            // is enough).
+            let required = chunk + from_remote;
+            self.client_mm
+                .evict(required - self.client_mm.free_memory(), Some(file));
+            let still_missing = required - self.client_mm.free_memory();
+            if still_missing > EPSILON {
+                self.client_mm.evict(still_missing, None);
+            }
+
+            if from_remote > EPSILON {
+                let (from_disk, from_server_cache) =
+                    self.server.serve_read(file, size, from_remote).await;
+                self.link.transfer(from_remote).await;
+                self.client_mm.add_to_cache(file, from_remote);
+                stats.bytes_from_disk += from_disk;
+                stats.bytes_from_cache += from_server_cache;
+                stats.bytes_to_cache += from_remote;
+            }
+            if from_client_cache > EPSILON {
+                let read = self
+                    .client_mm
+                    .read_from_cache(file, from_client_cache)
+                    .await;
+                stats.bytes_from_cache += read;
+            }
+            self.client_mm.use_anonymous_memory(chunk);
+            remaining -= chunk;
+        }
+        stats.duration = self.ctx.now().duration_since(start);
+        Ok(stats)
+    }
+
+    /// Writes a whole file over NFS: data travels over the network and is
+    /// written through on the server (no client write cache).
+    pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, FsError> {
+        if let Some(old) = self.registry.create_or_replace(file, size) {
+            self.server.disk.free(old);
+        }
+        self.server.disk.allocate(size)?;
+        let start = self.ctx.now();
+        let mut stats = IoOpStats::default();
+        let mut remaining = size;
+        while remaining > EPSILON {
+            let chunk = remaining.min(self.chunk_size);
+            self.link.transfer(chunk).await;
+            self.server.serve_write(file, chunk).await;
+            stats.bytes_to_disk += chunk;
+            remaining -= chunk;
+        }
+        stats.duration = self.ctx.now().duration_since(start);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::Simulation;
+    use pagecache::PageCacheConfig;
+    use storage_model::{units::MB, DeviceSpec, MemoryDevice};
+
+    const MEM_BW: f64 = 1000.0 * 1e6;
+    const DISK_BW: f64 = 100.0 * 1e6;
+    const NET_BW: f64 = 500.0 * 1e6;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "expected {b}, got {a}");
+    }
+
+    fn setup(client_mem_mb: f64, server_mem_mb: f64) -> (Simulation, NfsFileSystem) {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let client_memory =
+            MemoryDevice::new(&ctx, DeviceSpec::symmetric(MEM_BW, 0.0, f64::INFINITY));
+        // The client never flushes (read cache only); its "disk" is unused but
+        // required by the MemoryManager constructor.
+        let client_disk = Disk::new(&ctx, "client-disk", DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY));
+        let client_mm = MemoryManager::new(
+            &ctx,
+            PageCacheConfig::with_memory(client_mem_mb * MB),
+            client_memory,
+            client_disk,
+        );
+        let server_memory =
+            MemoryDevice::new(&ctx, DeviceSpec::symmetric(MEM_BW, 0.0, f64::INFINITY));
+        let server_disk = Disk::new(&ctx, "server-disk", DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY));
+        let server_mm = MemoryManager::new(
+            &ctx,
+            PageCacheConfig::with_memory(server_mem_mb * MB).writethrough(),
+            server_memory,
+            server_disk.clone(),
+        );
+        let server = NfsServer::new(server_mm, server_disk);
+        let link = NetworkLink::new(&ctx, "eth0", NET_BW, 0.0);
+        let fs = NfsFileSystem::new(&ctx, client_mm, link, server);
+        (sim, fs)
+    }
+
+    #[test]
+    fn cold_read_hits_server_disk_and_network() {
+        let (sim, fs) = setup(10_000.0, 10_000.0);
+        fs.create_file(&"f".into(), 500.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.read_file(&"f".into()).await.unwrap() }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_from_disk, 500.0 * MB);
+        // server disk (5 s) + network (1 s); chunked sequentially.
+        approx(stats.duration, 6.0);
+        // Both caches now hold the file.
+        approx(fs.client_memory_manager().cached_amount(&"f".into()), 500.0 * MB);
+        approx(fs.server().memory_manager().cached_amount(&"f".into()), 500.0 * MB);
+    }
+
+    #[test]
+    fn second_read_hits_client_cache_without_network() {
+        let (sim, fs) = setup(10_000.0, 10_000.0);
+        fs.create_file(&"f".into(), 500.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                fs.read_file(&"f".into()).await.unwrap();
+                let net_before = fs.link().channel().total_bytes();
+                let warm = fs.read_file(&"f".into()).await.unwrap();
+                (warm, fs.link().channel().total_bytes() - net_before)
+            }
+        });
+        sim.run();
+        let (warm, net_bytes) = h.try_take_result().unwrap();
+        approx(warm.bytes_from_cache, 500.0 * MB);
+        approx(net_bytes, 0.0);
+        approx(warm.duration, 0.5); // client memory bandwidth only
+    }
+
+    #[test]
+    fn write_is_writethrough_and_populates_server_cache_only() {
+        let (sim, fs) = setup(10_000.0, 10_000.0);
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.write_file(&"out".into(), 300.0 * MB).await.unwrap() }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_to_disk, 300.0 * MB);
+        // network (0.6 s) + server disk (3 s), sequential per chunk.
+        approx(stats.duration, 3.6);
+        // No dirty data anywhere; no client cache for writes.
+        approx(fs.server().memory_manager().dirty(), 0.0);
+        approx(fs.server().memory_manager().cached_amount(&"out".into()), 300.0 * MB);
+        approx(fs.client_memory_manager().cached_amount(&"out".into()), 0.0);
+        approx(fs.server().disk().used(), 300.0 * MB);
+    }
+
+    #[test]
+    fn read_after_write_hits_server_cache_not_disk() {
+        let (sim, fs) = setup(10_000.0, 10_000.0);
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                fs.write_file(&"out".into(), 300.0 * MB).await.unwrap();
+                let disk_before = fs.server().disk().total_bytes_read();
+                let r = fs.read_file(&"out".into()).await.unwrap();
+                (r, fs.server().disk().total_bytes_read() - disk_before)
+            }
+        });
+        sim.run();
+        let (r, disk_read) = h.try_take_result().unwrap();
+        approx(disk_read, 0.0);
+        approx(r.bytes_from_cache, 300.0 * MB);
+        approx(r.bytes_from_disk, 0.0);
+    }
+
+    #[test]
+    fn missing_file_and_delete() {
+        let (sim, fs) = setup(1_000.0, 1_000.0);
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.read_file(&"missing".into()).await }
+        });
+        sim.run();
+        assert!(matches!(h.try_take_result().unwrap(), Err(FsError::FileNotFound(_))));
+        fs.create_file(&"f".into(), 100.0 * MB).unwrap();
+        fs.delete_file(&"f".into()).unwrap();
+        approx(fs.server().disk().used(), 0.0);
+        assert!(fs.delete_file(&"f".into()).is_err());
+    }
+
+    #[test]
+    fn small_server_memory_limits_server_cache() {
+        // Server has 200 MB of RAM; a 500 MB file cannot be fully cached.
+        let (sim, fs) = setup(10_000.0, 200.0);
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.write_file(&"big".into(), 500.0 * MB).await.unwrap() }
+        });
+        sim.run();
+        assert!(h.is_finished());
+        assert!(fs.server().memory_manager().cached() <= 200.0 * MB + 1.0);
+        fs.server().memory_manager().check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,302 @@
+//! File-level front end of the kernel emulator, mirroring the API of
+//! `simfs::CachedFileSystem` so the workflow layer can use the emulator as the
+//! "real system" back-end.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use des::SimContext;
+use pagecache::{FileId, IoOpStats};
+use storage_model::Disk;
+
+use crate::cache::KernelCache;
+
+const EPS: f64 = 1e-6;
+
+/// Default request size used by the emulated VFS layer (bytes).
+pub const DEFAULT_REQUEST_SIZE: f64 = 100.0 * 1e6;
+
+/// A local filesystem whose behaviour is emulated at kernel fidelity
+/// (background writeback, writer throttling, eviction protection).
+#[derive(Clone)]
+pub struct KernelFileSystem {
+    ctx: SimContext,
+    cache: KernelCache,
+    disk: Disk,
+    files: Rc<RefCell<BTreeMap<FileId, f64>>>,
+    request_size: f64,
+}
+
+impl KernelFileSystem {
+    /// Creates an emulated filesystem on `disk` with the given page cache.
+    pub fn new(ctx: &SimContext, cache: KernelCache, disk: Disk) -> Self {
+        KernelFileSystem {
+            ctx: ctx.clone(),
+            cache,
+            disk,
+            files: Rc::new(RefCell::new(BTreeMap::new())),
+            request_size: DEFAULT_REQUEST_SIZE,
+        }
+    }
+
+    /// Overrides the request size the emulated VFS uses.
+    pub fn with_request_size(mut self, request_size: f64) -> Self {
+        assert!(request_size > 0.0, "request size must be positive");
+        self.request_size = request_size;
+        self
+    }
+
+    /// The emulated page cache.
+    pub fn cache(&self) -> &KernelCache {
+        &self.cache
+    }
+
+    /// The backing disk.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Registers a pre-existing file without simulating I/O.
+    pub fn create_file(&self, file: &FileId, size: f64) -> Result<(), String> {
+        self.disk.allocate(size).map_err(|e| e.to_string())?;
+        self.files.borrow_mut().insert(file.clone(), size.max(0.0));
+        Ok(())
+    }
+
+    /// Size of a registered file.
+    pub fn file_size(&self, file: &FileId) -> Option<f64> {
+        self.files.borrow().get(file).copied()
+    }
+
+    /// Deletes a file: frees disk space and drops its cached pages.
+    pub fn delete_file(&self, file: &FileId) -> Result<(), String> {
+        let size = self
+            .files
+            .borrow_mut()
+            .remove(file)
+            .ok_or_else(|| format!("file '{file}' not found"))?;
+        self.disk.free(size);
+        self.cache.invalidate_file(file);
+        Ok(())
+    }
+
+    /// Reads a whole file through the emulated cache.
+    pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, String> {
+        let size = self
+            .file_size(file)
+            .ok_or_else(|| format!("file '{file}' not found"))?;
+        let start = self.ctx.now();
+        let mut stats = IoOpStats::default();
+        let mut remaining = size;
+        while remaining > EPS {
+            let chunk = remaining.min(self.request_size);
+            let cached = self.cache.cached_amount(file);
+            let uncached = (size - cached).max(0.0);
+            let from_disk = chunk.min(uncached);
+            let from_cache = chunk - from_disk;
+
+            // Reclaim: make room for the anonymous copy plus the new pages.
+            let required = chunk + from_disk;
+            let missing = required - self.cache.free_memory();
+            if missing > EPS {
+                let evicted = self.cache.evict(missing, Some(file));
+                let still = missing - evicted;
+                if still > EPS {
+                    // Direct reclaim also writes back dirty pages if eviction
+                    // alone is not enough.
+                    let flushed = self.cache.write_back(still, true).await;
+                    stats.bytes_to_disk += flushed;
+                    self.cache.evict(still, None);
+                }
+            }
+
+            if from_disk > EPS {
+                self.disk.read(from_disk).await;
+                self.cache.insert_clean(file, from_disk);
+                stats.bytes_from_disk += from_disk;
+                stats.bytes_to_cache += from_disk;
+            }
+            if from_cache > EPS {
+                self.cache.memory().read(from_cache).await;
+                self.cache.touch(file, from_cache);
+                stats.bytes_from_cache += from_cache;
+            }
+            self.cache.use_anonymous_memory(chunk);
+            remaining -= chunk;
+        }
+        stats.duration = self.ctx.now().duration_since(start);
+        Ok(stats)
+    }
+
+    /// Writes a whole file through the emulated cache (writeback semantics
+    /// with `balance_dirty_pages`-style throttling).
+    pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, String> {
+        if let Some(old) = self.files.borrow_mut().insert(file.clone(), size.max(0.0)) {
+            self.disk.free(old);
+        }
+        self.disk.allocate(size).map_err(|e| e.to_string())?;
+        self.cache.set_write_open(file, true);
+        let start = self.ctx.now();
+        let mut stats = IoOpStats::default();
+        let mut remaining = size;
+        while remaining > EPS {
+            let chunk = remaining.min(self.request_size);
+
+            // balance_dirty_pages: above the dirty threshold the writer itself
+            // writes back, down to the background threshold.
+            let projected_dirty = self.cache.dirty() + chunk;
+            if projected_dirty > self.cache.dirty_threshold() {
+                let target = (projected_dirty - self.cache.background_threshold()).max(0.0);
+                let flushed = self.cache.write_back(target, true).await;
+                stats.bytes_to_disk += flushed;
+            }
+
+            // Make room for the new dirty pages.
+            let missing = chunk - self.cache.free_memory();
+            if missing > EPS {
+                let evicted = self.cache.evict(missing, Some(file));
+                if missing - evicted > EPS {
+                    let flushed = self.cache.write_back(missing - evicted, true).await;
+                    stats.bytes_to_disk += flushed;
+                    self.cache.evict(missing - evicted, None);
+                }
+            }
+
+            self.cache.memory().write(chunk).await;
+            self.cache.insert_dirty(file, chunk);
+            stats.bytes_to_cache += chunk;
+            remaining -= chunk;
+        }
+        self.cache.set_write_open(file, false);
+        stats.duration = self.ctx.now().duration_since(start);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuning::KernelTuning;
+    use des::Simulation;
+    use storage_model::{units::MB, DeviceSpec, MemoryDevice};
+
+    fn approx_pct(a: f64, b: f64, pct: f64) {
+        assert!(
+            (a - b).abs() <= pct / 100.0 * b.abs().max(1.0),
+            "expected {b} ±{pct}%, got {a}"
+        );
+    }
+
+    fn setup(total_mb: f64) -> (Simulation, KernelFileSystem) {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        // Real-cluster style asymmetric bandwidths (Table III).
+        let memory = MemoryDevice::new(
+            &ctx,
+            DeviceSpec::asymmetric(6860.0 * MB, 2764.0 * MB, 0.0, f64::INFINITY),
+        );
+        let disk = Disk::new(
+            &ctx,
+            "ssd",
+            DeviceSpec::asymmetric(510.0 * MB, 420.0 * MB, 0.0, f64::INFINITY),
+        );
+        let cache = KernelCache::new(&ctx, KernelTuning::with_memory(total_mb * MB), memory, disk.clone());
+        let fs = KernelFileSystem::new(&ctx, cache, disk);
+        (sim, fs)
+    }
+
+    #[test]
+    fn cold_read_then_warm_read() {
+        let (sim, fs) = setup(10_000.0);
+        fs.create_file(&"f".into(), 1000.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                let cold = fs.read_file(&"f".into()).await.unwrap();
+                fs.cache().release_anonymous_memory(1000.0 * MB);
+                let warm = fs.read_file(&"f".into()).await.unwrap();
+                (cold, warm)
+            }
+        });
+        sim.run();
+        let (cold, warm) = h.try_take_result().unwrap();
+        approx_pct(cold.duration, 1000.0 / 510.0, 1.0);
+        approx_pct(warm.duration, 1000.0 / 6860.0, 1.0);
+        approx_pct(cold.bytes_from_disk, 1000.0 * MB, 0.1);
+        approx_pct(warm.bytes_from_cache, 1000.0 * MB, 0.1);
+    }
+
+    #[test]
+    fn write_within_thresholds_is_memory_speed() {
+        let (sim, fs) = setup(10_000.0);
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.write_file(&"out".into(), 500.0 * MB).await.unwrap() }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx_pct(stats.duration, 500.0 / 2764.0, 1.0);
+        approx_pct(stats.bytes_to_cache, 500.0 * MB, 0.1);
+        assert_eq!(stats.bytes_to_disk, 0.0);
+        approx_pct(fs.cache().dirty(), 500.0 * MB, 0.1);
+    }
+
+    #[test]
+    fn large_write_is_throttled_to_disk_bandwidth() {
+        // 1000 MB of RAM: dirty threshold 200 MB, background threshold 100 MB.
+        let (sim, fs) = setup(1000.0);
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.write_file(&"out".into(), 600.0 * MB).await.unwrap() }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        // Most of the data had to be written back synchronously.
+        assert!(stats.bytes_to_disk >= 350.0 * MB, "flushed {}", stats.bytes_to_disk);
+        assert!(stats.duration > 600.0 / 420.0 * 0.5, "duration {}", stats.duration);
+        // Dirty data stays under the dirty threshold.
+        assert!(fs.cache().dirty() <= fs.cache().dirty_threshold() + 1.0);
+    }
+
+    #[test]
+    fn writeback_threads_drain_dirty_data_in_background() {
+        let (sim, fs) = setup(10_000.0);
+        fs.cache().spawn_writeback_threads();
+        let ctx = sim.context();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                fs.write_file(&"out".into(), 1500.0 * MB).await.unwrap();
+                let dirty_right_after = fs.cache().dirty();
+                ctx.sleep(10.0).await;
+                let dirty_later = fs.cache().dirty();
+                fs.cache().stop();
+                (dirty_right_after, dirty_later)
+            }
+        });
+        sim.run();
+        let (right_after, later) = h.try_take_result().unwrap();
+        // 1500 MB dirty > 10 % of 10 GB => the background threads start
+        // draining before the 30 s expiration.
+        assert!(right_after > 1400.0 * MB);
+        assert!(later <= fs.cache().background_threshold() + 1.0, "later = {later}");
+    }
+
+    #[test]
+    fn file_bookkeeping() {
+        let (sim, fs) = setup(1000.0);
+        fs.create_file(&"a".into(), 100.0 * MB).unwrap();
+        assert_eq!(fs.file_size(&"a".into()), Some(100.0 * MB));
+        assert!(fs.file_size(&"b".into()).is_none());
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.read_file(&"missing".into()).await }
+        });
+        sim.run();
+        assert!(h.try_take_result().unwrap().is_err());
+        fs.delete_file(&"a".into()).unwrap();
+        assert!(fs.delete_file(&"a".into()).is_err());
+        assert_eq!(fs.disk().used(), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # `kernel-emu` — a page-granularity Linux page-cache emulator
+//!
+//! The paper validates its simulation model against *real executions* on a
+//! dedicated cluster. That hardware is not available here, so this crate
+//! provides the substitute ground truth: an emulator of the Linux page cache
+//! that implements the kernel behaviours the paper's macroscopic model
+//! deliberately leaves out —
+//!
+//! * the background dirty threshold (`vm.dirty_background_ratio`),
+//! * writer throttling à la `balance_dirty_pages`,
+//! * eviction protection of files currently being written,
+//! * per-file page accounting instead of per-I/O data blocks,
+//!
+//! and that is configured with the *measured, asymmetric* device bandwidths of
+//! Table III (whereas the simulators use the symmetric averages). Simulators
+//! are then evaluated by their error against this emulator, exactly as the
+//! paper evaluates WRENCH and WRENCH-cache against the real cluster.
+//!
+//! See `DESIGN.md` (§5, substitutions) for the full rationale.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod fs;
+mod tuning;
+
+pub use cache::{KernelCache, KernelCacheCounters};
+pub use fs::{KernelFileSystem, DEFAULT_REQUEST_SIZE};
+pub use tuning::{KernelTuning, PAGE_SIZE};

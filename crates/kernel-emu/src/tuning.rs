@@ -1,0 +1,100 @@
+//! Kernel tunables of the emulator (the `vm.*` sysctls of the real cluster).
+
+/// Size of a page in bytes (4 KiB).
+pub const PAGE_SIZE: f64 = 4096.0;
+
+/// Tunables of the emulated kernel, mirroring the `vm.*` sysctls of the
+/// CentOS 8.1 nodes used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTuning {
+    /// Total RAM of the host in bytes.
+    pub total_memory: f64,
+    /// `vm.dirty_ratio`: fraction of available memory above which writers are
+    /// throttled and must write back synchronously.
+    pub dirty_ratio: f64,
+    /// `vm.dirty_background_ratio`: fraction of available memory above which
+    /// the background writeback threads start flushing. The paper's
+    /// macroscopic model omits this, which is why it observes that "dirty data
+    /// seemed to be flushing faster in real life than in simulation".
+    pub dirty_background_ratio: f64,
+    /// `vm.dirty_expire_centisecs` in seconds: age after which dirty data is
+    /// written back regardless of the thresholds.
+    pub dirty_expire: f64,
+    /// `vm.dirty_writeback_centisecs` in seconds: wakeup period of the
+    /// writeback threads.
+    pub writeback_interval: f64,
+    /// Whether eviction avoids pages of files currently opened for writing
+    /// (the kernel behaviour the paper could not easily reproduce).
+    pub protect_files_being_written: bool,
+}
+
+impl KernelTuning {
+    /// Default kernel settings with the given amount of RAM.
+    pub fn with_memory(total_memory: f64) -> Self {
+        KernelTuning {
+            total_memory,
+            dirty_ratio: 0.20,
+            dirty_background_ratio: 0.10,
+            dirty_expire: 30.0,
+            writeback_interval: 5.0,
+            protect_files_being_written: true,
+        }
+    }
+
+    /// Validates the tunables.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.total_memory > 0.0 && self.total_memory.is_finite()) {
+            return Err("total memory must be positive".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.dirty_ratio)
+            || !(0.0..=1.0).contains(&self.dirty_background_ratio)
+        {
+            return Err("dirty ratios must be within [0, 1]".to_string());
+        }
+        if self.dirty_background_ratio > self.dirty_ratio {
+            return Err("dirty_background_ratio must not exceed dirty_ratio".to_string());
+        }
+        if self.writeback_interval <= 0.0 || self.dirty_expire < 0.0 {
+            return Err("writeback interval must be positive and expire non-negative".to_string());
+        }
+        Ok(())
+    }
+
+    /// Rounds a byte count up to whole pages, the granularity the emulator
+    /// tracks.
+    pub fn round_to_pages(bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            0.0
+        } else {
+            (bytes / PAGE_SIZE).ceil() * PAGE_SIZE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_validation() {
+        let t = KernelTuning::with_memory(1e9);
+        assert_eq!(t.dirty_ratio, 0.20);
+        assert_eq!(t.dirty_background_ratio, 0.10);
+        assert!(t.validate().is_ok());
+        let mut bad = t;
+        bad.dirty_background_ratio = 0.5;
+        assert!(bad.validate().is_err());
+        bad = t;
+        bad.total_memory = 0.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn page_rounding() {
+        assert_eq!(KernelTuning::round_to_pages(0.0), 0.0);
+        assert_eq!(KernelTuning::round_to_pages(-5.0), 0.0);
+        assert_eq!(KernelTuning::round_to_pages(1.0), PAGE_SIZE);
+        assert_eq!(KernelTuning::round_to_pages(PAGE_SIZE), PAGE_SIZE);
+        assert_eq!(KernelTuning::round_to_pages(PAGE_SIZE + 1.0), 2.0 * PAGE_SIZE);
+    }
+}

@@ -1,0 +1,176 @@
+//! Data blocks: the unit of cached data in the simulation model.
+//!
+//! The Linux kernel tracks individual 4 KiB pages in its LRU lists. Simulating
+//! lists of pages would be prohibitively slow for data-intensive workloads
+//! (hundreds of gigabytes), so the paper introduces the *data block*: a set of
+//! file pages cached by the same I/O operation, described only by its size,
+//! timestamps and dirty flag (§III-A-1, Fig. 2). Blocks can be split
+//! arbitrarily, which is how partial flushes, evictions and reads are
+//! modelled.
+
+use std::fmt;
+use std::rc::Rc;
+
+use des::SimTime;
+
+/// Identifier of a simulated file. Cheap to clone (reference-counted interned
+/// name).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(Rc<str>);
+
+impl FileId {
+    /// Creates a file identifier from a name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        FileId(Rc::from(name.as_ref()))
+    }
+
+    /// The file name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for FileId {
+    fn from(s: &str) -> Self {
+        FileId::new(s)
+    }
+}
+
+impl From<String> for FileId {
+    fn from(s: String) -> Self {
+        FileId::new(s)
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A contiguous amount of cached data belonging to one file, as stored in the
+/// simulated LRU lists (paper Fig. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataBlock {
+    /// The file this data belongs to.
+    pub file: FileId,
+    /// Amount of cached data in bytes.
+    pub size: f64,
+    /// Virtual time at which the block (or its dirty ancestor) entered the
+    /// cache. Used by the periodical flusher to detect expired dirty data.
+    pub entry_time: SimTime,
+    /// Virtual time of the last access; LRU lists are ordered by this field.
+    pub last_access: SimTime,
+    /// Whether the data has not yet been persisted to disk.
+    pub dirty: bool,
+}
+
+impl DataBlock {
+    /// Creates a clean block cached at `now` (a block created by reading
+    /// uncached data from disk).
+    pub fn clean(file: FileId, size: f64, now: SimTime) -> Self {
+        debug_assert!(size > 0.0, "blocks must have positive size");
+        DataBlock {
+            file,
+            size,
+            entry_time: now,
+            last_access: now,
+            dirty: false,
+        }
+    }
+
+    /// Creates a dirty block written to the cache at `now`.
+    pub fn dirty(file: FileId, size: f64, now: SimTime) -> Self {
+        debug_assert!(size > 0.0, "blocks must have positive size");
+        DataBlock {
+            file,
+            size,
+            entry_time: now,
+            last_access: now,
+            dirty: true,
+        }
+    }
+
+    /// Splits off the first `amount` bytes into a new block that keeps this
+    /// block's timestamps and dirty flag; `self` keeps the remainder.
+    ///
+    /// # Panics
+    /// Panics (debug) if `amount` is not strictly between 0 and `self.size`.
+    pub fn split_off(&mut self, amount: f64) -> DataBlock {
+        debug_assert!(
+            amount > 0.0 && amount < self.size,
+            "split amount {amount} out of range (block size {})",
+            self.size
+        );
+        self.size -= amount;
+        DataBlock {
+            file: self.file.clone(),
+            size: amount,
+            entry_time: self.entry_time,
+            last_access: self.last_access,
+            dirty: self.dirty,
+        }
+    }
+
+    /// Whether the dirty data in this block is older than `expire` seconds at
+    /// time `now` (and should therefore be written back by the periodical
+    /// flusher).
+    pub fn is_expired(&self, now: SimTime, expire: f64) -> bool {
+        self.dirty && now.duration_since(self.entry_time) > expire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_id_equality_and_display() {
+        let a = FileId::new("file1");
+        let b: FileId = "file1".into();
+        let c: FileId = String::from("file2").into();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "file1");
+        assert_eq!(c.name(), "file2");
+    }
+
+    #[test]
+    fn clean_and_dirty_constructors() {
+        let t = SimTime::from_secs(10.0);
+        let c = DataBlock::clean("f".into(), 100.0, t);
+        assert!(!c.dirty);
+        assert_eq!(c.entry_time, t);
+        assert_eq!(c.last_access, t);
+        let d = DataBlock::dirty("f".into(), 100.0, t);
+        assert!(d.dirty);
+    }
+
+    #[test]
+    fn split_preserves_metadata() {
+        let entry = SimTime::from_secs(5.0);
+        let mut blk = DataBlock {
+            file: "f1".into(),
+            size: 100.0,
+            entry_time: entry,
+            last_access: SimTime::from_secs(8.0),
+            dirty: true,
+        };
+        let head = blk.split_off(30.0);
+        assert_eq!(head.size, 30.0);
+        assert_eq!(blk.size, 70.0);
+        assert_eq!(head.entry_time, entry);
+        assert_eq!(head.last_access, SimTime::from_secs(8.0));
+        assert!(head.dirty);
+        assert_eq!(head.file, blk.file);
+    }
+
+    #[test]
+    fn expiration() {
+        let blk = DataBlock::dirty("f".into(), 10.0, SimTime::from_secs(0.0));
+        assert!(!blk.is_expired(SimTime::from_secs(10.0), 30.0));
+        assert!(blk.is_expired(SimTime::from_secs(31.0), 30.0));
+        let clean = DataBlock::clean("f".into(), 10.0, SimTime::from_secs(0.0));
+        assert!(!clean.is_expired(SimTime::from_secs(100.0), 30.0));
+    }
+}

@@ -1,0 +1,449 @@
+//! The I/O Controller (paper §III-B).
+//!
+//! Applications read and write files chunk by chunk through the I/O
+//! Controller, which orchestrates flushing, eviction, cache accesses and disk
+//! accesses with the Memory Manager. File pages are assumed to be accessed in
+//! a round-robin fashion: when a file is read, uncached data is read (from
+//! disk) before cached data, and inactive-list data before active-list data
+//! (paper Fig. 3).
+
+use des::SimContext;
+
+use crate::block::FileId;
+use crate::config::WriteMode;
+use crate::lru::EPSILON;
+use crate::manager::MemoryManager;
+use crate::stats::IoOpStats;
+
+/// Default chunk size used when the caller does not specify one (bytes).
+pub const DEFAULT_CHUNK_SIZE: f64 = 100.0 * 1e6;
+
+/// The I/O Controller of one host: the entry point applications use to read
+/// and write files through the simulated page cache.
+#[derive(Clone)]
+pub struct IoController {
+    ctx: SimContext,
+    mm: MemoryManager,
+    chunk_size: f64,
+}
+
+impl IoController {
+    /// Creates a controller operating on the given Memory Manager with the
+    /// default chunk size.
+    pub fn new(ctx: &SimContext, mm: MemoryManager) -> Self {
+        IoController {
+            ctx: ctx.clone(),
+            mm,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// Overrides the chunk size (bytes per request sent to the controller).
+    pub fn with_chunk_size(mut self, chunk_size: f64) -> Self {
+        assert!(chunk_size > 0.0, "chunk size must be positive");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// The chunk size used by [`IoController::read_file`] and
+    /// [`IoController::write_file`].
+    pub fn chunk_size(&self) -> f64 {
+        self.chunk_size
+    }
+
+    /// The underlying Memory Manager.
+    pub fn memory_manager(&self) -> &MemoryManager {
+        &self.mm
+    }
+
+    /// Reads a whole file of `size` bytes, chunk by chunk (paper Algorithm 2),
+    /// and accounts for one anonymous-memory copy of the data in the
+    /// application. Returns aggregated statistics for the operation.
+    pub async fn read_file(&self, file: &FileId, size: f64) -> IoOpStats {
+        let start = self.ctx.now();
+        let mut stats = IoOpStats::default();
+        let mut remaining = size;
+        while remaining > EPSILON {
+            let chunk = remaining.min(self.chunk_size);
+            let chunk_stats = self.read_chunk(file, size, chunk).await;
+            stats.merge(&chunk_stats);
+            remaining -= chunk;
+        }
+        stats.duration = self.ctx.now().duration_since(start);
+        stats
+    }
+
+    /// Writes a whole file of `size` bytes, chunk by chunk (paper Algorithm 3
+    /// in writeback mode, or the writethrough variant described in §III-B).
+    pub async fn write_file(&self, file: &FileId, size: f64) -> IoOpStats {
+        let start = self.ctx.now();
+        let mut stats = IoOpStats::default();
+        let mut remaining = size;
+        while remaining > EPSILON {
+            let chunk = remaining.min(self.chunk_size);
+            let chunk_stats = match self.mm.config().write_mode {
+                WriteMode::WriteBack => self.write_chunk_writeback(file, chunk).await,
+                WriteMode::WriteThrough => self.write_chunk_writethrough(file, chunk).await,
+            };
+            stats.merge(&chunk_stats);
+            remaining -= chunk;
+        }
+        stats.duration = self.ctx.now().duration_since(start);
+        stats
+    }
+
+    /// Reads one chunk (paper Algorithm 2).
+    async fn read_chunk(&self, file: &FileId, file_size: f64, chunk: f64) -> IoOpStats {
+        let start = self.ctx.now();
+        let mut stats = IoOpStats::default();
+
+        // Lines 7-9: how much must come from disk, how much from cache, and
+        // how much memory the chunk needs (one copy in anonymous memory plus
+        // the newly cached data). Under the round-robin access assumption the
+        // uncached part of the file is `fs - mm.cached(fn)`.
+        let file_uncached = (file_size - self.mm.cached_amount(file)).max(0.0);
+        let disk_read = chunk.min(file_uncached);
+        let cache_read = chunk - disk_read;
+        let required_mem = chunk + disk_read;
+
+        // Lines 10-11: make room by flushing dirty data, then evicting clean
+        // data. Negative amounts are no-ops.
+        let flush_amount = required_mem - self.mm.free_memory() - self.mm.evictable(Some(file));
+        let flushed = self.mm.flush(flush_amount, Some(file)).await;
+        stats.bytes_to_disk += flushed;
+        let evict_amount = required_mem - self.mm.free_memory();
+        self.mm.evict(evict_amount, Some(file));
+        // Algorithm 2 assumes the file fits in memory. If it does not, the
+        // exclusion above prevents reclaiming the file's own pages and the
+        // cache would grow unbounded; fall back to unrestricted eviction,
+        // which is what the kernel does under memory pressure.
+        let still_missing = required_mem - self.mm.free_memory();
+        if still_missing > EPSILON {
+            self.mm.evict(still_missing, None);
+        }
+
+        // Lines 12-15: read uncached data from disk and add it to the cache.
+        if disk_read > EPSILON {
+            self.mm.disk().read(disk_read).await;
+            self.mm.add_to_cache(file, disk_read);
+            stats.bytes_from_disk += disk_read;
+            stats.bytes_to_cache += disk_read;
+        }
+        // Lines 16-18: read cached data.
+        if cache_read > EPSILON {
+            let read = self.mm.read_from_cache(file, cache_read).await;
+            stats.bytes_from_cache += read;
+        }
+        // Line 19: the application keeps a copy of the chunk in anonymous
+        // memory.
+        self.mm.use_anonymous_memory(chunk);
+
+        stats.duration = self.ctx.now().duration_since(start);
+        stats
+    }
+
+    /// Writes one chunk in writeback mode (paper Algorithm 3).
+    async fn write_chunk_writeback(&self, file: &FileId, chunk: f64) -> IoOpStats {
+        let start = self.ctx.now();
+        let mut stats = IoOpStats::default();
+
+        // Line 5: how much dirty data may still be produced.
+        let remain_dirty = self.mm.dirty_headroom();
+        let mut mem_amt = 0.0;
+        if remain_dirty > EPSILON {
+            // Lines 6-9: make room (if needed) and write to the cache.
+            let evict_amount = chunk.min(remain_dirty) - self.mm.free_memory();
+            self.mm.evict(evict_amount, None);
+            mem_amt = chunk.min(remain_dirty).min(self.mm.free_memory());
+            if mem_amt > EPSILON {
+                self.mm.write_to_cache(file, mem_amt).await;
+                stats.bytes_to_cache += mem_amt;
+            }
+        }
+
+        // Lines 11-18: the dirty threshold was reached; repeatedly flush,
+        // evict, and write the remaining data to the cache.
+        let mut remaining = chunk - mem_amt;
+        while remaining > EPSILON {
+            let flushed = self.mm.flush(chunk - mem_amt, None).await;
+            stats.bytes_to_disk += flushed;
+            self.mm.evict(chunk - mem_amt - self.mm.free_memory(), None);
+            let to_cache = remaining.min(self.mm.free_memory());
+            if to_cache > EPSILON {
+                self.mm.write_to_cache(file, to_cache).await;
+                stats.bytes_to_cache += to_cache;
+                remaining -= to_cache;
+            } else if flushed <= EPSILON {
+                // Neither flushing nor eviction can make progress (everything
+                // is anonymous or active). Degrade to a direct disk write for
+                // the remainder so the simulation cannot livelock; the real
+                // kernel would block the writer in balance_dirty_pages.
+                self.mm.disk().write(remaining).await;
+                self.mm.add_to_cache(file, self.mm.free_memory().min(remaining));
+                stats.bytes_to_disk += remaining;
+                remaining = 0.0;
+            }
+        }
+
+        stats.duration = self.ctx.now().duration_since(start);
+        stats
+    }
+
+    /// Writes one chunk in writethrough mode (paper §III-B, last paragraph):
+    /// the disk write is synchronous, then the written data is added to the
+    /// cache (as clean data), evicting older cache entries if needed.
+    async fn write_chunk_writethrough(&self, file: &FileId, chunk: f64) -> IoOpStats {
+        let start = self.ctx.now();
+        let mut stats = IoOpStats::default();
+        self.mm.disk().write(chunk).await;
+        stats.bytes_to_disk += chunk;
+        self.mm.evict(chunk - self.mm.free_memory(), None);
+        let to_cache = chunk.min(self.mm.free_memory());
+        if to_cache > EPSILON {
+            self.mm.add_to_cache(file, to_cache);
+            stats.bytes_to_cache += to_cache;
+        }
+        stats.duration = self.ctx.now().duration_since(start);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PageCacheConfig;
+    use des::Simulation;
+    use storage_model::{units::MB, DeviceSpec, Disk, MemoryDevice};
+
+    const MEM_BW: f64 = 1000.0 * 1e6; // 1000 MB/s
+    const DISK_BW: f64 = 100.0 * 1e6; // 100 MB/s
+
+    fn setup(total_memory: f64, mode: WriteMode) -> (Simulation, IoController) {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(MEM_BW, 0.0, f64::INFINITY));
+        let disk = Disk::new(&ctx, "disk0", DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY));
+        let mut cfg = PageCacheConfig::with_memory(total_memory);
+        cfg.write_mode = mode;
+        let mm = MemoryManager::new(&ctx, cfg, memory, disk);
+        let io = IoController::new(&ctx, mm).with_chunk_size(100.0 * MB);
+        (sim, io)
+    }
+
+    fn approx(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() < 1e-6 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
+    }
+
+    fn approx_tol(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "expected {b}±{tol}, got {a}");
+    }
+
+    #[test]
+    fn cold_read_hits_disk_at_disk_bandwidth() {
+        let (sim, io) = setup(10_000.0 * MB, WriteMode::WriteBack);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move { io.read_file(&"f".into(), 1000.0 * MB).await }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_from_disk, 1000.0 * MB);
+        approx(stats.bytes_from_cache, 0.0);
+        approx(stats.duration, 10.0); // 1000 MB at 100 MB/s
+        // The file is now fully cached and one anonymous copy is accounted.
+        approx(io.memory_manager().cached_amount(&"f".into()), 1000.0 * MB);
+        approx(io.memory_manager().anonymous(), 1000.0 * MB);
+    }
+
+    #[test]
+    fn warm_read_hits_cache_at_memory_bandwidth() {
+        let (sim, io) = setup(10_000.0 * MB, WriteMode::WriteBack);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move {
+                io.read_file(&"f".into(), 1000.0 * MB).await;
+                io.memory_manager().release_anonymous_memory(1000.0 * MB);
+                io.read_file(&"f".into(), 1000.0 * MB).await
+            }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_from_cache, 1000.0 * MB);
+        approx(stats.bytes_from_disk, 0.0);
+        approx(stats.duration, 1.0); // 1000 MB at 1000 MB/s
+        assert!((stats.cache_hit_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partially_cached_file_reads_uncached_part_from_disk() {
+        let (sim, io) = setup(10_000.0 * MB, WriteMode::WriteBack);
+        // Pre-populate 400 MB of the file in the cache.
+        io.memory_manager().add_to_cache(&"f".into(), 400.0 * MB);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move { io.read_file(&"f".into(), 1000.0 * MB).await }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_from_disk, 600.0 * MB);
+        approx(stats.bytes_from_cache, 400.0 * MB);
+        // 600 MB at 100 MB/s + 400 MB at 1000 MB/s
+        approx(stats.duration, 6.4);
+    }
+
+    #[test]
+    fn writeback_write_within_dirty_headroom_is_memory_speed() {
+        let (sim, io) = setup(10_000.0 * MB, WriteMode::WriteBack);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move { io.write_file(&"f".into(), 1000.0 * MB).await }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_to_cache, 1000.0 * MB);
+        approx(stats.bytes_to_disk, 0.0);
+        approx(stats.duration, 1.0); // memory bandwidth only
+        approx(io.memory_manager().dirty(), 1000.0 * MB);
+    }
+
+    #[test]
+    fn writeback_write_beyond_dirty_ratio_triggers_flushing() {
+        // 1000 MB of RAM, dirty ratio 20 % => at most ~200 MB of dirty data.
+        let (sim, io) = setup(1000.0 * MB, WriteMode::WriteBack);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move { io.write_file(&"f".into(), 600.0 * MB).await }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_to_cache, 600.0 * MB);
+        // At least 400 MB had to be flushed to disk synchronously.
+        assert!(stats.bytes_to_disk >= 399.0 * MB, "flushed {}", stats.bytes_to_disk);
+        // Duration is dominated by the flush at disk bandwidth: ~4s plus
+        // 0.6s of memory writes.
+        assert!(stats.duration > 4.0, "duration {}", stats.duration);
+        // The dirty ratio is respected at the end.
+        assert!(io.memory_manager().dirty() <= 0.2 * 1000.0 * MB + 1.0);
+        io.memory_manager().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn writethrough_write_is_disk_speed_and_leaves_clean_cache() {
+        let (sim, io) = setup(10_000.0 * MB, WriteMode::WriteThrough);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move { io.write_file(&"f".into(), 500.0 * MB).await }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_to_disk, 500.0 * MB);
+        approx(stats.bytes_to_cache, 500.0 * MB);
+        approx(stats.duration, 5.0); // 500 MB at 100 MB/s
+        approx(io.memory_manager().dirty(), 0.0);
+        approx(io.memory_manager().cached(), 500.0 * MB);
+    }
+
+    #[test]
+    fn writethrough_then_read_hits_cache() {
+        let (sim, io) = setup(10_000.0 * MB, WriteMode::WriteThrough);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move {
+                io.write_file(&"f".into(), 500.0 * MB).await;
+                io.read_file(&"f".into(), 500.0 * MB).await
+            }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_from_cache, 500.0 * MB);
+        approx(stats.bytes_from_disk, 0.0);
+    }
+
+    #[test]
+    fn read_larger_than_memory_evicts_and_still_completes() {
+        // 1000 MB of RAM, 3000 MB file: the file cannot be fully cached.
+        let (sim, io) = setup(1000.0 * MB, WriteMode::WriteBack);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move {
+                let s = io.read_file(&"f".into(), 3000.0 * MB).await;
+                io.memory_manager().release_anonymous_memory(3000.0 * MB);
+                s
+            }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_from_disk, 3000.0 * MB);
+        // The cache never exceeds total memory.
+        assert!(io.memory_manager().cached() <= 1000.0 * MB + 1.0);
+        io.memory_manager().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rereading_file_larger_than_memory_still_partially_hits_cache_or_disk() {
+        let (sim, io) = setup(1000.0 * MB, WriteMode::WriteBack);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move {
+                io.read_file(&"f".into(), 3000.0 * MB).await;
+                io.memory_manager().release_anonymous_memory(3000.0 * MB);
+                let s = io.read_file(&"f".into(), 3000.0 * MB).await;
+                io.memory_manager().release_anonymous_memory(3000.0 * MB);
+                s
+            }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        // Everything read, one way or the other.
+        approx_tol(stats.bytes_from_disk + stats.bytes_from_cache, 3000.0 * MB, 0.01);
+        io.memory_manager().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_totals() {
+        for chunk_mb in [10.0, 50.0, 250.0] {
+            let (sim, io) = setup(10_000.0 * MB, WriteMode::WriteBack);
+            let io = io.with_chunk_size(chunk_mb * MB);
+            let h = sim.spawn({
+                let io = io.clone();
+                async move {
+                    let r = io.read_file(&"f".into(), 1000.0 * MB).await;
+                    let w = io.write_file(&"g".into(), 500.0 * MB).await;
+                    (r, w)
+                }
+            });
+            sim.run();
+            let (r, w) = h.try_take_result().unwrap();
+            approx(r.bytes_from_disk, 1000.0 * MB);
+            approx(w.bytes_to_cache, 500.0 * MB);
+        }
+    }
+
+    #[test]
+    fn zero_byte_file_is_a_noop() {
+        let (sim, io) = setup(1000.0 * MB, WriteMode::WriteBack);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move {
+                let r = io.read_file(&"f".into(), 0.0).await;
+                let w = io.write_file(&"f".into(), 0.0).await;
+                (r, w)
+            }
+        });
+        sim.run();
+        let (r, w) = h.try_take_result().unwrap();
+        assert_eq!(r.total_bytes(), 0.0);
+        assert_eq!(w.total_bytes(), 0.0);
+        assert_eq!(sim.now().as_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn invalid_chunk_size_rejected() {
+        let (_sim, io) = setup(1000.0 * MB, WriteMode::WriteBack);
+        let _ = io.with_chunk_size(0.0);
+    }
+}

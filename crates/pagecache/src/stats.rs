@@ -1,0 +1,272 @@
+//! Memory-state traces and per-operation statistics.
+//!
+//! The paper evaluates its model not only on simulated I/O times (Fig. 4a) but
+//! also on the *memory profile* over time — used memory, cached data and dirty
+//! data (Fig. 4b) — and on the cache content per file after each I/O operation
+//! (Fig. 4c). These types collect exactly that information.
+
+use std::collections::BTreeMap;
+
+use des::SimTime;
+
+use crate::block::FileId;
+
+/// One point of the memory profile (Fig. 4b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySample {
+    /// Virtual time of the sample.
+    pub time: SimTime,
+    /// Total RAM of the host (constant; kept for convenient plotting).
+    pub total: f64,
+    /// Used memory: anonymous application memory plus page cache.
+    pub used: f64,
+    /// Page cache size (clean + dirty).
+    pub cached: f64,
+    /// Dirty page cache data.
+    pub dirty: f64,
+    /// Anonymous application memory.
+    pub anonymous: f64,
+}
+
+/// The memory profile of a simulation run: a time series of [`MemorySample`]s.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryTrace {
+    samples: Vec<MemorySample>,
+}
+
+impl MemoryTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: MemorySample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples in chronological order.
+    pub fn samples(&self) -> &[MemorySample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Maximum observed dirty data, useful to verify the dirty-ratio
+    /// invariant of the paper ("in all cases, dirty data remained under the
+    /// dirty ratio").
+    pub fn max_dirty(&self) -> f64 {
+        self.samples.iter().map(|s| s.dirty).fold(0.0, f64::max)
+    }
+
+    /// Maximum observed cached data.
+    pub fn max_cached(&self) -> f64 {
+        self.samples.iter().map(|s| s.cached).fold(0.0, f64::max)
+    }
+
+    /// Maximum observed used memory.
+    pub fn max_used(&self) -> f64 {
+        self.samples.iter().map(|s| s.used).fold(0.0, f64::max)
+    }
+
+    /// Linearly interpolates the cached amount at an arbitrary time (for
+    /// comparing traces sampled at different instants).
+    pub fn cached_at(&self, time: SimTime) -> f64 {
+        interpolate(&self.samples, time, |s| s.cached)
+    }
+
+    /// Linearly interpolates the dirty amount at an arbitrary time.
+    pub fn dirty_at(&self, time: SimTime) -> f64 {
+        interpolate(&self.samples, time, |s| s.dirty)
+    }
+
+    /// Linearly interpolates the used amount at an arbitrary time.
+    pub fn used_at(&self, time: SimTime) -> f64 {
+        interpolate(&self.samples, time, |s| s.used)
+    }
+}
+
+fn interpolate(samples: &[MemorySample], time: SimTime, f: impl Fn(&MemorySample) -> f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    if time <= samples[0].time {
+        return f(&samples[0]);
+    }
+    if time >= samples[samples.len() - 1].time {
+        return f(&samples[samples.len() - 1]);
+    }
+    let idx = samples.partition_point(|s| s.time <= time);
+    let (a, b) = (&samples[idx - 1], &samples[idx]);
+    let span = b.time - a.time;
+    if span <= 0.0 {
+        return f(b);
+    }
+    let w = (time - a.time) / span;
+    f(a) * (1.0 - w) + f(b) * w
+}
+
+/// Statistics of a single simulated file read or write (one call to the I/O
+/// controller).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoOpStats {
+    /// Bytes that were served from disk.
+    pub bytes_from_disk: f64,
+    /// Bytes that were served from the page cache.
+    pub bytes_from_cache: f64,
+    /// Bytes written into the page cache.
+    pub bytes_to_cache: f64,
+    /// Bytes written to disk (synchronously, as part of this operation —
+    /// flushes triggered by memory pressure count here, background flushes do
+    /// not).
+    pub bytes_to_disk: f64,
+    /// Virtual time the operation took, in seconds.
+    pub duration: f64,
+}
+
+impl IoOpStats {
+    /// Total bytes moved by the operation (disk + cache reads, or cache +
+    /// disk writes).
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes_from_disk + self.bytes_from_cache + self.bytes_to_cache
+    }
+
+    /// Fraction of a read served from the cache (0 when nothing was read).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let read = self.bytes_from_disk + self.bytes_from_cache;
+        if read <= 0.0 {
+            0.0
+        } else {
+            self.bytes_from_cache / read
+        }
+    }
+
+    /// Merges the statistics of another operation into this one (summing
+    /// bytes and durations).
+    pub fn merge(&mut self, other: &IoOpStats) {
+        self.bytes_from_disk += other.bytes_from_disk;
+        self.bytes_from_cache += other.bytes_from_cache;
+        self.bytes_to_cache += other.bytes_to_cache;
+        self.bytes_to_disk += other.bytes_to_disk;
+        self.duration += other.duration;
+    }
+}
+
+/// Snapshot of the cache content per file at a given instant (Fig. 4c).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheContentSnapshot {
+    /// Label of the instant (e.g. "Read 1", "Write 3").
+    pub label: String,
+    /// Virtual time of the snapshot.
+    pub time: f64,
+    /// Cached bytes per file.
+    pub per_file: BTreeMap<FileId, f64>,
+}
+
+impl CacheContentSnapshot {
+    /// Total cached bytes across all files.
+    pub fn total(&self) -> f64 {
+        self.per_file.values().sum()
+    }
+
+    /// Cached bytes of one file (0 if absent).
+    pub fn cached(&self, file: &FileId) -> f64 {
+        self.per_file.get(file).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, used: f64, cached: f64, dirty: f64) -> MemorySample {
+        MemorySample {
+            time: SimTime::from_secs(t),
+            total: 1000.0,
+            used,
+            cached,
+            dirty,
+            anonymous: used - cached,
+        }
+    }
+
+    #[test]
+    fn trace_max_values() {
+        let mut trace = MemoryTrace::new();
+        trace.push(sample(0.0, 100.0, 50.0, 10.0));
+        trace.push(sample(1.0, 400.0, 300.0, 60.0));
+        trace.push(sample(2.0, 200.0, 150.0, 20.0));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.max_used(), 400.0);
+        assert_eq!(trace.max_cached(), 300.0);
+        assert_eq!(trace.max_dirty(), 60.0);
+    }
+
+    #[test]
+    fn trace_interpolation() {
+        let mut trace = MemoryTrace::new();
+        trace.push(sample(0.0, 0.0, 0.0, 0.0));
+        trace.push(sample(10.0, 100.0, 50.0, 20.0));
+        assert_eq!(trace.cached_at(SimTime::from_secs(5.0)), 25.0);
+        assert_eq!(trace.dirty_at(SimTime::from_secs(5.0)), 10.0);
+        assert_eq!(trace.used_at(SimTime::from_secs(0.0)), 0.0);
+        // Clamped outside the sampled range.
+        assert_eq!(trace.used_at(SimTime::from_secs(100.0)), 100.0);
+        assert!(trace.is_empty() == false);
+    }
+
+    #[test]
+    fn empty_trace_interpolates_to_zero() {
+        let trace = MemoryTrace::new();
+        assert_eq!(trace.cached_at(SimTime::from_secs(1.0)), 0.0);
+        assert_eq!(trace.max_dirty(), 0.0);
+    }
+
+    #[test]
+    fn op_stats_accessors_and_merge() {
+        let mut a = IoOpStats {
+            bytes_from_disk: 100.0,
+            bytes_from_cache: 300.0,
+            bytes_to_cache: 0.0,
+            bytes_to_disk: 0.0,
+            duration: 2.0,
+        };
+        assert_eq!(a.cache_hit_ratio(), 0.75);
+        assert_eq!(a.total_bytes(), 400.0);
+        let b = IoOpStats {
+            bytes_from_disk: 0.0,
+            bytes_from_cache: 0.0,
+            bytes_to_cache: 500.0,
+            bytes_to_disk: 200.0,
+            duration: 3.0,
+        };
+        assert_eq!(b.cache_hit_ratio(), 0.0);
+        a.merge(&b);
+        assert_eq!(a.bytes_to_cache, 500.0);
+        assert_eq!(a.bytes_to_disk, 200.0);
+        assert_eq!(a.duration, 5.0);
+    }
+
+    #[test]
+    fn cache_content_snapshot() {
+        let mut per_file = BTreeMap::new();
+        per_file.insert(FileId::new("f1"), 100.0);
+        per_file.insert(FileId::new("f2"), 50.0);
+        let snap = CacheContentSnapshot {
+            label: "Read 1".to_string(),
+            time: 3.0,
+            per_file,
+        };
+        assert_eq!(snap.total(), 150.0);
+        assert_eq!(snap.cached(&FileId::new("f1")), 100.0);
+        assert_eq!(snap.cached(&FileId::new("missing")), 0.0);
+    }
+}

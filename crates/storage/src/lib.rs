@@ -1,0 +1,36 @@
+//! # `storage-model` — flow-level storage, memory and network models
+//!
+//! Macroscopic (SimGrid-style) performance models for the devices the
+//! page-cache simulator runs on. Devices are characterised by bandwidth,
+//! latency and capacity; concurrent transfers share bandwidth fairly and are
+//! re-scheduled whenever a transfer starts or completes.
+//!
+//! The paper relies on exactly this family of models (Lebre et al., "Adding
+//! storage simulation capacities to the SimGrid toolkit", CCGrid 2015) for
+//! disk and memory accesses; this crate reimplements them on top of the
+//! [`des`] engine.
+//!
+//! ```
+//! use des::Simulation;
+//! use storage_model::{DeviceSpec, Disk, units::MB};
+//!
+//! let sim = Simulation::new();
+//! let ctx = sim.context();
+//! let disk = Disk::new(&ctx, "ssd0", DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY));
+//! let done = sim.spawn({
+//!     let disk = disk.clone();
+//!     async move { disk.read(465.0 * MB).await; }
+//! });
+//! sim.run();
+//! assert!(done.is_finished());
+//! assert_eq!(sim.now().as_secs(), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod device;
+mod resource;
+pub mod units;
+
+pub use device::{DeviceSpec, Disk, DiskFullError, MemoryDevice, NetworkLink};
+pub use resource::{SharedResource, SharingPolicy};

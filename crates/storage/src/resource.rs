@@ -1,0 +1,686 @@
+//! Fair-sharing flow-level resource model.
+//!
+//! A [`SharedResource`] represents a device (disk side, memory bus, network
+//! link) with a fixed bandwidth. Concurrent transfers ("flows") each receive
+//! an equal share of that bandwidth, re-evaluated whenever a flow starts or
+//! completes. This is the macroscopic storage model of Lebre et al. (CCGrid
+//! 2015) that SimGrid — and therefore the paper's WRENCH-cache — relies on:
+//! accurate enough to capture contention between concurrent applications
+//! (Exp 2 and 3 of the paper) while remaining fast to simulate.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use des::{SimContext, SimTime, TimerId};
+
+/// Residual byte count under which a flow is considered complete (guards
+/// against floating-point dust).
+const EPSILON_BYTES: f64 = 1e-6;
+
+/// How concurrent flows share the device bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharingPolicy {
+    /// Max–min fair sharing: N concurrent flows each get `bandwidth / N`
+    /// (the SimGrid/WRENCH model).
+    #[default]
+    FairShare,
+    /// No contention: every flow always gets the full bandwidth. This is the
+    /// simplification made by the paper's Python prototype, which "does not
+    /// simulate bandwidth sharing and thus does not support concurrency".
+    Unlimited,
+}
+
+struct Flow {
+    remaining: f64,
+    done: bool,
+    waker: Option<Waker>,
+}
+
+struct Inner {
+    name: String,
+    bandwidth: f64,
+    latency: f64,
+    sharing: SharingPolicy,
+    flows: HashMap<u64, Flow>,
+    next_flow: u64,
+    last_update: SimTime,
+    timer: Option<TimerId>,
+    epoch: u64,
+    total_bytes: f64,
+    completed_flows: u64,
+}
+
+impl Inner {
+    fn active_count(&self) -> usize {
+        self.flows.values().filter(|f| !f.done).count()
+    }
+
+    /// Advances every active flow by the bandwidth share accumulated since the
+    /// last update.
+    fn sync(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last_update);
+        self.last_update = now;
+        if dt <= 0.0 {
+            return;
+        }
+        let n = self.active_count();
+        if n == 0 {
+            return;
+        }
+        let divisor = match self.sharing {
+            SharingPolicy::FairShare => n as f64,
+            SharingPolicy::Unlimited => 1.0,
+        };
+        let share = self.bandwidth * dt / divisor;
+        for flow in self.flows.values_mut() {
+            if !flow.done {
+                let progressed = share.min(flow.remaining);
+                flow.remaining -= progressed;
+                self.total_bytes += progressed;
+            }
+        }
+    }
+
+    /// Marks flows that ran out of bytes as done and wakes their futures.
+    fn complete_finished(&mut self) {
+        for flow in self.flows.values_mut() {
+            if !flow.done && flow.remaining <= EPSILON_BYTES {
+                flow.remaining = 0.0;
+                flow.done = true;
+                self.completed_flows += 1;
+                if let Some(w) = flow.waker.take() {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    /// Virtual time at which the next flow will complete, if any.
+    fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        let n = self.active_count();
+        if n == 0 {
+            return None;
+        }
+        let divisor = match self.sharing {
+            SharingPolicy::FairShare => n as f64,
+            SharingPolicy::Unlimited => 1.0,
+        };
+        let rate = self.bandwidth / divisor;
+        let min_remaining = self
+            .flows
+            .values()
+            .filter(|f| !f.done)
+            .map(|f| f.remaining)
+            .fold(f64::INFINITY, f64::min);
+        Some(now + (min_remaining / rate).max(0.0))
+    }
+
+    /// Completes the flow(s) with the least remaining bytes immediately.
+    ///
+    /// This is the guard against a floating-point livelock: after a timer
+    /// fires, rounding can leave a flow with a residue of a few micro-bytes
+    /// whose transfer time is smaller than the clock's representable
+    /// resolution at the current timestamp. Re-scheduling would then fire at
+    /// the *same* virtual time forever. Such residues are physically
+    /// meaningless, so the flow is simply declared complete.
+    fn force_complete_smallest(&mut self) {
+        let min_remaining = self
+            .flows
+            .values()
+            .filter(|f| !f.done)
+            .map(|f| f.remaining)
+            .fold(f64::INFINITY, f64::min);
+        if !min_remaining.is_finite() {
+            return;
+        }
+        for flow in self.flows.values_mut() {
+            if !flow.done && flow.remaining <= min_remaining + EPSILON_BYTES {
+                self.total_bytes += flow.remaining;
+                flow.remaining = 0.0;
+                flow.done = true;
+                self.completed_flows += 1;
+                if let Some(w) = flow.waker.take() {
+                    w.wake();
+                }
+            }
+        }
+    }
+}
+
+/// A bandwidth-shared device. Cloning returns another handle to the same
+/// underlying resource.
+#[derive(Clone)]
+pub struct SharedResource {
+    ctx: SimContext,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl SharedResource {
+    /// Creates a resource with the given bandwidth (bytes/s) and per-transfer
+    /// latency (seconds).
+    ///
+    /// # Panics
+    /// Panics if the bandwidth is not strictly positive or the latency is
+    /// negative.
+    pub fn new(ctx: &SimContext, name: impl Into<String>, bandwidth: f64, latency: f64) -> Self {
+        Self::with_policy(ctx, name, bandwidth, latency, SharingPolicy::FairShare)
+    }
+
+    /// Creates a resource with an explicit [`SharingPolicy`].
+    pub fn with_policy(
+        ctx: &SimContext,
+        name: impl Into<String>,
+        bandwidth: f64,
+        latency: f64,
+        sharing: SharingPolicy,
+    ) -> Self {
+        assert!(
+            bandwidth > 0.0 && bandwidth.is_finite(),
+            "bandwidth must be positive and finite"
+        );
+        assert!(latency >= 0.0 && latency.is_finite(), "latency must be non-negative");
+        SharedResource {
+            ctx: ctx.clone(),
+            inner: Rc::new(RefCell::new(Inner {
+                name: name.into(),
+                bandwidth,
+                latency,
+                sharing,
+                flows: HashMap::new(),
+                next_flow: 0,
+                last_update: ctx.now(),
+                timer: None,
+                epoch: 0,
+                total_bytes: 0.0,
+                completed_flows: 0,
+            })),
+        }
+    }
+
+    /// Device name (for traces and error messages).
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Nominal bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.inner.borrow().bandwidth
+    }
+
+    /// Fixed per-transfer latency in seconds.
+    pub fn latency(&self) -> f64 {
+        self.inner.borrow().latency
+    }
+
+    /// Number of transfers currently in progress.
+    pub fn active_flows(&self) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let now = self.ctx.now();
+        inner.sync(now);
+        inner.active_count()
+    }
+
+    /// Total number of bytes moved through this resource so far.
+    pub fn total_bytes(&self) -> f64 {
+        let mut inner = self.inner.borrow_mut();
+        let now = self.ctx.now();
+        inner.sync(now);
+        inner.total_bytes
+    }
+
+    /// Total number of completed transfers.
+    pub fn completed_flows(&self) -> u64 {
+        self.inner.borrow().completed_flows
+    }
+
+    /// Time a transfer of `bytes` would take on an otherwise idle device.
+    pub fn ideal_time(&self, bytes: f64) -> f64 {
+        let inner = self.inner.borrow();
+        inner.latency + bytes.max(0.0) / inner.bandwidth
+    }
+
+    /// Transfers `bytes` through the device, sharing bandwidth fairly with all
+    /// concurrent transfers. Completes after the device latency plus the
+    /// (contention-dependent) transfer time. A zero or negative byte count
+    /// costs only the latency.
+    pub async fn transfer(&self, bytes: f64) {
+        assert!(!bytes.is_nan(), "transfer size cannot be NaN");
+        let latency = self.latency();
+        if latency > 0.0 {
+            self.ctx.sleep(latency).await;
+        }
+        if bytes <= 0.0 {
+            return;
+        }
+        let id = self.add_flow(bytes);
+        FlowDone {
+            resource: self.clone(),
+            id,
+        }
+        .await
+    }
+
+    fn add_flow(&self, bytes: f64) -> u64 {
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            let now = self.ctx.now();
+            inner.sync(now);
+            let id = inner.next_flow;
+            inner.next_flow += 1;
+            inner.flows.insert(
+                id,
+                Flow {
+                    remaining: bytes,
+                    done: false,
+                    waker: None,
+                },
+            );
+            id
+        };
+        self.reschedule();
+        id
+    }
+
+    /// Re-arms the completion timer after any change to the flow set.
+    fn reschedule(&self) {
+        let now = self.ctx.now();
+        let (cancel, schedule_at, epoch) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.epoch += 1;
+            let epoch = inner.epoch;
+            let cancel = inner.timer.take();
+            // Flows whose completion would not advance the virtual clock are
+            // finished on the spot (see `force_complete_smallest`); only a
+            // strictly future completion is worth a timer.
+            let at = loop {
+                match inner.next_completion(now) {
+                    None => break None,
+                    Some(at) if at > now => break Some(at),
+                    Some(_) => inner.force_complete_smallest(),
+                }
+            };
+            (cancel, at, epoch)
+        };
+        if let Some(t) = cancel {
+            self.ctx.cancel_timer(t);
+        }
+        if let Some(at) = schedule_at {
+            let this = self.clone();
+            let timer = self.ctx.schedule_callback(at, move |_| this.on_timer(epoch));
+            self.inner.borrow_mut().timer = Some(timer);
+        }
+    }
+
+    fn on_timer(&self, epoch: u64) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.epoch != epoch {
+                return;
+            }
+            inner.timer = None;
+            let now = self.ctx.now();
+            inner.sync(now);
+            inner.complete_finished();
+        }
+        self.reschedule();
+    }
+}
+
+/// Future resolving when a specific flow has transferred all its bytes.
+struct FlowDone {
+    resource: SharedResource,
+    id: u64,
+}
+
+impl Future for FlowDone {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.resource.inner.borrow_mut();
+        match inner.flows.get_mut(&self.id) {
+            None => Poll::Ready(()),
+            Some(flow) if flow.done => {
+                inner.flows.remove(&self.id);
+                Poll::Ready(())
+            }
+            Some(flow) => {
+                flow.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Drop for FlowDone {
+    fn drop(&mut self) {
+        // Transfer futures are not normally cancelled, but if one is, remove
+        // the flow so it stops consuming bandwidth.
+        let removed = {
+            let mut inner = self.resource.inner.borrow_mut();
+            if inner.flows.get(&self.id).map(|f| !f.done).unwrap_or(false) {
+                let now = self.resource.ctx.now();
+                inner.sync(now);
+                inner.flows.remove(&self.id);
+                true
+            } else {
+                inner.flows.remove(&self.id);
+                false
+            }
+        };
+        if removed {
+            self.resource.reschedule();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::Simulation;
+
+    fn approx(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() < 1e-6 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
+    }
+
+    #[test]
+    fn single_transfer_takes_bytes_over_bandwidth() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "disk", 100.0, 0.0);
+        let h = sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                res.transfer(1000.0).await;
+                ctx.now().as_secs()
+            }
+        });
+        sim.run();
+        approx(h.try_take_result().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn latency_is_added_once_per_transfer() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "disk", 100.0, 0.5);
+        let h = sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                res.transfer(100.0).await;
+                ctx.now().as_secs()
+            }
+        });
+        sim.run();
+        approx(h.try_take_result().unwrap(), 1.5);
+    }
+
+    #[test]
+    fn zero_byte_transfer_costs_only_latency() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "disk", 100.0, 0.25);
+        let h = sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                res.transfer(0.0).await;
+                ctx.now().as_secs()
+            }
+        });
+        sim.run();
+        approx(h.try_take_result().unwrap(), 0.25);
+    }
+
+    #[test]
+    fn two_concurrent_transfers_share_bandwidth() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "disk", 100.0, 0.0);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let res = res.clone();
+            let ctx = ctx.clone();
+            handles.push(sim.spawn(async move {
+                res.transfer(1000.0).await;
+                ctx.now().as_secs()
+            }));
+        }
+        sim.run();
+        // Two equal flows on a 100 B/s device: each sees 50 B/s => 20 s.
+        for h in handles {
+            approx(h.try_take_result().unwrap(), 20.0);
+        }
+    }
+
+    #[test]
+    fn staggered_transfers_get_correct_shares() {
+        // Flow A (1000 B) starts at t=0, flow B (500 B) starts at t=5.
+        // 0-5 s : A alone at 100 B/s -> A has 500 B left.
+        // 5-15 s: A and B at 50 B/s  -> B finishes at t=15, A finishes at t=15.
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "disk", 100.0, 0.0);
+        let a = sim.spawn({
+            let res = res.clone();
+            let ctx = ctx.clone();
+            async move {
+                res.transfer(1000.0).await;
+                ctx.now().as_secs()
+            }
+        });
+        let b = sim.spawn({
+            let res = res.clone();
+            let ctx = ctx.clone();
+            async move {
+                ctx.sleep(5.0).await;
+                res.transfer(500.0).await;
+                ctx.now().as_secs()
+            }
+        });
+        sim.run();
+        approx(a.try_take_result().unwrap(), 15.0);
+        approx(b.try_take_result().unwrap(), 15.0);
+    }
+
+    #[test]
+    fn short_flow_completion_speeds_up_remaining_flow() {
+        // A: 1000 B and B: 200 B both start at t=0 on 100 B/s.
+        // Until B finishes both get 50 B/s; B finishes at t=4 with A at 800 B
+        // remaining; A then runs alone and finishes at t=4 + 800/100 = 12.
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "disk", 100.0, 0.0);
+        let a = sim.spawn({
+            let res = res.clone();
+            let ctx = ctx.clone();
+            async move {
+                res.transfer(1000.0).await;
+                ctx.now().as_secs()
+            }
+        });
+        let b = sim.spawn({
+            let res = res.clone();
+            let ctx = ctx.clone();
+            async move {
+                res.transfer(200.0).await;
+                ctx.now().as_secs()
+            }
+        });
+        sim.run();
+        approx(b.try_take_result().unwrap(), 4.0);
+        approx(a.try_take_result().unwrap(), 12.0);
+    }
+
+    #[test]
+    fn n_concurrent_transfers_scale_linearly() {
+        for n in [1usize, 4, 8, 16, 32] {
+            let sim = Simulation::new();
+            let ctx = sim.context();
+            let res = SharedResource::new(&ctx, "disk", 1000.0, 0.0);
+            let mut handles = Vec::new();
+            for _ in 0..n {
+                let res = res.clone();
+                let ctx = ctx.clone();
+                handles.push(sim.spawn(async move {
+                    res.transfer(1000.0).await;
+                    ctx.now().as_secs()
+                }));
+            }
+            sim.run();
+            for h in handles {
+                approx(h.try_take_result().unwrap(), n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn accounting_tracks_bytes_and_flows() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "disk", 100.0, 0.0);
+        {
+            let res = res.clone();
+            sim.spawn(async move {
+                res.transfer(300.0).await;
+                res.transfer(200.0).await;
+            });
+        }
+        sim.run();
+        approx(res.total_bytes(), 500.0);
+        assert_eq!(res.completed_flows(), 2);
+        assert_eq!(res.active_flows(), 0);
+    }
+
+    #[test]
+    fn ideal_time_reports_uncontended_duration() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "disk", 200.0, 0.1);
+        approx(res.ideal_time(1000.0), 5.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let sim = Simulation::new();
+        let _ = SharedResource::new(&sim.context(), "bad", 0.0, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod sharing_policy_tests {
+    use super::*;
+    use des::Simulation;
+
+    #[test]
+    fn unlimited_policy_gives_every_flow_full_bandwidth() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::with_policy(&ctx, "proto", 100.0, 0.0, SharingPolicy::Unlimited);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let res = res.clone();
+            let ctx = ctx.clone();
+            handles.push(sim.spawn(async move {
+                res.transfer(1000.0).await;
+                ctx.now().as_secs()
+            }));
+        }
+        sim.run();
+        for h in handles {
+            let t = h.try_take_result().unwrap();
+            assert!((t - 10.0).abs() < 1e-6, "expected 10, got {t}");
+        }
+    }
+
+    #[test]
+    fn default_policy_is_fair_share() {
+        assert_eq!(SharingPolicy::default(), SharingPolicy::FairShare);
+    }
+}
+
+#[cfg(test)]
+mod float_robustness_tests {
+    use super::*;
+    use des::Simulation;
+
+    /// Regression test: chunked transfers at the paper's measured (non-round)
+    /// bandwidths used to livelock when a flow's residual bytes were smaller
+    /// than the virtual clock's resolution. The scenario below mirrors the
+    /// kernel-emulator read path (10 x 100 MB at 510 MB/s, then 10 x 100 MB at
+    /// 6860 MB/s) and must terminate with the analytically expected duration.
+    #[test]
+    fn chunked_transfers_at_measured_bandwidths_terminate() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let disk = SharedResource::new(&ctx, "disk.read", 510.0e6, 0.0);
+        let memory = SharedResource::new(&ctx, "memory.read", 6860.0e6, 0.0);
+        let h = sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                for _ in 0..10 {
+                    disk.transfer(100.0e6).await;
+                }
+                for _ in 0..10 {
+                    memory.transfer(100.0e6).await;
+                }
+                ctx.now().as_secs()
+            }
+        });
+        sim.run();
+        let end = h.try_take_result().unwrap();
+        let expected = 1000.0 / 510.0 + 1000.0 / 6860.0;
+        assert!((end - expected).abs() < 1e-6, "end {end}, expected {expected}");
+    }
+
+    /// Same robustness requirement far from t = 0, where the clock's ulp is
+    /// larger and residues are more likely to be unrepresentable.
+    #[test]
+    fn transfers_late_in_the_simulation_terminate() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "dev", 2764.0e6, 0.0);
+        let h = sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                ctx.sleep(100_000.0).await;
+                for _ in 0..50 {
+                    res.transfer(33.7e6).await;
+                }
+                ctx.now().as_secs()
+            }
+        });
+        sim.run();
+        let end = h.try_take_result().unwrap();
+        let expected = 100_000.0 + 50.0 * 33.7e6 / 2764.0e6;
+        assert!(
+            (end - expected).abs() < 1e-6 * expected,
+            "end {end}, expected {expected}"
+        );
+    }
+
+    /// Concurrent flows with awkward sizes and bandwidths all complete and
+    /// account for every byte.
+    #[test]
+    fn concurrent_awkward_flows_all_complete() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "dev", 445.3e6, 0.0);
+        let sizes = [13.31e6, 97.7e6, 0.003e6, 250.123e6, 1.0, 499.999e6];
+        for &s in &sizes {
+            let res = res.clone();
+            sim.spawn(async move { res.transfer(s).await });
+        }
+        sim.run();
+        assert_eq!(res.completed_flows(), sizes.len() as u64);
+        assert_eq!(res.active_flows(), 0);
+        let total: f64 = sizes.iter().sum();
+        assert!((res.total_bytes() - total).abs() < 1.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Byte and bandwidth unit helpers.
+//!
+//! Everything in the simulator is expressed in **bytes** and **bytes per
+//! second** as `f64`. The paper mixes decimal units (file sizes in GB,
+//! bandwidths in MBps) and binary units (RAM in GiB); both families are
+//! provided so experiment configurations can quote the paper literally.
+
+/// One kilobyte (10^3 bytes).
+pub const KB: f64 = 1e3;
+/// One megabyte (10^6 bytes).
+pub const MB: f64 = 1e6;
+/// One gigabyte (10^9 bytes).
+pub const GB: f64 = 1e9;
+/// One terabyte (10^12 bytes).
+pub const TB: f64 = 1e12;
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: f64 = 1024.0;
+/// One mebibyte (2^20 bytes).
+pub const MIB: f64 = 1024.0 * 1024.0;
+/// One gibibyte (2^30 bytes).
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Size of a Linux page (4 KiB), the granularity of the kernel emulator.
+pub const PAGE_SIZE: f64 = 4096.0;
+
+/// Converts a bandwidth given in MB per second to bytes per second.
+#[inline]
+pub fn mbps(v: f64) -> f64 {
+    v * MB
+}
+
+/// Converts a bandwidth given in Gbit per second to bytes per second.
+#[inline]
+pub fn gbit_per_s(v: f64) -> f64 {
+    v * 1e9 / 8.0
+}
+
+/// Formats a byte count using the most natural decimal unit.
+pub fn format_bytes(bytes: f64) -> String {
+    let abs = bytes.abs();
+    if abs >= TB {
+        format!("{:.2} TB", bytes / TB)
+    } else if abs >= GB {
+        format!("{:.2} GB", bytes / GB)
+    } else if abs >= MB {
+        format!("{:.2} MB", bytes / MB)
+    } else if abs >= KB {
+        format!("{:.2} KB", bytes / KB)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants_are_consistent() {
+        assert_eq!(GB, 1000.0 * MB);
+        assert_eq!(MB, 1000.0 * KB);
+        assert_eq!(GIB, 1024.0 * MIB);
+        assert_eq!(PAGE_SIZE, 4.0 * KIB);
+    }
+
+    #[test]
+    fn bandwidth_helpers() {
+        assert_eq!(mbps(465.0), 465e6);
+        assert_eq!(gbit_per_s(25.0), 3.125e9);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512.0), "512 B");
+        assert_eq!(format_bytes(20.0 * GB), "20.00 GB");
+        assert_eq!(format_bytes(1.5 * MB), "1.50 MB");
+        assert_eq!(format_bytes(2.0 * TB), "2.00 TB");
+        assert_eq!(format_bytes(3.0 * KB), "3.00 KB");
+    }
+}

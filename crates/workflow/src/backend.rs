@@ -1,0 +1,461 @@
+//! Simulator back-ends: the four ways a scenario can be executed.
+//!
+//! | Back-end | Paper counterpart | Devices | Page cache |
+//! |---|---|---|---|
+//! | [`SimulatorKind::Cacheless`] | vanilla WRENCH | simulated (symmetric) | none |
+//! | [`SimulatorKind::Prototype`] | Python prototype | simulated, no bandwidth sharing | macroscopic model |
+//! | [`SimulatorKind::PageCache`] | WRENCH-cache | simulated (symmetric) | macroscopic model |
+//! | [`SimulatorKind::KernelEmu`] | the real cluster | measured (asymmetric) | page-granularity emulator |
+
+use des::SimContext;
+use kernel_emu::{KernelCache, KernelFileSystem, KernelTuning};
+use pagecache::{FileId, IoController, IoOpStats, MemoryManager, MemorySample, PageCacheConfig};
+use simfs::{CachedFileSystem, DirectFileSystem, FileSystem, NfsFileSystem, NfsServer};
+use storage_model::{Disk, MemoryDevice, NetworkLink};
+
+use crate::platform::{DeviceSet, PlatformSpec, StorageKind};
+
+/// Which simulator runs the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimulatorKind {
+    /// No page cache: every I/O is a device access (original WRENCH).
+    Cacheless,
+    /// Page cache model without bandwidth sharing (the paper's Python
+    /// prototype; single-instance scenarios only).
+    Prototype,
+    /// The full page cache model on shared devices (WRENCH-cache).
+    PageCache,
+    /// The kernel-fidelity emulator with measured bandwidths (stands in for
+    /// the real cluster).
+    KernelEmu,
+}
+
+impl SimulatorKind {
+    /// Short label used in reports and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimulatorKind::Cacheless => "WRENCH (cacheless)",
+            SimulatorKind::Prototype => "Python-prototype",
+            SimulatorKind::PageCache => "WRENCH-cache",
+            SimulatorKind::KernelEmu => "Real-system emulator",
+        }
+    }
+
+    /// All four back-ends.
+    pub fn all() -> [SimulatorKind; 4] {
+        [
+            SimulatorKind::Cacheless,
+            SimulatorKind::Prototype,
+            SimulatorKind::PageCache,
+            SimulatorKind::KernelEmu,
+        ]
+    }
+}
+
+/// Errors raised while building or running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The platform description is invalid.
+    InvalidPlatform(String),
+    /// The back-end cannot run this scenario (e.g. the prototype with NFS).
+    Unsupported(String),
+    /// A filesystem operation failed.
+    Filesystem(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::InvalidPlatform(m) => write!(f, "invalid platform: {m}"),
+            ScenarioError::Unsupported(m) => write!(f, "unsupported scenario: {m}"),
+            ScenarioError::Filesystem(m) => write!(f, "filesystem error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A cacheless NFS mount (vanilla WRENCH with remote storage): every access is
+/// a network transfer plus a server disk access.
+#[derive(Clone)]
+pub struct DirectNfs {
+    ctx: SimContext,
+    link: NetworkLink,
+    server_disk: Disk,
+    registry: simfs::FileRegistry,
+}
+
+impl DirectNfs {
+    fn new(ctx: &SimContext, link: NetworkLink, server_disk: Disk) -> Self {
+        DirectNfs {
+            ctx: ctx.clone(),
+            link,
+            server_disk,
+            registry: simfs::FileRegistry::new(),
+        }
+    }
+
+    fn create_file(&self, file: &FileId, size: f64) -> Result<(), ScenarioError> {
+        self.server_disk
+            .allocate(size)
+            .map_err(|e| ScenarioError::Filesystem(e.to_string()))?;
+        self.registry
+            .create(file, size)
+            .map_err(|e| ScenarioError::Filesystem(e.to_string()))
+    }
+
+    async fn read_file(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
+        let size = self
+            .registry
+            .size(file)
+            .map_err(|e| ScenarioError::Filesystem(e.to_string()))?;
+        let start = self.ctx.now();
+        self.server_disk.read(size).await;
+        self.link.transfer(size).await;
+        Ok(IoOpStats {
+            bytes_from_disk: size,
+            duration: self.ctx.now().duration_since(start),
+            ..IoOpStats::default()
+        })
+    }
+
+    async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, ScenarioError> {
+        if let Some(old) = self.registry.create_or_replace(file, size) {
+            self.server_disk.free(old);
+        }
+        self.server_disk
+            .allocate(size)
+            .map_err(|e| ScenarioError::Filesystem(e.to_string()))?;
+        let start = self.ctx.now();
+        self.link.transfer(size).await;
+        self.server_disk.write(size).await;
+        Ok(IoOpStats {
+            bytes_to_disk: size,
+            duration: self.ctx.now().duration_since(start),
+            ..IoOpStats::default()
+        })
+    }
+}
+
+/// A fully constructed simulation back-end: devices plus filesystem.
+#[derive(Clone)]
+pub enum Backend {
+    /// One of the `simfs` filesystems (cached, direct, or NFS).
+    Fs(FileSystem),
+    /// The kernel-fidelity emulator.
+    Kernel(KernelFileSystem),
+    /// Cacheless remote storage.
+    DirectNfs(DirectNfs),
+}
+
+impl Backend {
+    /// Builds the devices and filesystem for a platform and simulator kind.
+    pub fn build(
+        ctx: &SimContext,
+        platform: &PlatformSpec,
+        kind: SimulatorKind,
+    ) -> Result<Backend, ScenarioError> {
+        platform
+            .validate()
+            .map_err(ScenarioError::InvalidPlatform)?;
+        let devices = match kind {
+            SimulatorKind::KernelEmu => platform.real,
+            _ => platform.simulated,
+        };
+        let devices = match kind {
+            SimulatorKind::Prototype => DeviceSet {
+                memory: devices.memory.without_contention(),
+                disk: devices.disk.without_contention(),
+                remote_disk: devices.remote_disk.without_contention(),
+                ..devices
+            },
+            _ => devices,
+        };
+        let memory = MemoryDevice::new(ctx, devices.memory);
+        let disk = Disk::new(ctx, "local-disk", devices.disk);
+
+        let cache_config = |write_through: bool, total: f64| {
+            let mut cfg = PageCacheConfig::with_memory(total)
+                .with_dirty_ratio(platform.dirty_ratio)
+                .with_dirty_expire(platform.dirty_expire)
+                .with_flush_interval(platform.flush_interval);
+            if write_through {
+                cfg = cfg.writethrough();
+            }
+            cfg
+        };
+
+        match (platform.storage, kind) {
+            (StorageKind::Local, SimulatorKind::Cacheless) => Ok(Backend::Fs(FileSystem::Direct(
+                DirectFileSystem::new(ctx, disk),
+            ))),
+            (StorageKind::Local, SimulatorKind::PageCache | SimulatorKind::Prototype) => {
+                let mm = MemoryManager::new(
+                    ctx,
+                    cache_config(false, platform.host_memory),
+                    memory,
+                    disk.clone(),
+                );
+                let io = IoController::new(ctx, mm).with_chunk_size(platform.chunk_size);
+                Ok(Backend::Fs(FileSystem::Cached(CachedFileSystem::new(
+                    io, disk,
+                ))))
+            }
+            (StorageKind::Local, SimulatorKind::KernelEmu) => {
+                let mut tuning = KernelTuning::with_memory(platform.host_memory);
+                tuning.dirty_ratio = platform.dirty_ratio;
+                tuning.dirty_expire = platform.dirty_expire;
+                tuning.writeback_interval = platform.flush_interval;
+                let cache = KernelCache::new(ctx, tuning, memory, disk.clone());
+                Ok(Backend::Kernel(
+                    KernelFileSystem::new(ctx, cache, disk).with_request_size(platform.chunk_size),
+                ))
+            }
+            (StorageKind::Nfs, SimulatorKind::Cacheless) => {
+                let link = NetworkLink::new(
+                    ctx,
+                    "nfs-link",
+                    devices.network_bandwidth,
+                    devices.network_latency,
+                );
+                let server_disk = Disk::new(ctx, "nfs-server-disk", devices.remote_disk);
+                Ok(Backend::DirectNfs(DirectNfs::new(ctx, link, server_disk)))
+            }
+            (StorageKind::Nfs, SimulatorKind::PageCache | SimulatorKind::KernelEmu) => {
+                // The ground truth for NFS uses the same macroscopic NFS model
+                // but with the measured bandwidths: the cache-relevant kernel
+                // behaviours (dirty thresholds, write protection) play no role
+                // because the server cache is writethrough and the client has
+                // no write cache.
+                let client_mm = MemoryManager::new(
+                    ctx,
+                    cache_config(false, platform.host_memory),
+                    memory,
+                    disk,
+                );
+                let server_memory = MemoryDevice::new(ctx, devices.memory);
+                let server_disk = Disk::new(ctx, "nfs-server-disk", devices.remote_disk);
+                let server_mm = MemoryManager::new(
+                    ctx,
+                    cache_config(true, platform.server_memory),
+                    server_memory,
+                    server_disk.clone(),
+                );
+                let link = NetworkLink::new(
+                    ctx,
+                    "nfs-link",
+                    devices.network_bandwidth,
+                    devices.network_latency,
+                );
+                let server = NfsServer::new(server_mm, server_disk);
+                Ok(Backend::Fs(FileSystem::Nfs(
+                    NfsFileSystem::new(ctx, client_mm, link, server)
+                        .with_chunk_size(platform.chunk_size),
+                )))
+            }
+            (StorageKind::Nfs, SimulatorKind::Prototype) => Err(ScenarioError::Unsupported(
+                "the Python prototype does not simulate network filesystems".to_string(),
+            )),
+        }
+    }
+
+    /// Registers a pre-existing file.
+    pub fn create_file(&self, file: &FileId, size: f64) -> Result<(), ScenarioError> {
+        match self {
+            Backend::Fs(fs) => fs
+                .create_file(file, size)
+                .map_err(|e| ScenarioError::Filesystem(e.to_string())),
+            Backend::Kernel(fs) => fs
+                .create_file(file, size)
+                .map_err(ScenarioError::Filesystem),
+            Backend::DirectNfs(fs) => fs.create_file(file, size),
+        }
+    }
+
+    /// Reads a whole file.
+    pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
+        match self {
+            Backend::Fs(fs) => fs
+                .read_file(file)
+                .await
+                .map_err(|e| ScenarioError::Filesystem(e.to_string())),
+            Backend::Kernel(fs) => fs.read_file(file).await.map_err(ScenarioError::Filesystem),
+            Backend::DirectNfs(fs) => fs.read_file(file).await,
+        }
+    }
+
+    /// Writes a whole file.
+    pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, ScenarioError> {
+        match self {
+            Backend::Fs(fs) => fs
+                .write_file(file, size)
+                .await
+                .map_err(|e| ScenarioError::Filesystem(e.to_string())),
+            Backend::Kernel(fs) => fs
+                .write_file(file, size)
+                .await
+                .map_err(ScenarioError::Filesystem),
+            Backend::DirectNfs(fs) => fs.write_file(file, size).await,
+        }
+    }
+
+    /// Starts the background flusher / writeback threads (if the back-end has
+    /// a page cache).
+    pub fn start_background(&self) {
+        match self {
+            Backend::Fs(FileSystem::Cached(fs)) => {
+                fs.memory_manager().spawn_periodical_flusher();
+            }
+            Backend::Kernel(fs) => {
+                fs.cache().spawn_writeback_threads();
+            }
+            _ => {}
+        }
+    }
+
+    /// Stops the background threads so the simulation can terminate.
+    pub fn stop_background(&self) {
+        match self {
+            Backend::Fs(FileSystem::Cached(fs)) => fs.memory_manager().stop(),
+            Backend::Kernel(fs) => fs.cache().stop(),
+            _ => {}
+        }
+    }
+
+    /// Registers anonymous memory used by the application.
+    pub fn release_anonymous_memory(&self, amount: f64) {
+        match self {
+            Backend::Fs(fs) => {
+                if let Some(mm) = fs.memory_manager() {
+                    mm.release_anonymous_memory(amount);
+                }
+            }
+            Backend::Kernel(fs) => fs.cache().release_anonymous_memory(amount),
+            Backend::DirectNfs(_) => {}
+        }
+    }
+
+    /// Takes a memory sample (no-op on back-ends without memory modelling).
+    pub fn sample_memory(&self) -> Option<MemorySample> {
+        match self {
+            Backend::Fs(fs) => fs.memory_manager().map(|mm| mm.sample()),
+            Backend::Kernel(fs) => Some(fs.cache().sample()),
+            Backend::DirectNfs(_) => None,
+        }
+    }
+
+    /// The collected memory trace, if any.
+    pub fn memory_trace(&self) -> Option<pagecache::MemoryTrace> {
+        match self {
+            Backend::Fs(fs) => fs.memory_manager().map(|mm| mm.trace()),
+            Backend::Kernel(fs) => Some(fs.cache().trace()),
+            Backend::DirectNfs(_) => None,
+        }
+    }
+
+    /// A labelled snapshot of the cache content per file, if the back-end has
+    /// a cache.
+    pub fn cache_snapshot(&self, label: &str) -> Option<pagecache::CacheContentSnapshot> {
+        match self {
+            Backend::Fs(fs) => fs
+                .memory_manager()
+                .map(|mm| mm.cache_content_snapshot(label)),
+            Backend::Kernel(fs) => Some(fs.cache().cache_content_snapshot(label)),
+            Backend::DirectNfs(_) => None,
+        }
+    }
+
+    /// Short label of the back-end kind.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Backend::Fs(fs) => fs.kind(),
+            Backend::Kernel(_) => "kernel-emu",
+            Backend::DirectNfs(_) => "direct-nfs",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::Simulation;
+    use storage_model::units::{GB, MB};
+    use storage_model::DeviceSpec;
+
+    fn platform() -> PlatformSpec {
+        PlatformSpec::uniform(
+            8.0 * GB,
+            DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+            DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+        )
+    }
+
+    #[test]
+    fn build_all_local_backends() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        for kind in SimulatorKind::all() {
+            let backend = Backend::build(&ctx, &platform(), kind).unwrap();
+            // Cacheless has no memory model; the others do.
+            let has_memory = backend.sample_memory().is_some();
+            assert_eq!(has_memory, kind != SimulatorKind::Cacheless, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn build_nfs_backends() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let platform = platform().with_nfs();
+        for kind in [SimulatorKind::Cacheless, SimulatorKind::PageCache, SimulatorKind::KernelEmu] {
+            let backend = Backend::build(&ctx, &platform, kind).unwrap();
+            backend.create_file(&"f".into(), 100.0 * MB).unwrap();
+        }
+        assert!(matches!(
+            Backend::build(&ctx, &platform, SimulatorKind::Prototype),
+            Err(ScenarioError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = SimulatorKind::all().iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+
+    #[test]
+    fn direct_nfs_read_write_times() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let platform = platform().with_nfs();
+        let backend = Backend::build(&ctx, &platform, SimulatorKind::Cacheless).unwrap();
+        backend.create_file(&"f".into(), 465.0 * MB).unwrap();
+        let h = sim.spawn({
+            let backend = backend.clone();
+            async move {
+                let r = backend.read_file(&"f".into()).await.unwrap();
+                let w = backend.write_file(&"g".into(), 465.0 * MB).await.unwrap();
+                (r.duration, w.duration)
+            }
+        });
+        sim.run();
+        let (r, w) = h.try_take_result().unwrap();
+        // disk (1 s) + network (0.155 s), both directions.
+        assert!((r - 1.155).abs() < 0.01, "read {r}");
+        assert!((w - 1.155).abs() < 0.01, "write {w}");
+    }
+
+    #[test]
+    fn invalid_platform_is_rejected() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let mut p = platform();
+        p.host_memory = -1.0;
+        assert!(matches!(
+            Backend::build(&ctx, &p, SimulatorKind::PageCache),
+            Err(ScenarioError::InvalidPlatform(_))
+        ));
+    }
+}

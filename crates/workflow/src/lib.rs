@@ -1,0 +1,40 @@
+//! # `workflow` — WRENCH-like application layer
+//!
+//! Describes platforms and applications, and runs them against one of four
+//! simulator back-ends:
+//!
+//! * **Cacheless** — every I/O hits the disk (the original WRENCH simulator
+//!   the paper uses as its baseline);
+//! * **Prototype** — the page cache model without bandwidth sharing (the
+//!   paper's Python prototype);
+//! * **PageCache** — the full WRENCH-cache model on shared devices;
+//! * **KernelEmu** — the page-granularity kernel emulator with measured
+//!   bandwidths, standing in for the real cluster.
+//!
+//! ```
+//! use storage_model::{DeviceSpec, units::{GB, MB}};
+//! use workflow::{ApplicationSpec, PlatformSpec, Scenario, SimulatorKind, run_scenario};
+//!
+//! let platform = PlatformSpec::uniform(
+//!     8.0 * GB,
+//!     DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+//!     DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+//! );
+//! let app = ApplicationSpec::synthetic_pipeline(1.0 * GB);
+//! let report = run_scenario(&Scenario::new(platform, app, SimulatorKind::PageCache)).unwrap();
+//! assert_eq!(report.instance_reports.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod backend;
+mod platform;
+mod report;
+mod runner;
+mod spec;
+
+pub use backend::{Backend, ScenarioError, SimulatorKind};
+pub use platform::{DeviceSet, PlatformSpec, StorageKind};
+pub use report::{absolute_relative_error_pct, InstanceReport, ScenarioReport, TaskReport};
+pub use runner::{run_scenario, scoped_file, Scenario};
+pub use spec::{ApplicationSpec, FileSpec, TaskSpec};

@@ -1,0 +1,156 @@
+//! Platform descriptions: host memory, devices, and the NFS configuration.
+//!
+//! A [`PlatformSpec`] carries **two** device parameterisations:
+//!
+//! * `simulated` — the bandwidths fed to the simulators (the symmetric
+//!   averages of Table III, because SimGrid 3.25 only supported symmetric
+//!   bandwidths);
+//! * `real` — the measured, asymmetric bandwidths of the cluster, used by the
+//!   kernel-emulator ground truth.
+
+use storage_model::DeviceSpec;
+
+/// Devices of one host (plus the optional NFS server side).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSet {
+    /// Memory bus of the host.
+    pub memory: DeviceSpec,
+    /// Local disk of the host (or the client-side disk in NFS scenarios).
+    pub disk: DeviceSpec,
+    /// Disk of the NFS server (used only in NFS scenarios).
+    pub remote_disk: DeviceSpec,
+    /// Network bandwidth between client and server, bytes/s.
+    pub network_bandwidth: f64,
+    /// Network latency, seconds.
+    pub network_latency: f64,
+}
+
+/// Where the application's files live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageKind {
+    /// All I/O goes to the local disk (Exp 1, 2, 4).
+    #[default]
+    Local,
+    /// All I/O goes to an NFS mount backed by a remote disk (Exp 3).
+    Nfs,
+}
+
+/// A complete platform description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpec {
+    /// RAM of the host running the applications, bytes.
+    pub host_memory: f64,
+    /// RAM of the NFS server, bytes (ignored for local storage).
+    pub server_memory: f64,
+    /// Device parameters used by the simulators.
+    pub simulated: DeviceSet,
+    /// Device parameters used by the ground-truth emulator.
+    pub real: DeviceSet,
+    /// Where application files live.
+    pub storage: StorageKind,
+    /// Chunk size used by the I/O controller, bytes.
+    pub chunk_size: f64,
+    /// `vm.dirty_ratio` of the host.
+    pub dirty_ratio: f64,
+    /// Dirty expiration age, seconds.
+    pub dirty_expire: f64,
+    /// Periodical flusher interval, seconds.
+    pub flush_interval: f64,
+}
+
+impl PlatformSpec {
+    /// A platform where the simulated and real device sets are identical
+    /// (useful for tests and for users who only care about the simulator).
+    pub fn uniform(host_memory: f64, memory: DeviceSpec, disk: DeviceSpec) -> Self {
+        let set = DeviceSet {
+            memory,
+            disk,
+            remote_disk: disk,
+            network_bandwidth: 3000.0 * 1e6,
+            network_latency: 0.0,
+        };
+        PlatformSpec {
+            host_memory,
+            server_memory: host_memory,
+            simulated: set,
+            real: set,
+            storage: StorageKind::Local,
+            chunk_size: 100.0 * 1e6,
+            dirty_ratio: 0.2,
+            dirty_expire: 30.0,
+            flush_interval: 5.0,
+        }
+    }
+
+    /// Switches the platform to NFS storage.
+    pub fn with_nfs(mut self) -> Self {
+        self.storage = StorageKind::Nfs;
+        self
+    }
+
+    /// Overrides the chunk size.
+    pub fn with_chunk_size(mut self, chunk_size: f64) -> Self {
+        assert!(chunk_size > 0.0, "chunk size must be positive");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Overrides the dirty ratio.
+    pub fn with_dirty_ratio(mut self, ratio: f64) -> Self {
+        self.dirty_ratio = ratio;
+        self
+    }
+
+    /// Validates the platform description.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.host_memory <= 0.0 {
+            return Err("host memory must be positive".to_string());
+        }
+        if self.chunk_size <= 0.0 {
+            return Err("chunk size must be positive".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.dirty_ratio) {
+            return Err("dirty ratio must be in [0, 1]".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage_model::units::{GB, MB};
+
+    #[test]
+    fn uniform_platform_builds_and_validates() {
+        let p = PlatformSpec::uniform(
+            16.0 * GB,
+            DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+            DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+        );
+        assert!(p.validate().is_ok());
+        assert_eq!(p.storage, StorageKind::Local);
+        assert_eq!(p.simulated, p.real);
+        let nfs = p.clone().with_nfs().with_chunk_size(50.0 * MB).with_dirty_ratio(0.4);
+        assert_eq!(nfs.storage, StorageKind::Nfs);
+        assert_eq!(nfs.chunk_size, 50.0 * MB);
+        assert_eq!(nfs.dirty_ratio, 0.4);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut p = PlatformSpec::uniform(
+            16.0 * GB,
+            DeviceSpec::symmetric(MB, 0.0, f64::INFINITY),
+            DeviceSpec::symmetric(MB, 0.0, f64::INFINITY),
+        );
+        p.host_memory = 0.0;
+        assert!(p.validate().is_err());
+        p.host_memory = GB;
+        p.dirty_ratio = 2.0;
+        assert!(p.validate().is_err());
+        p.dirty_ratio = 0.2;
+        p.chunk_size = -1.0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Result types produced by scenario runs.
+
+use pagecache::{CacheContentSnapshot, IoOpStats, MemoryTrace};
+
+use crate::backend::SimulatorKind;
+
+/// Timing of one task of one application instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskReport {
+    /// Task name.
+    pub task_name: String,
+    /// Time spent reading input files, seconds.
+    pub read_time: f64,
+    /// Time spent computing, seconds.
+    pub compute_time: f64,
+    /// Time spent writing output files, seconds.
+    pub write_time: f64,
+    /// Aggregated statistics of the input reads.
+    pub read_stats: IoOpStats,
+    /// Aggregated statistics of the output writes.
+    pub write_stats: IoOpStats,
+}
+
+impl TaskReport {
+    /// Total task duration (read + compute + write).
+    pub fn total_time(&self) -> f64 {
+        self.read_time + self.compute_time + self.write_time
+    }
+}
+
+/// Timings of one application instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceReport {
+    /// Index of the instance (0-based).
+    pub instance: usize,
+    /// Per-task reports, in execution order.
+    pub tasks: Vec<TaskReport>,
+}
+
+impl InstanceReport {
+    /// Cumulative read time across all tasks of the instance.
+    pub fn total_read_time(&self) -> f64 {
+        self.tasks.iter().map(|t| t.read_time).sum()
+    }
+
+    /// Cumulative write time across all tasks of the instance.
+    pub fn total_write_time(&self) -> f64 {
+        self.tasks.iter().map(|t| t.write_time).sum()
+    }
+
+    /// Cumulative compute time across all tasks of the instance.
+    pub fn total_compute_time(&self) -> f64 {
+        self.tasks.iter().map(|t| t.compute_time).sum()
+    }
+
+    /// End-to-end duration of the instance.
+    pub fn makespan(&self) -> f64 {
+        self.tasks.iter().map(TaskReport::total_time).sum()
+    }
+}
+
+/// Full result of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The simulator back-end that produced the result.
+    pub kind: SimulatorKind,
+    /// Number of concurrent application instances.
+    pub instances: usize,
+    /// Per-instance reports.
+    pub instance_reports: Vec<InstanceReport>,
+    /// Memory profile of the host (absent for the cacheless back-end).
+    pub memory_trace: Option<MemoryTrace>,
+    /// Cache-content snapshots taken after each I/O phase of instance 0.
+    pub cache_snapshots: Vec<CacheContentSnapshot>,
+    /// Final virtual time of the simulation, seconds.
+    pub simulated_duration: f64,
+    /// Wall-clock time it took to run the simulation, seconds (Fig. 8).
+    pub wall_clock_seconds: f64,
+}
+
+impl ScenarioReport {
+    /// Names of the tasks, taken from the first instance.
+    pub fn task_names(&self) -> Vec<String> {
+        self.instance_reports
+            .first()
+            .map(|i| i.tasks.iter().map(|t| t.task_name.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Mean read time of task `task_idx` across instances.
+    pub fn mean_task_read_time(&self, task_idx: usize) -> f64 {
+        self.mean_over_instances(|i| i.tasks.get(task_idx).map(|t| t.read_time).unwrap_or(0.0))
+    }
+
+    /// Mean write time of task `task_idx` across instances.
+    pub fn mean_task_write_time(&self, task_idx: usize) -> f64 {
+        self.mean_over_instances(|i| i.tasks.get(task_idx).map(|t| t.write_time).unwrap_or(0.0))
+    }
+
+    /// Mean cumulative read time per instance (the "Read time" series of
+    /// Figs. 5 and 7).
+    pub fn mean_total_read_time(&self) -> f64 {
+        self.mean_over_instances(InstanceReport::total_read_time)
+    }
+
+    /// Mean cumulative write time per instance (the "Write time" series of
+    /// Figs. 5 and 7).
+    pub fn mean_total_write_time(&self) -> f64 {
+        self.mean_over_instances(InstanceReport::total_write_time)
+    }
+
+    /// Mean makespan per instance.
+    pub fn mean_makespan(&self) -> f64 {
+        self.mean_over_instances(InstanceReport::makespan)
+    }
+
+    fn mean_over_instances(&self, f: impl Fn(&InstanceReport) -> f64) -> f64 {
+        if self.instance_reports.is_empty() {
+            return 0.0;
+        }
+        self.instance_reports.iter().map(f).sum::<f64>() / self.instance_reports.len() as f64
+    }
+}
+
+/// Absolute relative error in percent, the metric of Figs. 4a and 6:
+/// `|simulated - real| / real * 100`.
+pub fn absolute_relative_error_pct(simulated: f64, real: f64) -> f64 {
+    if real == 0.0 {
+        if simulated == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (simulated - real).abs() / real.abs() * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(name: &str, r: f64, c: f64, w: f64) -> TaskReport {
+        TaskReport {
+            task_name: name.to_string(),
+            read_time: r,
+            compute_time: c,
+            write_time: w,
+            read_stats: IoOpStats::default(),
+            write_stats: IoOpStats::default(),
+        }
+    }
+
+    fn report() -> ScenarioReport {
+        ScenarioReport {
+            kind: SimulatorKind::PageCache,
+            instances: 2,
+            instance_reports: vec![
+                InstanceReport {
+                    instance: 0,
+                    tasks: vec![task("t1", 1.0, 2.0, 3.0), task("t2", 2.0, 2.0, 2.0)],
+                },
+                InstanceReport {
+                    instance: 1,
+                    tasks: vec![task("t1", 3.0, 2.0, 5.0), task("t2", 4.0, 2.0, 4.0)],
+                },
+            ],
+            memory_trace: None,
+            cache_snapshots: Vec::new(),
+            simulated_duration: 20.0,
+            wall_clock_seconds: 0.01,
+        }
+    }
+
+    #[test]
+    fn instance_aggregates() {
+        let r = report();
+        let i0 = &r.instance_reports[0];
+        assert_eq!(i0.total_read_time(), 3.0);
+        assert_eq!(i0.total_write_time(), 5.0);
+        assert_eq!(i0.total_compute_time(), 4.0);
+        assert_eq!(i0.makespan(), 12.0);
+        assert_eq!(i0.tasks[0].total_time(), 6.0);
+    }
+
+    #[test]
+    fn scenario_means() {
+        let r = report();
+        assert_eq!(r.task_names(), vec!["t1", "t2"]);
+        assert_eq!(r.mean_task_read_time(0), 2.0);
+        assert_eq!(r.mean_task_write_time(1), 3.0);
+        assert_eq!(r.mean_total_read_time(), 5.0);
+        assert_eq!(r.mean_total_write_time(), 7.0);
+        assert_eq!(r.mean_makespan(), 16.0);
+        // Out-of-range task index contributes zero.
+        assert_eq!(r.mean_task_read_time(7), 0.0);
+    }
+
+    #[test]
+    fn empty_report_means_are_zero() {
+        let mut r = report();
+        r.instance_reports.clear();
+        assert_eq!(r.mean_total_read_time(), 0.0);
+        assert!(r.task_names().is_empty());
+    }
+
+    #[test]
+    fn error_metric() {
+        assert_eq!(absolute_relative_error_pct(150.0, 100.0), 50.0);
+        assert_eq!(absolute_relative_error_pct(50.0, 100.0), 50.0);
+        assert_eq!(absolute_relative_error_pct(0.0, 0.0), 0.0);
+        assert!(absolute_relative_error_pct(1.0, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,356 @@
+//! Scenario runner: builds a back-end, spawns the application instances as
+//! simulated processes, and collects the report.
+//!
+//! This is the equivalent of a WRENCH "simulator" program: the experiments of
+//! the paper are all expressed as [`Scenario`]s and executed by
+//! [`run_scenario`].
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use des::Simulation;
+use pagecache::FileId;
+
+use crate::backend::{Backend, ScenarioError, SimulatorKind};
+use crate::platform::PlatformSpec;
+use crate::report::{InstanceReport, ScenarioReport, TaskReport};
+use crate::spec::ApplicationSpec;
+
+/// A complete experiment configuration: platform + application + back-end.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The platform to simulate.
+    pub platform: PlatformSpec,
+    /// The application every instance runs.
+    pub application: ApplicationSpec,
+    /// Number of concurrent application instances (each operating on its own
+    /// files, as in Exp 2 and 3).
+    pub instances: usize,
+    /// The simulator back-end.
+    pub kind: SimulatorKind,
+    /// Period of the background memory sampler, seconds (`None` disables it;
+    /// samples are always taken at phase boundaries).
+    pub sample_interval: Option<f64>,
+}
+
+impl Scenario {
+    /// Creates a single-instance scenario.
+    pub fn new(platform: PlatformSpec, application: ApplicationSpec, kind: SimulatorKind) -> Self {
+        Scenario {
+            platform,
+            application,
+            instances: 1,
+            kind,
+            sample_interval: Some(2.0),
+        }
+    }
+
+    /// Sets the number of concurrent instances.
+    pub fn with_instances(mut self, instances: usize) -> Self {
+        assert!(instances >= 1, "at least one instance is required");
+        self.instances = instances;
+        self
+    }
+
+    /// Sets (or disables) the background memory sampling interval.
+    pub fn with_sample_interval(mut self, interval: Option<f64>) -> Self {
+        self.sample_interval = interval;
+        self
+    }
+}
+
+/// Scopes a file name to an instance so concurrent instances operate on
+/// different files (paper Exp 2: "all application instances operating on
+/// different files").
+pub fn scoped_file(name: &str, instance: usize, instances: usize) -> FileId {
+    if instances <= 1 {
+        FileId::new(name)
+    } else {
+        FileId::new(format!("i{instance:02}_{name}"))
+    }
+}
+
+/// Runs a scenario to completion and returns its report.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+    let wall_start = Instant::now();
+    let sim = Simulation::new();
+    let ctx = sim.context();
+    let backend = Backend::build(&ctx, &scenario.platform, scenario.kind)?;
+
+    // Initial files of every instance exist before the applications start.
+    for instance in 0..scenario.instances {
+        for file in &scenario.application.initial_files {
+            backend.create_file(
+                &scoped_file(&file.name, instance, scenario.instances),
+                file.size,
+            )?;
+        }
+    }
+
+    backend.start_background();
+    let done = Rc::new(Cell::new(false));
+
+    // Optional periodic memory sampler (for the Fig. 4b profiles).
+    if let Some(interval) = scenario.sample_interval {
+        let backend = backend.clone();
+        let done = Rc::clone(&done);
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            while !done.get() {
+                backend.sample_memory();
+                ctx2.sleep(interval).await;
+            }
+        });
+    }
+
+    // Coordinator: spawns one process per instance, awaits them all, then
+    // stops the background threads so the simulation can terminate.
+    let coordinator = {
+        let backend = backend.clone();
+        let ctx = ctx.clone();
+        let app = scenario.application.clone();
+        let instances = scenario.instances;
+        let done = Rc::clone(&done);
+        sim.spawn(async move {
+            let mut handles = Vec::new();
+            for instance in 0..instances {
+                let backend = backend.clone();
+                let ctx = ctx.clone();
+                let app = app.clone();
+                handles.push(ctx.clone().spawn(async move {
+                    run_instance(&ctx, &backend, &app, instance, instances).await
+                }));
+            }
+            let mut reports = Vec::new();
+            for handle in handles {
+                reports.push(handle.await);
+            }
+            done.set(true);
+            backend.stop_background();
+            reports
+        })
+    };
+
+    sim.run();
+    let instance_results = coordinator
+        .try_take_result()
+        .expect("coordinator did not finish: simulation deadlocked");
+    let mut instance_reports = Vec::new();
+    let mut cache_snapshots = Vec::new();
+    for result in instance_results {
+        let (report, snapshots) = result?;
+        if report.instance == 0 {
+            cache_snapshots = snapshots;
+        }
+        instance_reports.push(report);
+    }
+    instance_reports.sort_by_key(|r| r.instance);
+
+    Ok(ScenarioReport {
+        kind: scenario.kind,
+        instances: scenario.instances,
+        instance_reports,
+        memory_trace: backend.memory_trace(),
+        cache_snapshots,
+        simulated_duration: sim.now().as_secs(),
+        wall_clock_seconds: wall_start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs every task of one application instance and reports its timings.
+async fn run_instance(
+    ctx: &des::SimContext,
+    backend: &Backend,
+    app: &ApplicationSpec,
+    instance: usize,
+    instances: usize,
+) -> Result<(InstanceReport, Vec<pagecache::CacheContentSnapshot>), ScenarioError> {
+    let mut tasks = Vec::new();
+    let mut snapshots = Vec::new();
+    let take_snapshots = instance == 0;
+    for (task_idx, task) in app.tasks.iter().enumerate() {
+        // Read inputs.
+        let read_start = ctx.now();
+        let mut read_stats = pagecache::IoOpStats::default();
+        for input in &task.inputs {
+            let stats = backend
+                .read_file(&scoped_file(&input.name, instance, instances))
+                .await?;
+            read_stats.merge(&stats);
+        }
+        let read_time = ctx.now().duration_since(read_start);
+        backend.sample_memory();
+        if take_snapshots {
+            if let Some(snap) = backend.cache_snapshot(&format!("Read {}", task_idx + 1)) {
+                snapshots.push(snap);
+            }
+        }
+
+        // Compute.
+        let compute_start = ctx.now();
+        if task.cpu_time > 0.0 {
+            ctx.sleep(task.cpu_time).await;
+        }
+        let compute_time = ctx.now().duration_since(compute_start);
+
+        // Write outputs.
+        let write_start = ctx.now();
+        let mut write_stats = pagecache::IoOpStats::default();
+        for output in &task.outputs {
+            let stats = backend
+                .write_file(&scoped_file(&output.name, instance, instances), output.size)
+                .await?;
+            write_stats.merge(&stats);
+        }
+        let write_time = ctx.now().duration_since(write_start);
+        backend.sample_memory();
+        if take_snapshots {
+            if let Some(snap) = backend.cache_snapshot(&format!("Write {}", task_idx + 1)) {
+                snapshots.push(snap);
+            }
+        }
+
+        // Release the task's anonymous memory (both paper applications do).
+        if task.release_memory_after {
+            backend.release_anonymous_memory(task.input_bytes());
+            backend.sample_memory();
+        }
+
+        tasks.push(TaskReport {
+            task_name: task.name.clone(),
+            read_time,
+            compute_time,
+            write_time,
+            read_stats,
+            write_stats,
+        });
+    }
+    Ok((InstanceReport { instance, tasks }, snapshots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformSpec;
+    use storage_model::units::{GB, MB};
+    use storage_model::DeviceSpec;
+
+    fn platform() -> PlatformSpec {
+        PlatformSpec::uniform(
+            8.0 * GB,
+            DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+            DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+        )
+    }
+
+    fn small_app() -> ApplicationSpec {
+        ApplicationSpec::synthetic_pipeline(1.0 * GB)
+    }
+
+    #[test]
+    fn scoped_file_names() {
+        assert_eq!(scoped_file("f", 0, 1).name(), "f");
+        assert_eq!(scoped_file("f", 3, 8).name(), "i03_f");
+        assert_ne!(scoped_file("f", 1, 8), scoped_file("f", 2, 8));
+    }
+
+    #[test]
+    fn cacheless_run_reports_disk_speed_io() {
+        let scenario = Scenario::new(platform(), small_app(), SimulatorKind::Cacheless);
+        let report = run_scenario(&scenario).unwrap();
+        assert_eq!(report.instance_reports.len(), 1);
+        let tasks = &report.instance_reports[0].tasks;
+        assert_eq!(tasks.len(), 3);
+        // Every read and write is ~1 GB at 465 MB/s ≈ 2.15 s.
+        for t in tasks {
+            assert!((t.read_time - 1.0 * GB / (465.0 * MB)).abs() < 0.01, "{}", t.read_time);
+            assert!((t.write_time - 1.0 * GB / (465.0 * MB)).abs() < 0.01, "{}", t.write_time);
+        }
+        assert!(report.memory_trace.is_none());
+        assert!(report.simulated_duration > 0.0);
+    }
+
+    #[test]
+    fn pagecache_run_shows_cache_hits_on_rereads() {
+        let scenario = Scenario::new(platform(), small_app(), SimulatorKind::PageCache);
+        let report = run_scenario(&scenario).unwrap();
+        let tasks = &report.instance_reports[0].tasks;
+        // Task 1 reads a cold file from disk; tasks 2 and 3 re-read the file
+        // written by the previous task, which is still in the cache.
+        assert!(tasks[0].read_stats.bytes_from_disk > 0.9 * GB);
+        assert!(tasks[1].read_stats.bytes_from_cache > 0.9 * GB);
+        assert!(tasks[2].read_stats.bytes_from_cache > 0.9 * GB);
+        assert!(tasks[1].read_time < tasks[0].read_time);
+        // Writes fit in the dirty headroom of an 8 GB host: memory speed.
+        assert!(tasks[0].write_time < 0.5);
+        // Memory profile and cache snapshots were collected.
+        assert!(report.memory_trace.is_some());
+        assert_eq!(report.cache_snapshots.len(), 6);
+        assert!(report.memory_trace.unwrap().max_dirty() <= 0.2 * 8.0 * GB + 1.0);
+    }
+
+    #[test]
+    fn kernel_emu_run_completes_and_traces_memory() {
+        let scenario = Scenario::new(platform(), small_app(), SimulatorKind::KernelEmu);
+        let report = run_scenario(&scenario).unwrap();
+        assert_eq!(report.instance_reports[0].tasks.len(), 3);
+        assert!(report.memory_trace.is_some());
+        assert!(report.cache_snapshots.len() == 6);
+    }
+
+    #[test]
+    fn concurrent_instances_contend_for_the_disk() {
+        let app = small_app();
+        let one = run_scenario(&Scenario::new(platform(), app.clone(), SimulatorKind::Cacheless))
+            .unwrap();
+        let four = run_scenario(
+            &Scenario::new(platform(), app, SimulatorKind::Cacheless).with_instances(4),
+        )
+        .unwrap();
+        assert_eq!(four.instance_reports.len(), 4);
+        // With 4 instances sharing the disk, reads take roughly 4x longer.
+        let ratio = four.mean_total_read_time() / one.mean_total_read_time();
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn prototype_matches_pagecache_for_single_instance() {
+        let app = small_app();
+        let proto =
+            run_scenario(&Scenario::new(platform(), app.clone(), SimulatorKind::Prototype)).unwrap();
+        let cache =
+            run_scenario(&Scenario::new(platform(), app, SimulatorKind::PageCache)).unwrap();
+        // Without concurrency the two models should be very close.
+        let a = proto.instance_reports[0].makespan();
+        let b = cache.instance_reports[0].makespan();
+        assert!((a - b).abs() / b < 0.05, "prototype {a} vs pagecache {b}");
+    }
+
+    #[test]
+    fn nfs_scenario_runs_with_writethrough_times() {
+        let scenario = Scenario::new(
+            platform().with_nfs(),
+            small_app(),
+            SimulatorKind::PageCache,
+        );
+        let report = run_scenario(&scenario).unwrap();
+        let tasks = &report.instance_reports[0].tasks;
+        // Writes are writethrough on the server: roughly disk bandwidth, much
+        // slower than the local writeback case.
+        assert!(tasks[0].write_time > 1.5, "{}", tasks[0].write_time);
+        // Re-reads still benefit from caches.
+        assert!(tasks[1].read_time < tasks[0].write_time);
+    }
+
+    #[test]
+    fn missing_initial_file_is_an_error() {
+        let mut app = small_app();
+        app.initial_files.clear(); // task 1 reads a file that now never exists
+        let scenario = Scenario::new(platform(), app, SimulatorKind::PageCache);
+        assert!(matches!(
+            run_scenario(&scenario),
+            Err(ScenarioError::Filesystem(_))
+        ));
+    }
+}

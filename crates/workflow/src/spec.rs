@@ -1,0 +1,270 @@
+//! Workload descriptions: files, tasks and applications.
+//!
+//! The two applications of the paper are provided as constructors:
+//! [`ApplicationSpec::synthetic_pipeline`] (the three-task C program of
+//! Exp 1–3, Table I) and [`ApplicationSpec::nighres`] (the four-step cortical
+//! reconstruction workflow of Exp 4, Table II).
+
+use serde::{Deserialize, Serialize};
+use storage_model::units::{GB, MB};
+
+/// A file read or written by a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileSpec {
+    /// File name (unique within the application).
+    pub name: String,
+    /// File size in bytes.
+    pub size: f64,
+}
+
+impl FileSpec {
+    /// Creates a file specification.
+    pub fn new(name: impl Into<String>, size: f64) -> Self {
+        FileSpec {
+            name: name.into(),
+            size,
+        }
+    }
+}
+
+/// One task of an application: read inputs, compute, write outputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task name (e.g. "Task 1", "Skull stripping").
+    pub name: String,
+    /// CPU time in seconds (measured on the real system and injected into the
+    /// simulation, as the paper does).
+    pub cpu_time: f64,
+    /// Files read at the start of the task.
+    pub inputs: Vec<FileSpec>,
+    /// Files written at the end of the task.
+    pub outputs: Vec<FileSpec>,
+    /// Whether the task's anonymous memory is released when it completes
+    /// (true for both applications of the paper).
+    pub release_memory_after: bool,
+}
+
+impl TaskSpec {
+    /// Creates a task.
+    pub fn new(name: impl Into<String>, cpu_time: f64) -> Self {
+        TaskSpec {
+            name: name.into(),
+            cpu_time,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            release_memory_after: true,
+        }
+    }
+
+    /// Adds an input file.
+    pub fn reads(mut self, file: FileSpec) -> Self {
+        self.inputs.push(file);
+        self
+    }
+
+    /// Adds an output file.
+    pub fn writes(mut self, file: FileSpec) -> Self {
+        self.outputs.push(file);
+        self
+    }
+
+    /// Total bytes read by the task.
+    pub fn input_bytes(&self) -> f64 {
+        self.inputs.iter().map(|f| f.size).sum()
+    }
+
+    /// Total bytes written by the task.
+    pub fn output_bytes(&self) -> f64 {
+        self.outputs.iter().map(|f| f.size).sum()
+    }
+}
+
+/// A sequential application (pipeline of tasks) plus the files that must exist
+/// before it starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationSpec {
+    /// Application name.
+    pub name: String,
+    /// Files present on storage before the application starts.
+    pub initial_files: Vec<FileSpec>,
+    /// Tasks, executed in order.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl ApplicationSpec {
+    /// Creates an empty application.
+    pub fn new(name: impl Into<String>) -> Self {
+        ApplicationSpec {
+            name: name.into(),
+            initial_files: Vec::new(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Registers a file that exists before the application starts.
+    pub fn with_initial_file(mut self, file: FileSpec) -> Self {
+        self.initial_files.push(file);
+        self
+    }
+
+    /// Appends a task.
+    pub fn with_task(mut self, task: TaskSpec) -> Self {
+        self.tasks.push(task);
+        self
+    }
+
+    /// CPU time of the paper's synthetic application for a given input size
+    /// (Table I). Sizes between the measured points are interpolated linearly.
+    pub fn synthetic_cpu_time(input_size: f64) -> f64 {
+        // (input size GB, CPU time s) from Table I.
+        const POINTS: [(f64, f64); 5] = [(3.0, 4.4), (20.0, 28.0), (50.0, 75.0), (75.0, 110.0), (100.0, 155.0)];
+        let gb = input_size / GB;
+        if gb <= POINTS[0].0 {
+            return POINTS[0].1 * gb / POINTS[0].0;
+        }
+        for w in POINTS.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if gb <= x1 {
+                return y0 + (y1 - y0) * (gb - x0) / (x1 - x0);
+            }
+        }
+        let (x1, y1) = POINTS[POINTS.len() - 1];
+        y1 * gb / x1
+    }
+
+    /// The synthetic application of the paper (§III-D): three single-core
+    /// sequential tasks; task *i* reads File *i*, increments every byte, and
+    /// writes File *i+1*. All files have the same size.
+    pub fn synthetic_pipeline(file_size: f64) -> Self {
+        let cpu = Self::synthetic_cpu_time(file_size);
+        let file = |i: usize| FileSpec::new(format!("file_{i}"), file_size);
+        let mut app = ApplicationSpec::new(format!(
+            "synthetic-{}GB",
+            (file_size / GB * 100.0).round() / 100.0
+        ))
+        .with_initial_file(file(1));
+        for task in 1..=3 {
+            app = app.with_task(
+                TaskSpec::new(format!("Task {task}"), cpu)
+                    .reads(file(task))
+                    .writes(file(task + 1)),
+            );
+        }
+        app
+    }
+
+    /// The Nighres cortical-reconstruction workflow of Exp 4 (Table II).
+    ///
+    /// Step dependencies follow the Nighres example the paper uses: skull
+    /// stripping produces the masked image read by cortical reconstruction,
+    /// tissue classification produces the segmentation read by region
+    /// extraction.
+    pub fn nighres() -> Self {
+        let raw = FileSpec::new("raw_brain_image", 295.0 * MB);
+        let second_inversion = FileSpec::new("second_inversion", 197.0 * MB);
+        let masked = FileSpec::new("masked_image", 393.0 * MB);
+        let segmentation = FileSpec::new("segmentation", 1376.0 * MB);
+        let region = FileSpec::new("region_maps", 885.0 * MB);
+        let cortex = FileSpec::new("cortical_surface", 786.0 * MB);
+        ApplicationSpec::new("nighres-cortical-reconstruction")
+            .with_initial_file(raw.clone())
+            .with_initial_file(second_inversion.clone())
+            .with_task(
+                TaskSpec::new("Skull stripping", 137.0)
+                    .reads(raw)
+                    .writes(masked.clone()),
+            )
+            .with_task(
+                TaskSpec::new("Tissue classification", 614.0)
+                    .reads(second_inversion)
+                    .writes(segmentation.clone()),
+            )
+            .with_task(
+                TaskSpec::new("Region extraction", 76.0)
+                    .reads(segmentation)
+                    .writes(region),
+            )
+            .with_task(
+                TaskSpec::new("Cortical reconstruction", 272.0)
+                    .reads(masked)
+                    .writes(cortex),
+            )
+    }
+
+    /// Total bytes read by the whole application.
+    pub fn total_read_bytes(&self) -> f64 {
+        self.tasks.iter().map(TaskSpec::input_bytes).sum()
+    }
+
+    /// Total bytes written by the whole application.
+    pub fn total_written_bytes(&self) -> f64 {
+        self.tasks.iter().map(TaskSpec::output_bytes).sum()
+    }
+
+    /// Total CPU time of the application.
+    pub fn total_cpu_time(&self) -> f64 {
+        self.tasks.iter().map(|t| t.cpu_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_pipeline_structure() {
+        let app = ApplicationSpec::synthetic_pipeline(20.0 * GB);
+        assert_eq!(app.tasks.len(), 3);
+        assert_eq!(app.initial_files.len(), 1);
+        assert_eq!(app.initial_files[0].name, "file_1");
+        // Task i reads file i and writes file i+1.
+        for (i, task) in app.tasks.iter().enumerate() {
+            assert_eq!(task.inputs[0].name, format!("file_{}", i + 1));
+            assert_eq!(task.outputs[0].name, format!("file_{}", i + 2));
+            assert_eq!(task.inputs[0].size, 20.0 * GB);
+        }
+        assert_eq!(app.total_read_bytes(), 60.0 * GB);
+        assert_eq!(app.total_written_bytes(), 60.0 * GB);
+    }
+
+    #[test]
+    fn synthetic_cpu_times_match_table1() {
+        for (gb, secs) in [(3.0, 4.4), (20.0, 28.0), (50.0, 75.0), (75.0, 110.0), (100.0, 155.0)] {
+            let t = ApplicationSpec::synthetic_cpu_time(gb * GB);
+            assert!((t - secs).abs() < 1e-9, "{gb} GB -> {t}, expected {secs}");
+        }
+        // Interpolation between measured points is monotonic.
+        let t35 = ApplicationSpec::synthetic_cpu_time(35.0 * GB);
+        assert!(t35 > 28.0 && t35 < 75.0);
+    }
+
+    #[test]
+    fn nighres_matches_table2() {
+        let app = ApplicationSpec::nighres();
+        assert_eq!(app.tasks.len(), 4);
+        let sizes_in: Vec<f64> = app.tasks.iter().map(TaskSpec::input_bytes).collect();
+        let sizes_out: Vec<f64> = app.tasks.iter().map(TaskSpec::output_bytes).collect();
+        let cpu: Vec<f64> = app.tasks.iter().map(|t| t.cpu_time).collect();
+        assert_eq!(sizes_in, vec![295.0 * MB, 197.0 * MB, 1376.0 * MB, 393.0 * MB]);
+        assert_eq!(sizes_out, vec![393.0 * MB, 1376.0 * MB, 885.0 * MB, 786.0 * MB]);
+        assert_eq!(cpu, vec![137.0, 614.0, 76.0, 272.0]);
+        // Step 3 reads what step 2 wrote; step 4 reads what step 1 wrote.
+        assert_eq!(app.tasks[2].inputs[0].name, app.tasks[1].outputs[0].name);
+        assert_eq!(app.tasks[3].inputs[0].name, app.tasks[0].outputs[0].name);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let app = ApplicationSpec::new("custom")
+            .with_initial_file(FileSpec::new("in", 10.0 * MB))
+            .with_task(
+                TaskSpec::new("t", 1.0)
+                    .reads(FileSpec::new("in", 10.0 * MB))
+                    .writes(FileSpec::new("out", 5.0 * MB)),
+            );
+        assert_eq!(app.tasks[0].input_bytes(), 10.0 * MB);
+        assert_eq!(app.tasks[0].output_bytes(), 5.0 * MB);
+        assert_eq!(app.total_cpu_time(), 1.0);
+    }
+}

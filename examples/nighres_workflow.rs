@@ -1,0 +1,35 @@
+//! The Nighres cortical-reconstruction workflow (the paper's Exp 4, Table II):
+//! four steps with realistic neuroimaging file sizes and CPU times.
+//!
+//! Run with: `cargo run --release --example nighres_workflow`
+
+use linux_pagecache_sim::prelude::*;
+
+fn main() {
+    let platform = PlatformSpec::uniform(
+        16.0 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    );
+    let app = ApplicationSpec::nighres();
+    println!("Nighres cortical reconstruction (Exp 4)\n");
+    for kind in [
+        SimulatorKind::KernelEmu,
+        SimulatorKind::Cacheless,
+        SimulatorKind::PageCache,
+    ] {
+        let report =
+            run_scenario(&Scenario::new(platform.clone(), app.clone(), kind)).expect("run failed");
+        println!("--- {} ---", kind.label());
+        for t in &report.instance_reports[0].tasks {
+            println!(
+                "  {:<26} read {:>6.2}s  compute {:>7.1}s  write {:>6.2}s",
+                t.task_name, t.read_time, t.compute_time, t.write_time
+            );
+        }
+        println!(
+            "  end-to-end makespan: {:.1}s\n",
+            report.instance_reports[0].makespan()
+        );
+    }
+}

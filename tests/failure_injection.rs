@@ -1,0 +1,102 @@
+//! Failure-injection and edge-case tests across the public API.
+
+use linux_pagecache_sim::prelude::*;
+use storage_model::units::GIB;
+use workflow::ScenarioError;
+
+#[test]
+fn scenario_fails_cleanly_when_the_disk_fills_up() {
+    // A 10 GiB disk cannot hold the four 4 GB files of the pipeline.
+    let platform = PlatformSpec::uniform(
+        64.0 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, 10.0 * GIB),
+    );
+    let app = ApplicationSpec::synthetic_pipeline(4.0 * GB);
+    let err = run_scenario(&Scenario::new(platform, app, SimulatorKind::PageCache)).unwrap_err();
+    match err {
+        ScenarioError::Filesystem(msg) => assert!(msg.contains("full"), "unexpected message: {msg}"),
+        other => panic!("expected a filesystem error, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_byte_files_and_zero_cpu_tasks_are_handled() {
+    let platform = PlatformSpec::uniform(
+        4.0 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    );
+    let app = ApplicationSpec::new("degenerate")
+        .with_initial_file(FileSpec::new("empty", 0.0))
+        .with_task(
+            TaskSpec::new("noop", 0.0)
+                .reads(FileSpec::new("empty", 0.0))
+                .writes(FileSpec::new("also_empty", 0.0)),
+        );
+    for kind in [
+        SimulatorKind::Cacheless,
+        SimulatorKind::PageCache,
+        SimulatorKind::KernelEmu,
+    ] {
+        let report = run_scenario(&Scenario::new(platform.clone(), app.clone(), kind)).unwrap();
+        let task = &report.instance_reports[0].tasks[0];
+        assert_eq!(task.read_time, 0.0, "{kind:?}");
+        assert_eq!(task.write_time, 0.0, "{kind:?}");
+        assert_eq!(task.compute_time, 0.0, "{kind:?}");
+    }
+}
+
+#[test]
+fn cache_larger_than_file_set_and_tiny_memory_both_work() {
+    // Tiny memory: the page cache cannot hold even one file; the simulation
+    // must still complete, with read times close to disk times.
+    let tiny = PlatformSpec::uniform(
+        512.0 * MB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    );
+    let app = ApplicationSpec::synthetic_pipeline(1.0 * GB);
+    let report = run_scenario(&Scenario::new(tiny, app.clone(), SimulatorKind::PageCache)).unwrap();
+    let warm_read = report.instance_reports[0].tasks[1].read_time;
+    let disk_time = 1.0 * GB / (465.0 * MB);
+    assert!(
+        warm_read > 0.5 * disk_time,
+        "with a tiny cache the re-read should be disk-bound, got {warm_read}s vs disk {disk_time}s"
+    );
+    // Huge memory: everything cached, re-reads at memory speed.
+    let huge = PlatformSpec::uniform(
+        1024.0 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    );
+    let report = run_scenario(&Scenario::new(huge, app, SimulatorKind::PageCache)).unwrap();
+    let warm_read = report.instance_reports[0].tasks[1].read_time;
+    assert!(warm_read < 0.5 * disk_time, "expected a cache hit, got {warm_read}s");
+}
+
+#[test]
+fn unsupported_prototype_nfs_combination_is_rejected() {
+    let platform = PlatformSpec::uniform(
+        8.0 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    )
+    .with_nfs();
+    let app = ApplicationSpec::synthetic_pipeline(1.0 * GB);
+    let err = run_scenario(&Scenario::new(platform, app, SimulatorKind::Prototype)).unwrap_err();
+    assert!(matches!(err, ScenarioError::Unsupported(_)));
+}
+
+#[test]
+fn invalid_platforms_are_rejected_before_any_simulation() {
+    let mut platform = PlatformSpec::uniform(
+        8.0 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    );
+    platform.dirty_ratio = 7.0;
+    let app = ApplicationSpec::synthetic_pipeline(1.0 * GB);
+    let err = run_scenario(&Scenario::new(platform, app, SimulatorKind::PageCache)).unwrap_err();
+    assert!(matches!(err, ScenarioError::InvalidPlatform(_)));
+}

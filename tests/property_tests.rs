@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) on the core data structures and model
+//! invariants.
+
+use proptest::prelude::*;
+
+use des::{SimTime, Simulation};
+use linux_pagecache_sim::prelude::*;
+use pagecache::LruLists;
+use storage_model::SharedResource;
+
+/// A randomly generated cache operation applied to the LRU lists.
+#[derive(Debug, Clone)]
+enum CacheOp {
+    AddClean { file: u8, size: f64 },
+    AddDirty { file: u8, size: f64 },
+    Read { file: u8, amount: f64 },
+    Flush { amount: f64 },
+    Evict { amount: f64 },
+    FlushExpired,
+    Balance,
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u8..5, 1.0..500.0f64).prop_map(|(file, size)| CacheOp::AddClean { file, size }),
+        (0u8..5, 1.0..500.0f64).prop_map(|(file, size)| CacheOp::AddDirty { file, size }),
+        (0u8..5, 1.0..800.0f64).prop_map(|(file, amount)| CacheOp::Read { file, amount }),
+        (0.0..800.0f64).prop_map(|amount| CacheOp::Flush { amount }),
+        (0.0..800.0f64).prop_map(|amount| CacheOp::Evict { amount }),
+        Just(CacheOp::FlushExpired),
+        Just(CacheOp::Balance),
+    ]
+}
+
+fn file_id(i: u8) -> FileId {
+    FileId::new(format!("file_{i}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any sequence of operations the LRU lists stay structurally sound:
+    /// sorted by last access, positive block sizes, dirty <= cached, and the
+    /// per-file accounting sums to the total.
+    #[test]
+    fn lru_lists_invariants_hold_under_random_operations(ops in prop::collection::vec(cache_op(), 1..80)) {
+        let mut lru = LruLists::new();
+        let mut clock = 0.0;
+        for op in ops {
+            clock += 1.0;
+            let now = SimTime::from_secs(clock);
+            match op {
+                CacheOp::AddClean { file, size } => lru.add_clean(file_id(file), size, now),
+                CacheOp::AddDirty { file, size } => lru.add_dirty(file_id(file), size, now),
+                CacheOp::Read { file, amount } => { lru.read_cached(&file_id(file), amount, now); }
+                CacheOp::Flush { amount } => { lru.flush_lru(amount, None); }
+                CacheOp::Evict { amount } => { lru.evict(amount, None); }
+                CacheOp::FlushExpired => { lru.flush_expired(now, 10.0); }
+                CacheOp::Balance => lru.balance(),
+            }
+            lru.check_invariants().unwrap();
+            prop_assert!(lru.total_dirty() <= lru.total_cached() + 1e-6);
+            let per_file_sum: f64 = lru.cached_per_file().values().sum();
+            prop_assert!((per_file_sum - lru.total_cached()).abs() < 1e-6);
+            prop_assert!(lru.inactive_bytes() + lru.active_bytes() - lru.total_cached() < 1e-6);
+        }
+    }
+
+    /// Reading cached data never changes the amount of cached or dirty data.
+    #[test]
+    fn reading_conserves_cache_contents(
+        sizes in prop::collection::vec(1.0..300.0f64, 1..10),
+        read_amount in 1.0..3000.0f64,
+    ) {
+        let mut lru = LruLists::new();
+        let f: FileId = "f".into();
+        let mut clock = 0.0;
+        for (i, size) in sizes.iter().enumerate() {
+            clock += 1.0;
+            if i % 2 == 0 {
+                lru.add_clean(f.clone(), *size, SimTime::from_secs(clock));
+            } else {
+                lru.add_dirty(f.clone(), *size, SimTime::from_secs(clock));
+            }
+        }
+        let cached_before = lru.total_cached();
+        let dirty_before = lru.total_dirty();
+        let read = lru.read_cached(&f, read_amount, SimTime::from_secs(clock + 1.0));
+        prop_assert!(read <= read_amount + 1e-6);
+        prop_assert!(read <= cached_before + 1e-6);
+        prop_assert!((lru.total_cached() - cached_before).abs() < 1e-6);
+        prop_assert!((lru.total_dirty() - dirty_before).abs() < 1e-6);
+    }
+
+    /// Flushing never changes the total cached amount, only converts dirty
+    /// data to clean data, and never flushes more than requested (plus one
+    /// block-split worth of slack: zero, since splits are exact).
+    #[test]
+    fn flush_converts_dirty_to_clean_without_losing_data(
+        dirty_sizes in prop::collection::vec(1.0..200.0f64, 1..10),
+        flush_amount in 0.0..3000.0f64,
+    ) {
+        let mut lru = LruLists::new();
+        for (i, size) in dirty_sizes.iter().enumerate() {
+            lru.add_dirty(file_id(i as u8), *size, SimTime::from_secs(i as f64));
+        }
+        let cached_before = lru.total_cached();
+        let dirty_before = lru.total_dirty();
+        let flushed = lru.flush_lru(flush_amount, None);
+        prop_assert!(flushed <= flush_amount + 1e-6);
+        prop_assert!(flushed <= dirty_before + 1e-6);
+        prop_assert!((lru.total_cached() - cached_before).abs() < 1e-6);
+        prop_assert!((lru.total_dirty() - (dirty_before - flushed)).abs() < 1e-6);
+    }
+
+    /// Eviction only removes clean data and never more than requested.
+    #[test]
+    fn evict_removes_at_most_requested_clean_data(
+        clean in prop::collection::vec(1.0..200.0f64, 1..8),
+        dirty in prop::collection::vec(1.0..200.0f64, 0..8),
+        evict_amount in 0.0..2000.0f64,
+    ) {
+        let mut lru = LruLists::new();
+        let mut t = 0.0;
+        for size in &clean {
+            t += 1.0;
+            lru.add_clean("clean".into(), *size, SimTime::from_secs(t));
+        }
+        for size in &dirty {
+            t += 1.0;
+            lru.add_dirty("dirty".into(), *size, SimTime::from_secs(t));
+        }
+        let dirty_before = lru.total_dirty();
+        let cached_before = lru.total_cached();
+        let evicted = lru.evict(evict_amount, None);
+        prop_assert!(evicted <= evict_amount + 1e-6);
+        prop_assert!((lru.total_dirty() - dirty_before).abs() < 1e-6);
+        prop_assert!((lru.total_cached() - (cached_before - evicted)).abs() < 1e-6);
+    }
+
+    /// Fair sharing conserves work: N equal transfers on one device finish in
+    /// N times the single-transfer duration, regardless of N and size.
+    #[test]
+    fn fair_sharing_conserves_total_throughput(
+        n in 1usize..12,
+        bytes in 100.0..10_000.0f64,
+        bandwidth in 10.0..1000.0f64,
+    ) {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "dev", bandwidth, 0.0);
+        for _ in 0..n {
+            let res = res.clone();
+            sim.spawn(async move { res.transfer(bytes).await });
+        }
+        let end = sim.run().as_secs();
+        let expected = n as f64 * bytes / bandwidth;
+        prop_assert!((end - expected).abs() < 1e-6 * expected.max(1.0),
+            "n={n} bytes={bytes} bw={bandwidth}: end {end} vs expected {expected}");
+    }
+
+    /// The simulated read time of a cold file equals size/bandwidth for any
+    /// size and chunk size, and a warm re-read is never slower than the cold
+    /// read.
+    #[test]
+    fn controller_cold_read_time_matches_analytic_model(
+        size_mb in 10.0..2000.0f64,
+        chunk_mb in 10.0..500.0f64,
+    ) {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY));
+        let disk = Disk::new(&ctx, "d", DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY));
+        let mm = MemoryManager::new(&ctx, PageCacheConfig::with_memory(16.0 * GB), memory, disk);
+        let io = IoController::new(&ctx, mm).with_chunk_size(chunk_mb * MB);
+        let h = sim.spawn(async move {
+            let cold = io.read_file(&"f".into(), size_mb * MB).await;
+            let warm = io.read_file(&"f".into(), size_mb * MB).await;
+            (cold.duration, warm.duration)
+        });
+        sim.run();
+        let (cold, warm) = h.try_take_result().unwrap();
+        let expected = size_mb / 465.0;
+        prop_assert!((cold - expected).abs() < 1e-6 * expected.max(1.0));
+        prop_assert!(warm <= cold + 1e-9);
+    }
+}
