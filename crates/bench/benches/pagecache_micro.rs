@@ -5,34 +5,77 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use des::{SimTime, Simulation};
 use pagecache::{FileId, IoController, LruLists, MemoryManager, PageCacheConfig};
 use storage_model::units::{GB, MB};
-use storage_model::{DeviceSpec, Disk, MemoryDevice};
+use storage_model::{DeviceSpec, Disk, MemoryDevice, SharedResource, SharingPolicy};
 
 fn bench_lru_operations(c: &mut Criterion) {
     let mut group = c.benchmark_group("lru_lists");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for &blocks in &[100usize, 1_000, 10_000] {
-        group.bench_with_input(BenchmarkId::new("add_and_read", blocks), &blocks, |b, &n| {
+    for &blocks in &[100usize, 1_000, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("add_and_read", blocks),
+            &blocks,
+            |b, &n| {
+                b.iter(|| {
+                    let mut lru = LruLists::new();
+                    let file: FileId = "f".into();
+                    for i in 0..n {
+                        lru.add_clean(file.clone(), 1.0 * MB, SimTime::from_secs(i as f64));
+                    }
+                    lru.read_cached(&file, n as f64 * MB, SimTime::from_secs(n as f64));
+                    lru.total_cached()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flush_and_evict", blocks),
+            &blocks,
+            |b, &n| {
+                b.iter(|| {
+                    let mut lru = LruLists::new();
+                    for i in 0..n {
+                        lru.add_dirty(
+                            FileId::new(format!("f{}", i % 10)),
+                            1.0 * MB,
+                            SimTime::from_secs(i as f64),
+                        );
+                    }
+                    lru.flush_lru(n as f64 * MB / 2.0, None);
+                    lru.evict(n as f64 * MB / 4.0, None);
+                    lru.block_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_shared_resource(c: &mut Criterion) {
+    // 1k concurrent flows on one device: the fair-share model used to re-sync
+    // every flow at every completion (O(n) per event, O(n^2) per run); the
+    // heap-based algorithm advances only the completing flow.
+    let mut group = c.benchmark_group("shared_resource");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let flows = 1_000usize;
+    for (label, policy) in [
+        ("fair_share", SharingPolicy::FairShare),
+        ("unlimited", SharingPolicy::Unlimited),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, flows), &flows, |b, &n| {
             b.iter(|| {
-                let mut lru = LruLists::new();
-                let file: FileId = "f".into();
+                let sim = Simulation::new();
+                let ctx = sim.context();
+                let res = SharedResource::with_policy(&ctx, "dev", 1000.0 * MB, 0.0, policy);
                 for i in 0..n {
-                    lru.add_clean(file.clone(), 1.0 * MB, SimTime::from_secs(i as f64));
+                    let res = res.clone();
+                    // Distinct sizes so completions are staggered events.
+                    let bytes = 1.0 * MB + i as f64;
+                    sim.spawn(async move { res.transfer(bytes).await });
                 }
-                lru.read_cached(&file, n as f64 * MB, SimTime::from_secs(n as f64));
-                lru.total_cached()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("flush_and_evict", blocks), &blocks, |b, &n| {
-            b.iter(|| {
-                let mut lru = LruLists::new();
-                for i in 0..n {
-                    lru.add_dirty(FileId::new(format!("f{}", i % 10)), 1.0 * MB, SimTime::from_secs(i as f64));
-                }
-                lru.flush_lru(n as f64 * MB / 2.0, None);
-                lru.evict(n as f64 * MB / 4.0, None);
-                lru.block_count()
+                sim.run().as_secs()
             })
         });
     }
@@ -52,10 +95,15 @@ fn bench_io_controller(c: &mut Criterion) {
                 b.iter(|| {
                     let sim = Simulation::new();
                     let ctx = sim.context();
-                    let memory =
-                        MemoryDevice::new(&ctx, DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY));
-                    let disk =
-                        Disk::new(&ctx, "d", DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY));
+                    let memory = MemoryDevice::new(
+                        &ctx,
+                        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+                    );
+                    let disk = Disk::new(
+                        &ctx,
+                        "d",
+                        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+                    );
                     let mm = MemoryManager::new(
                         &ctx,
                         PageCacheConfig::with_memory(32.0 * GB),
@@ -81,23 +129,33 @@ fn bench_des_engine(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for &processes in &[10usize, 100, 1_000] {
-        group.bench_with_input(BenchmarkId::new("sleep_storm", processes), &processes, |b, &n| {
-            b.iter(|| {
-                let sim = Simulation::new();
-                for i in 0..n {
-                    let ctx = sim.context();
-                    sim.spawn(async move {
-                        for k in 0..20u32 {
-                            ctx.sleep(((i + k as usize) % 7 + 1) as f64).await;
-                        }
-                    });
-                }
-                sim.run().as_secs()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sleep_storm", processes),
+            &processes,
+            |b, &n| {
+                b.iter(|| {
+                    let sim = Simulation::new();
+                    for i in 0..n {
+                        let ctx = sim.context();
+                        sim.spawn(async move {
+                            for k in 0..20u32 {
+                                ctx.sleep(((i + k as usize) % 7 + 1) as f64).await;
+                            }
+                        });
+                    }
+                    sim.run().as_secs()
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_lru_operations, bench_io_controller, bench_des_engine);
+criterion_group!(
+    benches,
+    bench_lru_operations,
+    bench_shared_resource,
+    bench_io_controller,
+    bench_des_engine
+);
 criterion_main!(benches);

@@ -21,7 +21,11 @@ fn bench_simulation_time(c: &mut Criterion) {
             ("wrench_cache_local", SimulatorKind::PageCache, false),
             ("wrench_cache_nfs", SimulatorKind::PageCache, true),
         ] {
-            let platform = if nfs { platform.clone().with_nfs() } else { platform.clone() };
+            let platform = if nfs {
+                platform.clone().with_nfs()
+            } else {
+                platform.clone()
+            };
             let scenario = Scenario::new(platform, app.clone(), kind)
                 .with_instances(instances)
                 .with_sample_interval(None);

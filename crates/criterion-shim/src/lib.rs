@@ -1,0 +1,286 @@
+//! A dependency-free, drop-in subset of the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds in offline environments where crates.io is not
+//! reachable, so the real criterion crate cannot be used. This shim implements
+//! the small API surface our benches rely on — benchmark groups, per-input
+//! benchmarks, `Bencher::iter` — with a simple median-of-samples timing loop.
+//!
+//! Differences from real criterion:
+//!
+//! * No statistical analysis beyond the median of `sample_size` samples.
+//! * Results are printed as `group/bench: <ns> ns/iter` lines.
+//! * If the `BENCH_JSON` environment variable is set, all results of the run
+//!   are additionally written to that path as a JSON object mapping benchmark
+//!   ids to nanoseconds per iteration (used by `scripts/bench_pr1.sh` to emit
+//!   `BENCH_PR1.json`).
+
+use std::fmt::Display;
+use std::hint;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching criterion's API.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name`, parameterised by `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A benchmark identified only by its parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The benchmark runner handed to `criterion_group!` target functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &id.id,
+            10,
+            Duration::from_millis(500),
+            Duration::from_secs(2),
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (the reported value is their
+    /// median).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the benchmark before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time across all samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks `f` without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; results are reported as
+    /// each benchmark completes).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        warm_up,
+        measurement,
+        median_ns: 0.0,
+    };
+    f(&mut bencher);
+    println!("{id}: {:.0} ns/iter", bencher.median_ns);
+    RESULTS
+        .lock()
+        .unwrap()
+        .push((id.to_string(), bencher.median_ns));
+}
+
+/// Times a closure, criterion-style.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median time per iteration.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget elapses (at least once) and
+        // estimate the per-iteration cost.
+        let warm_up_end = Instant::now() + self.warm_up;
+        let mut estimate_ns = f64::INFINITY;
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            estimate_ns = estimate_ns.min(t0.elapsed().as_nanos().max(1) as f64);
+            if Instant::now() >= warm_up_end {
+                break;
+            }
+        }
+        // Size each sample so the whole measurement roughly fits the budget.
+        let per_sample_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = (per_sample_ns / estimate_ns).clamp(1.0, 1e7) as u64;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Implementation details used by the `criterion_group!`/`criterion_main!`
+/// macro expansions; not part of the public API.
+pub mod private {
+    use super::RESULTS;
+
+    /// Whether the harness should run at all (skips benches under
+    /// `cargo test`, which passes `--test` to harness-less targets).
+    pub fn should_run() -> bool {
+        !std::env::args().any(|a| a == "--test")
+    }
+
+    /// Writes collected results to `$BENCH_JSON` (if set) as a JSON object
+    /// mapping benchmark ids to ns/iter.
+    pub fn write_json_if_requested() {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        let results = RESULTS.lock().unwrap();
+        let mut out = String::from("{\n");
+        for (i, (id, ns)) in results.iter().enumerate() {
+            let comma = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  \"{}\": {:.1}{}\n",
+                id.replace('"', "'"),
+                ns,
+                comma
+            ));
+        }
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("failed to write {path}: {e}");
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !$crate::private::should_run() {
+                return;
+            }
+            $( $group(); )+
+            $crate::private::write_json_if_requested();
+        }
+    };
+}

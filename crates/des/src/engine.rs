@@ -20,7 +20,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::time::SimTime;
 
@@ -110,11 +110,11 @@ struct SimWaker {
 
 impl std::task::Wake for SimWaker {
     fn wake(self: Arc<Self>) {
-        self.queue.lock().push(self.task);
+        self.queue.lock().unwrap().push(self.task);
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
-        self.queue.lock().push(self.task);
+        self.queue.lock().unwrap().push(self.task);
     }
 }
 
@@ -136,7 +136,10 @@ impl SimContext {
 
     /// Returns a future that completes after `secs` seconds of virtual time.
     pub fn sleep(&self, secs: f64) -> Sleep {
-        assert!(secs >= 0.0 && !secs.is_nan(), "sleep duration must be non-negative, got {secs}");
+        assert!(
+            secs >= 0.0 && !secs.is_nan(),
+            "sleep duration must be non-negative, got {secs}"
+        );
         let deadline = self.now() + secs;
         Sleep {
             ctx: self.clone(),
@@ -410,7 +413,7 @@ impl Simulation {
 
     fn drain_wake_queue(&self) {
         let mut eng = self.engine.borrow_mut();
-        let woken: Vec<TaskId> = std::mem::take(&mut *eng.wake_queue.lock());
+        let woken: Vec<TaskId> = std::mem::take(&mut *eng.wake_queue.lock().unwrap());
         for task in woken {
             if eng.tasks.contains_key(&task) && !eng.ready.contains(&task) {
                 eng.ready.push_back(task);

@@ -2,8 +2,8 @@
 //! application (Exp 1), per I/O phase and per simulator.
 
 use experiments::platform::{exp1_file_sizes, paper_platform, scaled_platform};
-use experiments::table::{pct, secs, TextTable};
 use experiments::run_exp1;
+use experiments::table::{pct, secs, TextTable};
 use storage_model::units::GB;
 
 fn main() {
@@ -17,8 +17,14 @@ fn main() {
     for result in &results {
         println!("\n=== Exp 1, {} GB files ===", result.file_size / GB);
         let mut table = TextTable::new(&[
-            "Phase", "Real (s)", "Prototype (s)", "WRENCH (s)", "WRENCH-cache (s)",
-            "err proto %", "err WRENCH %", "err cache %",
+            "Phase",
+            "Real (s)",
+            "Prototype (s)",
+            "WRENCH (s)",
+            "WRENCH-cache (s)",
+            "err proto %",
+            "err WRENCH %",
+            "err cache %",
         ]);
         for p in &result.phases {
             table.add_row(vec![

@@ -8,7 +8,10 @@ use storage_model::units::GB;
 
 fn print_trace(label: &str, trace: &Option<MemoryTrace>) {
     println!("\n--- {label} ---");
-    println!("{:>10}  {:>12}  {:>12}  {:>12}", "time (s)", "used (GB)", "cache (GB)", "dirty (GB)");
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>12}",
+        "time (s)", "used (GB)", "cache (GB)", "dirty (GB)"
+    );
     let Some(trace) = trace else {
         println!("(no memory model)");
         return;
@@ -25,7 +28,11 @@ fn print_trace(label: &str, trace: &Option<MemoryTrace>) {
             s.dirty / GB
         );
     }
-    println!("max dirty: {:.2} GB, max cache: {:.2} GB", trace.max_dirty() / GB, trace.max_cached() / GB);
+    println!(
+        "max dirty: {:.2} GB, max cache: {:.2} GB",
+        trace.max_dirty() / GB,
+        trace.max_cached() / GB
+    );
 }
 
 fn main() {

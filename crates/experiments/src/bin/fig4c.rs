@@ -15,7 +15,12 @@ fn print_snapshots(label: &str, snaps: &[CacheContentSnapshot]) {
             .map(|(f, bytes)| format!("{f}={:.1}GB", bytes / GB))
             .collect();
         parts.sort();
-        println!("{:>8}: total {:>6.1} GB  [{}]", snap.label, snap.total() / GB, parts.join(", "));
+        println!(
+            "{:>8}: total {:>6.1} GB  [{}]",
+            snap.label,
+            snap.total() / GB,
+            parts.join(", ")
+        );
     }
 }
 

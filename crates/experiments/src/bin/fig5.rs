@@ -14,9 +14,18 @@ fn main() {
         (paper_platform(), EXP2_FILE_SIZE, concurrency_sweep())
     };
     let sweep = run_exp2(&platform, size, &counts).expect("Exp 2 failed");
-    println!("Fig. 5 (Exp 2): concurrent instances, {} GB files, local disk", size / GB);
+    println!(
+        "Fig. 5 (Exp 2): concurrent instances, {} GB files, local disk",
+        size / GB
+    );
     let mut table = TextTable::new(&[
-        "instances", "real read", "real write", "WRENCH read", "WRENCH write", "cache read", "cache write",
+        "instances",
+        "real read",
+        "real write",
+        "WRENCH read",
+        "WRENCH write",
+        "cache read",
+        "cache write",
     ]);
     for p in &sweep.points {
         table.add_row(vec![

@@ -8,11 +8,21 @@ use storage_model::units::GB;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let platform = if quick { scaled_platform(16.0 * GB) } else { paper_platform() };
+    let platform = if quick {
+        scaled_platform(16.0 * GB)
+    } else {
+        paper_platform()
+    };
     let result = run_exp4(&platform).expect("Exp 4 failed");
     println!("Fig. 6 (Exp 4): Nighres cortical reconstruction, per-phase errors");
     let mut table = TextTable::new(&[
-        "Phase", "Step", "Real (s)", "WRENCH (s)", "WRENCH-cache (s)", "err WRENCH %", "err cache %",
+        "Phase",
+        "Step",
+        "Real (s)",
+        "WRENCH (s)",
+        "WRENCH-cache (s)",
+        "err WRENCH %",
+        "err cache %",
     ]);
     for p in &result.phases {
         table.add_row(vec![

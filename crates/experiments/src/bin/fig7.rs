@@ -14,9 +14,18 @@ fn main() {
         (paper_platform(), EXP2_FILE_SIZE, concurrency_sweep())
     };
     let sweep = run_exp3(&platform, size, &counts).expect("Exp 3 failed");
-    println!("Fig. 7 (Exp 3): concurrent instances, {} GB files, NFS storage", size / GB);
+    println!(
+        "Fig. 7 (Exp 3): concurrent instances, {} GB files, NFS storage",
+        size / GB
+    );
     let mut table = TextTable::new(&[
-        "instances", "real read", "real write", "WRENCH read", "WRENCH write", "cache read", "cache write",
+        "instances",
+        "real read",
+        "real write",
+        "WRENCH read",
+        "WRENCH write",
+        "cache read",
+        "cache write",
     ]);
     for p in &sweep.points {
         table.add_row(vec![

@@ -16,7 +16,11 @@ fn main() {
     let result = run_simulation_time_measurement(&platform, size, &counts).expect("Fig. 8 failed");
     println!("Fig. 8: simulation time vs concurrent applications");
     let mut table = TextTable::new(&[
-        "instances", "WRENCH local (s)", "WRENCH NFS (s)", "cache local (s)", "cache NFS (s)",
+        "instances",
+        "WRENCH local (s)",
+        "WRENCH NFS (s)",
+        "cache local (s)",
+        "cache NFS (s)",
     ]);
     for p in &result.points {
         table.add_row(vec![

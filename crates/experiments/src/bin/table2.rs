@@ -6,7 +6,12 @@ use workflow::ApplicationSpec;
 
 fn main() {
     let app = ApplicationSpec::nighres();
-    let mut table = TextTable::new(&["Workflow step", "Input size (MB)", "Output size (MB)", "CPU time (s)"]);
+    let mut table = TextTable::new(&[
+        "Workflow step",
+        "Input size (MB)",
+        "Output size (MB)",
+        "CPU time (s)",
+    ]);
     for task in &app.tasks {
         table.add_row(vec![
             task.name.clone(),

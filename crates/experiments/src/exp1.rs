@@ -191,8 +191,16 @@ mod tests {
         );
         // Re-reads (Read 2, Read 3) are where the cacheless model hurts most.
         let read2 = &result.phases[2];
-        assert!(read2.error_cacheless() > 100.0, "{}", read2.error_cacheless());
-        assert!(read2.error_wrench_cache() < 60.0, "{}", read2.error_wrench_cache());
+        assert!(
+            read2.error_cacheless() > 100.0,
+            "{}",
+            read2.error_cacheless()
+        );
+        assert!(
+            read2.error_wrench_cache() < 60.0,
+            "{}",
+            read2.error_wrench_cache()
+        );
 
         // Read 1 is a cold read in every simulator: everyone is accurate.
         let read1 = &result.phases[0];

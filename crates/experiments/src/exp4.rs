@@ -48,20 +48,22 @@ impl Exp4Result {
     /// Mean error of the cacheless simulator across phases with a non-zero
     /// ground-truth time, percent (the paper reports 337 %).
     pub fn mean_error_cacheless(&self) -> f64 {
-        mean(self
-            .phases
-            .iter()
-            .filter(|p| p.real > 1e-9)
-            .map(NighresPhase::error_cacheless))
+        mean(
+            self.phases
+                .iter()
+                .filter(|p| p.real > 1e-9)
+                .map(NighresPhase::error_cacheless),
+        )
     }
 
     /// Mean error of WRENCH-cache, percent (the paper reports 47 %).
     pub fn mean_error_wrench_cache(&self) -> f64 {
-        mean(self
-            .phases
-            .iter()
-            .filter(|p| p.real > 1e-9)
-            .map(NighresPhase::error_wrench_cache))
+        mean(
+            self.phases
+                .iter()
+                .filter(|p| p.real > 1e-9)
+                .map(NighresPhase::error_wrench_cache),
+        )
     }
 }
 
@@ -77,7 +79,8 @@ fn mean(iter: impl Iterator<Item = f64>) -> f64 {
 /// Runs Exp 4 on the given platform.
 pub fn run_exp4(platform: &PlatformSpec) -> Result<Exp4Result, ScenarioError> {
     let app = ApplicationSpec::nighres();
-    let run = |kind: SimulatorKind| run_scenario(&Scenario::new(platform.clone(), app.clone(), kind));
+    let run =
+        |kind: SimulatorKind| run_scenario(&Scenario::new(platform.clone(), app.clone(), kind));
     let real = run(SimulatorKind::KernelEmu)?;
     let cacheless = run(SimulatorKind::Cacheless)?;
     let wrench_cache = run(SimulatorKind::PageCache)?;
@@ -131,7 +134,15 @@ mod tests {
         // The first read happens entirely from disk and is accurately
         // simulated by both simulators (paper §IV-D).
         let read1 = &result.phases[0];
-        assert!(read1.error_cacheless() < 30.0, "{}", read1.error_cacheless());
-        assert!(read1.error_wrench_cache() < 30.0, "{}", read1.error_wrench_cache());
+        assert!(
+            read1.error_cacheless() < 30.0,
+            "{}",
+            read1.error_cacheless()
+        );
+        assert!(
+            read1.error_wrench_cache() < 30.0,
+            "{}",
+            read1.error_wrench_cache()
+        );
     }
 }

@@ -69,7 +69,10 @@ pub fn run_concurrency_sweep(
                     .with_instances(instances)
                     .with_sample_interval(None),
             )?;
-            Ok((report.mean_total_read_time(), report.mean_total_write_time()))
+            Ok((
+                report.mean_total_read_time(),
+                report.mean_total_write_time(),
+            ))
         };
         let (real_read, real_write) = run(SimulatorKind::KernelEmu)?;
         let (cacheless_read, cacheless_write) = run(SimulatorKind::Cacheless)?;

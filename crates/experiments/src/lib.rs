@@ -34,5 +34,9 @@ pub mod table;
 pub use exp1::{run_exp1, run_exp1_for_size, Exp1SizeResult, PhaseTiming};
 pub use exp4::{run_exp4, Exp4Result, NighresPhase};
 pub use exp_concurrent::{run_exp2, run_exp3, ConcurrencyPoint, ConcurrencySweep};
-pub use platform::{concurrency_sweep, exp1_file_sizes, paper_platform, scaled_platform, EXP2_FILE_SIZE};
-pub use simtime::{linear_fit, run_simulation_time_measurement, LinearFit, SimTimePoint, SimTimeResult};
+pub use platform::{
+    concurrency_sweep, exp1_file_sizes, paper_platform, scaled_platform, EXP2_FILE_SIZE,
+};
+pub use simtime::{
+    linear_fit, run_simulation_time_measurement, LinearFit, SimTimePoint, SimTimeResult,
+};

@@ -82,11 +82,7 @@ pub fn paper_platform() -> PlatformSpec {
         network_bandwidth: measured::NETWORK * MB,
         network_latency: 0.0,
     };
-    let mut platform = PlatformSpec::uniform(
-        NODE_MEMORY,
-        simulated_set.memory,
-        simulated_set.disk,
-    );
+    let mut platform = PlatformSpec::uniform(NODE_MEMORY, simulated_set.memory, simulated_set.disk);
     platform.simulated = simulated_set;
     platform.real = real_set;
     platform.server_memory = NODE_MEMORY;

@@ -28,10 +28,7 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
     let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
     let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
     assert!(sxx > 0.0, "x values must not all be equal");
-    let sxy: f64 = points
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
@@ -39,7 +36,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
-    let r_squared = if ss_tot <= 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot <= 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     LinearFit {
         slope,
         intercept,
@@ -154,8 +155,7 @@ mod tests {
     #[test]
     fn simulation_time_measurement_runs_and_fits() {
         let platform = scaled_platform(8.0 * GB);
-        let result =
-            run_simulation_time_measurement(&platform, 200.0 * MB, &[1, 2, 4]).unwrap();
+        let result = run_simulation_time_measurement(&platform, 200.0 * MB, &[1, 2, 4]).unwrap();
         assert_eq!(result.points.len(), 3);
         for p in &result.points {
             assert!(p.cacheless_local >= 0.0);

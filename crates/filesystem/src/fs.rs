@@ -95,15 +95,29 @@ mod tests {
 
     fn cached(sim: &Simulation) -> FileSystem {
         let ctx = sim.context();
-        let memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(1000.0 * MB, 0.0, f64::INFINITY));
-        let disk = Disk::new(&ctx, "d", DeviceSpec::symmetric(100.0 * MB, 0.0, f64::INFINITY));
-        let mm = MemoryManager::new(&ctx, PageCacheConfig::with_memory(4000.0 * MB), memory, disk.clone());
+        let memory =
+            MemoryDevice::new(&ctx, DeviceSpec::symmetric(1000.0 * MB, 0.0, f64::INFINITY));
+        let disk = Disk::new(
+            &ctx,
+            "d",
+            DeviceSpec::symmetric(100.0 * MB, 0.0, f64::INFINITY),
+        );
+        let mm = MemoryManager::new(
+            &ctx,
+            PageCacheConfig::with_memory(4000.0 * MB),
+            memory,
+            disk.clone(),
+        );
         FileSystem::Cached(CachedFileSystem::new(IoController::new(&ctx, mm), disk))
     }
 
     fn direct(sim: &Simulation) -> FileSystem {
         let ctx = sim.context();
-        let disk = Disk::new(&ctx, "d", DeviceSpec::symmetric(100.0 * MB, 0.0, f64::INFINITY));
+        let disk = Disk::new(
+            &ctx,
+            "d",
+            DeviceSpec::symmetric(100.0 * MB, 0.0, f64::INFINITY),
+        );
         FileSystem::Direct(DirectFileSystem::new(&ctx, disk))
     }
 

@@ -162,13 +162,20 @@ mod tests {
     const DISK_BW: f64 = 100.0 * 1e6;
 
     fn approx(a: f64, b: f64) {
-        assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "expected {b}, got {a}");
+        assert!(
+            (a - b).abs() < 1e-6 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
     }
 
     fn cached_fs(sim: &Simulation, memory_mb: f64, disk_capacity: f64) -> CachedFileSystem {
         let ctx = sim.context();
         let memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(MEM_BW, 0.0, f64::INFINITY));
-        let disk = Disk::new(&ctx, "disk0", DeviceSpec::symmetric(DISK_BW, 0.0, disk_capacity));
+        let disk = Disk::new(
+            &ctx,
+            "disk0",
+            DeviceSpec::symmetric(DISK_BW, 0.0, disk_capacity),
+        );
         let mm = MemoryManager::new(
             &ctx,
             PageCacheConfig::with_memory(memory_mb * MB),
@@ -211,7 +218,10 @@ mod tests {
             async move { fs.read_file(&"nope".into()).await }
         });
         sim.run();
-        assert!(matches!(h.try_take_result().unwrap(), Err(FsError::FileNotFound(_))));
+        assert!(matches!(
+            h.try_take_result().unwrap(),
+            Err(FsError::FileNotFound(_))
+        ));
 
         fs.create_file(&"f".into(), 100.0 * MB).unwrap();
         fs.memory_manager().add_to_cache(&"f".into(), 100.0 * MB);
@@ -253,7 +263,11 @@ mod tests {
     fn direct_fs_reads_and_writes_at_disk_bandwidth() {
         let sim = Simulation::new();
         let ctx = sim.context();
-        let disk = Disk::new(&ctx, "d0", DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY));
+        let disk = Disk::new(
+            &ctx,
+            "d0",
+            DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY),
+        );
         let fs = DirectFileSystem::new(&ctx, disk);
         fs.create_file(&"input".into(), 500.0 * MB).unwrap();
         let h = sim.spawn({

@@ -241,7 +241,10 @@ mod tests {
     const NET_BW: f64 = 500.0 * 1e6;
 
     fn approx(a: f64, b: f64) {
-        assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "expected {b}, got {a}");
+        assert!(
+            (a - b).abs() < 1e-6 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
     }
 
     fn setup(client_mem_mb: f64, server_mem_mb: f64) -> (Simulation, NfsFileSystem) {
@@ -251,7 +254,11 @@ mod tests {
             MemoryDevice::new(&ctx, DeviceSpec::symmetric(MEM_BW, 0.0, f64::INFINITY));
         // The client never flushes (read cache only); its "disk" is unused but
         // required by the MemoryManager constructor.
-        let client_disk = Disk::new(&ctx, "client-disk", DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY));
+        let client_disk = Disk::new(
+            &ctx,
+            "client-disk",
+            DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY),
+        );
         let client_mm = MemoryManager::new(
             &ctx,
             PageCacheConfig::with_memory(client_mem_mb * MB),
@@ -260,7 +267,11 @@ mod tests {
         );
         let server_memory =
             MemoryDevice::new(&ctx, DeviceSpec::symmetric(MEM_BW, 0.0, f64::INFINITY));
-        let server_disk = Disk::new(&ctx, "server-disk", DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY));
+        let server_disk = Disk::new(
+            &ctx,
+            "server-disk",
+            DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY),
+        );
         let server_mm = MemoryManager::new(
             &ctx,
             PageCacheConfig::with_memory(server_mem_mb * MB).writethrough(),
@@ -287,8 +298,14 @@ mod tests {
         // server disk (5 s) + network (1 s); chunked sequentially.
         approx(stats.duration, 6.0);
         // Both caches now hold the file.
-        approx(fs.client_memory_manager().cached_amount(&"f".into()), 500.0 * MB);
-        approx(fs.server().memory_manager().cached_amount(&"f".into()), 500.0 * MB);
+        approx(
+            fs.client_memory_manager().cached_amount(&"f".into()),
+            500.0 * MB,
+        );
+        approx(
+            fs.server().memory_manager().cached_amount(&"f".into()),
+            500.0 * MB,
+        );
     }
 
     #[test]
@@ -325,7 +342,10 @@ mod tests {
         approx(stats.duration, 3.6);
         // No dirty data anywhere; no client cache for writes.
         approx(fs.server().memory_manager().dirty(), 0.0);
-        approx(fs.server().memory_manager().cached_amount(&"out".into()), 300.0 * MB);
+        approx(
+            fs.server().memory_manager().cached_amount(&"out".into()),
+            300.0 * MB,
+        );
         approx(fs.client_memory_manager().cached_amount(&"out".into()), 0.0);
         approx(fs.server().disk().used(), 300.0 * MB);
     }
@@ -357,7 +377,10 @@ mod tests {
             async move { fs.read_file(&"missing".into()).await }
         });
         sim.run();
-        assert!(matches!(h.try_take_result().unwrap(), Err(FsError::FileNotFound(_))));
+        assert!(matches!(
+            h.try_take_result().unwrap(),
+            Err(FsError::FileNotFound(_))
+        ));
         fs.create_file(&"f".into(), 100.0 * MB).unwrap();
         fs.delete_file(&"f".into()).unwrap();
         approx(fs.server().disk().used(), 0.0);

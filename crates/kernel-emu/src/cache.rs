@@ -104,9 +104,40 @@ pub struct KernelCacheCounters {
 struct State {
     files: BTreeMap<FileId, FilePages>,
     anonymous: f64,
+    /// Incrementally maintained sum of `FilePages::cached` over all files,
+    /// so that [`KernelCache::cached`] (polled on every simulated request) is
+    /// O(1) instead of a scan over the file table.
+    cached_total: f64,
+    /// Incrementally maintained sum of `FilePages::dirty` over all files.
+    dirty_total: f64,
     trace: MemoryTrace,
     counters: KernelCacheCounters,
     stop: bool,
+}
+
+impl State {
+    /// Scan-based oracle for the incremental totals; compiled into debug
+    /// builds only.
+    #[inline]
+    fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let cached: f64 = self.files.values().map(FilePages::cached).sum();
+            let dirty: f64 = self.files.values().map(FilePages::dirty).sum();
+            debug_assert!(
+                (self.cached_total - cached).abs() <= EPS + 1e-9 * cached.abs(),
+                "cached_total {} != scan {}",
+                self.cached_total,
+                cached
+            );
+            debug_assert!(
+                (self.dirty_total - dirty).abs() <= EPS + 1e-9 * dirty.abs(),
+                "dirty_total {} != scan {}",
+                self.dirty_total,
+                dirty
+            );
+        }
+    }
 }
 
 /// The emulated kernel page cache of one host.
@@ -134,6 +165,8 @@ impl KernelCache {
             state: Rc::new(RefCell::new(State {
                 files: BTreeMap::new(),
                 anonymous: 0.0,
+                cached_total: 0.0,
+                dirty_total: 0.0,
                 trace: MemoryTrace::new(),
                 counters: KernelCacheCounters::default(),
                 stop: false,
@@ -156,14 +189,14 @@ impl KernelCache {
         &self.memory
     }
 
-    /// Total cached bytes.
+    /// Total cached bytes. O(1): maintained incrementally by every mutation.
     pub fn cached(&self) -> f64 {
-        self.state.borrow().files.values().map(FilePages::cached).sum()
+        self.state.borrow().cached_total
     }
 
-    /// Total dirty bytes.
+    /// Total dirty bytes. O(1): maintained incrementally by every mutation.
     pub fn dirty(&self) -> f64 {
-        self.state.borrow().files.values().map(FilePages::dirty).sum()
+        self.state.borrow().dirty_total
     }
 
     /// Anonymous application memory.
@@ -232,7 +265,13 @@ impl KernelCache {
     /// Drops all cached pages of a file.
     pub fn invalidate_file(&self, file: &FileId) -> f64 {
         let mut s = self.state.borrow_mut();
-        s.files.remove(file).map(|p| p.cached()).unwrap_or(0.0)
+        let Some(pages) = s.files.remove(file) else {
+            return 0.0;
+        };
+        s.cached_total = (s.cached_total - pages.cached()).max(0.0);
+        s.dirty_total = (s.dirty_total - pages.dirty()).max(0.0);
+        s.debug_validate();
+        pages.cached()
     }
 
     /// Evicts up to `amount` bytes of clean pages, least-recently-used file
@@ -249,7 +288,7 @@ impl KernelCache {
             .filter(|(_, p)| p.clean() > EPS)
             .map(|(k, p)| (k.clone(), p.last_access))
             .collect();
-        order.sort_by(|a, b| a.1.cmp(&b.1));
+        order.sort_by_key(|a| a.1);
         let mut evicted = 0.0;
         // First pass: respect the write-open protection; second pass: ignore
         // it if we are still short (the kernel will reclaim those pages too
@@ -263,7 +302,8 @@ impl KernelCache {
                     continue;
                 }
                 let pages = s.files.get_mut(file).expect("file disappeared");
-                if respect_protection && self.tuning.protect_files_being_written && pages.write_open {
+                if respect_protection && self.tuning.protect_files_being_written && pages.write_open
+                {
                     continue;
                 }
                 evicted += pages.evict_clean(amount - evicted);
@@ -273,6 +313,8 @@ impl KernelCache {
             }
         }
         s.counters.evicted += evicted;
+        s.cached_total = (s.cached_total - evicted).max(0.0);
+        s.debug_validate();
         evicted
     }
 
@@ -290,7 +332,7 @@ impl KernelCache {
                 .filter(|(_, p)| p.dirty() > EPS)
                 .map(|(k, p)| (k.clone(), p.oldest_dirty.unwrap_or(p.last_access)))
                 .collect();
-            order.sort_by(|a, b| a.1.cmp(&b.1));
+            order.sort_by_key(|a| a.1);
             let mut flushed = 0.0;
             for (file, _) in &order {
                 if flushed >= amount - EPS {
@@ -304,6 +346,8 @@ impl KernelCache {
             } else {
                 s.counters.background_writeback += flushed;
             }
+            s.dirty_total = (s.dirty_total - flushed).max(0.0);
+            s.debug_validate();
             flushed
         };
         if flushed > EPS {
@@ -315,6 +359,9 @@ impl KernelCache {
     /// Writes back every dirty page older than the expiration age.
     pub async fn write_back_expired(&self) -> f64 {
         let now = self.ctx.now();
+        if self.dirty() <= EPS {
+            return 0.0;
+        }
         let amount = {
             let s = self.state.borrow();
             s.files
@@ -341,6 +388,8 @@ impl KernelCache {
         let entry = s.files.entry(file.clone()).or_default();
         entry.inactive_clean += bytes;
         entry.last_access = now;
+        s.cached_total += bytes;
+        s.debug_validate();
     }
 
     /// Adds dirty pages of a file that were just written by an application.
@@ -356,6 +405,9 @@ impl KernelCache {
         if entry.oldest_dirty.is_none() {
             entry.oldest_dirty = Some(now);
         }
+        s.cached_total += bytes;
+        s.dirty_total += bytes;
+        s.debug_validate();
     }
 
     /// Records a second access to `bytes` of a file: promotes them from the
@@ -419,7 +471,9 @@ impl KernelCache {
     /// everything above the background dirty threshold.
     pub fn spawn_writeback_threads(&self) -> JoinHandle<()> {
         let cache = self.clone();
-        self.ctx.clone().spawn(async move { cache.run_writeback_loop().await })
+        self.ctx
+            .clone()
+            .spawn(async move { cache.run_writeback_loop().await })
     }
 
     /// Body of the background writeback loop.
@@ -436,7 +490,9 @@ impl KernelCache {
             }
             let elapsed = self.ctx.now().duration_since(start);
             if elapsed < self.tuning.writeback_interval {
-                self.ctx.sleep(self.tuning.writeback_interval - elapsed).await;
+                self.ctx
+                    .sleep(self.tuning.writeback_interval - elapsed)
+                    .await;
             }
         }
     }
@@ -456,14 +512,22 @@ mod tests {
     fn setup(total_mb: f64) -> (Simulation, KernelCache) {
         let sim = Simulation::new();
         let ctx = sim.context();
-        let memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(2764.0 * MB, 0.0, f64::INFINITY));
-        let disk = Disk::new(&ctx, "d", DeviceSpec::asymmetric(510.0 * MB, 420.0 * MB, 0.0, f64::INFINITY));
+        let memory =
+            MemoryDevice::new(&ctx, DeviceSpec::symmetric(2764.0 * MB, 0.0, f64::INFINITY));
+        let disk = Disk::new(
+            &ctx,
+            "d",
+            DeviceSpec::asymmetric(510.0 * MB, 420.0 * MB, 0.0, f64::INFINITY),
+        );
         let cache = KernelCache::new(&ctx, KernelTuning::with_memory(total_mb * MB), memory, disk);
         (sim, cache)
     }
 
     fn approx(a: f64, b: f64) {
-        assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "expected {b}, got {a}");
+        assert!(
+            (a - b).abs() < 1e-6 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
     }
 
     #[test]

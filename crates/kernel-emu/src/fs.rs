@@ -201,7 +201,12 @@ mod tests {
             "ssd",
             DeviceSpec::asymmetric(510.0 * MB, 420.0 * MB, 0.0, f64::INFINITY),
         );
-        let cache = KernelCache::new(&ctx, KernelTuning::with_memory(total_mb * MB), memory, disk.clone());
+        let cache = KernelCache::new(
+            &ctx,
+            KernelTuning::with_memory(total_mb * MB),
+            memory,
+            disk.clone(),
+        );
         let fs = KernelFileSystem::new(&ctx, cache, disk);
         (sim, fs)
     }
@@ -253,8 +258,16 @@ mod tests {
         sim.run();
         let stats = h.try_take_result().unwrap();
         // Most of the data had to be written back synchronously.
-        assert!(stats.bytes_to_disk >= 350.0 * MB, "flushed {}", stats.bytes_to_disk);
-        assert!(stats.duration > 600.0 / 420.0 * 0.5, "duration {}", stats.duration);
+        assert!(
+            stats.bytes_to_disk >= 350.0 * MB,
+            "flushed {}",
+            stats.bytes_to_disk
+        );
+        assert!(
+            stats.duration > 600.0 / 420.0 * 0.5,
+            "duration {}",
+            stats.duration
+        );
         // Dirty data stays under the dirty threshold.
         assert!(fs.cache().dirty() <= fs.cache().dirty_threshold() + 1.0);
     }
@@ -280,7 +293,10 @@ mod tests {
         // 1500 MB dirty > 10 % of 10 GB => the background threads start
         // draining before the 30 s expiration.
         assert!(right_after > 1400.0 * MB);
-        assert!(later <= fs.cache().background_threshold() + 1.0, "later = {later}");
+        assert!(
+            later <= fs.cache().background_threshold() + 1.0,
+            "later = {later}"
+        );
     }
 
     #[test]

@@ -95,6 +95,9 @@ mod tests {
         assert_eq!(KernelTuning::round_to_pages(-5.0), 0.0);
         assert_eq!(KernelTuning::round_to_pages(1.0), PAGE_SIZE);
         assert_eq!(KernelTuning::round_to_pages(PAGE_SIZE), PAGE_SIZE);
-        assert_eq!(KernelTuning::round_to_pages(PAGE_SIZE + 1.0), 2.0 * PAGE_SIZE);
+        assert_eq!(
+            KernelTuning::round_to_pages(PAGE_SIZE + 1.0),
+            2.0 * PAGE_SIZE
+        );
     }
 }

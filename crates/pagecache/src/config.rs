@@ -54,7 +54,10 @@ impl PageCacheConfig {
 
     /// Overrides the dirty ratio.
     pub fn with_dirty_ratio(mut self, ratio: f64) -> Self {
-        assert!((0.0..=1.0).contains(&ratio), "dirty ratio must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "dirty ratio must be in [0, 1]"
+        );
         self.dirty_ratio = ratio;
         self
     }
@@ -77,16 +80,28 @@ impl PageCacheConfig {
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.total_memory > 0.0 && self.total_memory.is_finite()) {
-            return Err(format!("total memory must be positive, got {}", self.total_memory));
+            return Err(format!(
+                "total memory must be positive, got {}",
+                self.total_memory
+            ));
         }
         if !(0.0..=1.0).contains(&self.dirty_ratio) {
-            return Err(format!("dirty ratio must be in [0, 1], got {}", self.dirty_ratio));
+            return Err(format!(
+                "dirty ratio must be in [0, 1], got {}",
+                self.dirty_ratio
+            ));
         }
         if self.dirty_expire < 0.0 {
-            return Err(format!("dirty expire must be >= 0, got {}", self.dirty_expire));
+            return Err(format!(
+                "dirty expire must be >= 0, got {}",
+                self.dirty_expire
+            ));
         }
         if self.flush_interval <= 0.0 {
-            return Err(format!("flush interval must be > 0, got {}", self.flush_interval));
+            return Err(format!(
+                "flush interval must be > 0, got {}",
+                self.flush_interval
+            ));
         }
         Ok(())
     }

@@ -179,7 +179,8 @@ impl IoController {
                 // the remainder so the simulation cannot livelock; the real
                 // kernel would block the writer in balance_dirty_pages.
                 self.mm.disk().write(remaining).await;
-                self.mm.add_to_cache(file, self.mm.free_memory().min(remaining));
+                self.mm
+                    .add_to_cache(file, self.mm.free_memory().min(remaining));
                 stats.bytes_to_disk += remaining;
                 remaining = 0.0;
             }
@@ -222,7 +223,11 @@ mod tests {
         let sim = Simulation::new();
         let ctx = sim.context();
         let memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(MEM_BW, 0.0, f64::INFINITY));
-        let disk = Disk::new(&ctx, "disk0", DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY));
+        let disk = Disk::new(
+            &ctx,
+            "disk0",
+            DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY),
+        );
         let mut cfg = PageCacheConfig::with_memory(total_memory);
         cfg.write_mode = mode;
         let mm = MemoryManager::new(&ctx, cfg, memory, disk);
@@ -238,7 +243,10 @@ mod tests {
     }
 
     fn approx_tol(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * b.abs().max(1.0), "expected {b}±{tol}, got {a}");
+        assert!(
+            (a - b).abs() <= tol * b.abs().max(1.0),
+            "expected {b}±{tol}, got {a}"
+        );
     }
 
     #[test]
@@ -253,7 +261,7 @@ mod tests {
         approx(stats.bytes_from_disk, 1000.0 * MB);
         approx(stats.bytes_from_cache, 0.0);
         approx(stats.duration, 10.0); // 1000 MB at 100 MB/s
-        // The file is now fully cached and one anonymous copy is accounted.
+                                      // The file is now fully cached and one anonymous copy is accounted.
         approx(io.memory_manager().cached_amount(&"f".into()), 1000.0 * MB);
         approx(io.memory_manager().anonymous(), 1000.0 * MB);
     }
@@ -321,7 +329,11 @@ mod tests {
         let stats = h.try_take_result().unwrap();
         approx(stats.bytes_to_cache, 600.0 * MB);
         // At least 400 MB had to be flushed to disk synchronously.
-        assert!(stats.bytes_to_disk >= 399.0 * MB, "flushed {}", stats.bytes_to_disk);
+        assert!(
+            stats.bytes_to_disk >= 399.0 * MB,
+            "flushed {}",
+            stats.bytes_to_disk
+        );
         // Duration is dominated by the flush at disk bandwidth: ~4s plus
         // 0.6s of memory writes.
         assert!(stats.duration > 4.0, "duration {}", stats.duration);
@@ -398,7 +410,11 @@ mod tests {
         sim.run();
         let stats = h.try_take_result().unwrap();
         // Everything read, one way or the other.
-        approx_tol(stats.bytes_from_disk + stats.bytes_from_cache, 3000.0 * MB, 0.01);
+        approx_tol(
+            stats.bytes_from_disk + stats.bytes_from_cache,
+            3000.0 * MB,
+            0.01,
+        );
         io.memory_manager().check_invariants().unwrap();
     }
 

@@ -6,10 +6,42 @@
 //! data is always at the front. The active list is kept at most twice the
 //! size of the inactive list by demoting its least recently used blocks.
 //!
+//! # Complexity
+//!
+//! The lists are [`VecDeque`]s ordered by `last_access`, and every byte
+//! aggregate the I/O controller polls on its hot path is maintained
+//! *incrementally* instead of being recomputed by scanning:
+//!
+//! * [`LruLists::total_cached`], [`LruLists::total_dirty`],
+//!   [`LruLists::inactive_bytes`], [`LruLists::active_bytes`] and
+//!   [`LruLists::evictable`] are **O(1)** reads of per-list counters;
+//! * [`LruLists::cached_amount`] and [`LruLists::dirty_amount`] are **O(1)**
+//!   expected-time lookups in a per-file [`HashMap`];
+//! * [`LruLists::cached_per_file`] is **O(F log F)** in the number of files
+//!   with cached data, independent of the number of blocks;
+//! * insertion keeps the common append/pop-front pattern **O(1)**: a block
+//!   accessed "now" goes to the back in constant time, and out-of-order
+//!   inserts (demotions) use a binary search plus an O(min(i, n−i)) shift;
+//! * [`LruLists::balance`] decides each demotion in **O(1)** (plus the
+//!   insertion shift for the demoted block) instead of
+//!   re-summing both lists per demotion.
+//!
+//! # Invariants maintained by the incremental counters
+//!
+//! For each list, `agg.bytes` / `agg.dirty` equal the sum of sizes / dirty
+//! sizes of its blocks; for each file, `FileBytes { cached, dirty,
+//! inactive_bytes, inactive_clean, blocks }` equal the same sums restricted to
+//! that file (and `blocks` its exact block count, used to drop empty entries).
+//! Every mutation — insert, remove, in-place flush, in-place shrink, split,
+//! demotion — updates the counters by the exact delta. In debug builds every
+//! public mutator re-derives all counters from a full scan (`recompute_*`
+//! oracles) and `debug_assert!`s agreement, so the O(1) readers can never
+//! silently drift from the scan-based truth.
+//!
 //! All byte amounts are `f64`; a small epsilon absorbs floating-point dust
 //! when blocks are split by partial reads, flushes and evictions.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use des::SimTime;
 
@@ -27,11 +59,55 @@ pub enum ListKind {
     Active,
 }
 
+/// Incrementally maintained byte totals of one list.
+#[derive(Debug, Default, Clone, Copy)]
+struct ListAgg {
+    /// Sum of the sizes of all blocks on the list.
+    bytes: f64,
+    /// Sum of the sizes of the dirty blocks on the list.
+    dirty: f64,
+}
+
+impl ListAgg {
+    fn add(&mut self, size: f64, dirty: bool) {
+        self.bytes += size;
+        if dirty {
+            self.dirty += size;
+        }
+    }
+
+    fn sub(&mut self, size: f64, dirty: bool) {
+        self.bytes = (self.bytes - size).max(0.0);
+        if dirty {
+            self.dirty = (self.dirty - size).max(0.0);
+        }
+    }
+}
+
+/// Incrementally maintained byte totals of one file.
+#[derive(Debug, Default, Clone, Copy)]
+struct FileBytes {
+    /// Cached bytes of the file (both lists, clean + dirty).
+    cached: f64,
+    /// Dirty bytes of the file (both lists).
+    dirty: f64,
+    /// Bytes of the file on the inactive list (clean + dirty).
+    inactive_bytes: f64,
+    /// Clean bytes of the file on the inactive list (its evictable share).
+    inactive_clean: f64,
+    /// Exact number of blocks of the file across both lists. Used to decide
+    /// when the entry can be dropped without relying on float comparisons.
+    blocks: usize,
+}
+
 /// The pair of LRU lists holding all cached data blocks of one host.
 #[derive(Debug, Default, Clone)]
 pub struct LruLists {
-    inactive: Vec<DataBlock>,
-    active: Vec<DataBlock>,
+    inactive: VecDeque<DataBlock>,
+    active: VecDeque<DataBlock>,
+    inactive_agg: ListAgg,
+    active_agg: ListAgg,
+    per_file: HashMap<FileId, FileBytes>,
 }
 
 impl LruLists {
@@ -50,59 +126,66 @@ impl LruLists {
         self.inactive.is_empty() && self.active.is_empty()
     }
 
-    /// Total cached bytes (clean + dirty, both lists).
+    /// Total cached bytes (clean + dirty, both lists). O(1).
     pub fn total_cached(&self) -> f64 {
-        self.iter_all().map(|b| b.size).sum()
+        self.inactive_agg.bytes + self.active_agg.bytes
     }
 
-    /// Total dirty bytes (both lists).
+    /// Total dirty bytes (both lists). O(1).
     pub fn total_dirty(&self) -> f64 {
-        self.iter_all().filter(|b| b.dirty).map(|b| b.size).sum()
+        self.inactive_agg.dirty + self.active_agg.dirty
     }
 
-    /// Bytes of the inactive list.
+    /// Bytes of the inactive list. O(1).
     pub fn inactive_bytes(&self) -> f64 {
-        self.inactive.iter().map(|b| b.size).sum()
+        self.inactive_agg.bytes
     }
 
-    /// Bytes of the active list.
+    /// Bytes of the active list. O(1).
     pub fn active_bytes(&self) -> f64 {
-        self.active.iter().map(|b| b.size).sum()
+        self.active_agg.bytes
     }
 
-    /// Cached bytes belonging to `file`.
+    /// Cached bytes belonging to `file`. O(1) expected.
     pub fn cached_amount(&self, file: &FileId) -> f64 {
-        self.iter_all()
-            .filter(|b| &b.file == file)
-            .map(|b| b.size)
-            .sum()
+        self.per_file.get(file).map_or(0.0, |f| f.cached)
     }
 
-    /// Dirty bytes belonging to `file`.
+    /// Dirty bytes belonging to `file`. O(1) expected.
     pub fn dirty_amount(&self, file: &FileId) -> f64 {
-        self.iter_all()
-            .filter(|b| b.dirty && &b.file == file)
-            .map(|b| b.size)
-            .sum()
+        self.per_file.get(file).map_or(0.0, |f| f.dirty)
     }
 
-    /// Cached bytes per file (used to reproduce Fig. 4c).
+    /// Cached bytes per file (used to reproduce Fig. 4c). O(F log F) in the
+    /// number of files, independent of the number of blocks; the returned keys
+    /// share the interned file names (cloning a [`FileId`] is a refcount
+    /// bump, not a string copy).
     pub fn cached_per_file(&self) -> BTreeMap<FileId, f64> {
-        let mut map = BTreeMap::new();
-        for b in self.iter_all() {
-            *map.entry(b.file.clone()).or_insert(0.0) += b.size;
-        }
-        map
+        self.per_file
+            .iter()
+            .filter(|(_, f)| f.cached > EPSILON)
+            .map(|(k, f)| (k.clone(), f.cached))
+            .collect()
+    }
+
+    /// Iterates over the per-file cached amounts without cloning any key.
+    /// Iteration order is unspecified; use [`LruLists::cached_per_file`] for a
+    /// sorted snapshot.
+    pub fn per_file_cached(&self) -> impl Iterator<Item = (&FileId, f64)> {
+        self.per_file
+            .iter()
+            .filter(|(_, f)| f.cached > EPSILON)
+            .map(|(k, f)| (k, f.cached))
     }
 
     /// Clean bytes on the inactive list that [`LruLists::evict`] could remove,
-    /// optionally excluding one file.
+    /// optionally excluding one file. O(1).
     pub fn evictable(&self, exclude: Option<&FileId>) -> f64 {
-        self.inactive
-            .iter()
-            .filter(|b| !b.dirty && exclude.map_or(true, |f| &b.file != f))
-            .map(|b| b.size)
-            .sum()
+        let total = (self.inactive_agg.bytes - self.inactive_agg.dirty).max(0.0);
+        let excluded = exclude
+            .and_then(|f| self.per_file.get(f))
+            .map_or(0.0, |f| f.inactive_clean);
+        (total - excluded).max(0.0)
     }
 
     /// Iterates over all blocks, inactive list first, LRU first.
@@ -111,24 +194,122 @@ impl LruLists {
     }
 
     /// Blocks of the inactive list, LRU first.
-    pub fn inactive_blocks(&self) -> &[DataBlock] {
+    pub fn inactive_blocks(&self) -> &VecDeque<DataBlock> {
         &self.inactive
     }
 
     /// Blocks of the active list, LRU first.
-    pub fn active_blocks(&self) -> &[DataBlock] {
+    pub fn active_blocks(&self) -> &VecDeque<DataBlock> {
         &self.active
     }
 
-    fn insert_sorted(list: &mut Vec<DataBlock>, block: DataBlock) {
-        // Blocks are almost always inserted at (or near) the end: scan from the
-        // back for the first element not later than the new block.
-        let pos = list
-            .iter()
-            .rposition(|b| b.last_access <= block.last_access)
-            .map(|p| p + 1)
-            .unwrap_or(0);
-        list.insert(pos, block);
+    /// Records a block joining `kind` in the aggregates. Call before (or
+    /// after) physically inserting the block; the counters only need its
+    /// metadata.
+    fn agg_insert(&mut self, kind: ListKind, block: &DataBlock) {
+        let agg = match kind {
+            ListKind::Inactive => &mut self.inactive_agg,
+            ListKind::Active => &mut self.active_agg,
+        };
+        agg.add(block.size, block.dirty);
+        let f = self.per_file.entry(block.file.clone()).or_default();
+        f.cached += block.size;
+        f.blocks += 1;
+        if block.dirty {
+            f.dirty += block.size;
+        }
+        if kind == ListKind::Inactive {
+            f.inactive_bytes += block.size;
+            if !block.dirty {
+                f.inactive_clean += block.size;
+            }
+        }
+    }
+
+    /// Records a block leaving `kind` in the aggregates.
+    fn agg_remove(&mut self, kind: ListKind, block: &DataBlock) {
+        let agg = match kind {
+            ListKind::Inactive => &mut self.inactive_agg,
+            ListKind::Active => &mut self.active_agg,
+        };
+        agg.sub(block.size, block.dirty);
+        if let Some(f) = self.per_file.get_mut(&block.file) {
+            f.cached = (f.cached - block.size).max(0.0);
+            f.blocks = f.blocks.saturating_sub(1);
+            if block.dirty {
+                f.dirty = (f.dirty - block.size).max(0.0);
+            }
+            if kind == ListKind::Inactive {
+                f.inactive_bytes = (f.inactive_bytes - block.size).max(0.0);
+                if !block.dirty {
+                    f.inactive_clean = (f.inactive_clean - block.size).max(0.0);
+                }
+            }
+            if f.blocks == 0 {
+                self.per_file.remove(&block.file);
+            }
+        }
+    }
+
+    /// Records `amount` bytes of a dirty block on `kind` turning clean in
+    /// place (a flush). Sizes do not change, only dirtiness.
+    fn agg_clean_in_place(&mut self, kind: ListKind, file: &FileId, amount: f64) {
+        let agg = match kind {
+            ListKind::Inactive => &mut self.inactive_agg,
+            ListKind::Active => &mut self.active_agg,
+        };
+        agg.dirty = (agg.dirty - amount).max(0.0);
+        if let Some(f) = self.per_file.get_mut(file) {
+            f.dirty = (f.dirty - amount).max(0.0);
+            if kind == ListKind::Inactive {
+                f.inactive_clean += amount;
+            }
+        }
+    }
+
+    /// Records a block on `kind` shrinking by `amount` bytes in place with
+    /// unchanged block count (a partial eviction or a partial take; the split
+    /// head is accounted separately when it is re-inserted).
+    fn agg_shrink(&mut self, kind: ListKind, file: &FileId, amount: f64, dirty: bool) {
+        let agg = match kind {
+            ListKind::Inactive => &mut self.inactive_agg,
+            ListKind::Active => &mut self.active_agg,
+        };
+        agg.sub(amount, dirty);
+        if let Some(f) = self.per_file.get_mut(file) {
+            f.cached = (f.cached - amount).max(0.0);
+            if dirty {
+                f.dirty = (f.dirty - amount).max(0.0);
+            }
+            if kind == ListKind::Inactive {
+                f.inactive_bytes = (f.inactive_bytes - amount).max(0.0);
+                if !dirty {
+                    f.inactive_clean = (f.inactive_clean - amount).max(0.0);
+                }
+            }
+        }
+    }
+
+    /// Records one extra block of `file` appearing without any byte change
+    /// (a block split whose both halves stay in the lists).
+    fn agg_note_split(&mut self, file: &FileId) {
+        if let Some(f) = self.per_file.get_mut(file) {
+            f.blocks += 1;
+        }
+    }
+
+    /// Inserts `block` keeping `list` sorted by last access. Appends in O(1)
+    /// when the block is the most recently accessed (the common case);
+    /// otherwise binary-searches for the insertion point.
+    fn insert_sorted(list: &mut VecDeque<DataBlock>, block: DataBlock) {
+        match list.back() {
+            None => list.push_back(block),
+            Some(b) if b.last_access <= block.last_access => list.push_back(block),
+            _ => {
+                let pos = list.partition_point(|b| b.last_access <= block.last_access);
+                list.insert(pos, block);
+            }
+        }
     }
 
     /// Adds a clean block (data just read from disk) to the inactive list.
@@ -136,8 +317,11 @@ impl LruLists {
         if size <= EPSILON {
             return;
         }
-        Self::insert_sorted(&mut self.inactive, DataBlock::clean(file, size, now));
+        let block = DataBlock::clean(file, size, now);
+        self.agg_insert(ListKind::Inactive, &block);
+        Self::insert_sorted(&mut self.inactive, block);
         self.balance();
+        self.debug_validate();
     }
 
     /// Adds a dirty block (data just written by the application) to the
@@ -146,8 +330,11 @@ impl LruLists {
         if size <= EPSILON {
             return;
         }
-        Self::insert_sorted(&mut self.inactive, DataBlock::dirty(file, size, now));
+        let block = DataBlock::dirty(file, size, now);
+        self.agg_insert(ListKind::Inactive, &block);
+        Self::insert_sorted(&mut self.inactive, block);
         self.balance();
+        self.debug_validate();
     }
 
     /// Simulates a read of `amount` cached bytes of `file` (paper §III-A-2):
@@ -157,7 +344,7 @@ impl LruLists {
     /// list individually, preserving their entry time. Returns the number of
     /// bytes that were actually cached (which may be less than `amount`).
     pub fn read_cached(&mut self, file: &FileId, amount: f64, now: SimTime) -> f64 {
-        if amount <= EPSILON {
+        if amount <= EPSILON || self.cached_amount(file) <= EPSILON {
             return 0.0;
         }
         let taken = self.take_for_read(file, amount);
@@ -166,23 +353,25 @@ impl LruLists {
         for blk in taken {
             read_total += blk.size;
             if blk.dirty {
-                Self::insert_sorted(
-                    &mut self.active,
-                    DataBlock {
-                        file: blk.file,
-                        size: blk.size,
-                        entry_time: blk.entry_time,
-                        last_access: now,
-                        dirty: true,
-                    },
-                );
+                let promoted = DataBlock {
+                    file: blk.file,
+                    size: blk.size,
+                    entry_time: blk.entry_time,
+                    last_access: now,
+                    dirty: true,
+                };
+                self.agg_insert(ListKind::Active, &promoted);
+                Self::insert_sorted(&mut self.active, promoted);
             } else {
                 clean_total += blk.size;
             }
         }
         if clean_total > EPSILON {
-            Self::insert_sorted(&mut self.active, DataBlock::clean(file.clone(), clean_total, now));
+            let merged = DataBlock::clean(file.clone(), clean_total, now);
+            self.agg_insert(ListKind::Active, &merged);
+            Self::insert_sorted(&mut self.active, merged);
         }
+        self.debug_validate();
         read_total
     }
 
@@ -191,17 +380,45 @@ impl LruLists {
     fn take_for_read(&mut self, file: &FileId, amount: f64) -> Vec<DataBlock> {
         let mut taken = Vec::new();
         let mut remaining = amount;
-        for list in [&mut self.inactive, &mut self.active] {
+        for kind in [ListKind::Inactive, ListKind::Active] {
+            // Skip (or stop scanning) a list once the file has no bytes left
+            // on it; without this, a read of a small file would still walk
+            // every block of the other files.
+            let on_list = self.per_file.get(file).map_or(0.0, |f| match kind {
+                ListKind::Inactive => f.inactive_bytes,
+                ListKind::Active => f.cached - f.inactive_bytes,
+            });
+            if on_list <= EPSILON {
+                continue;
+            }
+            let mut from_list = 0.0;
+            let list_len = match kind {
+                ListKind::Inactive => self.inactive.len(),
+                ListKind::Active => self.active.len(),
+            };
             let mut i = 0;
-            while i < list.len() && remaining > EPSILON {
+            while i < list_len && remaining > EPSILON && from_list < on_list - EPSILON {
+                let list = match kind {
+                    ListKind::Inactive => &mut self.inactive,
+                    ListKind::Active => &mut self.active,
+                };
+                if i >= list.len() {
+                    break;
+                }
                 if &list[i].file == file {
                     if list[i].size <= remaining + EPSILON {
-                        let blk = list.remove(i);
+                        let blk = list.remove(i).expect("index checked above");
                         remaining -= blk.size;
+                        from_list += blk.size;
+                        self.agg_remove(kind, &blk);
                         taken.push(blk);
                         continue;
                     } else {
                         let head = list[i].split_off(remaining);
+                        // The head leaves the list (it is re-accounted when
+                        // the promotion re-inserts it); the remainder keeps
+                        // the block count.
+                        self.agg_shrink(kind, file, head.size, head.dirty);
                         taken.push(head);
                         remaining = 0.0;
                         break;
@@ -223,36 +440,62 @@ impl LruLists {
     /// "when called with negative arguments, `flush` and `evict` simply
     /// return").
     pub fn flush_lru(&mut self, amount: f64, exclude: Option<&FileId>) -> f64 {
-        if amount <= EPSILON {
+        if amount <= EPSILON || self.total_dirty() <= EPSILON {
             return 0.0;
         }
         let mut flushed = 0.0;
-        for list in [&mut self.inactive, &mut self.active] {
+        for kind in [ListKind::Inactive, ListKind::Active] {
+            let list_dirty = match kind {
+                ListKind::Inactive => self.inactive_agg.dirty,
+                ListKind::Active => self.active_agg.dirty,
+            };
+            if list_dirty <= EPSILON {
+                continue;
+            }
             let mut i = 0;
-            while i < list.len() {
+            loop {
+                let list = match kind {
+                    ListKind::Inactive => &mut self.inactive,
+                    ListKind::Active => &mut self.active,
+                };
+                if i >= list.len() {
+                    break;
+                }
                 if flushed >= amount - EPSILON {
+                    self.debug_validate();
                     return flushed;
                 }
-                let is_candidate =
-                    list[i].dirty && exclude.map_or(true, |f| &list[i].file != f);
+                let is_candidate = list[i].dirty && exclude.is_none_or(|f| &list[i].file != f);
                 if is_candidate {
                     let need = amount - flushed;
                     if list[i].size <= need + EPSILON {
                         list[i].dirty = false;
-                        flushed += list[i].size;
+                        let size = list[i].size;
+                        let file = list[i].file.clone();
+                        flushed += size;
+                        self.agg_clean_in_place(kind, &file, size);
                     } else {
                         let mut head = list[i].split_off(need);
                         head.dirty = false;
                         flushed += head.size;
+                        let file = head.file.clone();
+                        let size = head.size;
                         // Same last-access time as the remainder: insert right
-                        // before it to keep the list ordered.
+                        // before it to keep the list ordered. Splitting a
+                        // dirty block into a clean head plus a dirty remainder
+                        // leaves total bytes unchanged: only the dirty share
+                        // and the block count move.
                         list.insert(i, head);
+                        self.agg_clean_in_place(kind, &file, size);
+                        self.agg_note_split(&file);
+                        self.debug_validate();
                         return flushed;
                     }
                 }
                 i += 1;
             }
         }
+        self.debug_validate();
         flushed
     }
 
@@ -268,25 +511,34 @@ impl LruLists {
         // the active list; re-balance before reclaiming so long-idle active
         // data becomes evictable.
         self.balance();
+        let available = self.evictable(exclude);
+        if available <= EPSILON {
+            return 0.0;
+        }
+        let target = amount.min(available);
         let mut evicted = 0.0;
         let mut i = 0;
-        while i < self.inactive.len() && evicted < amount - EPSILON {
+        while i < self.inactive.len() && evicted < target - EPSILON {
             let is_candidate =
-                !self.inactive[i].dirty && exclude.map_or(true, |f| &self.inactive[i].file != f);
+                !self.inactive[i].dirty && exclude.is_none_or(|f| &self.inactive[i].file != f);
             if is_candidate {
                 let need = amount - evicted;
                 if self.inactive[i].size <= need + EPSILON {
-                    evicted += self.inactive[i].size;
-                    self.inactive.remove(i);
+                    let blk = self.inactive.remove(i).expect("index checked above");
+                    evicted += blk.size;
+                    self.agg_remove(ListKind::Inactive, &blk);
                     continue;
                 } else {
                     self.inactive[i].size -= need;
+                    let file = self.inactive[i].file.clone();
+                    self.agg_shrink(ListKind::Inactive, &file, need, false);
                     evicted += need;
                     break;
                 }
             }
             i += 1;
         }
+        self.debug_validate();
         evicted
     }
 
@@ -294,42 +546,69 @@ impl LruLists {
     /// returns the total number of bytes to be written back (paper
     /// Algorithm 1, the periodical flusher).
     pub fn flush_expired(&mut self, now: SimTime, expire: f64) -> f64 {
+        if self.total_dirty() <= EPSILON {
+            return 0.0;
+        }
         let mut flushed = 0.0;
-        for list in [&mut self.inactive, &mut self.active] {
+        for kind in [ListKind::Inactive, ListKind::Active] {
+            let mut cleaned: Vec<(FileId, f64)> = Vec::new();
+            let list = match kind {
+                ListKind::Inactive => &mut self.inactive,
+                ListKind::Active => &mut self.active,
+            };
             for blk in list.iter_mut() {
                 if blk.is_expired(now, expire) {
                     blk.dirty = false;
                     flushed += blk.size;
+                    cleaned.push((blk.file.clone(), blk.size));
                 }
             }
+            for (file, size) in cleaned {
+                self.agg_clean_in_place(kind, &file, size);
+            }
         }
+        self.debug_validate();
         flushed
     }
 
     /// Removes every block belonging to `file` (used when a simulated file is
     /// deleted). Returns the number of bytes removed.
     pub fn invalidate_file(&mut self, file: &FileId) -> f64 {
+        if self.per_file.remove(file).is_none() {
+            return 0.0;
+        }
         let mut removed = 0.0;
-        for list in [&mut self.inactive, &mut self.active] {
+        for (list, agg) in [
+            (&mut self.inactive, &mut self.inactive_agg),
+            (&mut self.active, &mut self.active_agg),
+        ] {
             list.retain(|b| {
                 if &b.file == file {
                     removed += b.size;
+                    agg.sub(b.size, b.dirty);
                     false
                 } else {
                     true
                 }
             });
         }
+        self.debug_validate();
         removed
     }
 
     /// Re-balances the lists so the active list holds at most twice the bytes
     /// of the inactive list, by demoting least recently used active blocks
     /// (paper §III-A-1, after Gorman's description of the kernel behaviour).
+    /// The demotion decision is O(1) — the byte totals are incremental, so no
+    /// list is re-summed per demoted block — and re-inserting the demoted
+    /// block costs a binary search plus an O(min(i, n−i)) element shift.
     pub fn balance(&mut self) {
-        while !self.active.is_empty() && self.active_bytes() > 2.0 * self.inactive_bytes() + EPSILON
+        while !self.active.is_empty()
+            && self.active_agg.bytes > 2.0 * self.inactive_agg.bytes + EPSILON
         {
-            let demoted = self.active.remove(0);
+            let demoted = self.active.pop_front().expect("checked non-empty");
+            self.agg_remove(ListKind::Active, &demoted);
+            self.agg_insert(ListKind::Inactive, &demoted);
             Self::insert_sorted(&mut self.inactive, demoted);
         }
     }
@@ -342,16 +621,144 @@ impl LruLists {
     /// list (up to one block of slack, since balancing moves whole blocks).
     pub fn check_invariants(&self) -> Result<(), String> {
         for (name, list) in [("inactive", &self.inactive), ("active", &self.active)] {
-            for w in list.windows(2) {
-                if w[0].last_access > w[1].last_access {
+            for (a, b) in list.iter().zip(list.iter().skip(1)) {
+                if a.last_access > b.last_access {
                     return Err(format!("{name} list is not sorted by last access"));
                 }
             }
             if let Some(b) = list.iter().find(|b| b.size <= 0.0) {
-                return Err(format!("{name} list contains a non-positive block ({})", b.size));
+                return Err(format!(
+                    "{name} list contains a non-positive block ({})",
+                    b.size
+                ));
+            }
+        }
+        self.check_aggregates()?;
+        Ok(())
+    }
+
+    /// Verifies every incremental aggregate against a full-scan recomputation
+    /// (the oracles the O(1) readers replaced). O(n); used by
+    /// [`LruLists::check_invariants`], the randomized consistency tests and
+    /// the `debug_assert!` validation after every mutation.
+    pub fn check_aggregates(&self) -> Result<(), String> {
+        fn close(a: f64, b: f64) -> bool {
+            (a - b).abs() <= EPSILON + 1e-9 * b.abs()
+        }
+        for (name, agg, recomputed) in [
+            (
+                "inactive",
+                self.inactive_agg,
+                self.recompute_list_agg(ListKind::Inactive),
+            ),
+            (
+                "active",
+                self.active_agg,
+                self.recompute_list_agg(ListKind::Active),
+            ),
+        ] {
+            if !close(agg.bytes, recomputed.bytes) {
+                return Err(format!(
+                    "{name} bytes counter {} != recomputed {}",
+                    agg.bytes, recomputed.bytes
+                ));
+            }
+            if !close(agg.dirty, recomputed.dirty) {
+                return Err(format!(
+                    "{name} dirty counter {} != recomputed {}",
+                    agg.dirty, recomputed.dirty
+                ));
+            }
+        }
+        let scan = self.recompute_per_file();
+        if scan.len() != self.per_file.len() {
+            return Err(format!(
+                "per-file map has {} entries, scan found {}",
+                self.per_file.len(),
+                scan.len()
+            ));
+        }
+        for (file, expected) in &scan {
+            let Some(actual) = self.per_file.get(file) else {
+                return Err(format!("file {file} missing from per-file map"));
+            };
+            if actual.blocks != expected.blocks {
+                return Err(format!(
+                    "file {file}: block counter {} != scan {}",
+                    actual.blocks, expected.blocks
+                ));
+            }
+            for (what, a, b) in [
+                ("cached", actual.cached, expected.cached),
+                ("dirty", actual.dirty, expected.dirty),
+                (
+                    "inactive_bytes",
+                    actual.inactive_bytes,
+                    expected.inactive_bytes,
+                ),
+                (
+                    "inactive_clean",
+                    actual.inactive_clean,
+                    expected.inactive_clean,
+                ),
+            ] {
+                if !close(a, b) {
+                    return Err(format!("file {file}: {what} counter {a} != scan {b}"));
+                }
             }
         }
         Ok(())
+    }
+
+    /// Scan-based oracle for one list's aggregates.
+    fn recompute_list_agg(&self, kind: ListKind) -> ListAgg {
+        let list = match kind {
+            ListKind::Inactive => &self.inactive,
+            ListKind::Active => &self.active,
+        };
+        let mut agg = ListAgg::default();
+        for b in list {
+            agg.add(b.size, b.dirty);
+        }
+        agg
+    }
+
+    /// Scan-based oracle for the per-file aggregates.
+    fn recompute_per_file(&self) -> HashMap<FileId, FileBytes> {
+        let mut map: HashMap<FileId, FileBytes> = HashMap::new();
+        for (kind, list) in [
+            (ListKind::Inactive, &self.inactive),
+            (ListKind::Active, &self.active),
+        ] {
+            for b in list {
+                let f = map.entry(b.file.clone()).or_default();
+                f.cached += b.size;
+                f.blocks += 1;
+                if b.dirty {
+                    f.dirty += b.size;
+                }
+                if kind == ListKind::Inactive {
+                    f.inactive_bytes += b.size;
+                    if !b.dirty {
+                        f.inactive_clean += b.size;
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// Cross-checks the incremental counters against the scan oracles after
+    /// every mutation in debug builds; compiles to nothing in release builds
+    /// so the hot paths stay O(1).
+    #[inline]
+    fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            if let Err(e) = self.check_aggregates() {
+                panic!("incremental aggregates diverged from scan oracle: {e}");
+            }
+        }
     }
 }
 
@@ -431,10 +838,7 @@ mod tests {
             .collect();
         assert_eq!(entries, vec![1.0, 2.0]);
         assert!(lru.active_blocks().iter().all(|b| b.dirty));
-        assert!(lru
-            .active_blocks()
-            .iter()
-            .all(|b| b.last_access == t(5.0)));
+        assert!(lru.active_blocks().iter().all(|b| b.last_access == t(5.0)));
     }
 
     #[test]
@@ -489,9 +893,7 @@ mod tests {
         // The active list now holds the original block plus the newly promoted
         // one; the inactive list may hold demoted blocks from balancing but no
         // block with last_access == 3.0.
-        assert!(lru
-            .iter_all()
-            .all(|b| b.last_access != t(3.0)));
+        assert!(lru.iter_all().all(|b| b.last_access != t(3.0)));
     }
 
     #[test]
@@ -668,6 +1070,9 @@ mod tests {
         approx(*map.get(&"f1".into()).unwrap(), 125.0);
         approx(*map.get(&"f2".into()).unwrap(), 50.0);
         assert_eq!(map.len(), 2);
+        // The zero-clone iterator reports the same totals.
+        let sum: f64 = lru.per_file_cached().map(|(_, v)| v).sum();
+        approx(sum, 175.0);
     }
 
     #[test]

@@ -197,7 +197,10 @@ impl MemoryManager {
             return;
         }
         let now = self.ctx.now();
-        self.state.borrow_mut().lru.add_clean(file.clone(), amount, now);
+        self.state
+            .borrow_mut()
+            .lru
+            .add_clean(file.clone(), amount, now);
     }
 
     /// Evicts up to `amount` bytes of clean data from the inactive list
@@ -251,7 +254,10 @@ impl MemoryManager {
         }
         self.memory.write(amount).await;
         let now = self.ctx.now();
-        self.state.borrow_mut().lru.add_dirty(file.clone(), amount, now);
+        self.state
+            .borrow_mut()
+            .lru
+            .add_dirty(file.clone(), amount, now);
     }
 
     /// Drops every cached block of `file` (file deletion). Returns the number
@@ -314,7 +320,9 @@ impl MemoryManager {
     /// called and the current interval elapses.
     pub fn spawn_periodical_flusher(&self) -> JoinHandle<()> {
         let mm = self.clone();
-        self.ctx.clone().spawn(async move { mm.run_periodical_flusher().await })
+        self.ctx
+            .clone()
+            .spawn(async move { mm.run_periodical_flusher().await })
     }
 
     /// Body of the periodical flusher; exposed for tests that want to drive it
@@ -349,7 +357,7 @@ impl MemoryManager {
 mod tests {
     use super::*;
     use des::Simulation;
-    use storage_model::{DeviceSpec, units::MB};
+    use storage_model::{units::MB, DeviceSpec};
 
     const MEM_BW: f64 = 1000.0 * 1e6;
     const DISK_BW: f64 = 100.0 * 1e6;
@@ -358,7 +366,11 @@ mod tests {
         let sim = Simulation::new();
         let ctx = sim.context();
         let memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(MEM_BW, 0.0, f64::INFINITY));
-        let disk = Disk::new(&ctx, "disk0", DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY));
+        let disk = Disk::new(
+            &ctx,
+            "disk0",
+            DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY),
+        );
         let mm = MemoryManager::new(
             &ctx,
             PageCacheConfig::with_memory(total_memory),
@@ -369,7 +381,10 @@ mod tests {
     }
 
     fn approx(a: f64, b: f64) {
-        assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "expected {b}, got {a}");
+        assert!(
+            (a - b).abs() < 1e-6 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
     }
 
     #[test]
@@ -563,7 +578,11 @@ mod tests {
         let sim = Simulation::new();
         let ctx = sim.context();
         let memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(MEM_BW, 0.0, f64::INFINITY));
-        let disk = Disk::new(&ctx, "d", DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY));
+        let disk = Disk::new(
+            &ctx,
+            "d",
+            DeviceSpec::symmetric(DISK_BW, 0.0, f64::INFINITY),
+        );
         let mut cfg = PageCacheConfig::with_memory(1000.0 * MB);
         cfg.dirty_ratio = 3.0;
         let _ = MemoryManager::new(&ctx, cfg, memory, disk);

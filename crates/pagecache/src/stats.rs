@@ -220,7 +220,7 @@ mod tests {
         assert_eq!(trace.used_at(SimTime::from_secs(0.0)), 0.0);
         // Clamped outside the sampled range.
         assert_eq!(trace.used_at(SimTime::from_secs(100.0)), 100.0);
-        assert!(trace.is_empty() == false);
+        assert!(!trace.is_empty());
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Randomized consistency test for the incremental LRU aggregates.
+//!
+//! `LruLists` answers `total_cached`, `total_dirty`, `inactive_bytes`,
+//! `active_bytes`, `cached_amount`, `dirty_amount`, `cached_per_file` and
+//! `evictable` from incrementally maintained counters. This test applies ~10k
+//! random add/read/flush/evict (plus expiry, balance and invalidation)
+//! operations and, after **every** operation, recomputes each aggregate from
+//! a full scan of the block lists and asserts the incremental answer agrees
+//! within `EPSILON`. The scan here is written against the public block
+//! iterators, independently of the `recompute_*` oracles inside the crate.
+
+use std::collections::BTreeMap;
+
+use des::SimTime;
+use pagecache::{FileId, LruLists, EPSILON};
+
+/// Deterministic xorshift64* PRNG (crates.io is unreachable in this build
+/// environment, so no `rand`).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+fn scan_cached(lru: &LruLists) -> f64 {
+    lru.iter_all().map(|b| b.size).sum()
+}
+
+fn scan_dirty(lru: &LruLists) -> f64 {
+    lru.iter_all().filter(|b| b.dirty).map(|b| b.size).sum()
+}
+
+fn scan_inactive(lru: &LruLists) -> f64 {
+    lru.inactive_blocks().iter().map(|b| b.size).sum()
+}
+
+fn scan_active(lru: &LruLists) -> f64 {
+    lru.active_blocks().iter().map(|b| b.size).sum()
+}
+
+fn scan_cached_amount(lru: &LruLists, file: &FileId) -> f64 {
+    lru.iter_all()
+        .filter(|b| &b.file == file)
+        .map(|b| b.size)
+        .sum()
+}
+
+fn scan_dirty_amount(lru: &LruLists, file: &FileId) -> f64 {
+    lru.iter_all()
+        .filter(|b| b.dirty && &b.file == file)
+        .map(|b| b.size)
+        .sum()
+}
+
+fn scan_evictable(lru: &LruLists, exclude: Option<&FileId>) -> f64 {
+    lru.inactive_blocks()
+        .iter()
+        .filter(|b| !b.dirty && (exclude != Some(&b.file)))
+        .map(|b| b.size)
+        .sum()
+}
+
+fn scan_per_file(lru: &LruLists) -> BTreeMap<FileId, f64> {
+    let mut map = BTreeMap::new();
+    for b in lru.iter_all() {
+        *map.entry(b.file.clone()).or_insert(0.0) += b.size;
+    }
+    map
+}
+
+fn assert_close(what: &str, incremental: f64, scanned: f64, op: usize) {
+    assert!(
+        (incremental - scanned).abs() < EPSILON + 1e-9 * scanned.abs(),
+        "op {op}: {what}: incremental {incremental} != scan {scanned}"
+    );
+}
+
+#[test]
+fn incremental_aggregates_match_full_scan_over_10k_random_ops() {
+    const OPS: usize = 10_000;
+    const FILES: usize = 8;
+    let files: Vec<FileId> = (0..FILES)
+        .map(|i| FileId::new(format!("file_{i}")))
+        .collect();
+    let mut rng = Rng(0xDEC0DE);
+    let mut lru = LruLists::new();
+    let mut clock = 0.0;
+    for op in 0..OPS {
+        clock += rng.f64(0.01, 1.0);
+        let now = SimTime::from_secs(clock);
+        let file = &files[rng.usize(0, FILES)];
+        match rng.usize(0, 10) {
+            0..=2 => lru.add_clean(file.clone(), rng.f64(0.5, 400.0), now),
+            3 | 4 => lru.add_dirty(file.clone(), rng.f64(0.5, 400.0), now),
+            5 | 6 => {
+                lru.read_cached(file, rng.f64(1.0, 900.0), now);
+            }
+            7 => {
+                let exclude = (rng.usize(0, 3) == 0).then_some(file);
+                lru.flush_lru(rng.f64(0.0, 900.0), exclude);
+            }
+            8 => {
+                let exclude = (rng.usize(0, 3) == 0).then_some(file);
+                lru.evict(rng.f64(0.0, 900.0), exclude);
+            }
+            _ => match rng.usize(0, 3) {
+                0 => {
+                    lru.flush_expired(now, 5.0);
+                }
+                1 => lru.balance(),
+                _ => {
+                    lru.invalidate_file(file);
+                }
+            },
+        }
+
+        // Every O(1) aggregate must agree with a full-scan recomputation.
+        assert_close("total_cached", lru.total_cached(), scan_cached(&lru), op);
+        assert_close("total_dirty", lru.total_dirty(), scan_dirty(&lru), op);
+        assert_close(
+            "inactive_bytes",
+            lru.inactive_bytes(),
+            scan_inactive(&lru),
+            op,
+        );
+        assert_close("active_bytes", lru.active_bytes(), scan_active(&lru), op);
+        assert_close(
+            "evictable",
+            lru.evictable(None),
+            scan_evictable(&lru, None),
+            op,
+        );
+        let probe = &files[rng.usize(0, FILES)];
+        assert_close(
+            "cached_amount",
+            lru.cached_amount(probe),
+            scan_cached_amount(&lru, probe),
+            op,
+        );
+        assert_close(
+            "dirty_amount",
+            lru.dirty_amount(probe),
+            scan_dirty_amount(&lru, probe),
+            op,
+        );
+        assert_close(
+            "evictable(exclude)",
+            lru.evictable(Some(probe)),
+            scan_evictable(&lru, Some(probe)),
+            op,
+        );
+
+        // The per-file map matches a scan-built map, file by file.
+        let scanned = scan_per_file(&lru);
+        let reported = lru.cached_per_file();
+        assert_eq!(
+            reported.len(),
+            scanned.len(),
+            "op {op}: per-file map sizes differ"
+        );
+        for (f, cached) in &scanned {
+            let inc = reported.get(f).copied().unwrap_or(0.0);
+            assert_close("cached_per_file entry", inc, *cached, op);
+        }
+
+        // And the crate's own structural + aggregate invariants hold.
+        lru.check_invariants().unwrap();
+    }
+    // The workload actually exercised a non-trivial cache.
+    assert!(lru.block_count() > 0);
+}

@@ -45,7 +45,12 @@ impl DeviceSpec {
 
     /// Creates a spec with distinct read and write bandwidths, as measured on
     /// the real cluster (Table III, "Cluster (real)" column).
-    pub fn asymmetric(read_bandwidth: f64, write_bandwidth: f64, latency: f64, capacity: f64) -> Self {
+    pub fn asymmetric(
+        read_bandwidth: f64,
+        write_bandwidth: f64,
+        latency: f64,
+        capacity: f64,
+    ) -> Self {
         DeviceSpec {
             read_bandwidth,
             write_bandwidth,
@@ -102,8 +107,20 @@ impl Disk {
     pub fn new(ctx: &SimContext, name: impl Into<String>, spec: DeviceSpec) -> Self {
         let name = name.into();
         Disk {
-            read: SharedResource::with_policy(ctx, format!("{name}.read"), spec.read_bandwidth, spec.latency, spec.sharing),
-            write: SharedResource::with_policy(ctx, format!("{name}.write"), spec.write_bandwidth, spec.latency, spec.sharing),
+            read: SharedResource::with_policy(
+                ctx,
+                format!("{name}.read"),
+                spec.read_bandwidth,
+                spec.latency,
+                spec.sharing,
+            ),
+            write: SharedResource::with_policy(
+                ctx,
+                format!("{name}.write"),
+                spec.write_bandwidth,
+                spec.latency,
+                spec.sharing,
+            ),
             capacity: spec.capacity,
             used: Rc::new(Cell::new(0.0)),
             name,
@@ -205,8 +222,20 @@ impl MemoryDevice {
     /// the page cache's `MemoryManager` owns capacity accounting).
     pub fn new(ctx: &SimContext, spec: DeviceSpec) -> Self {
         MemoryDevice {
-            read: SharedResource::with_policy(ctx, "memory.read", spec.read_bandwidth, spec.latency, spec.sharing),
-            write: SharedResource::with_policy(ctx, "memory.write", spec.write_bandwidth, spec.latency, spec.sharing),
+            read: SharedResource::with_policy(
+                ctx,
+                "memory.read",
+                spec.read_bandwidth,
+                spec.latency,
+                spec.sharing,
+            ),
+            write: SharedResource::with_policy(
+                ctx,
+                "memory.write",
+                spec.write_bandwidth,
+                spec.latency,
+                spec.sharing,
+            ),
         }
     }
 

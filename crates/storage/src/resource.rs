@@ -7,9 +7,49 @@
 //! 2015) that SimGrid — and therefore the paper's WRENCH-cache — relies on:
 //! accurate enough to capture contention between concurrent applications
 //! (Exp 2 and 3 of the paper) while remaining fast to simulate.
+//!
+//! # Complexity: the fair-queueing "fast algorithm"
+//!
+//! A naive implementation re-walks every flow at every event to advance its
+//! residual byte count — O(n) per event, O(n²) for n overlapping flows. This
+//! module instead uses the amortised formulation popularised by fair-queueing
+//! schedulers (and by dslab's throughput-sharing model): the resource tracks
+//! one scalar, the cumulative **virtual service** `volume` — the number of
+//! bytes a hypothetical flow active since the beginning would have received.
+//! Under [`SharingPolicy::FairShare`] it grows at `bandwidth / n` while `n`
+//! flows are active (and at `bandwidth` under
+//! [`SharingPolicy::Unlimited`]); since `n` only changes at flow start,
+//! completion or cancellation, `volume` is advanced lazily from the previous
+//! event with one multiplication.
+//!
+//! A flow that starts when the virtual service is `v` and carries `b` bytes
+//! completes exactly when `volume` reaches its **finish volume** `v + b`.
+//! Flows therefore sit in a min-heap keyed by finish volume:
+//!
+//! * flow start: push onto the heap — **O(log n)**;
+//! * next-completion query: peek the heap top — **O(1)**;
+//! * flow completion: pop the top (plus any flow within an epsilon of it) —
+//!   **O(log n)**; no other flow is touched;
+//! * flow cancellation: lazy deletion; the stale heap entry is skipped when
+//!   it surfaces — amortised **O(log n)**.
+//!
+//! ## Invariants
+//!
+//! * `active` equals the number of flows not yet completed, and the heap
+//!   contains exactly one live entry per active flow (plus stale entries for
+//!   cancelled flows, recognised by their missing id).
+//! * For every active flow, `finish_volume - volume` is its remaining bytes.
+//! * `volume` is monotonically non-decreasing while flows are active, and is
+//!   rebased to zero whenever the resource goes idle so that long simulations
+//!   do not accumulate floating-point error (a sequential transfer always
+//!   takes exactly `latency + bytes / bandwidth`).
+//! * Completion times are identical to the per-event re-sync formulation:
+//!   both compute the instant at which the min-remaining flow's fair share
+//!   reaches its residual bytes.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -35,9 +75,41 @@ pub enum SharingPolicy {
 }
 
 struct Flow {
-    remaining: f64,
+    /// The virtual-service value at which this flow has no bytes left.
+    finish_volume: f64,
     done: bool,
     waker: Option<Waker>,
+}
+
+/// Min-heap entry: a flow and the virtual service at which it completes.
+struct HeapEntry {
+    finish_volume: f64,
+    id: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.finish_volume.total_cmp(&other.finish_volume) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the smallest finish
+        // volume on top. Ties break by insertion order (lower id first).
+        other
+            .finish_volume
+            .total_cmp(&self.finish_volume)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 struct Inner {
@@ -46,77 +118,95 @@ struct Inner {
     latency: f64,
     sharing: SharingPolicy,
     flows: HashMap<u64, Flow>,
+    /// Live flows ordered by finish volume; may contain stale entries for
+    /// cancelled flows (lazy deletion).
+    queue: BinaryHeap<HeapEntry>,
+    /// Number of flows not yet done.
+    active: usize,
+    /// Cumulative fair-share virtual service in bytes (see module docs).
+    volume: f64,
     next_flow: u64,
     last_update: SimTime,
     timer: Option<TimerId>,
     epoch: u64,
-    total_bytes: f64,
+    /// Bytes injected by all flows, minus the unserved residue of cancelled
+    /// flows; `total_bytes()` subtracts what active flows still owe.
+    total_injected: f64,
     completed_flows: u64,
 }
 
 impl Inner {
-    fn active_count(&self) -> usize {
-        self.flows.values().filter(|f| !f.done).count()
+    /// Bytes of virtual service gained per second at the current flow count.
+    fn rate(&self) -> f64 {
+        match self.sharing {
+            SharingPolicy::FairShare => self.bandwidth / self.active.max(1) as f64,
+            SharingPolicy::Unlimited => self.bandwidth,
+        }
     }
 
-    /// Advances every active flow by the bandwidth share accumulated since the
-    /// last update.
+    /// Advances the virtual service to `now`. O(1): no flow is touched.
     fn sync(&mut self, now: SimTime) {
         let dt = now.duration_since(self.last_update);
         self.last_update = now;
-        if dt <= 0.0 {
-            return;
-        }
-        let n = self.active_count();
-        if n == 0 {
-            return;
-        }
-        let divisor = match self.sharing {
-            SharingPolicy::FairShare => n as f64,
-            SharingPolicy::Unlimited => 1.0,
-        };
-        let share = self.bandwidth * dt / divisor;
-        for flow in self.flows.values_mut() {
-            if !flow.done {
-                let progressed = share.min(flow.remaining);
-                flow.remaining -= progressed;
-                self.total_bytes += progressed;
-            }
+        if dt > 0.0 && self.active > 0 {
+            self.volume += self.rate() * dt;
         }
     }
 
-    /// Marks flows that ran out of bytes as done and wakes their futures.
-    fn complete_finished(&mut self) {
-        for flow in self.flows.values_mut() {
-            if !flow.done && flow.remaining <= EPSILON_BYTES {
-                flow.remaining = 0.0;
-                flow.done = true;
-                self.completed_flows += 1;
-                if let Some(w) = flow.waker.take() {
-                    w.wake();
+    /// Remaining bytes of one flow at the current virtual service.
+    fn remaining(&self, flow: &Flow) -> f64 {
+        if flow.done {
+            0.0
+        } else {
+            (flow.finish_volume - self.volume).max(0.0)
+        }
+    }
+
+    /// Drops stale heap entries (cancelled flows) from the top.
+    fn skim_stale(&mut self) {
+        while let Some(top) = self.queue.peek() {
+            match self.flows.get(&top.id) {
+                Some(f) if !f.done => break,
+                _ => {
+                    self.queue.pop();
                 }
             }
         }
     }
 
-    /// Virtual time at which the next flow will complete, if any.
-    fn next_completion(&self, now: SimTime) -> Option<SimTime> {
-        let n = self.active_count();
-        if n == 0 {
-            return None;
+    /// Marks every flow whose finish volume has been reached as done and
+    /// wakes its future. O(log n) per completed flow.
+    fn complete_finished(&mut self) {
+        loop {
+            self.skim_stale();
+            match self.queue.peek() {
+                Some(top) if top.finish_volume <= self.volume + EPSILON_BYTES => {
+                    let id = self.queue.pop().expect("peeked entry exists").id;
+                    self.complete_flow(id);
+                }
+                _ => break,
+            }
         }
-        let divisor = match self.sharing {
-            SharingPolicy::FairShare => n as f64,
-            SharingPolicy::Unlimited => 1.0,
-        };
-        let rate = self.bandwidth / divisor;
-        let min_remaining = self
-            .flows
-            .values()
-            .filter(|f| !f.done)
-            .map(|f| f.remaining)
-            .fold(f64::INFINITY, f64::min);
-        Some(now + (min_remaining / rate).max(0.0))
+        self.maybe_rebase();
+    }
+
+    fn complete_flow(&mut self, id: u64) {
+        let flow = self.flows.get_mut(&id).expect("live entry has a flow");
+        debug_assert!(!flow.done);
+        flow.done = true;
+        self.active -= 1;
+        self.completed_flows += 1;
+        if let Some(w) = flow.waker.take() {
+            w.wake();
+        }
+    }
+
+    /// Virtual time at which the next flow will complete, if any.
+    fn next_completion(&mut self, now: SimTime) -> Option<SimTime> {
+        self.skim_stale();
+        let top = self.queue.peek()?;
+        let remaining = (top.finish_volume - self.volume).max(0.0);
+        Some(now + remaining / self.rate())
     }
 
     /// Completes the flow(s) with the least remaining bytes immediately.
@@ -126,28 +216,43 @@ impl Inner {
     /// whose transfer time is smaller than the clock's representable
     /// resolution at the current timestamp. Re-scheduling would then fire at
     /// the *same* virtual time forever. Such residues are physically
-    /// meaningless, so the flow is simply declared complete.
+    /// meaningless, so the flow is simply declared complete. The virtual
+    /// service is left untouched: other flows make no artificial progress.
     fn force_complete_smallest(&mut self) {
-        let min_remaining = self
-            .flows
-            .values()
-            .filter(|f| !f.done)
-            .map(|f| f.remaining)
-            .fold(f64::INFINITY, f64::min);
-        if !min_remaining.is_finite() {
+        self.skim_stale();
+        let Some(top) = self.queue.peek() else {
             return;
-        }
-        for flow in self.flows.values_mut() {
-            if !flow.done && flow.remaining <= min_remaining + EPSILON_BYTES {
-                self.total_bytes += flow.remaining;
-                flow.remaining = 0.0;
-                flow.done = true;
-                self.completed_flows += 1;
-                if let Some(w) = flow.waker.take() {
-                    w.wake();
+        };
+        let min_finish = top.finish_volume;
+        loop {
+            self.skim_stale();
+            match self.queue.peek() {
+                Some(top) if top.finish_volume <= min_finish + EPSILON_BYTES => {
+                    let id = self.queue.pop().expect("peeked entry exists").id;
+                    self.complete_flow(id);
                 }
+                _ => break,
             }
         }
+        self.maybe_rebase();
+    }
+
+    /// Resets the virtual service origin whenever no flow is active, so that
+    /// `volume` stays small and sequential transfers suffer no cumulative
+    /// floating-point error.
+    fn maybe_rebase(&mut self) {
+        if self.active == 0 {
+            self.volume = 0.0;
+            self.queue.clear();
+        }
+    }
+
+    /// Bytes transferred so far: everything injected minus what active flows
+    /// still owe. O(active); only used by stats queries, never on the event
+    /// path.
+    fn bytes_done(&self) -> f64 {
+        let owed: f64 = self.flows.values().map(|f| self.remaining(f)).sum();
+        (self.total_injected - owed).max(0.0)
     }
 }
 
@@ -182,7 +287,10 @@ impl SharedResource {
             bandwidth > 0.0 && bandwidth.is_finite(),
             "bandwidth must be positive and finite"
         );
-        assert!(latency >= 0.0 && latency.is_finite(), "latency must be non-negative");
+        assert!(
+            latency >= 0.0 && latency.is_finite(),
+            "latency must be non-negative"
+        );
         SharedResource {
             ctx: ctx.clone(),
             inner: Rc::new(RefCell::new(Inner {
@@ -191,11 +299,14 @@ impl SharedResource {
                 latency,
                 sharing,
                 flows: HashMap::new(),
+                queue: BinaryHeap::new(),
+                active: 0,
+                volume: 0.0,
                 next_flow: 0,
                 last_update: ctx.now(),
                 timer: None,
                 epoch: 0,
-                total_bytes: 0.0,
+                total_injected: 0.0,
                 completed_flows: 0,
             })),
         }
@@ -221,7 +332,7 @@ impl SharedResource {
         let mut inner = self.inner.borrow_mut();
         let now = self.ctx.now();
         inner.sync(now);
-        inner.active_count()
+        inner.active
     }
 
     /// Total number of bytes moved through this resource so far.
@@ -229,7 +340,7 @@ impl SharedResource {
         let mut inner = self.inner.borrow_mut();
         let now = self.ctx.now();
         inner.sync(now);
-        inner.total_bytes
+        inner.bytes_done()
     }
 
     /// Total number of completed transfers.
@@ -271,14 +382,18 @@ impl SharedResource {
             inner.sync(now);
             let id = inner.next_flow;
             inner.next_flow += 1;
+            let finish_volume = inner.volume + bytes;
             inner.flows.insert(
                 id,
                 Flow {
-                    remaining: bytes,
+                    finish_volume,
                     done: false,
                     waker: None,
                 },
             );
+            inner.queue.push(HeapEntry { finish_volume, id });
+            inner.active += 1;
+            inner.total_injected += bytes;
             id
         };
         self.reschedule();
@@ -310,7 +425,9 @@ impl SharedResource {
         }
         if let Some(at) = schedule_at {
             let this = self.clone();
-            let timer = self.ctx.schedule_callback(at, move |_| this.on_timer(epoch));
+            let timer = self
+                .ctx
+                .schedule_callback(at, move |_| this.on_timer(epoch));
             self.inner.borrow_mut().timer = Some(timer);
         }
     }
@@ -358,13 +475,17 @@ impl Future for FlowDone {
 impl Drop for FlowDone {
     fn drop(&mut self) {
         // Transfer futures are not normally cancelled, but if one is, remove
-        // the flow so it stops consuming bandwidth.
+        // the flow so it stops consuming bandwidth. The heap entry is left
+        // behind and skipped lazily when it reaches the top.
         let removed = {
             let mut inner = self.resource.inner.borrow_mut();
             if inner.flows.get(&self.id).map(|f| !f.done).unwrap_or(false) {
                 let now = self.resource.ctx.now();
                 inner.sync(now);
-                inner.flows.remove(&self.id);
+                let flow = inner.flows.remove(&self.id).expect("checked above");
+                inner.total_injected -= inner.remaining(&flow);
+                inner.active -= 1;
+                inner.maybe_rebase();
                 true
             } else {
                 inner.flows.remove(&self.id);
@@ -558,6 +679,29 @@ mod tests {
     }
 
     #[test]
+    fn partial_progress_is_reported_mid_transfer() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "disk", 100.0, 0.0);
+        {
+            let res = res.clone();
+            sim.spawn(async move { res.transfer(1000.0).await });
+        }
+        {
+            let res = res.clone();
+            let ctx = ctx.clone();
+            sim.spawn(async move {
+                ctx.sleep(5.0).await;
+                // Half way through its 10 s, the flow has moved 500 bytes.
+                approx(res.total_bytes(), 500.0);
+                assert_eq!(res.active_flows(), 1);
+            });
+        }
+        sim.run();
+        approx(res.total_bytes(), 1000.0);
+    }
+
+    #[test]
     fn ideal_time_reports_uncontended_duration() {
         let sim = Simulation::new();
         let ctx = sim.context();
@@ -600,6 +744,40 @@ mod sharing_policy_tests {
     }
 
     #[test]
+    fn unlimited_policy_staggered_flows_keep_full_bandwidth() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::with_policy(&ctx, "proto", 100.0, 0.0, SharingPolicy::Unlimited);
+        let a = sim.spawn({
+            let res = res.clone();
+            let ctx = ctx.clone();
+            async move {
+                res.transfer(1000.0).await;
+                ctx.now().as_secs()
+            }
+        });
+        let b = sim.spawn({
+            let res = res.clone();
+            let ctx = ctx.clone();
+            async move {
+                ctx.sleep(4.0).await;
+                res.transfer(200.0).await;
+                ctx.now().as_secs()
+            }
+        });
+        sim.run();
+        approx_rel(a.try_take_result().unwrap(), 10.0);
+        approx_rel(b.try_take_result().unwrap(), 6.0);
+    }
+
+    fn approx_rel(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() < 1e-6 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
+    }
+
+    #[test]
     fn default_policy_is_fair_share() {
         assert_eq!(SharingPolicy::default(), SharingPolicy::FairShare);
     }
@@ -636,7 +814,10 @@ mod float_robustness_tests {
         sim.run();
         let end = h.try_take_result().unwrap();
         let expected = 1000.0 / 510.0 + 1000.0 / 6860.0;
-        assert!((end - expected).abs() < 1e-6, "end {end}, expected {expected}");
+        assert!(
+            (end - expected).abs() < 1e-6,
+            "end {end}, expected {expected}"
+        );
     }
 
     /// Same robustness requirement far from t = 0, where the clock's ulp is
@@ -682,5 +863,29 @@ mod float_robustness_tests {
         assert_eq!(res.active_flows(), 0);
         let total: f64 = sizes.iter().sum();
         assert!((res.total_bytes() - total).abs() < 1.0);
+    }
+
+    /// A thousand concurrent flows complete in N * size / bandwidth with the
+    /// heap-based algorithm just as with per-event re-syncing.
+    #[test]
+    fn thousand_concurrent_flows_finish_at_fair_share_time() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "dev", 1000.0e6, 0.0);
+        let n = 1000usize;
+        for i in 0..n {
+            let res = res.clone();
+            // Slightly distinct sizes so completions are staggered.
+            let bytes = 1.0e6 + i as f64;
+            sim.spawn(async move { res.transfer(bytes).await });
+        }
+        let end = sim.run().as_secs();
+        let total: f64 = (0..n).map(|i| 1.0e6 + i as f64).sum();
+        let expected = total / 1000.0e6;
+        assert!(
+            (end - expected).abs() < 1e-6 * expected,
+            "end {end}, expected {expected}"
+        );
+        assert_eq!(res.completed_flows(), n as u64);
     }
 }

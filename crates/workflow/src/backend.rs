@@ -407,7 +407,11 @@ mod tests {
         let sim = Simulation::new();
         let ctx = sim.context();
         let platform = platform().with_nfs();
-        for kind in [SimulatorKind::Cacheless, SimulatorKind::PageCache, SimulatorKind::KernelEmu] {
+        for kind in [
+            SimulatorKind::Cacheless,
+            SimulatorKind::PageCache,
+            SimulatorKind::KernelEmu,
+        ] {
             let backend = Backend::build(&ctx, &platform, kind).unwrap();
             backend.create_file(&"f".into(), 100.0 * MB).unwrap();
         }

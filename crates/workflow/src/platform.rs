@@ -131,7 +131,11 @@ mod tests {
         assert!(p.validate().is_ok());
         assert_eq!(p.storage, StorageKind::Local);
         assert_eq!(p.simulated, p.real);
-        let nfs = p.clone().with_nfs().with_chunk_size(50.0 * MB).with_dirty_ratio(0.4);
+        let nfs = p
+            .clone()
+            .with_nfs()
+            .with_chunk_size(50.0 * MB)
+            .with_dirty_ratio(0.4);
         assert_eq!(nfs.storage, StorageKind::Nfs);
         assert_eq!(nfs.chunk_size, 50.0 * MB);
         assert_eq!(nfs.dirty_ratio, 0.4);

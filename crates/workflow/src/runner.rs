@@ -264,8 +264,16 @@ mod tests {
         assert_eq!(tasks.len(), 3);
         // Every read and write is ~1 GB at 465 MB/s ≈ 2.15 s.
         for t in tasks {
-            assert!((t.read_time - 1.0 * GB / (465.0 * MB)).abs() < 0.01, "{}", t.read_time);
-            assert!((t.write_time - 1.0 * GB / (465.0 * MB)).abs() < 0.01, "{}", t.write_time);
+            assert!(
+                (t.read_time - 1.0 * GB / (465.0 * MB)).abs() < 0.01,
+                "{}",
+                t.read_time
+            );
+            assert!(
+                (t.write_time - 1.0 * GB / (465.0 * MB)).abs() < 0.01,
+                "{}",
+                t.write_time
+            );
         }
         assert!(report.memory_trace.is_none());
         assert!(report.simulated_duration > 0.0);
@@ -302,8 +310,12 @@ mod tests {
     #[test]
     fn concurrent_instances_contend_for_the_disk() {
         let app = small_app();
-        let one = run_scenario(&Scenario::new(platform(), app.clone(), SimulatorKind::Cacheless))
-            .unwrap();
+        let one = run_scenario(&Scenario::new(
+            platform(),
+            app.clone(),
+            SimulatorKind::Cacheless,
+        ))
+        .unwrap();
         let four = run_scenario(
             &Scenario::new(platform(), app, SimulatorKind::Cacheless).with_instances(4),
         )
@@ -317,8 +329,12 @@ mod tests {
     #[test]
     fn prototype_matches_pagecache_for_single_instance() {
         let app = small_app();
-        let proto =
-            run_scenario(&Scenario::new(platform(), app.clone(), SimulatorKind::Prototype)).unwrap();
+        let proto = run_scenario(&Scenario::new(
+            platform(),
+            app.clone(),
+            SimulatorKind::Prototype,
+        ))
+        .unwrap();
         let cache =
             run_scenario(&Scenario::new(platform(), app, SimulatorKind::PageCache)).unwrap();
         // Without concurrency the two models should be very close.
@@ -329,11 +345,7 @@ mod tests {
 
     #[test]
     fn nfs_scenario_runs_with_writethrough_times() {
-        let scenario = Scenario::new(
-            platform().with_nfs(),
-            small_app(),
-            SimulatorKind::PageCache,
-        );
+        let scenario = Scenario::new(platform().with_nfs(), small_app(), SimulatorKind::PageCache);
         let report = run_scenario(&scenario).unwrap();
         let tasks = &report.instance_reports[0].tasks;
         // Writes are writethrough on the server: roughly disk bandwidth, much

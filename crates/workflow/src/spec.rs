@@ -5,11 +5,10 @@
 //! Exp 1–3, Table I) and [`ApplicationSpec::nighres`] (the four-step cortical
 //! reconstruction workflow of Exp 4, Table II).
 
-use serde::{Deserialize, Serialize};
 use storage_model::units::{GB, MB};
 
 /// A file read or written by a task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FileSpec {
     /// File name (unique within the application).
     pub name: String,
@@ -28,7 +27,7 @@ impl FileSpec {
 }
 
 /// One task of an application: read inputs, compute, write outputs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Task name (e.g. "Task 1", "Skull stripping").
     pub name: String,
@@ -81,7 +80,7 @@ impl TaskSpec {
 
 /// A sequential application (pipeline of tasks) plus the files that must exist
 /// before it starts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApplicationSpec {
     /// Application name.
     pub name: String,
@@ -117,7 +116,13 @@ impl ApplicationSpec {
     /// (Table I). Sizes between the measured points are interpolated linearly.
     pub fn synthetic_cpu_time(input_size: f64) -> f64 {
         // (input size GB, CPU time s) from Table I.
-        const POINTS: [(f64, f64); 5] = [(3.0, 4.4), (20.0, 28.0), (50.0, 75.0), (75.0, 110.0), (100.0, 155.0)];
+        const POINTS: [(f64, f64); 5] = [
+            (3.0, 4.4),
+            (20.0, 28.0),
+            (50.0, 75.0),
+            (75.0, 110.0),
+            (100.0, 155.0),
+        ];
         let gb = input_size / GB;
         if gb <= POINTS[0].0 {
             return POINTS[0].1 * gb / POINTS[0].0;
@@ -230,7 +235,13 @@ mod tests {
 
     #[test]
     fn synthetic_cpu_times_match_table1() {
-        for (gb, secs) in [(3.0, 4.4), (20.0, 28.0), (50.0, 75.0), (75.0, 110.0), (100.0, 155.0)] {
+        for (gb, secs) in [
+            (3.0, 4.4),
+            (20.0, 28.0),
+            (50.0, 75.0),
+            (75.0, 110.0),
+            (100.0, 155.0),
+        ] {
             let t = ApplicationSpec::synthetic_cpu_time(gb * GB);
             assert!((t - secs).abs() < 1e-9, "{gb} GB -> {t}, expected {secs}");
         }
@@ -246,8 +257,14 @@ mod tests {
         let sizes_in: Vec<f64> = app.tasks.iter().map(TaskSpec::input_bytes).collect();
         let sizes_out: Vec<f64> = app.tasks.iter().map(TaskSpec::output_bytes).collect();
         let cpu: Vec<f64> = app.tasks.iter().map(|t| t.cpu_time).collect();
-        assert_eq!(sizes_in, vec![295.0 * MB, 197.0 * MB, 1376.0 * MB, 393.0 * MB]);
-        assert_eq!(sizes_out, vec![393.0 * MB, 1376.0 * MB, 885.0 * MB, 786.0 * MB]);
+        assert_eq!(
+            sizes_in,
+            vec![295.0 * MB, 197.0 * MB, 1376.0 * MB, 393.0 * MB]
+        );
+        assert_eq!(
+            sizes_out,
+            vec![393.0 * MB, 1376.0 * MB, 885.0 * MB, 786.0 * MB]
+        );
         assert_eq!(cpu, vec![137.0, 614.0, 76.0, 272.0]);
         // Step 3 reads what step 2 wrote; step 4 reads what step 1 wrote.
         assert_eq!(app.tasks[2].inputs[0].name, app.tasks[1].outputs[0].name);

@@ -27,7 +27,10 @@ fn main() {
                     .with_sample_interval(None),
             )
             .expect("run failed");
-            row.push((report.mean_total_read_time(), report.mean_total_write_time()));
+            row.push((
+                report.mean_total_read_time(),
+                report.mean_total_write_time(),
+            ));
         }
         println!(
             "{:>10} {:>16.1} {:>16.1} {:>16.1} {:>16.1}",

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs the pagecache_micro benchmark suite and emits BENCH_PR1.json — a
+# machine-readable map of benchmark id to nanoseconds per iteration — at the
+# repository root, so the perf trajectory of the simulator can be tracked
+# across PRs.
+#
+# Usage: scripts/bench_pr1.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR1.json}"
+
+BENCH_JSON="$(pwd)/$out" cargo bench -p bench --bench pagecache_micro
+echo "wrote $out"

@@ -15,7 +15,9 @@ fn scenario_fails_cleanly_when_the_disk_fills_up() {
     let app = ApplicationSpec::synthetic_pipeline(4.0 * GB);
     let err = run_scenario(&Scenario::new(platform, app, SimulatorKind::PageCache)).unwrap_err();
     match err {
-        ScenarioError::Filesystem(msg) => assert!(msg.contains("full"), "unexpected message: {msg}"),
+        ScenarioError::Filesystem(msg) => {
+            assert!(msg.contains("full"), "unexpected message: {msg}")
+        }
         other => panic!("expected a filesystem error, got {other:?}"),
     }
 }
@@ -72,7 +74,10 @@ fn cache_larger_than_file_set_and_tiny_memory_both_work() {
     );
     let report = run_scenario(&Scenario::new(huge, app, SimulatorKind::PageCache)).unwrap();
     let warm_read = report.instance_reports[0].tasks[1].read_time;
-    assert!(warm_read < 0.5 * disk_time, "expected a cache hit, got {warm_read}s");
+    assert!(
+        warm_read < 0.5 * disk_time,
+        "expected a cache hit, got {warm_read}s"
+    );
 }
 
 #[test]

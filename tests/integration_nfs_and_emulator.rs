@@ -16,11 +16,26 @@ fn nfs_reads_become_cheaper_once_both_caches_are_warm() {
     // Build the NFS stack directly from the public API (not via the runner).
     let sim = Simulation::new();
     let ctx = sim.context();
-    let client_memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY));
-    let client_disk = Disk::new(&ctx, "client", DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY));
-    let client_mm = MemoryManager::new(&ctx, PageCacheConfig::with_memory(8.0 * GB), client_memory, client_disk);
-    let server_memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY));
-    let server_disk = Disk::new(&ctx, "server", DeviceSpec::symmetric(445.0 * MB, 0.0, f64::INFINITY));
+    let client_memory =
+        MemoryDevice::new(&ctx, DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY));
+    let client_disk = Disk::new(
+        &ctx,
+        "client",
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    );
+    let client_mm = MemoryManager::new(
+        &ctx,
+        PageCacheConfig::with_memory(8.0 * GB),
+        client_memory,
+        client_disk,
+    );
+    let server_memory =
+        MemoryDevice::new(&ctx, DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY));
+    let server_disk = Disk::new(
+        &ctx,
+        "server",
+        DeviceSpec::symmetric(445.0 * MB, 0.0, f64::INFINITY),
+    );
     let server_mm = MemoryManager::new(
         &ctx,
         PageCacheConfig::with_memory(8.0 * GB).writethrough(),
@@ -28,7 +43,12 @@ fn nfs_reads_become_cheaper_once_both_caches_are_warm() {
         server_disk.clone(),
     );
     let link = NetworkLink::new(&ctx, "net", 3000.0 * MB, 0.0);
-    let fs = NfsFileSystem::new(&ctx, client_mm, link, NfsServer::new(server_mm, server_disk));
+    let fs = NfsFileSystem::new(
+        &ctx,
+        client_mm,
+        link,
+        NfsServer::new(server_mm, server_disk),
+    );
     fs.create_file(&FileId::new("data"), 1.0 * GB).unwrap();
 
     let h = sim.spawn({
@@ -63,8 +83,18 @@ fn kernel_emulator_flushes_dirty_data_faster_than_the_macroscopic_model() {
             TaskSpec::new("idle", 60.0),
         ],
     };
-    let emu = run_scenario(&Scenario::new(platform(64.0), app.clone(), SimulatorKind::KernelEmu)).unwrap();
-    let model = run_scenario(&Scenario::new(platform(64.0), app, SimulatorKind::PageCache)).unwrap();
+    let emu = run_scenario(&Scenario::new(
+        platform(64.0),
+        app.clone(),
+        SimulatorKind::KernelEmu,
+    ))
+    .unwrap();
+    let model = run_scenario(&Scenario::new(
+        platform(64.0),
+        app,
+        SimulatorKind::PageCache,
+    ))
+    .unwrap();
     let emu_trace = emu.memory_trace.unwrap();
     let model_trace = model.memory_trace.unwrap();
     // 20 seconds after the write, the emulator (background writeback at 10 %

@@ -16,8 +16,18 @@ fn platform(memory_gb: f64) -> PlatformSpec {
 #[test]
 fn cacheless_simulator_overestimates_warm_reads_by_an_order_of_magnitude() {
     let app = ApplicationSpec::synthetic_pipeline(2.0 * GB);
-    let cacheless = run_scenario(&Scenario::new(platform(16.0), app.clone(), SimulatorKind::Cacheless)).unwrap();
-    let cached = run_scenario(&Scenario::new(platform(16.0), app, SimulatorKind::PageCache)).unwrap();
+    let cacheless = run_scenario(&Scenario::new(
+        platform(16.0),
+        app.clone(),
+        SimulatorKind::Cacheless,
+    ))
+    .unwrap();
+    let cached = run_scenario(&Scenario::new(
+        platform(16.0),
+        app,
+        SimulatorKind::PageCache,
+    ))
+    .unwrap();
     // Task 2 re-reads the file written by task 1: with the page cache it is a
     // memory read, without it a disk read — roughly a 10x difference given
     // the Table III bandwidths (4812 vs 465 MBps).
@@ -34,9 +44,24 @@ fn page_cache_model_reduces_error_against_kernel_emulator() {
     // The headline claim of the paper (up to ~9x error reduction): measure it
     // at small scale across every phase of the synthetic pipeline.
     let app = ApplicationSpec::synthetic_pipeline(2.0 * GB);
-    let real = run_scenario(&Scenario::new(platform(16.0), app.clone(), SimulatorKind::KernelEmu)).unwrap();
-    let cacheless = run_scenario(&Scenario::new(platform(16.0), app.clone(), SimulatorKind::Cacheless)).unwrap();
-    let cached = run_scenario(&Scenario::new(platform(16.0), app, SimulatorKind::PageCache)).unwrap();
+    let real = run_scenario(&Scenario::new(
+        platform(16.0),
+        app.clone(),
+        SimulatorKind::KernelEmu,
+    ))
+    .unwrap();
+    let cacheless = run_scenario(&Scenario::new(
+        platform(16.0),
+        app.clone(),
+        SimulatorKind::Cacheless,
+    ))
+    .unwrap();
+    let cached = run_scenario(&Scenario::new(
+        platform(16.0),
+        app,
+        SimulatorKind::PageCache,
+    ))
+    .unwrap();
 
     let mut err_cacheless = 0.0;
     let mut err_cached = 0.0;
@@ -74,7 +99,8 @@ fn dirty_data_never_exceeds_the_dirty_ratio() {
     // Paper §IV-A: "In all cases, dirty data remained under the dirty ratio as
     // expected."
     let app = ApplicationSpec::synthetic_pipeline(4.0 * GB);
-    let report = run_scenario(&Scenario::new(platform(8.0), app, SimulatorKind::PageCache)).unwrap();
+    let report =
+        run_scenario(&Scenario::new(platform(8.0), app, SimulatorKind::PageCache)).unwrap();
     let trace = report.memory_trace.expect("memory trace present");
     // The dirty limit is dirty_ratio * available memory <= dirty_ratio * total.
     assert!(trace.max_dirty() <= 0.2 * 8.0 * GB * 1.01);
@@ -84,7 +110,12 @@ fn dirty_data_never_exceeds_the_dirty_ratio() {
 #[test]
 fn writethrough_nfs_has_no_dirty_data_and_slower_writes_than_local() {
     let app = ApplicationSpec::synthetic_pipeline(1.0 * GB);
-    let local = run_scenario(&Scenario::new(platform(16.0), app.clone(), SimulatorKind::PageCache)).unwrap();
+    let local = run_scenario(&Scenario::new(
+        platform(16.0),
+        app.clone(),
+        SimulatorKind::PageCache,
+    ))
+    .unwrap();
     let nfs = run_scenario(&Scenario::new(
         platform(16.0).with_nfs(),
         app,
@@ -146,8 +177,17 @@ fn filesystem_layer_and_raw_controller_agree() {
     let sim = Simulation::new();
     let ctx = sim.context();
     let memory = MemoryDevice::new(&ctx, DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY));
-    let disk = Disk::new(&ctx, "d", DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY));
-    let mm = MemoryManager::new(&ctx, PageCacheConfig::with_memory(8.0 * GB), memory, disk.clone());
+    let disk = Disk::new(
+        &ctx,
+        "d",
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    );
+    let mm = MemoryManager::new(
+        &ctx,
+        PageCacheConfig::with_memory(8.0 * GB),
+        memory,
+        disk.clone(),
+    );
     let io = IoController::new(&ctx, mm.clone());
     let fs = CachedFileSystem::new(io.clone(), disk);
     fs.create_file(&FileId::new("direct"), 1.0 * GB).unwrap();
