@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b6384b2832d85a98.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-b6384b2832d85a98: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

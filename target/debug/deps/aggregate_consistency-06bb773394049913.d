@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aggregate_consistency-06bb773394049913.d: crates/pagecache/tests/aggregate_consistency.rs
+
+/root/repo/target/debug/deps/aggregate_consistency-06bb773394049913: crates/pagecache/tests/aggregate_consistency.rs
+
+crates/pagecache/tests/aggregate_consistency.rs:

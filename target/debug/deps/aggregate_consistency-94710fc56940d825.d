@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aggregate_consistency-94710fc56940d825.d: crates/pagecache/tests/aggregate_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaggregate_consistency-94710fc56940d825.rmeta: crates/pagecache/tests/aggregate_consistency.rs Cargo.toml
+
+crates/pagecache/tests/aggregate_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

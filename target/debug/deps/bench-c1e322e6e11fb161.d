@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-c1e322e6e11fb161.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-c1e322e6e11fb161.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-c1e322e6e11fb161.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

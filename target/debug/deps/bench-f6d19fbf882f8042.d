@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-f6d19fbf882f8042.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-f6d19fbf882f8042: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-1cd28e42ff0ffbcf.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-1cd28e42ff0ffbcf: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

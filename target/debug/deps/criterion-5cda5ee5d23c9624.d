@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-5cda5ee5d23c9624.d: crates/criterion-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-5cda5ee5d23c9624.rmeta: crates/criterion-shim/src/lib.rs Cargo.toml
+
+crates/criterion-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

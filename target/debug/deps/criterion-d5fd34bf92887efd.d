@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-d5fd34bf92887efd.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d5fd34bf92887efd.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d5fd34bf92887efd.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/des-10518c946ada94e4.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/sync.rs crates/des/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdes-10518c946ada94e4.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/sync.rs crates/des/src/time.rs Cargo.toml
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/sync.rs:
+crates/des/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

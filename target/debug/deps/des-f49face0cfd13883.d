@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/des-f49face0cfd13883.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/sync.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/des-f49face0cfd13883: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/sync.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/sync.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/des-f4d20d202203a403.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/sync.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libdes-f4d20d202203a403.rlib: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/sync.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libdes-f4d20d202203a403.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/sync.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/sync.rs:
+crates/des/src/time.rs:

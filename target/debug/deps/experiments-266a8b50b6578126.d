@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/experiments-266a8b50b6578126.d: crates/experiments/src/lib.rs crates/experiments/src/exp1.rs crates/experiments/src/exp4.rs crates/experiments/src/exp_concurrent.rs crates/experiments/src/platform.rs crates/experiments/src/simtime.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/experiments-266a8b50b6578126: crates/experiments/src/lib.rs crates/experiments/src/exp1.rs crates/experiments/src/exp4.rs crates/experiments/src/exp_concurrent.rs crates/experiments/src/platform.rs crates/experiments/src/simtime.rs crates/experiments/src/table.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/exp1.rs:
+crates/experiments/src/exp4.rs:
+crates/experiments/src/exp_concurrent.rs:
+crates/experiments/src/platform.rs:
+crates/experiments/src/simtime.rs:
+crates/experiments/src/table.rs:

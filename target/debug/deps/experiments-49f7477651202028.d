@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/experiments-49f7477651202028.d: crates/experiments/src/lib.rs crates/experiments/src/exp1.rs crates/experiments/src/exp4.rs crates/experiments/src/exp_concurrent.rs crates/experiments/src/platform.rs crates/experiments/src/simtime.rs crates/experiments/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-49f7477651202028.rmeta: crates/experiments/src/lib.rs crates/experiments/src/exp1.rs crates/experiments/src/exp4.rs crates/experiments/src/exp_concurrent.rs crates/experiments/src/platform.rs crates/experiments/src/simtime.rs crates/experiments/src/table.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/exp1.rs:
+crates/experiments/src/exp4.rs:
+crates/experiments/src/exp_concurrent.rs:
+crates/experiments/src/platform.rs:
+crates/experiments/src/simtime.rs:
+crates/experiments/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/experiments-90c22aa08ab2df68.d: crates/experiments/src/lib.rs crates/experiments/src/exp1.rs crates/experiments/src/exp4.rs crates/experiments/src/exp_concurrent.rs crates/experiments/src/platform.rs crates/experiments/src/simtime.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/libexperiments-90c22aa08ab2df68.rlib: crates/experiments/src/lib.rs crates/experiments/src/exp1.rs crates/experiments/src/exp4.rs crates/experiments/src/exp_concurrent.rs crates/experiments/src/platform.rs crates/experiments/src/simtime.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/libexperiments-90c22aa08ab2df68.rmeta: crates/experiments/src/lib.rs crates/experiments/src/exp1.rs crates/experiments/src/exp4.rs crates/experiments/src/exp_concurrent.rs crates/experiments/src/platform.rs crates/experiments/src/simtime.rs crates/experiments/src/table.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/exp1.rs:
+crates/experiments/src/exp4.rs:
+crates/experiments/src/exp_concurrent.rs:
+crates/experiments/src/platform.rs:
+crates/experiments/src/simtime.rs:
+crates/experiments/src/table.rs:

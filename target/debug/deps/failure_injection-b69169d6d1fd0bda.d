@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-b69169d6d1fd0bda.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-b69169d6d1fd0bda: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4a-2bc1d422d1ba494e.d: crates/experiments/src/bin/fig4a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4a-2bc1d422d1ba494e.rmeta: crates/experiments/src/bin/fig4a.rs Cargo.toml
+
+crates/experiments/src/bin/fig4a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

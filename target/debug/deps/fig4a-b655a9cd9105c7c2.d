@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4a-b655a9cd9105c7c2.d: crates/experiments/src/bin/fig4a.rs
+
+/root/repo/target/debug/deps/fig4a-b655a9cd9105c7c2: crates/experiments/src/bin/fig4a.rs
+
+crates/experiments/src/bin/fig4a.rs:

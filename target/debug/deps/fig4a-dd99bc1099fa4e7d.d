@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4a-dd99bc1099fa4e7d.d: crates/experiments/src/bin/fig4a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4a-dd99bc1099fa4e7d.rmeta: crates/experiments/src/bin/fig4a.rs Cargo.toml
+
+crates/experiments/src/bin/fig4a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

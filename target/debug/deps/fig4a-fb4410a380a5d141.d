@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4a-fb4410a380a5d141.d: crates/experiments/src/bin/fig4a.rs
+
+/root/repo/target/debug/deps/fig4a-fb4410a380a5d141: crates/experiments/src/bin/fig4a.rs
+
+crates/experiments/src/bin/fig4a.rs:

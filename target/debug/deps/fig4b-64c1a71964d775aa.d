@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4b-64c1a71964d775aa.d: crates/experiments/src/bin/fig4b.rs
+
+/root/repo/target/debug/deps/fig4b-64c1a71964d775aa: crates/experiments/src/bin/fig4b.rs
+
+crates/experiments/src/bin/fig4b.rs:

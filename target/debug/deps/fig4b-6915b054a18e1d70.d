@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4b-6915b054a18e1d70.d: crates/experiments/src/bin/fig4b.rs
+
+/root/repo/target/debug/deps/fig4b-6915b054a18e1d70: crates/experiments/src/bin/fig4b.rs
+
+crates/experiments/src/bin/fig4b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4b-d2c73102813427d6.d: crates/experiments/src/bin/fig4b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4b-d2c73102813427d6.rmeta: crates/experiments/src/bin/fig4b.rs Cargo.toml
+
+crates/experiments/src/bin/fig4b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4c-351c11fc387fb7b5.d: crates/experiments/src/bin/fig4c.rs
+
+/root/repo/target/debug/deps/fig4c-351c11fc387fb7b5: crates/experiments/src/bin/fig4c.rs
+
+crates/experiments/src/bin/fig4c.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4c-4106e6b8a37c7282.d: crates/experiments/src/bin/fig4c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4c-4106e6b8a37c7282.rmeta: crates/experiments/src/bin/fig4c.rs Cargo.toml
+
+crates/experiments/src/bin/fig4c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

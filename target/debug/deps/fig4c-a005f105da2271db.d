@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4c-a005f105da2271db.d: crates/experiments/src/bin/fig4c.rs
+
+/root/repo/target/debug/deps/fig4c-a005f105da2271db: crates/experiments/src/bin/fig4c.rs
+
+crates/experiments/src/bin/fig4c.rs:

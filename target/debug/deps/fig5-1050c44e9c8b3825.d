@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-1050c44e9c8b3825.d: crates/experiments/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-1050c44e9c8b3825: crates/experiments/src/bin/fig5.rs
+
+crates/experiments/src/bin/fig5.rs:

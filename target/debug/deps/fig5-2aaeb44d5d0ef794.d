@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-2aaeb44d5d0ef794.d: crates/experiments/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-2aaeb44d5d0ef794: crates/experiments/src/bin/fig5.rs
+
+crates/experiments/src/bin/fig5.rs:

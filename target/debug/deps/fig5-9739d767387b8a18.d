@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-9739d767387b8a18.d: crates/experiments/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-9739d767387b8a18.rmeta: crates/experiments/src/bin/fig5.rs Cargo.toml
+
+crates/experiments/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-12f71d6a28d72fc5.d: crates/experiments/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-12f71d6a28d72fc5.rmeta: crates/experiments/src/bin/fig6.rs Cargo.toml
+
+crates/experiments/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-5b8ab70ab40c0f0a.d: crates/experiments/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-5b8ab70ab40c0f0a: crates/experiments/src/bin/fig6.rs
+
+crates/experiments/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-8113880c275a251e.d: crates/experiments/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-8113880c275a251e: crates/experiments/src/bin/fig6.rs
+
+crates/experiments/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-1f74a29c1db1c279.d: crates/experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-1f74a29c1db1c279: crates/experiments/src/bin/fig7.rs
+
+crates/experiments/src/bin/fig7.rs:

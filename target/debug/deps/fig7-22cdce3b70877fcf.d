@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-22cdce3b70877fcf.d: crates/experiments/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-22cdce3b70877fcf.rmeta: crates/experiments/src/bin/fig7.rs Cargo.toml
+
+crates/experiments/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

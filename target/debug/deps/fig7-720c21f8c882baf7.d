@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-720c21f8c882baf7.d: crates/experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-720c21f8c882baf7: crates/experiments/src/bin/fig7.rs
+
+crates/experiments/src/bin/fig7.rs:

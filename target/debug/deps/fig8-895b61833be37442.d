@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-895b61833be37442.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-895b61833be37442: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-ea74a2bf68c0450b.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-ea74a2bf68c0450b: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

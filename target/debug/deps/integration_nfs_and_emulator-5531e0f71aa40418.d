@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_nfs_and_emulator-5531e0f71aa40418.d: tests/integration_nfs_and_emulator.rs
+
+/root/repo/target/debug/deps/integration_nfs_and_emulator-5531e0f71aa40418: tests/integration_nfs_and_emulator.rs
+
+tests/integration_nfs_and_emulator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_nfs_and_emulator-9d101b3d91c0be35.d: tests/integration_nfs_and_emulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_nfs_and_emulator-9d101b3d91c0be35.rmeta: tests/integration_nfs_and_emulator.rs Cargo.toml
+
+tests/integration_nfs_and_emulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pagecache-b8a70d2469c752cd.d: tests/integration_pagecache.rs
+
+/root/repo/target/debug/deps/integration_pagecache-b8a70d2469c752cd: tests/integration_pagecache.rs
+
+tests/integration_pagecache.rs:

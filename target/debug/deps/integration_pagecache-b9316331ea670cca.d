@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_pagecache-b9316331ea670cca.d: tests/integration_pagecache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_pagecache-b9316331ea670cca.rmeta: tests/integration_pagecache.rs Cargo.toml
+
+tests/integration_pagecache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

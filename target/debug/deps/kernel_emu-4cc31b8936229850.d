@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kernel_emu-4cc31b8936229850.d: crates/kernel-emu/src/lib.rs crates/kernel-emu/src/cache.rs crates/kernel-emu/src/fs.rs crates/kernel-emu/src/tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_emu-4cc31b8936229850.rmeta: crates/kernel-emu/src/lib.rs crates/kernel-emu/src/cache.rs crates/kernel-emu/src/fs.rs crates/kernel-emu/src/tuning.rs Cargo.toml
+
+crates/kernel-emu/src/lib.rs:
+crates/kernel-emu/src/cache.rs:
+crates/kernel-emu/src/fs.rs:
+crates/kernel-emu/src/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

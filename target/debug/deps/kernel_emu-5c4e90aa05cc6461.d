@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/kernel_emu-5c4e90aa05cc6461.d: crates/kernel-emu/src/lib.rs crates/kernel-emu/src/cache.rs crates/kernel-emu/src/fs.rs crates/kernel-emu/src/tuning.rs
+
+/root/repo/target/debug/deps/kernel_emu-5c4e90aa05cc6461: crates/kernel-emu/src/lib.rs crates/kernel-emu/src/cache.rs crates/kernel-emu/src/fs.rs crates/kernel-emu/src/tuning.rs
+
+crates/kernel-emu/src/lib.rs:
+crates/kernel-emu/src/cache.rs:
+crates/kernel-emu/src/fs.rs:
+crates/kernel-emu/src/tuning.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kernel_emu-7b1cfb127ba94cb6.d: crates/kernel-emu/src/lib.rs crates/kernel-emu/src/cache.rs crates/kernel-emu/src/fs.rs crates/kernel-emu/src/tuning.rs
+
+/root/repo/target/debug/deps/libkernel_emu-7b1cfb127ba94cb6.rlib: crates/kernel-emu/src/lib.rs crates/kernel-emu/src/cache.rs crates/kernel-emu/src/fs.rs crates/kernel-emu/src/tuning.rs
+
+/root/repo/target/debug/deps/libkernel_emu-7b1cfb127ba94cb6.rmeta: crates/kernel-emu/src/lib.rs crates/kernel-emu/src/cache.rs crates/kernel-emu/src/fs.rs crates/kernel-emu/src/tuning.rs
+
+crates/kernel-emu/src/lib.rs:
+crates/kernel-emu/src/cache.rs:
+crates/kernel-emu/src/fs.rs:
+crates/kernel-emu/src/tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linux_pagecache_sim-54b67ea56e876879.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinux_pagecache_sim-54b67ea56e876879.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linux_pagecache_sim-b4065b52b5506d49.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinux_pagecache_sim-b4065b52b5506d49.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

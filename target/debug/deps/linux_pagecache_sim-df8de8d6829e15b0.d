@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/linux_pagecache_sim-df8de8d6829e15b0.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblinux_pagecache_sim-df8de8d6829e15b0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblinux_pagecache_sim-df8de8d6829e15b0.rmeta: src/lib.rs
+
+src/lib.rs:

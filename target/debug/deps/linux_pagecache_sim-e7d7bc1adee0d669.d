@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linux_pagecache_sim-e7d7bc1adee0d669.d: src/lib.rs
+
+/root/repo/target/debug/deps/linux_pagecache_sim-e7d7bc1adee0d669: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pagecache-1405daec50c13243.d: crates/pagecache/src/lib.rs crates/pagecache/src/block.rs crates/pagecache/src/config.rs crates/pagecache/src/controller.rs crates/pagecache/src/lru.rs crates/pagecache/src/manager.rs crates/pagecache/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpagecache-1405daec50c13243.rmeta: crates/pagecache/src/lib.rs crates/pagecache/src/block.rs crates/pagecache/src/config.rs crates/pagecache/src/controller.rs crates/pagecache/src/lru.rs crates/pagecache/src/manager.rs crates/pagecache/src/stats.rs Cargo.toml
+
+crates/pagecache/src/lib.rs:
+crates/pagecache/src/block.rs:
+crates/pagecache/src/config.rs:
+crates/pagecache/src/controller.rs:
+crates/pagecache/src/lru.rs:
+crates/pagecache/src/manager.rs:
+crates/pagecache/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

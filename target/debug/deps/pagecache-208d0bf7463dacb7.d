@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pagecache-208d0bf7463dacb7.d: crates/pagecache/src/lib.rs crates/pagecache/src/block.rs crates/pagecache/src/config.rs crates/pagecache/src/controller.rs crates/pagecache/src/lru.rs crates/pagecache/src/manager.rs crates/pagecache/src/stats.rs
+
+/root/repo/target/debug/deps/libpagecache-208d0bf7463dacb7.rlib: crates/pagecache/src/lib.rs crates/pagecache/src/block.rs crates/pagecache/src/config.rs crates/pagecache/src/controller.rs crates/pagecache/src/lru.rs crates/pagecache/src/manager.rs crates/pagecache/src/stats.rs
+
+/root/repo/target/debug/deps/libpagecache-208d0bf7463dacb7.rmeta: crates/pagecache/src/lib.rs crates/pagecache/src/block.rs crates/pagecache/src/config.rs crates/pagecache/src/controller.rs crates/pagecache/src/lru.rs crates/pagecache/src/manager.rs crates/pagecache/src/stats.rs
+
+crates/pagecache/src/lib.rs:
+crates/pagecache/src/block.rs:
+crates/pagecache/src/config.rs:
+crates/pagecache/src/controller.rs:
+crates/pagecache/src/lru.rs:
+crates/pagecache/src/manager.rs:
+crates/pagecache/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pagecache-24d3e60af2a41e3f.d: crates/pagecache/src/lib.rs crates/pagecache/src/block.rs crates/pagecache/src/config.rs crates/pagecache/src/controller.rs crates/pagecache/src/lru.rs crates/pagecache/src/manager.rs crates/pagecache/src/stats.rs
+
+/root/repo/target/debug/deps/pagecache-24d3e60af2a41e3f: crates/pagecache/src/lib.rs crates/pagecache/src/block.rs crates/pagecache/src/config.rs crates/pagecache/src/controller.rs crates/pagecache/src/lru.rs crates/pagecache/src/manager.rs crates/pagecache/src/stats.rs
+
+crates/pagecache/src/lib.rs:
+crates/pagecache/src/block.rs:
+crates/pagecache/src/config.rs:
+crates/pagecache/src/controller.rs:
+crates/pagecache/src/lru.rs:
+crates/pagecache/src/manager.rs:
+crates/pagecache/src/stats.rs:

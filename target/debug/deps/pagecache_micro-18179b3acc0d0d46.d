@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pagecache_micro-18179b3acc0d0d46.d: crates/bench/benches/pagecache_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpagecache_micro-18179b3acc0d0d46.rmeta: crates/bench/benches/pagecache_micro.rs Cargo.toml
+
+crates/bench/benches/pagecache_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

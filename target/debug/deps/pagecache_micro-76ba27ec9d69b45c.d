@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pagecache_micro-76ba27ec9d69b45c.d: crates/bench/benches/pagecache_micro.rs
+
+/root/repo/target/debug/deps/pagecache_micro-76ba27ec9d69b45c: crates/bench/benches/pagecache_micro.rs
+
+crates/bench/benches/pagecache_micro.rs:

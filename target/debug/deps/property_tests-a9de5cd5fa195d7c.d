@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-a9de5cd5fa195d7c.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-a9de5cd5fa195d7c: tests/property_tests.rs
+
+tests/property_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_tests-f2878a05471527b5.d: tests/property_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_tests-f2878a05471527b5.rmeta: tests/property_tests.rs Cargo.toml
+
+tests/property_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

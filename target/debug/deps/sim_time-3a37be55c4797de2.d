@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_time-3a37be55c4797de2.d: crates/bench/benches/sim_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_time-3a37be55c4797de2.rmeta: crates/bench/benches/sim_time.rs Cargo.toml
+
+crates/bench/benches/sim_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_time-77df286d5f3d62c6.d: crates/bench/benches/sim_time.rs
+
+/root/repo/target/debug/deps/sim_time-77df286d5f3d62c6: crates/bench/benches/sim_time.rs
+
+crates/bench/benches/sim_time.rs:

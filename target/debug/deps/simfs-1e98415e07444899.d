@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/simfs-1e98415e07444899.d: crates/filesystem/src/lib.rs crates/filesystem/src/error.rs crates/filesystem/src/fs.rs crates/filesystem/src/local.rs crates/filesystem/src/nfs.rs crates/filesystem/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimfs-1e98415e07444899.rmeta: crates/filesystem/src/lib.rs crates/filesystem/src/error.rs crates/filesystem/src/fs.rs crates/filesystem/src/local.rs crates/filesystem/src/nfs.rs crates/filesystem/src/registry.rs Cargo.toml
+
+crates/filesystem/src/lib.rs:
+crates/filesystem/src/error.rs:
+crates/filesystem/src/fs.rs:
+crates/filesystem/src/local.rs:
+crates/filesystem/src/nfs.rs:
+crates/filesystem/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

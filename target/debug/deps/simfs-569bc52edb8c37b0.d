@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simfs-569bc52edb8c37b0.d: crates/filesystem/src/lib.rs crates/filesystem/src/error.rs crates/filesystem/src/fs.rs crates/filesystem/src/local.rs crates/filesystem/src/nfs.rs crates/filesystem/src/registry.rs
+
+/root/repo/target/debug/deps/libsimfs-569bc52edb8c37b0.rlib: crates/filesystem/src/lib.rs crates/filesystem/src/error.rs crates/filesystem/src/fs.rs crates/filesystem/src/local.rs crates/filesystem/src/nfs.rs crates/filesystem/src/registry.rs
+
+/root/repo/target/debug/deps/libsimfs-569bc52edb8c37b0.rmeta: crates/filesystem/src/lib.rs crates/filesystem/src/error.rs crates/filesystem/src/fs.rs crates/filesystem/src/local.rs crates/filesystem/src/nfs.rs crates/filesystem/src/registry.rs
+
+crates/filesystem/src/lib.rs:
+crates/filesystem/src/error.rs:
+crates/filesystem/src/fs.rs:
+crates/filesystem/src/local.rs:
+crates/filesystem/src/nfs.rs:
+crates/filesystem/src/registry.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simfs-c04a7b833d3ea86f.d: crates/filesystem/src/lib.rs crates/filesystem/src/error.rs crates/filesystem/src/fs.rs crates/filesystem/src/local.rs crates/filesystem/src/nfs.rs crates/filesystem/src/registry.rs
+
+/root/repo/target/debug/deps/simfs-c04a7b833d3ea86f: crates/filesystem/src/lib.rs crates/filesystem/src/error.rs crates/filesystem/src/fs.rs crates/filesystem/src/local.rs crates/filesystem/src/nfs.rs crates/filesystem/src/registry.rs
+
+crates/filesystem/src/lib.rs:
+crates/filesystem/src/error.rs:
+crates/filesystem/src/fs.rs:
+crates/filesystem/src/local.rs:
+crates/filesystem/src/nfs.rs:
+crates/filesystem/src/registry.rs:

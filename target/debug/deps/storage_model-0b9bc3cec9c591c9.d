@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/storage_model-0b9bc3cec9c591c9.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/resource.rs crates/storage/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_model-0b9bc3cec9c591c9.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/resource.rs crates/storage/src/units.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/resource.rs:
+crates/storage/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

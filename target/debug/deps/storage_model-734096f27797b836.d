@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/storage_model-734096f27797b836.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/resource.rs crates/storage/src/units.rs
+
+/root/repo/target/debug/deps/libstorage_model-734096f27797b836.rlib: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/resource.rs crates/storage/src/units.rs
+
+/root/repo/target/debug/deps/libstorage_model-734096f27797b836.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/resource.rs crates/storage/src/units.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/resource.rs:
+crates/storage/src/units.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/storage_model-d977202f6f0de15c.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/resource.rs crates/storage/src/units.rs
+
+/root/repo/target/debug/deps/storage_model-d977202f6f0de15c: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/resource.rs crates/storage/src/units.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/resource.rs:
+crates/storage/src/units.rs:

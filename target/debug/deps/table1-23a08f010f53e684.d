@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-23a08f010f53e684.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-23a08f010f53e684: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-640ffa7f62d09339.d: crates/experiments/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-640ffa7f62d09339.rmeta: crates/experiments/src/bin/table1.rs Cargo.toml
+
+crates/experiments/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

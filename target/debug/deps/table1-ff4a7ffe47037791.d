@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ff4a7ffe47037791.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ff4a7ffe47037791: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-41b4dc7b2ee50af8.d: crates/experiments/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-41b4dc7b2ee50af8.rmeta: crates/experiments/src/bin/table2.rs Cargo.toml
+
+crates/experiments/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-4a618b3b4a14bf3b.d: crates/experiments/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-4a618b3b4a14bf3b.rmeta: crates/experiments/src/bin/table2.rs Cargo.toml
+
+crates/experiments/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-543a5ff52ab7f34d.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-543a5ff52ab7f34d: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8094b770df9452c4.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-8094b770df9452c4: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-10abb6617aed021e.d: crates/experiments/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-10abb6617aed021e: crates/experiments/src/bin/table3.rs
+
+crates/experiments/src/bin/table3.rs:

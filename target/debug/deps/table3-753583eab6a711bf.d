@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-753583eab6a711bf.d: crates/experiments/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-753583eab6a711bf.rmeta: crates/experiments/src/bin/table3.rs Cargo.toml
+
+crates/experiments/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

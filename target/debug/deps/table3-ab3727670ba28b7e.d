@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ab3727670ba28b7e.d: crates/experiments/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ab3727670ba28b7e: crates/experiments/src/bin/table3.rs
+
+crates/experiments/src/bin/table3.rs:

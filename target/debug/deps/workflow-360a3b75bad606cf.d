@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/workflow-360a3b75bad606cf.d: crates/workflow/src/lib.rs crates/workflow/src/backend.rs crates/workflow/src/platform.rs crates/workflow/src/report.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkflow-360a3b75bad606cf.rmeta: crates/workflow/src/lib.rs crates/workflow/src/backend.rs crates/workflow/src/platform.rs crates/workflow/src/report.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs Cargo.toml
+
+crates/workflow/src/lib.rs:
+crates/workflow/src/backend.rs:
+crates/workflow/src/platform.rs:
+crates/workflow/src/report.rs:
+crates/workflow/src/runner.rs:
+crates/workflow/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

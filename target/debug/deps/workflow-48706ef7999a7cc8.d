@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/workflow-48706ef7999a7cc8.d: crates/workflow/src/lib.rs crates/workflow/src/backend.rs crates/workflow/src/platform.rs crates/workflow/src/report.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs
+
+/root/repo/target/debug/deps/libworkflow-48706ef7999a7cc8.rlib: crates/workflow/src/lib.rs crates/workflow/src/backend.rs crates/workflow/src/platform.rs crates/workflow/src/report.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs
+
+/root/repo/target/debug/deps/libworkflow-48706ef7999a7cc8.rmeta: crates/workflow/src/lib.rs crates/workflow/src/backend.rs crates/workflow/src/platform.rs crates/workflow/src/report.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs
+
+crates/workflow/src/lib.rs:
+crates/workflow/src/backend.rs:
+crates/workflow/src/platform.rs:
+crates/workflow/src/report.rs:
+crates/workflow/src/runner.rs:
+crates/workflow/src/spec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workflow-b145736aae42f48e.d: crates/workflow/src/lib.rs crates/workflow/src/backend.rs crates/workflow/src/platform.rs crates/workflow/src/report.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs
+
+/root/repo/target/debug/deps/workflow-b145736aae42f48e: crates/workflow/src/lib.rs crates/workflow/src/backend.rs crates/workflow/src/platform.rs crates/workflow/src/report.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs
+
+crates/workflow/src/lib.rs:
+crates/workflow/src/backend.rs:
+crates/workflow/src/platform.rs:
+crates/workflow/src/report.rs:
+crates/workflow/src/runner.rs:
+crates/workflow/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/concurrent_instances-6396b7fa20f42370.d: examples/concurrent_instances.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconcurrent_instances-6396b7fa20f42370.rmeta: examples/concurrent_instances.rs Cargo.toml
+
+examples/concurrent_instances.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/concurrent_instances-916b6dd71f63da18.d: examples/concurrent_instances.rs
+
+/root/repo/target/debug/examples/concurrent_instances-916b6dd71f63da18: examples/concurrent_instances.rs
+
+examples/concurrent_instances.rs:

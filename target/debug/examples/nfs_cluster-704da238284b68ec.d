@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nfs_cluster-704da238284b68ec.d: examples/nfs_cluster.rs
+
+/root/repo/target/debug/examples/nfs_cluster-704da238284b68ec: examples/nfs_cluster.rs
+
+examples/nfs_cluster.rs:

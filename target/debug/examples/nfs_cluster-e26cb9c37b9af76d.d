@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nfs_cluster-e26cb9c37b9af76d.d: examples/nfs_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnfs_cluster-e26cb9c37b9af76d.rmeta: examples/nfs_cluster.rs Cargo.toml
+
+examples/nfs_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

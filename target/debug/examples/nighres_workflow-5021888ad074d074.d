@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nighres_workflow-5021888ad074d074.d: examples/nighres_workflow.rs
+
+/root/repo/target/debug/examples/nighres_workflow-5021888ad074d074: examples/nighres_workflow.rs
+
+examples/nighres_workflow.rs:

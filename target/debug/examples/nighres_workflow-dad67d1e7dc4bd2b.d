@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nighres_workflow-dad67d1e7dc4bd2b.d: examples/nighres_workflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnighres_workflow-dad67d1e7dc4bd2b.rmeta: examples/nighres_workflow.rs Cargo.toml
+
+examples/nighres_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

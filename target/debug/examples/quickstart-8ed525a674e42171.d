@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8ed525a674e42171.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8ed525a674e42171: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/synthetic_pipeline-aa1bd46891629356.d: examples/synthetic_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsynthetic_pipeline-aa1bd46891629356.rmeta: examples/synthetic_pipeline.rs Cargo.toml
+
+examples/synthetic_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/synthetic_pipeline-b9d9c4dadf1deb83.d: examples/synthetic_pipeline.rs
+
+/root/repo/target/debug/examples/synthetic_pipeline-b9d9c4dadf1deb83: examples/synthetic_pipeline.rs
+
+examples/synthetic_pipeline.rs:

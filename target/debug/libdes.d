@@ -1,0 +1,1 @@
+/root/repo/target/debug/libdes.rlib: /root/repo/crates/des/src/engine.rs /root/repo/crates/des/src/lib.rs /root/repo/crates/des/src/sync.rs /root/repo/crates/des/src/time.rs

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-72839186b2ea3fe3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-72839186b2ea3fe3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-72839186b2ea3fe3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-64c8ef140b3bb2f2.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-64c8ef140b3bb2f2.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-64c8ef140b3bb2f2.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/des-e3072e61447d0d88.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/sync.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libdes-e3072e61447d0d88.rlib: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/sync.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libdes-e3072e61447d0d88.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/sync.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/sync.rs:
+crates/des/src/time.rs:

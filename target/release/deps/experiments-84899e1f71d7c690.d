@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/experiments-84899e1f71d7c690.d: crates/experiments/src/lib.rs crates/experiments/src/exp1.rs crates/experiments/src/exp4.rs crates/experiments/src/exp_concurrent.rs crates/experiments/src/platform.rs crates/experiments/src/simtime.rs crates/experiments/src/table.rs
+
+/root/repo/target/release/deps/libexperiments-84899e1f71d7c690.rlib: crates/experiments/src/lib.rs crates/experiments/src/exp1.rs crates/experiments/src/exp4.rs crates/experiments/src/exp_concurrent.rs crates/experiments/src/platform.rs crates/experiments/src/simtime.rs crates/experiments/src/table.rs
+
+/root/repo/target/release/deps/libexperiments-84899e1f71d7c690.rmeta: crates/experiments/src/lib.rs crates/experiments/src/exp1.rs crates/experiments/src/exp4.rs crates/experiments/src/exp_concurrent.rs crates/experiments/src/platform.rs crates/experiments/src/simtime.rs crates/experiments/src/table.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/exp1.rs:
+crates/experiments/src/exp4.rs:
+crates/experiments/src/exp_concurrent.rs:
+crates/experiments/src/platform.rs:
+crates/experiments/src/simtime.rs:
+crates/experiments/src/table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4a-cc8236ad876354ea.d: crates/experiments/src/bin/fig4a.rs
+
+/root/repo/target/release/deps/fig4a-cc8236ad876354ea: crates/experiments/src/bin/fig4a.rs
+
+crates/experiments/src/bin/fig4a.rs:

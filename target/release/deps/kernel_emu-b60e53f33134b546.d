@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/kernel_emu-b60e53f33134b546.d: crates/kernel-emu/src/lib.rs crates/kernel-emu/src/cache.rs crates/kernel-emu/src/fs.rs crates/kernel-emu/src/tuning.rs
+
+/root/repo/target/release/deps/libkernel_emu-b60e53f33134b546.rlib: crates/kernel-emu/src/lib.rs crates/kernel-emu/src/cache.rs crates/kernel-emu/src/fs.rs crates/kernel-emu/src/tuning.rs
+
+/root/repo/target/release/deps/libkernel_emu-b60e53f33134b546.rmeta: crates/kernel-emu/src/lib.rs crates/kernel-emu/src/cache.rs crates/kernel-emu/src/fs.rs crates/kernel-emu/src/tuning.rs
+
+crates/kernel-emu/src/lib.rs:
+crates/kernel-emu/src/cache.rs:
+crates/kernel-emu/src/fs.rs:
+crates/kernel-emu/src/tuning.rs:

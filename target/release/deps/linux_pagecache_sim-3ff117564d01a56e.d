@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/linux_pagecache_sim-3ff117564d01a56e.d: src/lib.rs
+
+/root/repo/target/release/deps/liblinux_pagecache_sim-3ff117564d01a56e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblinux_pagecache_sim-3ff117564d01a56e.rmeta: src/lib.rs
+
+src/lib.rs:

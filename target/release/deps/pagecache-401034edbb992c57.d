@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pagecache-401034edbb992c57.d: crates/pagecache/src/lib.rs crates/pagecache/src/block.rs crates/pagecache/src/config.rs crates/pagecache/src/controller.rs crates/pagecache/src/lru.rs crates/pagecache/src/manager.rs crates/pagecache/src/stats.rs
+
+/root/repo/target/release/deps/libpagecache-401034edbb992c57.rlib: crates/pagecache/src/lib.rs crates/pagecache/src/block.rs crates/pagecache/src/config.rs crates/pagecache/src/controller.rs crates/pagecache/src/lru.rs crates/pagecache/src/manager.rs crates/pagecache/src/stats.rs
+
+/root/repo/target/release/deps/libpagecache-401034edbb992c57.rmeta: crates/pagecache/src/lib.rs crates/pagecache/src/block.rs crates/pagecache/src/config.rs crates/pagecache/src/controller.rs crates/pagecache/src/lru.rs crates/pagecache/src/manager.rs crates/pagecache/src/stats.rs
+
+crates/pagecache/src/lib.rs:
+crates/pagecache/src/block.rs:
+crates/pagecache/src/config.rs:
+crates/pagecache/src/controller.rs:
+crates/pagecache/src/lru.rs:
+crates/pagecache/src/manager.rs:
+crates/pagecache/src/stats.rs:

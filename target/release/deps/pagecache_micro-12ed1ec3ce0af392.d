@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pagecache_micro-12ed1ec3ce0af392.d: crates/bench/benches/pagecache_micro.rs
+
+/root/repo/target/release/deps/pagecache_micro-12ed1ec3ce0af392: crates/bench/benches/pagecache_micro.rs
+
+crates/bench/benches/pagecache_micro.rs:

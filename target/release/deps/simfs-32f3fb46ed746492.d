@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/simfs-32f3fb46ed746492.d: crates/filesystem/src/lib.rs crates/filesystem/src/error.rs crates/filesystem/src/fs.rs crates/filesystem/src/local.rs crates/filesystem/src/nfs.rs crates/filesystem/src/registry.rs
+
+/root/repo/target/release/deps/libsimfs-32f3fb46ed746492.rlib: crates/filesystem/src/lib.rs crates/filesystem/src/error.rs crates/filesystem/src/fs.rs crates/filesystem/src/local.rs crates/filesystem/src/nfs.rs crates/filesystem/src/registry.rs
+
+/root/repo/target/release/deps/libsimfs-32f3fb46ed746492.rmeta: crates/filesystem/src/lib.rs crates/filesystem/src/error.rs crates/filesystem/src/fs.rs crates/filesystem/src/local.rs crates/filesystem/src/nfs.rs crates/filesystem/src/registry.rs
+
+crates/filesystem/src/lib.rs:
+crates/filesystem/src/error.rs:
+crates/filesystem/src/fs.rs:
+crates/filesystem/src/local.rs:
+crates/filesystem/src/nfs.rs:
+crates/filesystem/src/registry.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/storage_model-f02f52e7c62a6a4c.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/resource.rs crates/storage/src/units.rs
+
+/root/repo/target/release/deps/libstorage_model-f02f52e7c62a6a4c.rlib: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/resource.rs crates/storage/src/units.rs
+
+/root/repo/target/release/deps/libstorage_model-f02f52e7c62a6a4c.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/resource.rs crates/storage/src/units.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/resource.rs:
+crates/storage/src/units.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/workflow-d40af708d9433bc9.d: crates/workflow/src/lib.rs crates/workflow/src/backend.rs crates/workflow/src/platform.rs crates/workflow/src/report.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs
+
+/root/repo/target/release/deps/libworkflow-d40af708d9433bc9.rlib: crates/workflow/src/lib.rs crates/workflow/src/backend.rs crates/workflow/src/platform.rs crates/workflow/src/report.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs
+
+/root/repo/target/release/deps/libworkflow-d40af708d9433bc9.rmeta: crates/workflow/src/lib.rs crates/workflow/src/backend.rs crates/workflow/src/platform.rs crates/workflow/src/report.rs crates/workflow/src/runner.rs crates/workflow/src/spec.rs
+
+crates/workflow/src/lib.rs:
+crates/workflow/src/backend.rs:
+crates/workflow/src/platform.rs:
+crates/workflow/src/report.rs:
+crates/workflow/src/runner.rs:
+crates/workflow/src/spec.rs:

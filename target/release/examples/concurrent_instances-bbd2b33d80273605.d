@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/concurrent_instances-bbd2b33d80273605.d: examples/concurrent_instances.rs
+
+/root/repo/target/release/examples/concurrent_instances-bbd2b33d80273605: examples/concurrent_instances.rs
+
+examples/concurrent_instances.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0fb3f0ed0a719dc0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0fb3f0ed0a719dc0: examples/quickstart.rs
+
+examples/quickstart.rs:
