@@ -165,6 +165,14 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Whether `$BENCH_SMOKE` requests the fast smoke mode: one tiny sample per
+/// benchmark, just enough to prove the bench still runs and to expose
+/// order-of-magnitude collapses in CI logs. Smoke numbers are noisy and must
+/// never be compared against full runs.
+fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 fn run_benchmark(
     id: &str,
     sample_size: usize,
@@ -172,6 +180,11 @@ fn run_benchmark(
     measurement: Duration,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    let (sample_size, warm_up, measurement) = if smoke_mode() {
+        (1, Duration::from_millis(5), Duration::from_millis(20))
+    } else {
+        (sample_size, warm_up, measurement)
+    };
     let mut bencher = Bencher {
         sample_size,
         warm_up,

@@ -1,49 +1,9 @@
-//! Reproduces Fig. 4a: absolute relative simulation errors of the synthetic
-//! application (Exp 1), per I/O phase and per simulator.
-
-use experiments::platform::{exp1_file_sizes, paper_platform, scaled_platform};
-use experiments::run_exp1;
-use experiments::table::{pct, secs, TextTable};
-use storage_model::units::GB;
+//! Thin shim around [`experiments::figures::fig4a_report`]; pass `--quick`
+//! for the scaled-down configuration.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (platform, sizes) = if quick {
-        (scaled_platform(16.0 * GB), vec![2.0 * GB])
-    } else {
-        (paper_platform(), exp1_file_sizes())
-    };
-    let results = run_exp1(&platform, &sizes).expect("Exp 1 failed");
-    for result in &results {
-        println!("\n=== Exp 1, {} GB files ===", result.file_size / GB);
-        let mut table = TextTable::new(&[
-            "Phase",
-            "Real (s)",
-            "Prototype (s)",
-            "WRENCH (s)",
-            "WRENCH-cache (s)",
-            "err proto %",
-            "err WRENCH %",
-            "err cache %",
-        ]);
-        for p in &result.phases {
-            table.add_row(vec![
-                p.label.clone(),
-                secs(p.real),
-                secs(p.prototype),
-                secs(p.cacheless),
-                secs(p.wrench_cache),
-                pct(p.error_prototype()),
-                pct(p.error_cacheless()),
-                pct(p.error_wrench_cache()),
-            ]);
-        }
-        println!("{}", table.render());
-        println!(
-            "Mean errors: prototype {:.0}%, WRENCH {:.0}%, WRENCH-cache {:.0}%",
-            result.mean_error_prototype(),
-            result.mean_error_cacheless(),
-            result.mean_error_wrench_cache()
-        );
-    }
+    print!(
+        "{}",
+        experiments::figures::fig4a_report(experiments::figures::quick_flag())
+    );
 }

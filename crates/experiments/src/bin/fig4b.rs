@@ -1,52 +1,9 @@
-//! Reproduces Fig. 4b: memory profiles (used, cached, dirty) over time for the
-//! real execution (kernel emulator), the prototype, and WRENCH-cache.
-
-use experiments::platform::{exp1_file_sizes, paper_platform, scaled_platform};
-use experiments::run_exp1;
-use pagecache::MemoryTrace;
-use storage_model::units::GB;
-
-fn print_trace(label: &str, trace: &Option<MemoryTrace>) {
-    println!("\n--- {label} ---");
-    println!(
-        "{:>10}  {:>12}  {:>12}  {:>12}",
-        "time (s)", "used (GB)", "cache (GB)", "dirty (GB)"
-    );
-    let Some(trace) = trace else {
-        println!("(no memory model)");
-        return;
-    };
-    // Down-sample to at most 40 rows to keep the output readable.
-    let samples = trace.samples();
-    let step = (samples.len() / 40).max(1);
-    for s in samples.iter().step_by(step) {
-        println!(
-            "{:>10.1}  {:>12.2}  {:>12.2}  {:>12.2}",
-            s.time.as_secs(),
-            s.used / GB,
-            s.cached / GB,
-            s.dirty / GB
-        );
-    }
-    println!(
-        "max dirty: {:.2} GB, max cache: {:.2} GB",
-        trace.max_dirty() / GB,
-        trace.max_cached() / GB
-    );
-}
+//! Thin shim around [`experiments::figures::fig4b_report`]; pass `--quick`
+//! for the scaled-down configuration.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (platform, sizes) = if quick {
-        (scaled_platform(16.0 * GB), vec![2.0 * GB])
-    } else {
-        (paper_platform(), exp1_file_sizes())
-    };
-    let results = run_exp1(&platform, &sizes).expect("Exp 1 failed");
-    for result in &results {
-        println!("\n=== Fig. 4b, {} GB files ===", result.file_size / GB);
-        print_trace("Real execution (kernel emulator)", &result.real_trace);
-        print_trace("Python prototype back-end", &result.prototype_trace);
-        print_trace("WRENCH-cache", &result.wrench_cache_trace);
-    }
+    print!(
+        "{}",
+        experiments::figures::fig4b_report(experiments::figures::quick_flag())
+    );
 }

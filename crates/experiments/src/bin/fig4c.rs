@@ -1,40 +1,9 @@
-//! Reproduces Fig. 4c: cache contents per file after each application I/O
-//! operation, real execution vs WRENCH-cache.
-
-use experiments::platform::{exp1_file_sizes, paper_platform, scaled_platform};
-use experiments::run_exp1;
-use pagecache::CacheContentSnapshot;
-use storage_model::units::GB;
-
-fn print_snapshots(label: &str, snaps: &[CacheContentSnapshot]) {
-    println!("\n--- {label} ---");
-    for snap in snaps {
-        let mut parts: Vec<String> = snap
-            .per_file
-            .iter()
-            .map(|(f, bytes)| format!("{f}={:.1}GB", bytes / GB))
-            .collect();
-        parts.sort();
-        println!(
-            "{:>8}: total {:>6.1} GB  [{}]",
-            snap.label,
-            snap.total() / GB,
-            parts.join(", ")
-        );
-    }
-}
+//! Thin shim around [`experiments::figures::fig4c_report`]; pass `--quick`
+//! for the scaled-down configuration.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (platform, sizes) = if quick {
-        (scaled_platform(16.0 * GB), vec![2.0 * GB])
-    } else {
-        (paper_platform(), exp1_file_sizes())
-    };
-    let results = run_exp1(&platform, &sizes).expect("Exp 1 failed");
-    for result in &results {
-        println!("\n=== Fig. 4c, {} GB files ===", result.file_size / GB);
-        print_snapshots("Real execution (kernel emulator)", &result.real_snapshots);
-        print_snapshots("WRENCH-cache", &result.wrench_cache_snapshots);
-    }
+    print!(
+        "{}",
+        experiments::figures::fig4c_report(experiments::figures::quick_flag())
+    );
 }

@@ -1,44 +1,9 @@
-//! Reproduces Fig. 6 (Exp 4): per-step read/write simulation errors for the
-//! Nighres workflow, WRENCH vs WRENCH-cache.
-
-use experiments::platform::{paper_platform, scaled_platform};
-use experiments::run_exp4;
-use experiments::table::{pct, secs, TextTable};
-use storage_model::units::GB;
+//! Thin shim around [`experiments::figures::fig6_report`]; pass `--quick`
+//! for the scaled-down configuration.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let platform = if quick {
-        scaled_platform(16.0 * GB)
-    } else {
-        paper_platform()
-    };
-    let result = run_exp4(&platform).expect("Exp 4 failed");
-    println!("Fig. 6 (Exp 4): Nighres cortical reconstruction, per-phase errors");
-    let mut table = TextTable::new(&[
-        "Phase",
-        "Step",
-        "Real (s)",
-        "WRENCH (s)",
-        "WRENCH-cache (s)",
-        "err WRENCH %",
-        "err cache %",
-    ]);
-    for p in &result.phases {
-        table.add_row(vec![
-            p.label.clone(),
-            p.step.clone(),
-            secs(p.real),
-            secs(p.cacheless),
-            secs(p.wrench_cache),
-            pct(p.error_cacheless()),
-            pct(p.error_wrench_cache()),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "Mean errors: WRENCH {:.0}%, WRENCH-cache {:.0}% (paper: 337% and 47%)",
-        result.mean_error_cacheless(),
-        result.mean_error_wrench_cache()
+    print!(
+        "{}",
+        experiments::figures::fig6_report(experiments::figures::quick_flag())
     );
 }

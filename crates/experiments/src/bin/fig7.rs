@@ -1,42 +1,9 @@
-//! Reproduces Fig. 7 (Exp 3): cumulative read/write times of concurrent
-//! application instances with 3 GB files on NFS storage.
-
-use experiments::platform::{concurrency_sweep, paper_platform, scaled_platform, EXP2_FILE_SIZE};
-use experiments::run_exp3;
-use experiments::table::{secs, TextTable};
-use storage_model::units::GB;
+//! Thin shim around [`experiments::figures::fig7_report`]; pass `--quick`
+//! for the scaled-down configuration.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (platform, size, counts) = if quick {
-        (scaled_platform(32.0 * GB), 1.0 * GB, vec![1, 4, 8])
-    } else {
-        (paper_platform(), EXP2_FILE_SIZE, concurrency_sweep())
-    };
-    let sweep = run_exp3(&platform, size, &counts).expect("Exp 3 failed");
-    println!(
-        "Fig. 7 (Exp 3): concurrent instances, {} GB files, NFS storage",
-        size / GB
+    print!(
+        "{}",
+        experiments::figures::fig7_report(experiments::figures::quick_flag())
     );
-    let mut table = TextTable::new(&[
-        "instances",
-        "real read",
-        "real write",
-        "WRENCH read",
-        "WRENCH write",
-        "cache read",
-        "cache write",
-    ]);
-    for p in &sweep.points {
-        table.add_row(vec![
-            p.instances.to_string(),
-            secs(p.real_read),
-            secs(p.real_write),
-            secs(p.cacheless_read),
-            secs(p.cacheless_write),
-            secs(p.cache_read),
-            secs(p.cache_write),
-        ]);
-    }
-    println!("{}", table.render());
 }

@@ -1,46 +1,9 @@
-//! Reproduces Fig. 8: simulation wall-clock time vs number of concurrent
-//! application instances, with linear fits.
-
-use experiments::platform::{concurrency_sweep, paper_platform, scaled_platform, EXP2_FILE_SIZE};
-use experiments::run_simulation_time_measurement;
-use experiments::table::TextTable;
-use storage_model::units::GB;
+//! Thin shim around [`experiments::figures::fig8_report`]; pass `--quick`
+//! for the scaled-down configuration.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (platform, size, counts) = if quick {
-        (scaled_platform(32.0 * GB), 1.0 * GB, vec![1, 2, 4, 8])
-    } else {
-        (paper_platform(), EXP2_FILE_SIZE, concurrency_sweep())
-    };
-    let result = run_simulation_time_measurement(&platform, size, &counts).expect("Fig. 8 failed");
-    println!("Fig. 8: simulation time vs concurrent applications");
-    let mut table = TextTable::new(&[
-        "instances",
-        "WRENCH local (s)",
-        "WRENCH NFS (s)",
-        "cache local (s)",
-        "cache NFS (s)",
-    ]);
-    for p in &result.points {
-        table.add_row(vec![
-            p.instances.to_string(),
-            format!("{:.4}", p.cacheless_local),
-            format!("{:.4}", p.cacheless_nfs),
-            format!("{:.4}", p.cache_local),
-            format!("{:.4}", p.cache_nfs),
-        ]);
-    }
-    println!("{}", table.render());
-    for (label, fit) in [
-        ("WRENCH (local)", result.fit_cacheless_local),
-        ("WRENCH (NFS)", result.fit_cacheless_nfs),
-        ("WRENCH-cache (local)", result.fit_cache_local),
-        ("WRENCH-cache (NFS)", result.fit_cache_nfs),
-    ] {
-        println!(
-            "{label}: y = {:.4}x + {:.4} (R^2 = {:.3})",
-            fit.slope, fit.intercept, fit.r_squared
-        );
-    }
+    print!(
+        "{}",
+        experiments::figures::fig8_report(experiments::figures::quick_flag())
+    );
 }

@@ -1,15 +1,5 @@
-//! Reproduces Table I: synthetic application parameters (input size vs CPU time).
-
-use experiments::table::TextTable;
-use storage_model::units::GB;
-use workflow::ApplicationSpec;
+//! Thin shim around [`experiments::figures::table1_report`].
 
 fn main() {
-    let mut table = TextTable::new(&["Input size (GB)", "CPU time (s)"]);
-    for gb in [3.0, 20.0, 50.0, 75.0, 100.0] {
-        let cpu = ApplicationSpec::synthetic_cpu_time(gb * GB);
-        table.add_row(vec![format!("{gb:.0}"), format!("{cpu:.1}")]);
-    }
-    println!("Table I: Synthetic application parameters");
-    println!("{}", table.render());
+    print!("{}", experiments::figures::table1_report());
 }

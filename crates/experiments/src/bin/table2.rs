@@ -1,25 +1,5 @@
-//! Reproduces Table II: Nighres application parameters.
-
-use experiments::table::TextTable;
-use storage_model::units::MB;
-use workflow::ApplicationSpec;
+//! Thin shim around [`experiments::figures::table2_report`].
 
 fn main() {
-    let app = ApplicationSpec::nighres();
-    let mut table = TextTable::new(&[
-        "Workflow step",
-        "Input size (MB)",
-        "Output size (MB)",
-        "CPU time (s)",
-    ]);
-    for task in &app.tasks {
-        table.add_row(vec![
-            task.name.clone(),
-            format!("{:.0}", task.input_bytes() / MB),
-            format!("{:.0}", task.output_bytes() / MB),
-            format!("{:.0}", task.cpu_time),
-        ]);
-    }
-    println!("Table II: Nighres application parameters");
-    println!("{}", table.render());
+    print!("{}", experiments::figures::table2_report());
 }

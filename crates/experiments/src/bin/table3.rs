@@ -1,53 +1,5 @@
-//! Reproduces Table III: bandwidth benchmarks and simulator configurations.
-
-use experiments::platform::{measured, simulated};
-use experiments::table::TextTable;
+//! Thin shim around [`experiments::figures::table3_report`].
 
 fn main() {
-    let mut table = TextTable::new(&[
-        "Device",
-        "Direction",
-        "Cluster (real, MBps)",
-        "Simulators (MBps)",
-    ]);
-    let rows: Vec<(&str, &str, f64, f64)> = vec![
-        ("Memory", "read", measured::MEMORY_READ, simulated::MEMORY),
-        ("Memory", "write", measured::MEMORY_WRITE, simulated::MEMORY),
-        (
-            "Local disk",
-            "read",
-            measured::LOCAL_DISK_READ,
-            simulated::LOCAL_DISK,
-        ),
-        (
-            "Local disk",
-            "write",
-            measured::LOCAL_DISK_WRITE,
-            simulated::LOCAL_DISK,
-        ),
-        (
-            "Remote disk",
-            "read",
-            measured::REMOTE_DISK_READ,
-            simulated::REMOTE_DISK,
-        ),
-        (
-            "Remote disk",
-            "write",
-            measured::REMOTE_DISK_WRITE,
-            simulated::REMOTE_DISK,
-        ),
-        ("Network", "-", measured::NETWORK, simulated::NETWORK),
-    ];
-    for (dev, dir, real, sim) in rows {
-        table.add_row(vec![
-            dev.into(),
-            dir.into(),
-            format!("{real:.0}"),
-            format!("{sim:.0}"),
-        ]);
-    }
-    println!("Table III: Bandwidth benchmarks (MBps) and simulator configurations");
-    println!("(simulators use the mean of the measured read and write bandwidths)");
-    println!("{}", table.render());
+    print!("{}", experiments::figures::table3_report());
 }

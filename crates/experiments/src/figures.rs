@@ -1,0 +1,438 @@
+//! Renderers for every table and figure of the paper.
+//!
+//! Each `*_report` function runs the corresponding experiment and renders the
+//! same plain-text table its binary used to print inline; the binaries under
+//! `src/bin/` are now thin shims around these functions, so the sweep harness
+//! (`crates/harness`), the test suite, and the CLI all share one code path.
+//!
+//! Every function takes a `quick` flag: `false` reproduces the paper-scale
+//! configuration (250 GiB node, 20–100 GB files), `true` runs a
+//! proportionally scaled-down configuration that finishes in seconds.
+
+use storage_model::units::GB;
+use workflow::ApplicationSpec;
+
+use crate::exp1::run_exp1;
+use crate::exp4::run_exp4;
+use crate::exp_concurrent::{run_exp2, run_exp3, ConcurrencySweep};
+use crate::platform::{
+    concurrency_sweep, exp1_file_sizes, measured, paper_platform, scaled_platform, simulated,
+    EXP2_FILE_SIZE,
+};
+use crate::simtime::run_simulation_time_measurement;
+use crate::table::{pct, secs, TextTable};
+
+/// The Exp 1 configuration: paper scale or the quick 16 GB / 2 GB variant.
+fn exp1_config(quick: bool) -> (workflow::PlatformSpec, Vec<f64>) {
+    if quick {
+        (scaled_platform(16.0 * GB), vec![2.0 * GB])
+    } else {
+        (paper_platform(), exp1_file_sizes())
+    }
+}
+
+/// The Exp 2/3 configuration: platform, file size and instance counts.
+fn concurrency_config(quick: bool) -> (workflow::PlatformSpec, f64, Vec<usize>) {
+    if quick {
+        (scaled_platform(32.0 * GB), 1.0 * GB, vec![1, 4, 8])
+    } else {
+        (paper_platform(), EXP2_FILE_SIZE, concurrency_sweep())
+    }
+}
+
+/// Fig. 4a: absolute relative simulation errors of the synthetic application
+/// (Exp 1), per I/O phase and per simulator.
+pub fn fig4a_report(quick: bool) -> String {
+    let (platform, sizes) = exp1_config(quick);
+    let results = run_exp1(&platform, &sizes).expect("Exp 1 failed");
+    let mut out = String::new();
+    for result in &results {
+        out.push_str(&format!(
+            "\n=== Exp 1, {} GB files ===\n",
+            result.file_size / GB
+        ));
+        let mut table = TextTable::new(&[
+            "Phase",
+            "Real (s)",
+            "Prototype (s)",
+            "WRENCH (s)",
+            "WRENCH-cache (s)",
+            "err proto %",
+            "err WRENCH %",
+            "err cache %",
+        ]);
+        for p in &result.phases {
+            table.add_row(vec![
+                p.label.clone(),
+                secs(p.real),
+                secs(p.prototype),
+                secs(p.cacheless),
+                secs(p.wrench_cache),
+                pct(p.error_prototype()),
+                pct(p.error_cacheless()),
+                pct(p.error_wrench_cache()),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n'); // the binaries printed the table with println!
+        out.push_str(&format!(
+            "Mean errors: prototype {:.0}%, WRENCH {:.0}%, WRENCH-cache {:.0}%\n",
+            result.mean_error_prototype(),
+            result.mean_error_cacheless(),
+            result.mean_error_wrench_cache()
+        ));
+    }
+    out
+}
+
+fn render_trace(out: &mut String, label: &str, trace: &Option<pagecache::MemoryTrace>) {
+    out.push_str(&format!("\n--- {label} ---\n"));
+    out.push_str(&format!(
+        "{:>10}  {:>12}  {:>12}  {:>12}\n",
+        "time (s)", "used (GB)", "cache (GB)", "dirty (GB)"
+    ));
+    let Some(trace) = trace else {
+        out.push_str("(no memory model)\n");
+        return;
+    };
+    // Down-sample to at most 40 rows to keep the output readable.
+    let samples = trace.samples();
+    let step = (samples.len() / 40).max(1);
+    for s in samples.iter().step_by(step) {
+        out.push_str(&format!(
+            "{:>10.1}  {:>12.2}  {:>12.2}  {:>12.2}\n",
+            s.time.as_secs(),
+            s.used / GB,
+            s.cached / GB,
+            s.dirty / GB
+        ));
+    }
+    out.push_str(&format!(
+        "max dirty: {:.2} GB, max cache: {:.2} GB\n",
+        trace.max_dirty() / GB,
+        trace.max_cached() / GB
+    ));
+}
+
+/// Fig. 4b: memory profiles (used, cached, dirty) over time for the real
+/// execution (kernel emulator), the prototype, and WRENCH-cache.
+pub fn fig4b_report(quick: bool) -> String {
+    let (platform, sizes) = exp1_config(quick);
+    let results = run_exp1(&platform, &sizes).expect("Exp 1 failed");
+    let mut out = String::new();
+    for result in &results {
+        out.push_str(&format!(
+            "\n=== Fig. 4b, {} GB files ===\n",
+            result.file_size / GB
+        ));
+        render_trace(
+            &mut out,
+            "Real execution (kernel emulator)",
+            &result.real_trace,
+        );
+        render_trace(
+            &mut out,
+            "Python prototype back-end",
+            &result.prototype_trace,
+        );
+        render_trace(&mut out, "WRENCH-cache", &result.wrench_cache_trace);
+    }
+    out
+}
+
+fn render_snapshots(out: &mut String, label: &str, snaps: &[pagecache::CacheContentSnapshot]) {
+    out.push_str(&format!("\n--- {label} ---\n"));
+    for snap in snaps {
+        let mut parts: Vec<String> = snap
+            .per_file
+            .iter()
+            .map(|(f, bytes)| format!("{f}={:.1}GB", bytes / GB))
+            .collect();
+        parts.sort();
+        out.push_str(&format!(
+            "{:>8}: total {:>6.1} GB  [{}]\n",
+            snap.label,
+            snap.total() / GB,
+            parts.join(", ")
+        ));
+    }
+}
+
+/// Fig. 4c: cache contents per file after each application I/O operation,
+/// real execution vs WRENCH-cache.
+pub fn fig4c_report(quick: bool) -> String {
+    let (platform, sizes) = exp1_config(quick);
+    let results = run_exp1(&platform, &sizes).expect("Exp 1 failed");
+    let mut out = String::new();
+    for result in &results {
+        out.push_str(&format!(
+            "\n=== Fig. 4c, {} GB files ===\n",
+            result.file_size / GB
+        ));
+        render_snapshots(
+            &mut out,
+            "Real execution (kernel emulator)",
+            &result.real_snapshots,
+        );
+        render_snapshots(&mut out, "WRENCH-cache", &result.wrench_cache_snapshots);
+    }
+    out
+}
+
+fn render_concurrency(sweep: &ConcurrencySweep, header: &str) -> String {
+    let mut out = format!("{header}\n");
+    let mut table = TextTable::new(&[
+        "instances",
+        "real read",
+        "real write",
+        "WRENCH read",
+        "WRENCH write",
+        "cache read",
+        "cache write",
+    ]);
+    for p in &sweep.points {
+        table.add_row(vec![
+            p.instances.to_string(),
+            secs(p.real_read),
+            secs(p.real_write),
+            secs(p.cacheless_read),
+            secs(p.cacheless_write),
+            secs(p.cache_read),
+            secs(p.cache_write),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n'); // the binaries printed the table with println!
+    out
+}
+
+/// Fig. 5 (Exp 2): cumulative read/write times of concurrent application
+/// instances with 3 GB files on local storage.
+pub fn fig5_report(quick: bool) -> String {
+    let (platform, size, counts) = concurrency_config(quick);
+    let sweep = run_exp2(&platform, size, &counts).expect("Exp 2 failed");
+    render_concurrency(
+        &sweep,
+        &format!(
+            "Fig. 5 (Exp 2): concurrent instances, {} GB files, local disk",
+            size / GB
+        ),
+    )
+}
+
+/// Fig. 6 (Exp 4): per-step read/write simulation errors for the Nighres
+/// workflow, WRENCH vs WRENCH-cache.
+pub fn fig6_report(quick: bool) -> String {
+    let platform = if quick {
+        scaled_platform(16.0 * GB)
+    } else {
+        paper_platform()
+    };
+    let result = run_exp4(&platform).expect("Exp 4 failed");
+    let mut out =
+        String::from("Fig. 6 (Exp 4): Nighres cortical reconstruction, per-phase errors\n");
+    let mut table = TextTable::new(&[
+        "Phase",
+        "Step",
+        "Real (s)",
+        "WRENCH (s)",
+        "WRENCH-cache (s)",
+        "err WRENCH %",
+        "err cache %",
+    ]);
+    for p in &result.phases {
+        table.add_row(vec![
+            p.label.clone(),
+            p.step.clone(),
+            secs(p.real),
+            secs(p.cacheless),
+            secs(p.wrench_cache),
+            pct(p.error_cacheless()),
+            pct(p.error_wrench_cache()),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n'); // the binaries printed the table with println!
+    out.push_str(&format!(
+        "Mean errors: WRENCH {:.0}%, WRENCH-cache {:.0}% (paper: 337% and 47%)\n",
+        result.mean_error_cacheless(),
+        result.mean_error_wrench_cache()
+    ));
+    out
+}
+
+/// Fig. 7 (Exp 3): cumulative read/write times of concurrent application
+/// instances with 3 GB files on NFS storage.
+pub fn fig7_report(quick: bool) -> String {
+    let (platform, size, counts) = concurrency_config(quick);
+    let sweep = run_exp3(&platform, size, &counts).expect("Exp 3 failed");
+    render_concurrency(
+        &sweep,
+        &format!(
+            "Fig. 7 (Exp 3): concurrent instances, {} GB files, NFS storage",
+            size / GB
+        ),
+    )
+}
+
+/// Fig. 8: simulation wall-clock time vs number of concurrent application
+/// instances, with linear fits. Wall-clock times are machine-dependent, so
+/// this report is informational and never golden-gated.
+pub fn fig8_report(quick: bool) -> String {
+    let (platform, size, counts) = if quick {
+        (scaled_platform(32.0 * GB), 1.0 * GB, vec![1, 2, 4, 8])
+    } else {
+        (paper_platform(), EXP2_FILE_SIZE, concurrency_sweep())
+    };
+    let result = run_simulation_time_measurement(&platform, size, &counts).expect("Fig. 8 failed");
+    let mut out = String::from("Fig. 8: simulation time vs concurrent applications\n");
+    let mut table = TextTable::new(&[
+        "instances",
+        "WRENCH local (s)",
+        "WRENCH NFS (s)",
+        "cache local (s)",
+        "cache NFS (s)",
+    ]);
+    for p in &result.points {
+        table.add_row(vec![
+            p.instances.to_string(),
+            format!("{:.4}", p.cacheless_local),
+            format!("{:.4}", p.cacheless_nfs),
+            format!("{:.4}", p.cache_local),
+            format!("{:.4}", p.cache_nfs),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n'); // the binaries printed the table with println!
+    for (label, fit) in [
+        ("WRENCH (local)", result.fit_cacheless_local),
+        ("WRENCH (NFS)", result.fit_cacheless_nfs),
+        ("WRENCH-cache (local)", result.fit_cache_local),
+        ("WRENCH-cache (NFS)", result.fit_cache_nfs),
+    ] {
+        out.push_str(&format!(
+            "{label}: y = {:.4}x + {:.4} (R^2 = {:.3})\n",
+            fit.slope, fit.intercept, fit.r_squared
+        ));
+    }
+    out
+}
+
+/// Table I: synthetic application parameters (input size vs CPU time).
+pub fn table1_report() -> String {
+    let mut table = TextTable::new(&["Input size (GB)", "CPU time (s)"]);
+    for gb in [3.0, 20.0, 50.0, 75.0, 100.0] {
+        let cpu = ApplicationSpec::synthetic_cpu_time(gb * GB);
+        table.add_row(vec![format!("{gb:.0}"), format!("{cpu:.1}")]);
+    }
+    format!(
+        "Table I: Synthetic application parameters\n{}\n",
+        table.render()
+    )
+}
+
+/// Table II: Nighres application parameters.
+pub fn table2_report() -> String {
+    use storage_model::units::MB;
+    let app = ApplicationSpec::nighres();
+    let mut table = TextTable::new(&[
+        "Workflow step",
+        "Input size (MB)",
+        "Output size (MB)",
+        "CPU time (s)",
+    ]);
+    for task in &app.tasks {
+        table.add_row(vec![
+            task.name.clone(),
+            format!("{:.0}", task.input_bytes() / MB),
+            format!("{:.0}", task.output_bytes() / MB),
+            format!("{:.0}", task.cpu_time),
+        ]);
+    }
+    format!(
+        "Table II: Nighres application parameters\n{}\n",
+        table.render()
+    )
+}
+
+/// Table III: bandwidth benchmarks and simulator configurations.
+pub fn table3_report() -> String {
+    let mut table = TextTable::new(&[
+        "Device",
+        "Direction",
+        "Cluster (real, MBps)",
+        "Simulators (MBps)",
+    ]);
+    let rows: Vec<(&str, &str, f64, f64)> = vec![
+        ("Memory", "read", measured::MEMORY_READ, simulated::MEMORY),
+        ("Memory", "write", measured::MEMORY_WRITE, simulated::MEMORY),
+        (
+            "Local disk",
+            "read",
+            measured::LOCAL_DISK_READ,
+            simulated::LOCAL_DISK,
+        ),
+        (
+            "Local disk",
+            "write",
+            measured::LOCAL_DISK_WRITE,
+            simulated::LOCAL_DISK,
+        ),
+        (
+            "Remote disk",
+            "read",
+            measured::REMOTE_DISK_READ,
+            simulated::REMOTE_DISK,
+        ),
+        (
+            "Remote disk",
+            "write",
+            measured::REMOTE_DISK_WRITE,
+            simulated::REMOTE_DISK,
+        ),
+        ("Network", "-", measured::NETWORK, simulated::NETWORK),
+    ];
+    for (dev, dir, real, sim) in rows {
+        table.add_row(vec![
+            dev.into(),
+            dir.into(),
+            format!("{real:.0}"),
+            format!("{sim:.0}"),
+        ]);
+    }
+    format!(
+        "Table III: Bandwidth benchmarks (MBps) and simulator configurations\n\
+         (simulators use the mean of the measured read and write bandwidths)\n{}\n",
+        table.render()
+    )
+}
+
+/// Reads the `--quick` flag the report binaries share.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_reports_render() {
+        let t1 = table1_report();
+        assert!(t1.contains("Table I"));
+        assert!(t1.contains("100"));
+        let t2 = table2_report();
+        assert!(t2.contains("Table II"));
+        assert!(t2.contains("Skull stripping"));
+        let t3 = table3_report();
+        assert!(t3.contains("Table III"));
+        assert!(t3.contains("6860"));
+    }
+
+    #[test]
+    fn fig6_quick_report_renders_phases() {
+        let report = fig6_report(true);
+        assert!(report.contains("Read 1"));
+        assert!(report.contains("Mean errors"));
+    }
+}

@@ -27,6 +27,7 @@
 pub mod exp1;
 pub mod exp4;
 pub mod exp_concurrent;
+pub mod figures;
 pub mod platform;
 pub mod simtime;
 pub mod table;

@@ -1,0 +1,208 @@
+//! The scenario-sweep CLI.
+//!
+//! ```text
+//! sweep [OPTIONS]
+//!   --check            diff RESULTS.json against the golden baseline and
+//!                      exit non-zero on any drift
+//!   --update-golden    regenerate the golden baseline from this run
+//!   --threads N        worker threads (default: all cores)
+//!   --seed N           dispatch-order seed (output is seed-independent)
+//!   --filter SUBSTR    only run scenarios whose name contains SUBSTR
+//!   --out PATH         where to write RESULTS.json (default: RESULTS.json)
+//!   --golden PATH      golden baseline path (default: baselines/golden.json)
+//!   --timings          include machine-dependent wall-clock timings in the
+//!                      output (breaks bit-identical output; never gated)
+//!   --list             list registered scenarios and exit
+//! ```
+//!
+//! Exit codes: 0 on success, 1 on scenario failure or golden drift, 2 on
+//! usage or I/O errors.
+
+use std::process::ExitCode;
+
+use harness::{compare, make_golden, parse, registry, run_sweep, SweepConfig};
+
+struct Options {
+    check: bool,
+    update_golden: bool,
+    list: bool,
+    timings: bool,
+    out: String,
+    golden: String,
+    config: SweepConfig,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        check: false,
+        update_golden: false,
+        list: false,
+        timings: false,
+        out: "RESULTS.json".to_string(),
+        golden: "baselines/golden.json".to_string(),
+        config: SweepConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--update-golden" => opts.update_golden = true,
+            "--list" => opts.list = true,
+            "--timings" => opts.timings = true,
+            "--threads" => {
+                opts.config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threads: {e}"))?
+            }
+            "--seed" => {
+                opts.config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed: {e}"))?
+            }
+            "--filter" => opts.config.filter = Some(value("--filter")?),
+            "--out" => opts.out = value("--out")?,
+            "--golden" => opts.golden = value("--golden")?,
+            "--help" | "-h" => {
+                print!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if opts.check && opts.update_golden {
+        return Err("--check and --update-golden are mutually exclusive".to_string());
+    }
+    if opts.update_golden && opts.config.filter.is_some() {
+        // make_golden() replaces the scenarios section wholesale; a filtered
+        // run would silently truncate the baseline to the filtered subset.
+        return Err("--update-golden requires a full run; drop --filter".to_string());
+    }
+    Ok(opts)
+}
+
+const HELP: &str = "\
+Usage: sweep [--check | --update-golden] [--threads N] [--seed N]
+             [--filter SUBSTR] [--out PATH] [--golden PATH] [--timings] [--list]
+
+Runs every registered scenario in parallel, writes RESULTS.json, and (with
+--check) fails on out-of-tolerance drift from the golden baseline.
+";
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let scenarios = registry();
+    if opts.list {
+        println!("{} registered scenarios:", scenarios.len());
+        for s in &scenarios {
+            println!("  [{:<8}] {:<32} {}", s.group(), s.name(), s.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "running {} scenarios on {} threads (seed {})",
+        scenarios.len(),
+        opts.config.threads,
+        opts.config.seed
+    );
+    let results = run_sweep(&scenarios, &opts.config);
+    for s in &results.scenarios {
+        match &s.outcome {
+            Ok(m) => eprintln!(
+                "  ok   {:<32} {:>4} metrics  {:>7.2}s",
+                s.name,
+                m.len(),
+                s.wall_clock_seconds
+            ),
+            Err(e) => eprintln!("  FAIL {:<32} {e}", s.name),
+        }
+    }
+    eprintln!(
+        "total scenario wall-clock: {:.2}s",
+        results.total_wall_clock()
+    );
+
+    if !results.all_ok() {
+        eprintln!("sweep: {} scenario(s) failed", results.failures().len());
+        return ExitCode::FAILURE;
+    }
+
+    let doc = results.to_json(opts.timings);
+    if let Err(e) = std::fs::write(&opts.out, doc.render_pretty()) {
+        eprintln!("sweep: cannot write {}: {e}", opts.out);
+        return ExitCode::from(2);
+    }
+    eprintln!("wrote {}", opts.out);
+
+    if opts.update_golden {
+        let previous = std::fs::read_to_string(&opts.golden)
+            .ok()
+            .and_then(|text| parse(&text).ok());
+        let golden = make_golden(&results.to_json(false), previous.as_ref());
+        if let Some(dir) = std::path::Path::new(&opts.golden).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("sweep: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&opts.golden, golden.render_pretty()) {
+            eprintln!("sweep: cannot write {}: {e}", opts.golden);
+            return ExitCode::from(2);
+        }
+        eprintln!("updated golden baseline {}", opts.golden);
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.check {
+        let golden_text = match std::fs::read_to_string(&opts.golden) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "sweep: cannot read golden baseline {} ({e}); \
+                     generate it with --update-golden",
+                    opts.golden
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let golden = match parse(&golden_text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("sweep: golden baseline {} is malformed: {e}", opts.golden);
+                return ExitCode::from(2);
+            }
+        };
+        match compare(&golden, &results.to_json(false)) {
+            Ok(drifts) if drifts.is_empty() => {
+                eprintln!("golden check passed: no drift from {}", opts.golden);
+            }
+            Ok(drifts) => {
+                eprintln!("golden check FAILED: {} drift(s)", drifts.len());
+                for d in &drifts {
+                    eprintln!("  {d}");
+                }
+                eprintln!(
+                    "If this change is intentional, regenerate the baseline in the same \
+                     commit with scripts/sweep.sh --update-golden and explain why."
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("sweep: cannot compare against golden: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

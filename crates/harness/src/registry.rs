@@ -1,0 +1,721 @@
+//! The scenario registry: every figure and table of the paper, the
+//! `examples/` workloads, and a set of synthetic parameter sweeps, wrapped as
+//! deterministic [`Scenario`]s.
+//!
+//! All scenarios run proportionally scaled-down configurations (the `--quick`
+//! scale of the report binaries) so the whole sweep finishes in seconds; the
+//! error orderings and cache behaviours the paper reports are preserved at
+//! this scale, as the `experiments` test suite verifies. Wall-clock derived
+//! numbers (Fig. 8's y-axis) are replaced by their deterministic counterpart
+//! (simulated virtual time), because golden baselines must be
+//! machine-independent.
+
+use experiments::platform::scaled_platform;
+use experiments::{run_exp1_for_size, run_exp2, run_exp3, run_exp4};
+use storage_model::units::GB;
+use workflow::{
+    run_scenario, ApplicationSpec, FileSpec, PlatformSpec, RunStats, Scenario as WorkflowScenario,
+    ScenarioReport, SimulatorKind, TaskSpec,
+};
+
+use crate::scenario::{FnScenario, Metrics, Scenario};
+
+/// Builds the full scenario registry, in the canonical (output) order.
+pub fn registry() -> Vec<Box<dyn Scenario>> {
+    let scenarios: Vec<FnScenario> = vec![
+        FnScenario {
+            name: "table1_synthetic_parameters",
+            group: "paper",
+            description: "Table I: synthetic application CPU time vs input size",
+            run: table1,
+        },
+        FnScenario {
+            name: "table2_nighres_parameters",
+            group: "paper",
+            description: "Table II: Nighres step input/output sizes and CPU times",
+            run: table2,
+        },
+        FnScenario {
+            name: "table3_bandwidths",
+            group: "paper",
+            description: "Table III: measured and simulated device bandwidths",
+            run: table3,
+        },
+        FnScenario {
+            name: "fig4a_exp1_errors",
+            group: "paper",
+            description: "Fig. 4a: per-phase I/O times and errors of Exp 1",
+            run: fig4a,
+        },
+        FnScenario {
+            name: "fig4b_memory_profiles",
+            group: "paper",
+            description: "Fig. 4b: memory profile peaks of Exp 1",
+            run: fig4b,
+        },
+        FnScenario {
+            name: "fig4c_cache_contents",
+            group: "paper",
+            description: "Fig. 4c: cache content after each I/O phase of Exp 1",
+            run: fig4c,
+        },
+        FnScenario {
+            name: "fig5_exp2_concurrent_local",
+            group: "paper",
+            description: "Fig. 5: concurrent instances on local storage (Exp 2)",
+            run: fig5,
+        },
+        FnScenario {
+            name: "fig6_exp4_nighres",
+            group: "paper",
+            description: "Fig. 6: Nighres per-phase times and errors (Exp 4)",
+            run: fig6,
+        },
+        FnScenario {
+            name: "fig7_exp3_concurrent_nfs",
+            group: "paper",
+            description: "Fig. 7: concurrent instances on NFS storage (Exp 3)",
+            run: fig7,
+        },
+        FnScenario {
+            name: "fig8_simulated_durations",
+            group: "paper",
+            description: "Fig. 8 configurations, gated on simulated virtual time",
+            run: fig8,
+        },
+        FnScenario {
+            name: "example_quickstart",
+            group: "examples",
+            description: "examples/quickstart.rs: double read, cacheless vs cached",
+            run: example_quickstart,
+        },
+        FnScenario {
+            name: "example_synthetic_pipeline",
+            group: "examples",
+            description: "examples/synthetic_pipeline.rs: 3-task pipeline, all back-ends",
+            run: example_synthetic_pipeline,
+        },
+        FnScenario {
+            name: "example_nighres_workflow",
+            group: "examples",
+            description: "examples/nighres_workflow.rs: Nighres on a 16 GB node",
+            run: example_nighres_workflow,
+        },
+        FnScenario {
+            name: "example_nfs_cluster",
+            group: "examples",
+            description: "examples/nfs_cluster.rs: pipelines against an NFS server",
+            run: example_nfs_cluster,
+        },
+        FnScenario {
+            name: "example_concurrent_instances",
+            group: "examples",
+            description: "examples/concurrent_instances.rs: contention plateau",
+            run: example_concurrent_instances,
+        },
+        FnScenario {
+            name: "sweep_dirty_ratio",
+            group: "sweep",
+            description: "write behaviour across vm.dirty_ratio / dirty_background_ratio",
+            run: sweep_dirty_ratio,
+        },
+        FnScenario {
+            name: "sweep_cache_size",
+            group: "sweep",
+            description: "hit ratio and makespan across host memory sizes",
+            run: sweep_cache_size,
+        },
+        FnScenario {
+            name: "sweep_rw_mix",
+            group: "sweep",
+            description: "makespan and write routing across read/write mixes",
+            run: sweep_rw_mix,
+        },
+        FnScenario {
+            name: "sweep_concurrency",
+            group: "sweep",
+            description: "read/write contention across concurrent-instance counts",
+            run: sweep_concurrency,
+        },
+    ];
+    scenarios
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn Scenario>)
+        .collect()
+}
+
+fn err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+/// `"Read 1"` → `"read_1"` — metric keys are lowercase snake case.
+fn key(label: &str) -> String {
+    label.to_lowercase().replace(' ', "_")
+}
+
+/// Records the [`RunStats`] block of a report under a prefix.
+fn push_run_stats(m: &mut Metrics, prefix: &str, stats: &RunStats) {
+    m.push(format!("{prefix}/bytes_from_disk"), stats.bytes_from_disk);
+    m.push(format!("{prefix}/bytes_from_cache"), stats.bytes_from_cache);
+    m.push(format!("{prefix}/bytes_to_disk"), stats.bytes_to_disk);
+    m.push(format!("{prefix}/cache_hit_ratio"), stats.cache_hit_ratio);
+    m.push(format!("{prefix}/peak_cached"), stats.peak_cached);
+    m.push(format!("{prefix}/peak_dirty"), stats.peak_dirty);
+}
+
+fn run(
+    platform: &PlatformSpec,
+    app: &ApplicationSpec,
+    kind: SimulatorKind,
+    instances: usize,
+) -> Result<ScenarioReport, String> {
+    let mut scenario = WorkflowScenario::new(platform.clone(), app.clone(), kind);
+    if instances > 1 {
+        scenario = scenario
+            .with_instances(instances)
+            .with_sample_interval(None);
+    }
+    run_scenario(&scenario).map_err(err)
+}
+
+// ---------------------------------------------------------------------------
+// Paper tables and figures
+// ---------------------------------------------------------------------------
+
+fn table1() -> Result<Metrics, String> {
+    let mut m = Metrics::new();
+    for gb in [3.0, 20.0, 50.0, 75.0, 100.0] {
+        m.push(
+            format!("cpu_time_s/{gb:.0}gb"),
+            ApplicationSpec::synthetic_cpu_time(gb * GB),
+        );
+    }
+    Ok(m)
+}
+
+fn table2() -> Result<Metrics, String> {
+    let mut m = Metrics::new();
+    for task in &ApplicationSpec::nighres().tasks {
+        let step = key(&task.name);
+        m.push(format!("{step}/input_bytes"), task.input_bytes());
+        m.push(format!("{step}/output_bytes"), task.output_bytes());
+        m.push(format!("{step}/cpu_time_s"), task.cpu_time);
+    }
+    Ok(m)
+}
+
+fn table3() -> Result<Metrics, String> {
+    use experiments::platform::{measured, simulated};
+    let mut m = Metrics::new();
+    m.push("measured/memory_read_mbps", measured::MEMORY_READ);
+    m.push("measured/memory_write_mbps", measured::MEMORY_WRITE);
+    m.push("measured/local_disk_read_mbps", measured::LOCAL_DISK_READ);
+    m.push("measured/local_disk_write_mbps", measured::LOCAL_DISK_WRITE);
+    m.push("measured/remote_disk_read_mbps", measured::REMOTE_DISK_READ);
+    m.push(
+        "measured/remote_disk_write_mbps",
+        measured::REMOTE_DISK_WRITE,
+    );
+    m.push("measured/network_mbps", measured::NETWORK);
+    m.push("simulated/memory_mbps", simulated::MEMORY);
+    m.push("simulated/local_disk_mbps", simulated::LOCAL_DISK);
+    m.push("simulated/remote_disk_mbps", simulated::REMOTE_DISK);
+    m.push("simulated/network_mbps", simulated::NETWORK);
+    Ok(m)
+}
+
+/// Plain-data projection of one Exp 1 run: everything fig4a/b/c report,
+/// without the `Rc`-based types of the full result, so it can live in a
+/// `OnceLock` shared across worker threads.
+#[derive(Clone)]
+struct Exp1Summary {
+    /// (label, real, prototype, cacheless, wrench_cache) per phase.
+    phases: Vec<(String, f64, f64, f64, f64)>,
+    /// (prototype, cacheless, wrench_cache) mean errors, percent.
+    mean_errors: (f64, f64, f64),
+    /// (label, max_used, max_cached, max_dirty, samples) per memory trace.
+    traces: Vec<(&'static str, f64, f64, f64, f64)>,
+    /// (simulator label, snapshot label, total bytes, file count) per
+    /// cache-content snapshot.
+    snapshots: Vec<(&'static str, String, f64, f64)>,
+}
+
+/// Exp 1 at harness scale: 2 GB files on a 16 GB node. Three scenarios
+/// (fig4a/b/c) report different views of this one experiment, so the run is
+/// computed once and shared — it is deterministic, so whichever worker gets
+/// there first produces the same result.
+fn exp1_summary() -> Result<Exp1Summary, String> {
+    static EXP1: std::sync::OnceLock<Result<Exp1Summary, String>> = std::sync::OnceLock::new();
+    EXP1.get_or_init(|| {
+        let result = run_exp1_for_size(&scaled_platform(16.0 * GB), 2.0 * GB).map_err(err)?;
+        let mut traces = Vec::new();
+        for (label, trace) in [
+            ("real", &result.real_trace),
+            ("prototype", &result.prototype_trace),
+            ("wrench_cache", &result.wrench_cache_trace),
+        ] {
+            let trace = trace
+                .as_ref()
+                .ok_or_else(|| format!("{label} trace missing"))?;
+            traces.push((
+                label,
+                trace.max_used(),
+                trace.max_cached(),
+                trace.max_dirty(),
+                trace.len() as f64,
+            ));
+        }
+        let mut snapshots = Vec::new();
+        for (label, snaps) in [
+            ("real", &result.real_snapshots),
+            ("wrench_cache", &result.wrench_cache_snapshots),
+        ] {
+            for snap in snaps {
+                snapshots.push((
+                    label,
+                    snap.label.clone(),
+                    snap.total(),
+                    snap.per_file.len() as f64,
+                ));
+            }
+        }
+        Ok(Exp1Summary {
+            phases: result
+                .phases
+                .iter()
+                .map(|p| {
+                    (
+                        p.label.clone(),
+                        p.real,
+                        p.prototype,
+                        p.cacheless,
+                        p.wrench_cache,
+                    )
+                })
+                .collect(),
+            mean_errors: (
+                result.mean_error_prototype(),
+                result.mean_error_cacheless(),
+                result.mean_error_wrench_cache(),
+            ),
+            traces,
+            snapshots,
+        })
+    })
+    .clone()
+}
+
+fn fig4a() -> Result<Metrics, String> {
+    let result = exp1_summary()?;
+    let mut m = Metrics::new();
+    for (label, real, prototype, cacheless, wrench_cache) in &result.phases {
+        let phase = key(label);
+        m.push(format!("{phase}/real_s"), *real);
+        m.push(format!("{phase}/prototype_s"), *prototype);
+        m.push(format!("{phase}/cacheless_s"), *cacheless);
+        m.push(format!("{phase}/wrench_cache_s"), *wrench_cache);
+    }
+    let (prototype, cacheless, wrench_cache) = result.mean_errors;
+    m.push("mean_error_pct/prototype", prototype);
+    m.push("mean_error_pct/cacheless", cacheless);
+    m.push("mean_error_pct/wrench_cache", wrench_cache);
+    Ok(m)
+}
+
+fn fig4b() -> Result<Metrics, String> {
+    let result = exp1_summary()?;
+    let mut m = Metrics::new();
+    for (label, max_used, max_cached, max_dirty, samples) in &result.traces {
+        m.push(format!("{label}/max_used"), *max_used);
+        m.push(format!("{label}/max_cached"), *max_cached);
+        m.push(format!("{label}/max_dirty"), *max_dirty);
+        m.push(format!("{label}/samples"), *samples);
+    }
+    Ok(m)
+}
+
+fn fig4c() -> Result<Metrics, String> {
+    let result = exp1_summary()?;
+    let mut m = Metrics::new();
+    for (simulator, label, total, files) in &result.snapshots {
+        m.push(format!("{simulator}/{}/total", key(label)), *total);
+        m.push(format!("{simulator}/{}/files", key(label)), *files);
+    }
+    Ok(m)
+}
+
+fn push_concurrency_sweep(m: &mut Metrics, sweep: &experiments::ConcurrencySweep) {
+    for p in &sweep.points {
+        let n = p.instances;
+        m.push(format!("n{n:02}/real_read_s"), p.real_read);
+        m.push(format!("n{n:02}/real_write_s"), p.real_write);
+        m.push(format!("n{n:02}/cacheless_read_s"), p.cacheless_read);
+        m.push(format!("n{n:02}/cacheless_write_s"), p.cacheless_write);
+        m.push(format!("n{n:02}/cache_read_s"), p.cache_read);
+        m.push(format!("n{n:02}/cache_write_s"), p.cache_write);
+    }
+}
+
+fn fig5() -> Result<Metrics, String> {
+    let sweep = run_exp2(&scaled_platform(32.0 * GB), 1.0 * GB, &[1, 4, 8]).map_err(err)?;
+    let mut m = Metrics::new();
+    push_concurrency_sweep(&mut m, &sweep);
+    Ok(m)
+}
+
+fn fig6() -> Result<Metrics, String> {
+    let result = run_exp4(&scaled_platform(16.0 * GB)).map_err(err)?;
+    let mut m = Metrics::new();
+    for p in &result.phases {
+        let phase = key(&p.label);
+        m.push(format!("{phase}/real_s"), p.real);
+        m.push(format!("{phase}/cacheless_s"), p.cacheless);
+        m.push(format!("{phase}/wrench_cache_s"), p.wrench_cache);
+    }
+    m.push("mean_error_pct/cacheless", result.mean_error_cacheless());
+    m.push(
+        "mean_error_pct/wrench_cache",
+        result.mean_error_wrench_cache(),
+    );
+    Ok(m)
+}
+
+fn fig7() -> Result<Metrics, String> {
+    let sweep = run_exp3(&scaled_platform(32.0 * GB), 1.0 * GB, &[1, 4, 8]).map_err(err)?;
+    let mut m = Metrics::new();
+    push_concurrency_sweep(&mut m, &sweep);
+    Ok(m)
+}
+
+/// Fig. 8's wall-clock y-axis is machine-dependent, so the gated metric here
+/// is the *simulated* duration of each of its four configurations — a
+/// deterministic proxy that still catches behavioural drift in every
+/// configuration Fig. 8 measures.
+fn fig8() -> Result<Metrics, String> {
+    let platform = scaled_platform(32.0 * GB);
+    let app = ApplicationSpec::synthetic_pipeline(1.0 * GB);
+    let mut m = Metrics::new();
+    for instances in [1usize, 2, 4, 8] {
+        for (label, kind, nfs) in [
+            ("cacheless_local", SimulatorKind::Cacheless, false),
+            ("cacheless_nfs", SimulatorKind::Cacheless, true),
+            ("cache_local", SimulatorKind::PageCache, false),
+            ("cache_nfs", SimulatorKind::PageCache, true),
+        ] {
+            let platform = if nfs {
+                platform.clone().with_nfs()
+            } else {
+                platform.clone()
+            };
+            let report = run_scenario(
+                &WorkflowScenario::new(platform, app.clone(), kind)
+                    .with_instances(instances)
+                    .with_sample_interval(None),
+            )
+            .map_err(err)?;
+            m.push(
+                format!("n{instances:02}/{label}/simulated_s"),
+                report.simulated_duration,
+            );
+        }
+    }
+    Ok(m)
+}
+
+// ---------------------------------------------------------------------------
+// The examples/ workloads
+// ---------------------------------------------------------------------------
+
+fn uniform_platform(memory: f64) -> PlatformSpec {
+    use storage_model::units::MB;
+    PlatformSpec::uniform(
+        memory,
+        storage_model::DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        storage_model::DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    )
+}
+
+fn example_quickstart() -> Result<Metrics, String> {
+    let platform = uniform_platform(8.0 * GB);
+    let input = FileSpec::new("input.dat", 2.0 * GB);
+    let app = ApplicationSpec::new("quickstart")
+        .with_initial_file(input.clone())
+        .with_task(TaskSpec::new("first read", 1.0).reads(input.clone()))
+        .with_task(TaskSpec::new("second read", 1.0).reads(input));
+    let mut m = Metrics::new();
+    for (label, kind) in [
+        ("cacheless", SimulatorKind::Cacheless),
+        ("cache", SimulatorKind::PageCache),
+    ] {
+        let report = run(&platform, &app, kind, 1)?;
+        let tasks = &report.instance_reports[0].tasks;
+        m.push(format!("{label}/first_read_s"), tasks[0].read_time);
+        m.push(format!("{label}/second_read_s"), tasks[1].read_time);
+        m.push(
+            format!("{label}/second_read_hit_ratio"),
+            tasks[1].read_stats.cache_hit_ratio(),
+        );
+    }
+    Ok(m)
+}
+
+fn example_synthetic_pipeline() -> Result<Metrics, String> {
+    let platform = uniform_platform(16.0 * GB);
+    let app = ApplicationSpec::synthetic_pipeline(4.0 * GB);
+    let mut m = Metrics::new();
+    for (label, kind) in [
+        ("kernel_emu", SimulatorKind::KernelEmu),
+        ("prototype", SimulatorKind::Prototype),
+        ("cacheless", SimulatorKind::Cacheless),
+        ("cache", SimulatorKind::PageCache),
+    ] {
+        let report = run(&platform, &app, kind, 1)?;
+        m.push(format!("{label}/makespan_s"), report.mean_makespan());
+        m.push(format!("{label}/read_s"), report.mean_total_read_time());
+        m.push(format!("{label}/write_s"), report.mean_total_write_time());
+    }
+    Ok(m)
+}
+
+fn example_nighres_workflow() -> Result<Metrics, String> {
+    let platform = uniform_platform(16.0 * GB);
+    let app = ApplicationSpec::nighres();
+    let mut m = Metrics::new();
+    for (label, kind) in [
+        ("kernel_emu", SimulatorKind::KernelEmu),
+        ("cacheless", SimulatorKind::Cacheless),
+        ("cache", SimulatorKind::PageCache),
+    ] {
+        let report = run(&platform, &app, kind, 1)?;
+        m.push(format!("{label}/makespan_s"), report.mean_makespan());
+        m.push(format!("{label}/read_s"), report.mean_total_read_time());
+        m.push(format!("{label}/write_s"), report.mean_total_write_time());
+    }
+    Ok(m)
+}
+
+fn example_nfs_cluster() -> Result<Metrics, String> {
+    let platform = uniform_platform(32.0 * GB).with_nfs();
+    let app = ApplicationSpec::synthetic_pipeline(1.0 * GB);
+    let mut m = Metrics::new();
+    for instances in [1usize, 4] {
+        for (label, kind) in [
+            ("cacheless", SimulatorKind::Cacheless),
+            ("cache", SimulatorKind::PageCache),
+        ] {
+            let report = run(&platform, &app, kind, instances)?;
+            m.push(
+                format!("n{instances:02}/{label}/read_s"),
+                report.mean_total_read_time(),
+            );
+            m.push(
+                format!("n{instances:02}/{label}/write_s"),
+                report.mean_total_write_time(),
+            );
+        }
+    }
+    Ok(m)
+}
+
+fn example_concurrent_instances() -> Result<Metrics, String> {
+    let platform = uniform_platform(32.0 * GB);
+    let app = ApplicationSpec::synthetic_pipeline(1.0 * GB);
+    let mut m = Metrics::new();
+    for instances in [1usize, 4, 8] {
+        for (label, kind) in [
+            ("cacheless", SimulatorKind::Cacheless),
+            ("cache", SimulatorKind::PageCache),
+        ] {
+            let report = run(&platform, &app, kind, instances)?;
+            m.push(
+                format!("n{instances:02}/{label}/read_s"),
+                report.mean_total_read_time(),
+            );
+            m.push(
+                format!("n{instances:02}/{label}/write_s"),
+                report.mean_total_write_time(),
+            );
+        }
+    }
+    Ok(m)
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic parameter sweeps
+// ---------------------------------------------------------------------------
+
+/// Write behaviour across dirty thresholds. The page-cache model reacts to
+/// `dirty_ratio` (throttling), the kernel emulator additionally to
+/// `dirty_background_ratio` (early background flushing) — both are gated.
+fn sweep_dirty_ratio() -> Result<Metrics, String> {
+    let app = ApplicationSpec::synthetic_pipeline(2.0 * GB);
+    let mut m = Metrics::new();
+    for ratio in [0.05, 0.1, 0.2, 0.4] {
+        let platform = scaled_platform(8.0 * GB)
+            .with_dirty_ratio(ratio)
+            .with_dirty_background_ratio(ratio / 2.0);
+        for (label, kind) in [
+            ("cache", SimulatorKind::PageCache),
+            ("kernel_emu", SimulatorKind::KernelEmu),
+        ] {
+            let report = run(&platform, &app, kind, 1)?;
+            let stats = report.run_stats();
+            let prefix = format!("ratio_{:02}/{label}", (ratio * 100.0) as u32);
+            m.push(format!("{prefix}/write_s"), report.mean_total_write_time());
+            m.push(format!("{prefix}/peak_dirty"), stats.peak_dirty);
+            let wb = report
+                .writeback
+                .ok_or_else(|| format!("{label} reported no writeback counters"))?;
+            m.push(
+                format!("{prefix}/background_flushed"),
+                wb.background_flushed,
+            );
+            m.push(
+                format!("{prefix}/synchronous_flushed"),
+                wb.synchronous_flushed,
+            );
+        }
+    }
+    Ok(m)
+}
+
+/// Cache effectiveness across host-memory sizes: as RAM shrinks below the
+/// working set, the hit ratio and the makespan of the re-read pipeline
+/// degrade towards the cacheless behaviour.
+fn sweep_cache_size() -> Result<Metrics, String> {
+    let app = ApplicationSpec::synthetic_pipeline(3.0 * GB);
+    let mut m = Metrics::new();
+    for memory_gb in [4.0, 8.0, 16.0, 32.0] {
+        let platform = scaled_platform(memory_gb * GB);
+        let report = run(&platform, &app, SimulatorKind::PageCache, 1)?;
+        let prefix = format!("mem_{memory_gb:02.0}gb");
+        m.push(format!("{prefix}/makespan_s"), report.mean_makespan());
+        push_run_stats(&mut m, &prefix, &report.run_stats());
+    }
+    Ok(m)
+}
+
+/// Read/write mix: a two-task chain whose output volume is `mix` times its
+/// input volume, from read-heavy (0.25) to write-heavy (4.0).
+fn sweep_rw_mix() -> Result<Metrics, String> {
+    let input_size = 2.0 * GB;
+    let mut m = Metrics::new();
+    for (label, mix) in [
+        ("read_heavy", 0.25),
+        ("balanced", 1.0),
+        ("write_heavy", 4.0),
+    ] {
+        let input = FileSpec::new("input.dat", input_size);
+        let mid = FileSpec::new("mid.dat", input_size * mix);
+        let out = FileSpec::new("out.dat", input_size * mix);
+        let app = ApplicationSpec::new("rw-mix")
+            .with_initial_file(input.clone())
+            .with_task(
+                TaskSpec::new("stage 1", 1.0)
+                    .reads(input)
+                    .writes(mid.clone()),
+            )
+            .with_task(TaskSpec::new("stage 2", 1.0).reads(mid).writes(out));
+        let report = run(
+            &scaled_platform(8.0 * GB),
+            &app,
+            SimulatorKind::PageCache,
+            1,
+        )?;
+        let stats = report.run_stats();
+        m.push(format!("{label}/makespan_s"), report.mean_makespan());
+        m.push(format!("{label}/read_s"), report.mean_total_read_time());
+        m.push(format!("{label}/write_s"), report.mean_total_write_time());
+        m.push(format!("{label}/bytes_to_cache"), stats.bytes_to_cache);
+        m.push(format!("{label}/bytes_to_disk"), stats.bytes_to_disk);
+    }
+    Ok(m)
+}
+
+/// Contention across concurrent-instance counts, cacheless vs cached.
+fn sweep_concurrency() -> Result<Metrics, String> {
+    let platform = scaled_platform(16.0 * GB);
+    let app = ApplicationSpec::synthetic_pipeline(1.0 * GB);
+    let mut m = Metrics::new();
+    for instances in [1usize, 2, 4, 8] {
+        for (label, kind) in [
+            ("cacheless", SimulatorKind::Cacheless),
+            ("cache", SimulatorKind::PageCache),
+        ] {
+            let report = run(&platform, &app, kind, instances)?;
+            m.push(
+                format!("n{instances:02}/{label}/read_s"),
+                report.mean_total_read_time(),
+            );
+            m.push(
+                format!("n{instances:02}/{label}/write_s"),
+                report.mean_total_write_time(),
+            );
+            m.push(
+                format!("n{instances:02}/{label}/makespan_s"),
+                report.mean_makespan(),
+            );
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_unique_names_and_covers_all_groups() {
+        let scenarios = registry();
+        assert!(
+            scenarios.len() >= 13,
+            "need >= 13 scenarios, have {}",
+            scenarios.len()
+        );
+        let names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "duplicate scenario names");
+        for group in ["paper", "examples", "sweep"] {
+            assert!(
+                scenarios.iter().any(|s| s.group() == group),
+                "no scenario in group {group}"
+            );
+        }
+        // Ten paper artefacts and at least three synthetic sweeps, per the
+        // acceptance criteria.
+        assert_eq!(
+            scenarios.iter().filter(|s| s.group() == "paper").count(),
+            10
+        );
+        assert!(scenarios.iter().filter(|s| s.group() == "sweep").count() >= 3);
+        assert!(scenarios.iter().all(|s| !s.description().is_empty()));
+    }
+
+    #[test]
+    fn tables_produce_reference_values() {
+        let m = table1().unwrap();
+        assert_eq!(m.len(), 5);
+        let m = table3().unwrap();
+        assert!(m
+            .entries()
+            .iter()
+            .any(|(k, v)| k == "measured/memory_read_mbps" && *v == 6860.0));
+    }
+
+    #[test]
+    fn quickstart_scenario_shows_the_cache_hit() {
+        let m = example_quickstart().unwrap();
+        let get = |name: &str| {
+            m.entries()
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        // The cached second read is a full cache hit and much faster.
+        assert_eq!(get("cache/second_read_hit_ratio"), 1.0);
+        assert!(get("cache/second_read_s") < 0.5 * get("cacheless/second_read_s"));
+    }
+}

@@ -1,0 +1,138 @@
+//! The [`Scenario`] trait and the metric record a scenario produces.
+//!
+//! A harness scenario is a **self-contained, deterministic** simulation run:
+//! it builds its own platform and application, runs one or more DES engines
+//! to completion on the calling thread, and reports a flat, ordered list of
+//! named metrics. Scenarios must not read clocks, environment variables, or
+//! any other ambient state — everything a scenario reports must be a pure
+//! function of the simulation model, so `RESULTS.json` is bit-identical
+//! across runs, thread counts, and machines.
+//!
+//! Wall-clock timings are recorded *outside* the scenario by the runner and
+//! never participate in golden comparisons.
+
+/// Ordered, named metrics of one scenario run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    entries: Vec<(String, f64)>,
+}
+
+impl Metrics {
+    /// Creates an empty metric record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a metric. Panics on a duplicate name — every metric key must
+    /// be unique within its scenario so golden diffs are unambiguous.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        assert!(
+            !self.entries.iter().any(|(n, _)| *n == name),
+            "duplicate metric name {name:?}"
+        );
+        self.entries.push((name, value));
+    }
+
+    /// The metrics in insertion order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no metrics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One entry of the sweep registry.
+pub trait Scenario: Send + Sync {
+    /// Unique scenario name (the key in `RESULTS.json`).
+    fn name(&self) -> &'static str;
+
+    /// Group the scenario belongs to: `"paper"`, `"examples"`, or `"sweep"`.
+    fn group(&self) -> &'static str;
+
+    /// One-line description shown by `sweep --list`.
+    fn description(&self) -> &'static str;
+
+    /// Runs the scenario and returns its metrics.
+    fn run(&self) -> Result<Metrics, String>;
+}
+
+/// A scenario backed by a plain function pointer (trivially `Send + Sync`).
+pub struct FnScenario {
+    /// Unique scenario name.
+    pub name: &'static str,
+    /// Scenario group.
+    pub group: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The scenario body.
+    pub run: fn() -> Result<Metrics, String>,
+}
+
+impl Scenario for FnScenario {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn group(&self) -> &'static str {
+        self.group
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn run(&self) -> Result<Metrics, String> {
+        (self.run)()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_preserve_insertion_order() {
+        let mut m = Metrics::new();
+        m.push("z", 1.0);
+        m.push("a", 2.0);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.entries()[0].0, "z");
+        assert_eq!(m.entries()[1].0, "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric")]
+    fn duplicate_metric_names_panic() {
+        let mut m = Metrics::new();
+        m.push("a", 1.0);
+        m.push("a", 2.0);
+    }
+
+    #[test]
+    fn fn_scenario_delegates() {
+        fn body() -> Result<Metrics, String> {
+            let mut m = Metrics::new();
+            m.push("x", 1.5);
+            Ok(m)
+        }
+        let s = FnScenario {
+            name: "test",
+            group: "sweep",
+            description: "a test scenario",
+            run: body,
+        };
+        assert_eq!(s.name(), "test");
+        assert_eq!(s.group(), "sweep");
+        assert_eq!(s.run().unwrap().entries(), &[("x".to_string(), 1.5)]);
+    }
+}

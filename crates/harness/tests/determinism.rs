@@ -1,0 +1,121 @@
+//! Acceptance tests of the sweep harness:
+//!
+//! * the full registry run is **bit-identical** across thread counts and
+//!   dispatch seeds (the property that makes golden gating trustworthy);
+//! * the gate passes a run against its own golden and catches synthetic
+//!   drift end to end.
+
+use harness::{compare, make_golden, parse, registry, run_sweep, Drift, Json, SweepConfig};
+
+fn config(threads: usize, seed: u64) -> SweepConfig {
+    SweepConfig {
+        threads,
+        seed,
+        filter: None,
+    }
+}
+
+#[test]
+fn full_sweep_is_bit_identical_across_thread_counts_and_seeds() {
+    let scenarios = registry();
+    assert!(
+        scenarios.len() >= 13,
+        "registry must cover >= 13 scenarios, has {}",
+        scenarios.len()
+    );
+
+    let serial = run_sweep(&scenarios, &config(1, 7));
+    assert!(
+        serial.all_ok(),
+        "scenario failures: {:?}",
+        serial.failures()
+    );
+    let reference = serial.to_json(false).render_pretty();
+
+    for (threads, seed) in [(4, 7), (4, 987654321), (2, 0)] {
+        let parallel = run_sweep(&scenarios, &config(threads, seed));
+        assert!(parallel.all_ok(), "{:?}", parallel.failures());
+        assert_eq!(
+            parallel.to_json(false).render_pretty(),
+            reference,
+            "output differs for threads={threads} seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn sweep_results_pass_their_own_golden_and_catch_injected_drift() {
+    // A filtered sub-sweep keeps this test fast while exercising the whole
+    // pipeline: run → serialize → golden → parse → compare.
+    let scenarios = registry();
+    let cfg = SweepConfig {
+        threads: 2,
+        seed: 0,
+        filter: Some("sweep_".to_string()),
+    };
+    let results = run_sweep(&scenarios, &cfg);
+    assert!(results.all_ok(), "{:?}", results.failures());
+    assert!(
+        results.scenarios.len() >= 3,
+        "expected >= 3 synthetic sweeps"
+    );
+
+    let doc = results.to_json(false);
+    let golden = make_golden(&doc, None);
+    // Round-trip through text, as the real gate does with files on disk.
+    let golden = parse(&golden.render_pretty()).unwrap();
+    let rerun = parse(&doc.render_pretty()).unwrap();
+    assert_eq!(compare(&golden, &rerun).unwrap(), Vec::new());
+
+    // Inject 1% drift into one metric: the gate must flag exactly that key.
+    let mut drifted = rerun.clone();
+    let key = inject_drift(&mut drifted, 1.01);
+    let drifts = compare(&golden, &drifted).unwrap();
+    assert_eq!(drifts.len(), 1, "{drifts:?}");
+    match &drifts[0] {
+        Drift::Value { key: k, rel, .. } => {
+            assert_eq!(*k, key);
+            assert!((*rel - 0.01).abs() < 1e-9, "rel = {rel}");
+        }
+        other => panic!("expected value drift, got {other:?}"),
+    }
+}
+
+/// Multiplies the first non-zero metric of the first scenario by `factor`
+/// and returns its `scenario/metric` key.
+fn inject_drift(doc: &mut Json, factor: f64) -> String {
+    let Json::Obj(pairs) = doc else {
+        panic!("not an object")
+    };
+    let scenarios = &mut pairs
+        .iter_mut()
+        .find(|(k, _)| k == "scenarios")
+        .expect("scenarios section")
+        .1;
+    let Json::Obj(scenarios) = scenarios else {
+        panic!("not an object")
+    };
+    let (scenario_name, scenario) = scenarios.first_mut().expect("at least one scenario");
+    let metrics = &mut scenario
+        .pairs()
+        .iter()
+        .position(|(k, _)| k == "metrics")
+        .map(|i| match scenario {
+            Json::Obj(pairs) => &mut pairs[i].1,
+            _ => unreachable!(),
+        })
+        .expect("metrics section");
+    let Json::Obj(metrics) = metrics else {
+        panic!("not an object")
+    };
+    for (name, value) in metrics.iter_mut() {
+        if let Json::Num(v) = value {
+            if *v != 0.0 {
+                let key = format!("{scenario_name}/{name}");
+                *v *= factor;
+                return key;
+            }
+        }
+    }
+    panic!("no non-zero metric found to drift");
+}

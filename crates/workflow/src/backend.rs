@@ -204,6 +204,7 @@ impl Backend {
             (StorageKind::Local, SimulatorKind::KernelEmu) => {
                 let mut tuning = KernelTuning::with_memory(platform.host_memory);
                 tuning.dirty_ratio = platform.dirty_ratio;
+                tuning.dirty_background_ratio = platform.dirty_background_ratio;
                 tuning.dirty_expire = platform.dirty_expire;
                 tuning.writeback_interval = platform.flush_interval;
                 let cache = KernelCache::new(ctx, tuning, memory, disk.clone());
@@ -361,6 +362,31 @@ impl Backend {
                 .memory_manager()
                 .map(|mm| mm.cache_content_snapshot(label)),
             Backend::Kernel(fs) => Some(fs.cache().cache_content_snapshot(label)),
+            Backend::DirectNfs(_) => None,
+        }
+    }
+
+    /// Cumulative writeback/eviction counters of the back-end's page cache,
+    /// if it has one. These are the per-run statistics the sweep harness
+    /// records next to the simulated times.
+    pub fn writeback_counters(&self) -> Option<crate::report::WritebackCounters> {
+        match self {
+            Backend::Fs(fs) => fs.memory_manager().map(|mm| {
+                let c = mm.counters();
+                crate::report::WritebackCounters {
+                    background_flushed: c.flushed_background,
+                    synchronous_flushed: c.flushed_on_demand,
+                    evicted: c.evicted,
+                }
+            }),
+            Backend::Kernel(fs) => {
+                let c = fs.cache().counters();
+                Some(crate::report::WritebackCounters {
+                    background_flushed: c.background_writeback,
+                    synchronous_flushed: c.throttled_writeback,
+                    evicted: c.evicted,
+                })
+            }
             Backend::DirectNfs(_) => None,
         }
     }

@@ -35,6 +35,9 @@ mod spec;
 
 pub use backend::{Backend, ScenarioError, SimulatorKind};
 pub use platform::{DeviceSet, PlatformSpec, StorageKind};
-pub use report::{absolute_relative_error_pct, InstanceReport, ScenarioReport, TaskReport};
+pub use report::{
+    absolute_relative_error_pct, InstanceReport, RunStats, ScenarioReport, TaskReport,
+    WritebackCounters,
+};
 pub use runner::{run_scenario, scoped_file, Scenario};
 pub use spec::{ApplicationSpec, FileSpec, TaskSpec};

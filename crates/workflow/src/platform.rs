@@ -52,6 +52,10 @@ pub struct PlatformSpec {
     pub chunk_size: f64,
     /// `vm.dirty_ratio` of the host.
     pub dirty_ratio: f64,
+    /// `vm.dirty_background_ratio` of the host. Only the kernel emulator
+    /// models background writeback thresholds; the macroscopic simulators
+    /// ignore this knob (the paper calls out exactly this omission).
+    pub dirty_background_ratio: f64,
     /// Dirty expiration age, seconds.
     pub dirty_expire: f64,
     /// Periodical flusher interval, seconds.
@@ -77,6 +81,7 @@ impl PlatformSpec {
             storage: StorageKind::Local,
             chunk_size: 100.0 * 1e6,
             dirty_ratio: 0.2,
+            dirty_background_ratio: 0.1,
             dirty_expire: 30.0,
             flush_interval: 5.0,
         }
@@ -95,9 +100,17 @@ impl PlatformSpec {
         self
     }
 
-    /// Overrides the dirty ratio.
+    /// Overrides the dirty ratio. The background dirty ratio is clamped so
+    /// the kernel invariant `dirty_background_ratio <= dirty_ratio` holds.
     pub fn with_dirty_ratio(mut self, ratio: f64) -> Self {
         self.dirty_ratio = ratio;
+        self.dirty_background_ratio = self.dirty_background_ratio.min(ratio);
+        self
+    }
+
+    /// Overrides the background dirty ratio (kernel-emulator back-end only).
+    pub fn with_dirty_background_ratio(mut self, ratio: f64) -> Self {
+        self.dirty_background_ratio = ratio;
         self
     }
 
@@ -111,6 +124,12 @@ impl PlatformSpec {
         }
         if !(0.0..=1.0).contains(&self.dirty_ratio) {
             return Err("dirty ratio must be in [0, 1]".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.dirty_background_ratio) {
+            return Err("background dirty ratio must be in [0, 1]".to_string());
+        }
+        if self.dirty_background_ratio > self.dirty_ratio {
+            return Err("background dirty ratio must not exceed the dirty ratio".to_string());
         }
         Ok(())
     }
@@ -139,6 +158,23 @@ mod tests {
         assert_eq!(nfs.storage, StorageKind::Nfs);
         assert_eq!(nfs.chunk_size, 50.0 * MB);
         assert_eq!(nfs.dirty_ratio, 0.4);
+    }
+
+    #[test]
+    fn background_dirty_ratio_is_validated_and_clamped() {
+        let p = PlatformSpec::uniform(
+            16.0 * GB,
+            DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+            DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+        );
+        assert_eq!(p.dirty_background_ratio, 0.1);
+        // Lowering the dirty ratio clamps the background ratio along with it.
+        let low = p.clone().with_dirty_ratio(0.05);
+        assert_eq!(low.dirty_background_ratio, 0.05);
+        assert!(low.validate().is_ok());
+        // An explicit background ratio above the dirty ratio is invalid.
+        let bad = p.with_dirty_background_ratio(0.5);
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -59,6 +59,42 @@ impl InstanceReport {
     }
 }
 
+/// Cumulative writeback and eviction counters of a back-end's page cache.
+///
+/// The macroscopic simulators report the Memory Manager counters; the kernel
+/// emulator reports its writeback-thread counters. Cacheless back-ends have
+/// no cache and therefore no counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WritebackCounters {
+    /// Bytes flushed asynchronously by background writeback.
+    pub background_flushed: f64,
+    /// Bytes flushed synchronously (dirty-ratio throttling / memory
+    /// pressure).
+    pub synchronous_flushed: f64,
+    /// Bytes evicted from the cache.
+    pub evicted: f64,
+}
+
+/// Aggregated per-run statistics of a scenario: the numbers the sweep
+/// harness records in `RESULTS.json` next to the simulated times.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Bytes read from disk, summed over every task of every instance.
+    pub bytes_from_disk: f64,
+    /// Bytes read from the page cache.
+    pub bytes_from_cache: f64,
+    /// Bytes written into the page cache.
+    pub bytes_to_cache: f64,
+    /// Bytes written synchronously to disk.
+    pub bytes_to_disk: f64,
+    /// Fraction of all read bytes served from the cache.
+    pub cache_hit_ratio: f64,
+    /// Peak cached data observed in the memory trace (0 without a trace).
+    pub peak_cached: f64,
+    /// Peak dirty data observed in the memory trace (0 without a trace).
+    pub peak_dirty: f64,
+}
+
 /// Full result of one scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -76,6 +112,8 @@ pub struct ScenarioReport {
     pub simulated_duration: f64,
     /// Wall-clock time it took to run the simulation, seconds (Fig. 8).
     pub wall_clock_seconds: f64,
+    /// Writeback/eviction counters of the back-end's cache, if it has one.
+    pub writeback: Option<WritebackCounters>,
 }
 
 impl ScenarioReport {
@@ -112,6 +150,32 @@ impl ScenarioReport {
     /// Mean makespan per instance.
     pub fn mean_makespan(&self) -> f64 {
         self.mean_over_instances(InstanceReport::makespan)
+    }
+
+    /// Aggregates the per-task I/O statistics and the memory trace into the
+    /// flat [`RunStats`] record consumed by the sweep harness.
+    pub fn run_stats(&self) -> RunStats {
+        let mut io = IoOpStats::default();
+        for instance in &self.instance_reports {
+            for task in &instance.tasks {
+                io.merge(&task.read_stats);
+                io.merge(&task.write_stats);
+            }
+        }
+        let (peak_cached, peak_dirty) = self
+            .memory_trace
+            .as_ref()
+            .map(|t| (t.max_cached(), t.max_dirty()))
+            .unwrap_or((0.0, 0.0));
+        RunStats {
+            bytes_from_disk: io.bytes_from_disk,
+            bytes_from_cache: io.bytes_from_cache,
+            bytes_to_cache: io.bytes_to_cache,
+            bytes_to_disk: io.bytes_to_disk,
+            cache_hit_ratio: io.cache_hit_ratio(),
+            peak_cached,
+            peak_dirty,
+        }
     }
 
     fn mean_over_instances(&self, f: impl Fn(&InstanceReport) -> f64) -> f64 {
@@ -169,6 +233,7 @@ mod tests {
             cache_snapshots: Vec::new(),
             simulated_duration: 20.0,
             wall_clock_seconds: 0.01,
+            writeback: None,
         }
     }
 
@@ -194,6 +259,30 @@ mod tests {
         assert_eq!(r.mean_makespan(), 16.0);
         // Out-of-range task index contributes zero.
         assert_eq!(r.mean_task_read_time(7), 0.0);
+    }
+
+    #[test]
+    fn run_stats_aggregate_io_and_trace() {
+        let mut r = report();
+        r.instance_reports[0].tasks[0].read_stats = IoOpStats {
+            bytes_from_disk: 100.0,
+            bytes_from_cache: 300.0,
+            ..IoOpStats::default()
+        };
+        r.instance_reports[1].tasks[1].write_stats = IoOpStats {
+            bytes_to_cache: 500.0,
+            bytes_to_disk: 50.0,
+            ..IoOpStats::default()
+        };
+        let stats = r.run_stats();
+        assert_eq!(stats.bytes_from_disk, 100.0);
+        assert_eq!(stats.bytes_from_cache, 300.0);
+        assert_eq!(stats.bytes_to_cache, 500.0);
+        assert_eq!(stats.bytes_to_disk, 50.0);
+        assert_eq!(stats.cache_hit_ratio, 0.75);
+        // No memory trace: peaks are zero.
+        assert_eq!(stats.peak_cached, 0.0);
+        assert_eq!(stats.peak_dirty, 0.0);
     }
 
     #[test]

@@ -155,6 +155,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         cache_snapshots,
         simulated_duration: sim.now().as_secs(),
         wall_clock_seconds: wall_start.elapsed().as_secs_f64(),
+        writeback: backend.writeback_counters(),
     })
 }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Scenario-sweep entry point: builds the harness in release mode and runs
+# every registered scenario in parallel, writing RESULTS.json at the repo
+# root.
+#
+# Usage:
+#   scripts/sweep.sh                  run the sweep, write RESULTS.json
+#   scripts/sweep.sh --check          also diff against baselines/golden.json
+#                                     and exit non-zero on any drift (CI gate)
+#   scripts/sweep.sh --update-golden  regenerate the golden baseline (do this
+#                                     in the same commit that legitimately
+#                                     changes predictions, and say why)
+#   scripts/sweep.sh --list           list registered scenarios
+#
+# All other flags (--threads, --seed, --filter, --out, --golden, --timings)
+# are forwarded to the sweep binary; see `sweep --help`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cargo build --release -p harness
+exec target/release/sweep "$@"
