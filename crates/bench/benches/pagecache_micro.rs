@@ -51,6 +51,80 @@ fn bench_lru_operations(c: &mut Criterion) {
     group.finish();
 }
 
+/// Interleaved multi-file workload: blocks of many files alternate on the
+/// lists, so per-file reads cannot rely on the target file's blocks being
+/// contiguous. This is the access pattern of `nfs_cluster` and
+/// `concurrent_instances`: with scan-based lists every `read_cached` walks
+/// every block of every file, degrading toward O(n²); with per-file chains it
+/// touches only the target file's blocks.
+fn bench_lru_interleaved(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru_lists");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &blocks in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("interleaved_files", blocks),
+            &blocks,
+            |b, &n| {
+                let files: Vec<FileId> = (0..100).map(|i| FileId::new(format!("f{i}"))).collect();
+                b.iter(|| {
+                    let mut lru = LruLists::new();
+                    // Round-robin adds: each file's blocks are maximally
+                    // interleaved with every other file's.
+                    for i in 0..n {
+                        let file = files[i % files.len()].clone();
+                        if i % 10 < 3 {
+                            lru.add_dirty(file, 1.0 * MB, SimTime::from_secs(i as f64));
+                        } else {
+                            lru.add_clean(file, 1.0 * MB, SimTime::from_secs(i as f64));
+                        }
+                    }
+                    // Read every file fully, then age out half of the dirty
+                    // data and evict a quarter of the total.
+                    let per_file = n as f64 / files.len() as f64 * MB;
+                    for (k, file) in files.iter().enumerate() {
+                        lru.read_cached(file, per_file, SimTime::from_secs((n + k) as f64));
+                    }
+                    lru.flush_lru(n as f64 * MB * 0.15, None);
+                    lru.evict(n as f64 * MB / 4.0, None);
+                    lru.total_cached()
+                })
+            },
+        );
+    }
+    // Full-scale point for the ROADMAP's million-block north star: 1M blocks
+    // over 1000 files, every file read back, then bulk flush + evict. Must
+    // complete in well under a second per iteration on the arena
+    // implementation (the scan-based lists needed minutes here).
+    group.bench_with_input(
+        BenchmarkId::new("million_blocks", 1_000_000usize),
+        &1_000_000usize,
+        |b, &n| {
+            let files: Vec<FileId> = (0..1000).map(|i| FileId::new(format!("f{i}"))).collect();
+            b.iter(|| {
+                let mut lru = LruLists::new();
+                for i in 0..n {
+                    let file = files[i % files.len()].clone();
+                    if i % 10 < 3 {
+                        lru.add_dirty(file, 1.0 * MB, SimTime::from_secs(i as f64));
+                    } else {
+                        lru.add_clean(file, 1.0 * MB, SimTime::from_secs(i as f64));
+                    }
+                }
+                let per_file = n as f64 / files.len() as f64 * MB;
+                for (k, file) in files.iter().enumerate() {
+                    lru.read_cached(file, per_file, SimTime::from_secs((n + k) as f64));
+                }
+                lru.flush_lru(n as f64 * MB * 0.15, None);
+                lru.evict(n as f64 * MB / 4.0, None);
+                lru.total_cached()
+            })
+        },
+    );
+    group.finish();
+}
+
 fn bench_shared_resource(c: &mut Criterion) {
     // 1k concurrent flows on one device: the fair-share model used to re-sync
     // every flow at every completion (O(n) per event, O(n^2) per run); the
@@ -154,6 +228,7 @@ fn bench_des_engine(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_lru_operations,
+    bench_lru_interleaved,
     bench_shared_resource,
     bench_io_controller,
     bench_des_engine

@@ -24,8 +24,23 @@ use std::sync::Mutex;
 
 use crate::time::SimTime;
 
-/// Identifier of a spawned process.
+/// Identifier of a spawned process. Encodes a slab slot index in the low 32
+/// bits and a reuse generation in the high 32 bits, so a stale wake-up for a
+/// completed task can never resume an unrelated process that recycled its
+/// slot.
 pub type TaskId = u64;
+
+fn task_id(index: u32, generation: u32) -> TaskId {
+    (generation as u64) << 32 | index as u64
+}
+
+fn task_index(id: TaskId) -> u32 {
+    id as u32
+}
+
+fn task_generation(id: TaskId) -> u32 {
+    (id >> 32) as u32
+}
 
 /// Identifier of a scheduled timer, used for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,14 +76,32 @@ impl PartialOrd for TimerKey {
     }
 }
 
+/// One live process in the task slab: its future, its cached waker (created
+/// once at spawn, cloned per poll — no per-poll allocation), and whether it
+/// already sits in the ready queue (replaces the O(ready) `contains` dedup
+/// scan with an O(1) bit check).
+struct TaskSlot {
+    fut: Option<LocalFuture>,
+    waker: Waker,
+    queued: bool,
+}
+
 struct Engine {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Reverse<TimerKey>>,
     timers: HashMap<TimerId, TimerAction>,
-    tasks: HashMap<TaskId, Option<LocalFuture>>,
-    ready: VecDeque<TaskId>,
-    next_task_id: TaskId,
+    /// Task slab: `slots[i]` is `Some` while task `i` is alive.
+    slots: Vec<Option<TaskSlot>>,
+    /// Reuse generation of each slot; bumped when a task completes so stale
+    /// [`TaskId`]s (from wakers outliving their task) are recognised.
+    generations: Vec<u32>,
+    /// Indices of vacated slots available for reuse.
+    free_slots: Vec<u32>,
+    /// Number of live (spawned, not yet completed) tasks.
+    live_tasks: usize,
+    /// Slot indices of tasks ready to be polled, FIFO.
+    ready: VecDeque<u32>,
     next_timer_id: u64,
     /// Tasks woken through a `Waker`; drained into `ready` by the run loop.
     wake_queue: Arc<Mutex<Vec<TaskId>>>,
@@ -81,9 +114,11 @@ impl Engine {
             seq: 0,
             heap: BinaryHeap::new(),
             timers: HashMap::new(),
-            tasks: HashMap::new(),
+            slots: Vec::new(),
+            generations: Vec::new(),
+            free_slots: Vec::new(),
+            live_tasks: 0,
             ready: VecDeque::new(),
-            next_task_id: 0,
             next_timer_id: 0,
             wake_queue: Arc::new(Mutex::new(Vec::new())),
         }
@@ -100,6 +135,15 @@ impl Engine {
         }));
         self.timers.insert(id, action);
         id
+    }
+
+    /// Vacates a completed task's slot and bumps its generation so any
+    /// outstanding wake-up for it becomes a recognised no-op.
+    fn remove_task(&mut self, index: u32) {
+        self.slots[index as usize] = None;
+        self.generations[index as usize] = self.generations[index as usize].wrapping_add(1);
+        self.free_slots.push(index);
+        self.live_tasks -= 1;
     }
 }
 
@@ -186,10 +230,29 @@ impl SimContext {
         };
         let id = {
             let mut eng = self.engine.borrow_mut();
-            let id = eng.next_task_id;
-            eng.next_task_id += 1;
-            eng.tasks.insert(id, Some(Box::pin(wrapped)));
-            eng.ready.push_back(id);
+            let index = match eng.free_slots.pop() {
+                Some(i) => i,
+                None => {
+                    eng.slots.push(None);
+                    eng.generations.push(0);
+                    let i = (eng.slots.len() - 1) as u32;
+                    assert!(i != u32::MAX, "task slab exhausted u32 index space");
+                    i
+                }
+            };
+            let id = task_id(index, eng.generations[index as usize]);
+            // The task's one waker, shared by every poll of its lifetime.
+            let waker = Waker::from(Arc::new(SimWaker {
+                task: id,
+                queue: Arc::clone(&eng.wake_queue),
+            }));
+            eng.slots[index as usize] = Some(TaskSlot {
+                fut: Some(Box::pin(wrapped)),
+                waker,
+                queued: true,
+            });
+            eng.ready.push_back(index);
+            eng.live_tasks += 1;
             id
         };
         JoinHandle { state, task: id }
@@ -358,7 +421,7 @@ impl Simulation {
 
     /// Number of processes that have been spawned and not yet completed.
     pub fn pending_tasks(&self) -> usize {
-        self.engine.borrow().tasks.len()
+        self.engine.borrow().live_tasks
     }
 
     /// Runs until no more work can make progress, returning the final virtual
@@ -415,32 +478,41 @@ impl Simulation {
         let mut eng = self.engine.borrow_mut();
         let woken: Vec<TaskId> = std::mem::take(&mut *eng.wake_queue.lock().unwrap());
         for task in woken {
-            if eng.tasks.contains_key(&task) && !eng.ready.contains(&task) {
-                eng.ready.push_back(task);
+            let index = task_index(task);
+            // Stale wake-ups (completed task, possibly recycled slot) are
+            // recognised by the generation mismatch; duplicate wake-ups by
+            // the queued bit — no scan of the ready queue.
+            if eng.generations.get(index as usize) == Some(&task_generation(task)) {
+                if let Some(slot) = eng.slots[index as usize].as_mut() {
+                    if !slot.queued {
+                        slot.queued = true;
+                        eng.ready.push_back(index);
+                    }
+                }
             }
         }
     }
 
-    fn poll_task(&self, task: TaskId) {
-        let (mut fut, queue) = {
+    fn poll_task(&self, index: u32) {
+        let (mut fut, waker) = {
             let mut eng = self.engine.borrow_mut();
-            let fut = match eng.tasks.get_mut(&task) {
-                Some(slot) => match slot.take() {
-                    Some(f) => f,
-                    None => return, // re-entrant poll; cannot happen single-threaded
-                },
-                None => return, // already completed
+            let Some(slot) = eng.slots[index as usize].as_mut() else {
+                return; // already completed
             };
-            (fut, Arc::clone(&eng.wake_queue))
+            slot.queued = false;
+            let Some(fut) = slot.fut.take() else {
+                return; // re-entrant poll; cannot happen single-threaded
+            };
+            // The cached waker: cloning is a refcount bump, not an allocation.
+            (fut, slot.waker.clone())
         };
-        let waker = Waker::from(Arc::new(SimWaker { task, queue }));
         let mut cx = Context::from_waker(&waker);
         let done = fut.as_mut().poll(&mut cx).is_ready();
         let mut eng = self.engine.borrow_mut();
         if done {
-            eng.tasks.remove(&task);
-        } else if let Some(slot) = eng.tasks.get_mut(&task) {
-            *slot = Some(fut);
+            eng.remove_task(index);
+        } else if let Some(slot) = eng.slots[index as usize].as_mut() {
+            slot.fut = Some(fut);
         }
     }
 
@@ -497,7 +569,7 @@ impl Drop for Simulation {
         let mut eng = self.engine.borrow_mut();
         eng.timers.clear();
         eng.heap.clear();
-        eng.tasks.clear();
+        eng.slots.clear();
         eng.ready.clear();
     }
 }

@@ -28,6 +28,42 @@ use crate::tuning::KernelTuning;
 
 const EPS: f64 = 1e-6;
 
+/// Slot index into the file slab. `NIL` terminates a chain.
+const NIL: u32 = u32::MAX;
+
+/// Chain dimensions threaded through [`FileSlot`]s: files that (may) hold
+/// clean pages, and files that (may) hold dirty pages.
+const CLEAN: usize = 0;
+const DIRTY: usize = 1;
+
+/// One prev/next pair of an intrusive membership chain.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    prev: u32,
+    next: u32,
+}
+
+const UNLINKED: Link = Link {
+    prev: NIL,
+    next: NIL,
+};
+
+/// Endpoints of one membership chain.
+#[derive(Debug, Clone, Copy)]
+struct Chain {
+    head: u32,
+    tail: u32,
+}
+
+impl Default for Chain {
+    fn default() -> Self {
+        Chain {
+            head: NIL,
+            tail: NIL,
+        }
+    }
+}
+
 /// Per-file cache occupancy, split by LRU list and dirtiness.
 #[derive(Debug, Default, Clone, Copy)]
 struct FilePages {
@@ -101,8 +137,30 @@ pub struct KernelCacheCounters {
     pub evicted: f64,
 }
 
+/// One file's slab slot: its page accounting plus the intrusive links of the
+/// two membership chains (same per-file chain idea as `pagecache::lru`).
+#[derive(Debug, Clone)]
+struct FileSlot {
+    file: FileId,
+    pages: FilePages,
+    /// Links indexed by [`CLEAN`] / [`DIRTY`].
+    links: [Link; 2],
+    /// Whether the slot is currently a member of each chain.
+    linked: [bool; 2],
+}
+
 struct State {
-    files: BTreeMap<FileId, FilePages>,
+    /// File name -> slab slot. The sorted index is kept for
+    /// [`KernelCache::cached_per_file`] snapshots; per-page-state traversal
+    /// goes through the membership chains instead of scanning this map.
+    index: BTreeMap<FileId, u32>,
+    slots: Vec<Option<FileSlot>>,
+    free_slots: Vec<u32>,
+    /// Membership chains indexed by [`CLEAN`] / [`DIRTY`]: a conservative
+    /// superset of the files with clean / dirty pages. Writeback and eviction
+    /// walk these chains — visiting only candidate files — and lazily unlink
+    /// members that no longer qualify.
+    chains: [Chain; 2],
     anonymous: f64,
     /// Incrementally maintained sum of `FilePages::cached` over all files,
     /// so that [`KernelCache::cached`] (polled on every simulated request) is
@@ -116,14 +174,116 @@ struct State {
 }
 
 impl State {
-    /// Scan-based oracle for the incremental totals; compiled into debug
-    /// builds only.
+    fn slot(&self, i: u32) -> &FileSlot {
+        self.slots[i as usize].as_ref().expect("vacant file slot")
+    }
+
+    fn slot_mut(&mut self, i: u32) -> &mut FileSlot {
+        self.slots[i as usize].as_mut().expect("vacant file slot")
+    }
+
+    fn pages(&self, file: &FileId) -> Option<&FilePages> {
+        self.index.get(file).map(|&i| &self.slot(i).pages)
+    }
+
+    /// Returns the slab slot of `file`, creating an empty one if needed.
+    fn ensure_slot(&mut self, file: &FileId) -> u32 {
+        if let Some(&i) = self.index.get(file) {
+            return i;
+        }
+        let slot = FileSlot {
+            file: file.clone(),
+            pages: FilePages::default(),
+            links: [UNLINKED; 2],
+            linked: [false, false],
+        };
+        let i = match self.free_slots.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                let i = (self.slots.len() - 1) as u32;
+                assert!(i != NIL, "file slab exhausted u32 index space");
+                i
+            }
+        };
+        self.index.insert(file.clone(), i);
+        i
+    }
+
+    /// Links slot `i` into chain `dim` (no-op if already a member). O(1).
+    fn link(&mut self, i: u32, dim: usize) {
+        if self.slot(i).linked[dim] {
+            return;
+        }
+        let tail = self.chains[dim].tail;
+        {
+            let s = self.slot_mut(i);
+            s.linked[dim] = true;
+            s.links[dim] = Link {
+                prev: tail,
+                next: NIL,
+            };
+        }
+        if tail != NIL {
+            self.slot_mut(tail).links[dim].next = i;
+        } else {
+            self.chains[dim].head = i;
+        }
+        self.chains[dim].tail = i;
+    }
+
+    /// Unlinks slot `i` from chain `dim` (no-op if not a member). O(1).
+    fn unlink(&mut self, i: u32, dim: usize) {
+        if !self.slot(i).linked[dim] {
+            return;
+        }
+        let Link { prev, next } = self.slot(i).links[dim];
+        if prev != NIL {
+            self.slot_mut(prev).links[dim].next = next;
+        } else {
+            self.chains[dim].head = next;
+        }
+        if next != NIL {
+            self.slot_mut(next).links[dim].prev = prev;
+        } else {
+            self.chains[dim].tail = prev;
+        }
+        let s = self.slot_mut(i);
+        s.links[dim] = UNLINKED;
+        s.linked[dim] = false;
+    }
+
+    /// Collects the members of chain `dim` that still satisfy `qualifies`,
+    /// lazily unlinking the ones that no longer do. The result is unordered;
+    /// callers sort it to reproduce the historical (timestamp, file-name)
+    /// selection order exactly.
+    fn chain_candidates(&mut self, dim: usize, qualifies: impl Fn(&FilePages) -> bool) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut i = self.chains[dim].head;
+        while i != NIL {
+            let next = self.slot(i).links[dim].next;
+            if qualifies(&self.slot(i).pages) {
+                out.push(i);
+            } else {
+                self.unlink(i, dim);
+            }
+            i = next;
+        }
+        out
+    }
+
+    /// Scan-based oracle for the incremental totals and the membership
+    /// chains; compiled into debug builds only.
     #[inline]
     fn debug_validate(&self) {
         #[cfg(debug_assertions)]
         {
-            let cached: f64 = self.files.values().map(FilePages::cached).sum();
-            let dirty: f64 = self.files.values().map(FilePages::dirty).sum();
+            let live = || self.slots.iter().flatten();
+            let cached: f64 = live().map(|s| s.pages.cached()).sum();
+            let dirty: f64 = live().map(|s| s.pages.dirty()).sum();
             debug_assert!(
                 (self.cached_total - cached).abs() <= EPS + 1e-9 * cached.abs(),
                 "cached_total {} != scan {}",
@@ -136,6 +296,38 @@ impl State {
                 self.dirty_total,
                 dirty
             );
+            debug_assert_eq!(self.index.len() + self.free_slots.len(), self.slots.len());
+            // Every qualifying file must be a chain member (the chains may
+            // conservatively hold more; they are pruned lazily).
+            for (dim, qualifies) in [
+                (
+                    CLEAN,
+                    (|p: &FilePages| p.clean() > EPS) as fn(&FilePages) -> bool,
+                ),
+                (DIRTY, |p: &FilePages| p.dirty() > EPS),
+            ] {
+                for (file, &i) in &self.index {
+                    let s = self.slot(i);
+                    debug_assert!(
+                        !qualifies(&s.pages) || s.linked[dim],
+                        "file {file} qualifies for chain {dim} but is not linked"
+                    );
+                }
+                // The chain is structurally sound and every member is live.
+                let mut seen = 0usize;
+                let mut prev = NIL;
+                let mut i = self.chains[dim].head;
+                while i != NIL {
+                    let s = self.slot(i);
+                    debug_assert!(s.linked[dim]);
+                    debug_assert_eq!(s.links[dim].prev, prev);
+                    prev = i;
+                    i = s.links[dim].next;
+                    seen += 1;
+                    debug_assert!(seen <= self.slots.len(), "chain cycle");
+                }
+                debug_assert_eq!(self.chains[dim].tail, prev);
+            }
         }
     }
 }
@@ -163,7 +355,10 @@ impl KernelCache {
             memory,
             disk,
             state: Rc::new(RefCell::new(State {
-                files: BTreeMap::new(),
+                index: BTreeMap::new(),
+                slots: Vec::new(),
+                free_slots: Vec::new(),
+                chains: [Chain::default(), Chain::default()],
                 anonymous: 0.0,
                 cached_total: 0.0,
                 dirty_total: 0.0,
@@ -218,18 +413,17 @@ impl KernelCache {
     pub fn cached_amount(&self, file: &FileId) -> f64 {
         self.state
             .borrow()
-            .files
-            .get(file)
+            .pages(file)
             .map(FilePages::cached)
             .unwrap_or(0.0)
     }
 
     /// Cached bytes per file.
     pub fn cached_per_file(&self) -> BTreeMap<FileId, f64> {
-        self.state
-            .borrow()
-            .files
+        let s = self.state.borrow();
+        s.index
             .iter()
+            .map(|(k, &i)| (k, &s.slot(i).pages))
             .filter(|(_, p)| p.cached() > EPS)
             .map(|(k, p)| (k.clone(), p.cached()))
             .collect()
@@ -258,16 +452,23 @@ impl KernelCache {
     /// Marks a file as being written (protected from eviction) or not.
     pub fn set_write_open(&self, file: &FileId, open: bool) {
         let mut s = self.state.borrow_mut();
-        let entry = s.files.entry(file.clone()).or_default();
-        entry.write_open = open;
+        let i = s.ensure_slot(file);
+        s.slot_mut(i).pages.write_open = open;
     }
 
     /// Drops all cached pages of a file.
     pub fn invalidate_file(&self, file: &FileId) -> f64 {
         let mut s = self.state.borrow_mut();
-        let Some(pages) = s.files.remove(file) else {
+        let Some(i) = s.index.remove(file) else {
             return 0.0;
         };
+        s.unlink(i, CLEAN);
+        s.unlink(i, DIRTY);
+        let pages = s.slots[i as usize]
+            .take()
+            .expect("indexed slot is live")
+            .pages;
+        s.free_slots.push(i);
         s.cached_total = (s.cached_total - pages.cached()).max(0.0);
         s.dirty_total = (s.dirty_total - pages.dirty()).max(0.0);
         s.debug_validate();
@@ -277,31 +478,33 @@ impl KernelCache {
     /// Evicts up to `amount` bytes of clean pages, least-recently-used file
     /// first, skipping files currently being written (if the corresponding
     /// tunable is enabled) and `exclude`. Returns the evicted amount.
+    ///
+    /// Candidates come from the has-clean membership chain, so only files
+    /// actually holding clean pages are visited; the sort reproduces the
+    /// historical `(last_access, file name)` selection order exactly.
     pub fn evict(&self, amount: f64, exclude: Option<&FileId>) -> f64 {
         if amount <= EPS {
             return 0.0;
         }
         let mut s = self.state.borrow_mut();
-        let mut order: Vec<(FileId, SimTime)> = s
-            .files
-            .iter()
-            .filter(|(_, p)| p.clean() > EPS)
-            .map(|(k, p)| (k.clone(), p.last_access))
-            .collect();
-        order.sort_by_key(|a| a.1);
+        let mut order = s.chain_candidates(CLEAN, |p| p.clean() > EPS);
+        order.sort_by(|&a, &b| {
+            (s.slot(a).pages.last_access, &s.slot(a).file)
+                .cmp(&(s.slot(b).pages.last_access, &s.slot(b).file))
+        });
         let mut evicted = 0.0;
         // First pass: respect the write-open protection; second pass: ignore
         // it if we are still short (the kernel will reclaim those pages too
         // under sufficient pressure).
         for respect_protection in [true, false] {
-            for (file, _) in &order {
+            for &i in &order {
                 if evicted >= amount - EPS {
                     break;
                 }
-                if exclude == Some(file) {
+                if exclude.is_some_and(|f| f == &s.slot(i).file) {
                     continue;
                 }
-                let pages = s.files.get_mut(file).expect("file disappeared");
+                let pages = &mut s.slot_mut(i).pages;
                 if respect_protection && self.tuning.protect_files_being_written && pages.write_open
                 {
                     continue;
@@ -326,20 +529,29 @@ impl KernelCache {
         }
         let flushed = {
             let mut s = self.state.borrow_mut();
-            let mut order: Vec<(FileId, SimTime)> = s
-                .files
-                .iter()
-                .filter(|(_, p)| p.dirty() > EPS)
-                .map(|(k, p)| (k.clone(), p.oldest_dirty.unwrap_or(p.last_access)))
-                .collect();
-            order.sort_by_key(|a| a.1);
+            // Oldest-dirty-first over the has-dirty chain members only; ties
+            // break on the file name, matching the historical stable sort
+            // over the name-ordered file table.
+            let mut order = s.chain_candidates(DIRTY, |p| p.dirty() > EPS);
+            let key = |s: &State, i: u32| {
+                let slot = s.slot(i);
+                slot.pages.oldest_dirty.unwrap_or(slot.pages.last_access)
+            };
+            order.sort_by(|&a, &b| {
+                (key(&s, a), &s.slot(a).file).cmp(&(key(&s, b), &s.slot(b).file))
+            });
             let mut flushed = 0.0;
-            for (file, _) in &order {
+            for &i in &order {
                 if flushed >= amount - EPS {
                     break;
                 }
-                let pages = s.files.get_mut(file).expect("file disappeared");
-                flushed += pages.clean_dirty(amount - flushed);
+                let cleaned = s.slot_mut(i).pages.clean_dirty(amount - flushed);
+                flushed += cleaned;
+                if cleaned > 0.0 {
+                    // The cleaned pages are now clean cache: make sure the
+                    // file is reachable by the eviction pass.
+                    s.link(i, CLEAN);
+                }
             }
             if throttled {
                 s.counters.throttled_writeback += flushed;
@@ -363,14 +575,16 @@ impl KernelCache {
             return 0.0;
         }
         let amount = {
-            let s = self.state.borrow();
-            s.files
-                .values()
+            // Walk only the has-dirty chain members (pruning stale ones).
+            let mut s = self.state.borrow_mut();
+            let candidates = s.chain_candidates(DIRTY, |p| p.dirty() > EPS);
+            candidates
+                .iter()
+                .map(|&i| &s.slot(i).pages)
                 .filter(|p| {
-                    p.dirty() > EPS
-                        && p.oldest_dirty
-                            .map(|t| now.duration_since(t) > self.tuning.dirty_expire)
-                            .unwrap_or(false)
+                    p.oldest_dirty
+                        .map(|t| now.duration_since(t) > self.tuning.dirty_expire)
+                        .unwrap_or(false)
                 })
                 .map(FilePages::dirty)
                 .sum::<f64>()
@@ -385,9 +599,13 @@ impl KernelCache {
         }
         let now = self.ctx.now();
         let mut s = self.state.borrow_mut();
-        let entry = s.files.entry(file.clone()).or_default();
-        entry.inactive_clean += bytes;
-        entry.last_access = now;
+        let i = s.ensure_slot(file);
+        {
+            let pages = &mut s.slot_mut(i).pages;
+            pages.inactive_clean += bytes;
+            pages.last_access = now;
+        }
+        s.link(i, CLEAN);
         s.cached_total += bytes;
         s.debug_validate();
     }
@@ -399,12 +617,16 @@ impl KernelCache {
         }
         let now = self.ctx.now();
         let mut s = self.state.borrow_mut();
-        let entry = s.files.entry(file.clone()).or_default();
-        entry.inactive_dirty += bytes;
-        entry.last_access = now;
-        if entry.oldest_dirty.is_none() {
-            entry.oldest_dirty = Some(now);
+        let i = s.ensure_slot(file);
+        {
+            let pages = &mut s.slot_mut(i).pages;
+            pages.inactive_dirty += bytes;
+            pages.last_access = now;
+            if pages.oldest_dirty.is_none() {
+                pages.oldest_dirty = Some(now);
+            }
         }
+        s.link(i, DIRTY);
         s.cached_total += bytes;
         s.dirty_total += bytes;
         s.debug_validate();
@@ -418,9 +640,10 @@ impl KernelCache {
         }
         let now = self.ctx.now();
         let mut s = self.state.borrow_mut();
-        if let Some(entry) = s.files.get_mut(file) {
-            entry.promote(bytes);
-            entry.last_access = now;
+        if let Some(&i) = s.index.get(file) {
+            let pages = &mut s.slot_mut(i).pages;
+            pages.promote(bytes);
+            pages.last_access = now;
         }
     }
 
@@ -651,7 +874,7 @@ mod tests {
         // LRU order; total stays the same.
         approx(cache.cached_amount(&"f".into()), 100.0 * MB);
         let s = cache.state.borrow();
-        let pages = s.files.get(&"f".into()).unwrap();
+        let pages = s.pages(&"f".into()).unwrap();
         approx(pages.active_clean, 60.0 * MB);
         approx(pages.inactive_clean, 40.0 * MB);
     }

@@ -15,8 +15,26 @@ use des::SimTime;
 
 /// Identifier of a simulated file. Cheap to clone (reference-counted interned
 /// name).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Equality first compares the `Rc` pointers: clones of the same interned
+/// name — the overwhelmingly common case on the hot block-vs-requested-file
+/// checks in the LRU walks — are equal without touching the string bytes.
+#[derive(Debug, Clone, Eq, PartialOrd, Ord)]
 pub struct FileId(Rc<str>);
+
+impl PartialEq for FileId {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl std::hash::Hash for FileId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash the name, matching `PartialEq` (pointer equality implies name
+        // equality).
+        self.0.hash(state);
+    }
+}
 
 impl FileId {
     /// Creates a file identifier from a name.

@@ -1,4 +1,6 @@
-//! The two-list LRU structure used by the simulation model (paper §III-A-1).
+//! The two-list LRU structure used by the simulation model (paper §III-A-1),
+//! built on a slab arena of [`DataBlock`] nodes threaded by intrusive
+//! doubly-linked chains (Linux `list_head`-style).
 //!
 //! As in the Linux kernel, cached data lives either on the *inactive* list
 //! (accessed once) or the *active* list (accessed more than once). Both lists
@@ -6,42 +8,86 @@
 //! data is always at the front. The active list is kept at most twice the
 //! size of the inactive list by demoting its least recently used blocks.
 //!
+//! # Why intrusive chains
+//!
+//! The previous implementation stored each list in a `VecDeque<DataBlock>`.
+//! That made the byte *aggregates* O(1) (incremental counters, PR 1) but left
+//! the list *operations* linear: reading one file's cached data walked every
+//! block of every file, each `VecDeque::remove`/`insert` shifted O(n)
+//! elements, and flushing scanned past clean blocks hunting for dirty
+//! candidates. Interleaved multi-file workloads (`nfs_cluster`,
+//! `concurrent_instances`) therefore degraded toward O(n²).
+//!
+//! Here every block lives in one slab **arena** slot and carries three pairs
+//! of intrusive links, so its neighbors in every dimension are reachable in
+//! O(1):
+//!
+//! * the **recency chain** of its list (inactive or active) — the classic LRU
+//!   order, earliest `last_access` first;
+//! * the **per-file chain** of its `(file, list)` pair — the same recency
+//!   order restricted to one file's blocks;
+//! * the **dirty chain** of its list — the same recency order restricted to
+//!   dirty blocks (a block is linked here exactly while `dirty` is true).
+//!
+//! Every chain is a subsequence of its list's recency chain, so traversing a
+//! per-file or dirty chain visits exactly the blocks a full scan would have
+//! selected, in the same order — behaviour is preserved, only the skipped
+//! work disappears.
+//!
 //! # Complexity
 //!
-//! The lists are [`VecDeque`]s ordered by `last_access`, and every byte
-//! aggregate the I/O controller polls on its hot path is maintained
-//! *incrementally* instead of being recomputed by scanning:
+//! | operation | `VecDeque` lists | arena + chains |
+//! |---|---|---|
+//! | `add_clean` / `add_dirty` | O(1) append | O(1) append |
+//! | `read_cached` (file with k blocks) | O(n) scan + O(n) shifts | O(k) |
+//! | `flush_lru` (d dirty blocks touched) | O(n) scan | O(d) |
+//! | `evict` (e blocks removed) | O(n) shifts | O(e + skipped) |
+//! | `flush_expired` (d dirty blocks) | O(n) scan | O(d) |
+//! | `invalidate_file` (k blocks) | O(n) scan | O(k) |
+//! | `balance` (per demotion) | O(1) decide + O(n) shift | O(1) decide + O(g) walk |
+//! | byte aggregates | O(1) | O(1) |
 //!
-//! * [`LruLists::total_cached`], [`LruLists::total_dirty`],
-//!   [`LruLists::inactive_bytes`], [`LruLists::active_bytes`] and
-//!   [`LruLists::evictable`] are **O(1)** reads of per-list counters;
-//! * [`LruLists::cached_amount`] and [`LruLists::dirty_amount`] are **O(1)**
-//!   expected-time lookups in a per-file [`HashMap`];
-//! * [`LruLists::cached_per_file`] is **O(F log F)** in the number of files
-//!   with cached data, independent of the number of blocks;
-//! * insertion keeps the common append/pop-front pattern **O(1)**: a block
-//!   accessed "now" goes to the back in constant time, and out-of-order
-//!   inserts (demotions) use a binary search plus an O(min(i, n−i)) shift;
-//! * [`LruLists::balance`] decides each demotion in **O(1)** (plus the
-//!   insertion shift for the demoted block) instead of
-//!   re-summing both lists per demotion.
+//! where g is the number of inactive blocks more recent than the demoted
+//! block (0 in the common append-ordered case, and bounded by min(g, n−g)
+//! in general: out-of-order insertions walk the recency chain from both
+//! ends alternately instead of binary-searching, which keeps the common
+//! monotonic-time append O(1), caps the demotion walk at the nearer end,
+//! and never shifts elements).
 //!
-//! # Invariants maintained by the incremental counters
+//! To bound arena growth on flush-heavy workloads, recency-adjacent blocks
+//! of the same file on the **inactive** list that are both clean *and share
+//! the same last access time* are coalesced opportunistically (after an
+//! insert, a demotion, or a flush that turns a block clean) — this is the
+//! shape a partial flush produces: a clean split head next to its remainder,
+//! fragment after fragment at one timestamp. Equal timestamps make the merge
+//! provably order-neutral (no later out-of-order insertion can land between
+//! the merged bytes), so every byte-level observable — aggregates,
+//! flush/evict/read amounts, eviction order — is unchanged; only the block
+//! granularity coarsens. Active-list blocks are never coalesced because
+//! [`LruLists::balance`] demotes whole blocks, and merging would coarsen the
+//! demotion granularity (a behaviour change).
 //!
-//! For each list, `agg.bytes` / `agg.dirty` equal the sum of sizes / dirty
-//! sizes of its blocks; for each file, `FileBytes { cached, dirty,
-//! inactive_bytes, inactive_clean, blocks }` equal the same sums restricted to
-//! that file (and `blocks` its exact block count, used to drop empty entries).
-//! Every mutation — insert, remove, in-place flush, in-place shrink, split,
-//! demotion — updates the counters by the exact delta. In debug builds every
-//! public mutator re-derives all counters from a full scan (`recompute_*`
-//! oracles) and `debug_assert!`s agreement, so the O(1) readers can never
+//! # Invariants
+//!
+//! * Structure: every chain is doubly linked and consistent with its
+//!   head/tail; the dirty and per-file chains are exactly the recency chain
+//!   filtered by dirtiness / file; recency chains are sorted by
+//!   `last_access`.
+//! * Aggregates: for each list, `agg.bytes` / `agg.dirty` equal the sum of
+//!   sizes / dirty sizes of its blocks; for each file, `FileBytes { cached,
+//!   dirty, inactive_bytes, inactive_clean, blocks }` equal the same sums
+//!   restricted to that file (and `blocks` its exact block count, used to
+//!   drop empty entries).
+//!
+//! In debug builds every public mutator re-derives all counters from a full
+//! scan (the `recompute_*` oracles), validates the chain structure, and
+//! `debug_assert!`s agreement, so the O(1) readers and O(k) walks can never
 //! silently drift from the scan-based truth.
 //!
 //! All byte amounts are `f64`; a small epsilon absorbs floating-point dust
 //! when blocks are split by partial reads, flushes and evictions.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 
 use des::SimTime;
 
@@ -50,6 +96,15 @@ use crate::block::{DataBlock, FileId};
 /// Bytes below which two amounts are considered equal.
 pub const EPSILON: f64 = 1e-6;
 
+/// Index of a node in the arena. `NIL` marks the end of a chain.
+type Idx = u32;
+const NIL: Idx = u32::MAX;
+
+/// The three intrusive link dimensions of a node.
+const RECENCY: usize = 0;
+const FILE: usize = 1;
+const DIRTY: usize = 2;
+
 /// Which of the two LRU lists a block resides on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ListKind {
@@ -57,6 +112,155 @@ pub enum ListKind {
     Inactive,
     /// The active list (data accessed more than once, protected).
     Active,
+}
+
+/// Index of a list kind into per-list arrays.
+fn li(kind: ListKind) -> usize {
+    match kind {
+        ListKind::Inactive => 0,
+        ListKind::Active => 1,
+    }
+}
+
+const KINDS: [ListKind; 2] = [ListKind::Inactive, ListKind::Active];
+
+/// One prev/next pair of an intrusive chain.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    prev: Idx,
+    next: Idx,
+}
+
+const UNLINKED: Link = Link {
+    prev: NIL,
+    next: NIL,
+};
+
+/// Endpoints of one intrusive chain.
+#[derive(Debug, Clone, Copy)]
+struct Chain {
+    head: Idx,
+    tail: Idx,
+}
+
+impl Default for Chain {
+    fn default() -> Self {
+        Chain {
+            head: NIL,
+            tail: NIL,
+        }
+    }
+}
+
+impl Chain {
+    fn is_empty(&self) -> bool {
+        self.head == NIL
+    }
+}
+
+/// One arena slot: either a live block node or a free-list entry.
+#[derive(Debug, Clone)]
+enum Slot {
+    Occupied(Node),
+    Vacant { next_free: Idx },
+}
+
+/// A cached data block plus its intrusive links.
+#[derive(Debug, Clone)]
+struct Node {
+    block: DataBlock,
+    kind: ListKind,
+    /// Links indexed by [`RECENCY`], [`FILE`], [`DIRTY`].
+    links: [Link; 3],
+}
+
+fn node_ref(arena: &[Slot], i: Idx) -> &Node {
+    match &arena[i as usize] {
+        Slot::Occupied(n) => n,
+        Slot::Vacant { .. } => panic!("chain references vacant arena slot {i}"),
+    }
+}
+
+fn node_mut(arena: &mut [Slot], i: Idx) -> &mut Node {
+    match &mut arena[i as usize] {
+        Slot::Occupied(n) => n,
+        Slot::Vacant { .. } => panic!("chain references vacant arena slot {i}"),
+    }
+}
+
+/// Unlinks node `i` from `chain` along link dimension `lk`.
+fn unlink(arena: &mut [Slot], chain: &mut Chain, lk: usize, i: Idx) {
+    let Link { prev, next } = node_ref(arena, i).links[lk];
+    if prev != NIL {
+        node_mut(arena, prev).links[lk].next = next;
+    } else {
+        chain.head = next;
+    }
+    if next != NIL {
+        node_mut(arena, next).links[lk].prev = prev;
+    } else {
+        chain.tail = prev;
+    }
+    node_mut(arena, i).links[lk] = UNLINKED;
+}
+
+/// Inserts node `i` into `chain` directly before `anchor` (at the tail when
+/// `anchor` is `NIL`).
+fn insert_before(arena: &mut [Slot], chain: &mut Chain, lk: usize, anchor: Idx, i: Idx) {
+    if anchor == NIL {
+        let old_tail = chain.tail;
+        node_mut(arena, i).links[lk] = Link {
+            prev: old_tail,
+            next: NIL,
+        };
+        if old_tail != NIL {
+            node_mut(arena, old_tail).links[lk].next = i;
+        } else {
+            chain.head = i;
+        }
+        chain.tail = i;
+    } else {
+        let prev = node_ref(arena, anchor).links[lk].prev;
+        node_mut(arena, i).links[lk] = Link { prev, next: anchor };
+        node_mut(arena, anchor).links[lk].prev = i;
+        if prev != NIL {
+            node_mut(arena, prev).links[lk].next = i;
+        } else {
+            chain.head = i;
+        }
+    }
+}
+
+/// Inserts node `i` keeping `chain` sorted by `last_access`, after any
+/// existing nodes with the same timestamp (the same tie rule as
+/// `partition_point` in the `VecDeque` implementation). O(1) for the common
+/// append case (monotonic simulated time); an out-of-order insert (a
+/// demotion) walks from *both* ends alternately, so it costs O(min(g, n−g))
+/// where g is the number of newer nodes — never a full-list walk, and no
+/// element shifts, ever.
+fn insert_sorted(arena: &mut [Slot], chain: &mut Chain, lk: usize, i: Idx) {
+    let la = node_ref(arena, i).block.last_access;
+    if chain.tail == NIL || node_ref(arena, chain.tail).block.last_access <= la {
+        insert_before(arena, chain, lk, NIL, i);
+        return;
+    }
+    // The sorted position is before the first node with a later timestamp;
+    // both cursors converge on that boundary, whichever side is closer wins.
+    let mut back = chain.tail; // invariant: back's timestamp > la
+    let mut front = chain.head;
+    loop {
+        let prev = node_ref(arena, back).links[lk].prev;
+        if prev == NIL || node_ref(arena, prev).block.last_access <= la {
+            insert_before(arena, chain, lk, back, i);
+            return;
+        }
+        back = prev;
+        if node_ref(arena, front).block.last_access > la {
+            insert_before(arena, chain, lk, front, i);
+            return;
+        }
+        front = node_ref(arena, front).links[lk].next;
+    }
 }
 
 /// Incrementally maintained byte totals of one list.
@@ -100,14 +304,43 @@ struct FileBytes {
     blocks: usize,
 }
 
-/// The pair of LRU lists holding all cached data blocks of one host.
+/// Per-list state: the recency and dirty chains plus the byte aggregates.
 #[derive(Debug, Default, Clone)]
+struct ListState {
+    recency: Chain,
+    dirty: Chain,
+    len: usize,
+    agg: ListAgg,
+}
+
+/// Per-file state: the byte aggregates plus one per-list file chain.
+#[derive(Debug, Default, Clone)]
+struct FileState {
+    bytes: FileBytes,
+    /// File chains indexed by [`li`]: this file's blocks on each list, in
+    /// recency order.
+    chains: [Chain; 2],
+}
+
+/// The pair of LRU lists holding all cached data blocks of one host.
+#[derive(Debug, Clone)]
 pub struct LruLists {
-    inactive: VecDeque<DataBlock>,
-    active: VecDeque<DataBlock>,
-    inactive_agg: ListAgg,
-    active_agg: ListAgg,
-    per_file: HashMap<FileId, FileBytes>,
+    arena: Vec<Slot>,
+    free_head: Idx,
+    /// Indexed by [`li`]: inactive, active.
+    lists: [ListState; 2],
+    per_file: HashMap<FileId, FileState>,
+}
+
+impl Default for LruLists {
+    fn default() -> Self {
+        LruLists {
+            arena: Vec::new(),
+            free_head: NIL,
+            lists: [ListState::default(), ListState::default()],
+            per_file: HashMap::new(),
+        }
+    }
 }
 
 impl LruLists {
@@ -118,42 +351,42 @@ impl LruLists {
 
     /// Total number of blocks across both lists.
     pub fn block_count(&self) -> usize {
-        self.inactive.len() + self.active.len()
+        self.lists[0].len + self.lists[1].len
     }
 
     /// Whether the cache holds no data at all.
     pub fn is_empty(&self) -> bool {
-        self.inactive.is_empty() && self.active.is_empty()
+        self.block_count() == 0
     }
 
     /// Total cached bytes (clean + dirty, both lists). O(1).
     pub fn total_cached(&self) -> f64 {
-        self.inactive_agg.bytes + self.active_agg.bytes
+        self.lists[0].agg.bytes + self.lists[1].agg.bytes
     }
 
     /// Total dirty bytes (both lists). O(1).
     pub fn total_dirty(&self) -> f64 {
-        self.inactive_agg.dirty + self.active_agg.dirty
+        self.lists[0].agg.dirty + self.lists[1].agg.dirty
     }
 
     /// Bytes of the inactive list. O(1).
     pub fn inactive_bytes(&self) -> f64 {
-        self.inactive_agg.bytes
+        self.lists[0].agg.bytes
     }
 
     /// Bytes of the active list. O(1).
     pub fn active_bytes(&self) -> f64 {
-        self.active_agg.bytes
+        self.lists[1].agg.bytes
     }
 
     /// Cached bytes belonging to `file`. O(1) expected.
     pub fn cached_amount(&self, file: &FileId) -> f64 {
-        self.per_file.get(file).map_or(0.0, |f| f.cached)
+        self.per_file.get(file).map_or(0.0, |f| f.bytes.cached)
     }
 
     /// Dirty bytes belonging to `file`. O(1) expected.
     pub fn dirty_amount(&self, file: &FileId) -> f64 {
-        self.per_file.get(file).map_or(0.0, |f| f.dirty)
+        self.per_file.get(file).map_or(0.0, |f| f.bytes.dirty)
     }
 
     /// Cached bytes per file (used to reproduce Fig. 4c). O(F log F) in the
@@ -163,8 +396,8 @@ impl LruLists {
     pub fn cached_per_file(&self) -> BTreeMap<FileId, f64> {
         self.per_file
             .iter()
-            .filter(|(_, f)| f.cached > EPSILON)
-            .map(|(k, f)| (k.clone(), f.cached))
+            .filter(|(_, f)| f.bytes.cached > EPSILON)
+            .map(|(k, f)| (k.clone(), f.bytes.cached))
             .collect()
     }
 
@@ -174,45 +407,81 @@ impl LruLists {
     pub fn per_file_cached(&self) -> impl Iterator<Item = (&FileId, f64)> {
         self.per_file
             .iter()
-            .filter(|(_, f)| f.cached > EPSILON)
-            .map(|(k, f)| (k, f.cached))
+            .filter(|(_, f)| f.bytes.cached > EPSILON)
+            .map(|(k, f)| (k, f.bytes.cached))
     }
 
     /// Clean bytes on the inactive list that [`LruLists::evict`] could remove,
     /// optionally excluding one file. O(1).
     pub fn evictable(&self, exclude: Option<&FileId>) -> f64 {
-        let total = (self.inactive_agg.bytes - self.inactive_agg.dirty).max(0.0);
+        let total = (self.lists[0].agg.bytes - self.lists[0].agg.dirty).max(0.0);
         let excluded = exclude
             .and_then(|f| self.per_file.get(f))
-            .map_or(0.0, |f| f.inactive_clean);
+            .map_or(0.0, |f| f.bytes.inactive_clean);
         (total - excluded).max(0.0)
     }
 
     /// Iterates over all blocks, inactive list first, LRU first.
     pub fn iter_all(&self) -> impl Iterator<Item = &DataBlock> {
-        self.inactive.iter().chain(self.active.iter())
+        self.inactive_blocks().chain(self.active_blocks())
     }
 
     /// Blocks of the inactive list, LRU first.
-    pub fn inactive_blocks(&self) -> &VecDeque<DataBlock> {
-        &self.inactive
+    pub fn inactive_blocks(&self) -> ChainBlocks<'_> {
+        ChainBlocks {
+            arena: &self.arena,
+            cur: self.lists[0].recency.head,
+            lk: RECENCY,
+        }
     }
 
     /// Blocks of the active list, LRU first.
-    pub fn active_blocks(&self) -> &VecDeque<DataBlock> {
-        &self.active
+    pub fn active_blocks(&self) -> ChainBlocks<'_> {
+        ChainBlocks {
+            arena: &self.arena,
+            cur: self.lists[1].recency.head,
+            lk: RECENCY,
+        }
     }
 
-    /// Records a block joining `kind` in the aggregates. Call before (or
-    /// after) physically inserting the block; the counters only need its
-    /// metadata.
+    /// Allocates an arena slot for `node`, reusing the free list.
+    fn alloc(&mut self, node: Node) -> Idx {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            match self.arena[idx as usize] {
+                Slot::Vacant { next_free } => self.free_head = next_free,
+                Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
+            }
+            self.arena[idx as usize] = Slot::Occupied(node);
+            idx
+        } else {
+            let idx = self.arena.len() as Idx;
+            assert!(idx != NIL, "arena exhausted u32 index space");
+            self.arena.push(Slot::Occupied(node));
+            idx
+        }
+    }
+
+    /// Returns slot `i` to the free list and takes its node out.
+    fn release(&mut self, i: Idx) -> Node {
+        let slot = std::mem::replace(
+            &mut self.arena[i as usize],
+            Slot::Vacant {
+                next_free: self.free_head,
+            },
+        );
+        self.free_head = i;
+        match slot {
+            Slot::Occupied(n) => n,
+            Slot::Vacant { .. } => panic!("released a vacant arena slot {i}"),
+        }
+    }
+
+    /// Records a block joining `kind` in the aggregates. The counters only
+    /// need its metadata; chain membership is handled separately.
     fn agg_insert(&mut self, kind: ListKind, block: &DataBlock) {
-        let agg = match kind {
-            ListKind::Inactive => &mut self.inactive_agg,
-            ListKind::Active => &mut self.active_agg,
-        };
-        agg.add(block.size, block.dirty);
-        let f = self.per_file.entry(block.file.clone()).or_default();
+        self.lists[li(kind)].agg.add(block.size, block.dirty);
+        let f = &mut self.per_file.entry(block.file.clone()).or_default().bytes;
         f.cached += block.size;
         f.blocks += 1;
         if block.dirty {
@@ -226,14 +495,12 @@ impl LruLists {
         }
     }
 
-    /// Records a block leaving `kind` in the aggregates.
+    /// Records a block leaving `kind` in the aggregates, dropping the
+    /// per-file entry once its last block is gone.
     fn agg_remove(&mut self, kind: ListKind, block: &DataBlock) {
-        let agg = match kind {
-            ListKind::Inactive => &mut self.inactive_agg,
-            ListKind::Active => &mut self.active_agg,
-        };
-        agg.sub(block.size, block.dirty);
-        if let Some(f) = self.per_file.get_mut(&block.file) {
+        self.lists[li(kind)].agg.sub(block.size, block.dirty);
+        if let Some(entry) = self.per_file.get_mut(&block.file) {
+            let f = &mut entry.bytes;
             f.cached = (f.cached - block.size).max(0.0);
             f.blocks = f.blocks.saturating_sub(1);
             if block.dirty {
@@ -246,6 +513,10 @@ impl LruLists {
                 }
             }
             if f.blocks == 0 {
+                debug_assert!(
+                    entry.chains[0].is_empty() && entry.chains[1].is_empty(),
+                    "dropping per-file entry with linked blocks"
+                );
                 self.per_file.remove(&block.file);
             }
         }
@@ -254,15 +525,12 @@ impl LruLists {
     /// Records `amount` bytes of a dirty block on `kind` turning clean in
     /// place (a flush). Sizes do not change, only dirtiness.
     fn agg_clean_in_place(&mut self, kind: ListKind, file: &FileId, amount: f64) {
-        let agg = match kind {
-            ListKind::Inactive => &mut self.inactive_agg,
-            ListKind::Active => &mut self.active_agg,
-        };
+        let agg = &mut self.lists[li(kind)].agg;
         agg.dirty = (agg.dirty - amount).max(0.0);
         if let Some(f) = self.per_file.get_mut(file) {
-            f.dirty = (f.dirty - amount).max(0.0);
+            f.bytes.dirty = (f.bytes.dirty - amount).max(0.0);
             if kind == ListKind::Inactive {
-                f.inactive_clean += amount;
+                f.bytes.inactive_clean += amount;
             }
         }
     }
@@ -271,12 +539,9 @@ impl LruLists {
     /// unchanged block count (a partial eviction or a partial take; the split
     /// head is accounted separately when it is re-inserted).
     fn agg_shrink(&mut self, kind: ListKind, file: &FileId, amount: f64, dirty: bool) {
-        let agg = match kind {
-            ListKind::Inactive => &mut self.inactive_agg,
-            ListKind::Active => &mut self.active_agg,
-        };
-        agg.sub(amount, dirty);
+        self.lists[li(kind)].agg.sub(amount, dirty);
         if let Some(f) = self.per_file.get_mut(file) {
+            let f = &mut f.bytes;
             f.cached = (f.cached - amount).max(0.0);
             if dirty {
                 f.dirty = (f.dirty - amount).max(0.0);
@@ -294,22 +559,158 @@ impl LruLists {
     /// (a block split whose both halves stay in the lists).
     fn agg_note_split(&mut self, file: &FileId) {
         if let Some(f) = self.per_file.get_mut(file) {
-            f.blocks += 1;
+            f.bytes.blocks += 1;
         }
     }
 
-    /// Inserts `block` keeping `list` sorted by last access. Appends in O(1)
-    /// when the block is the most recently accessed (the common case);
-    /// otherwise binary-searches for the insertion point.
-    fn insert_sorted(list: &mut VecDeque<DataBlock>, block: DataBlock) {
-        match list.back() {
-            None => list.push_back(block),
-            Some(b) if b.last_access <= block.last_access => list.push_back(block),
-            _ => {
-                let pos = list.partition_point(|b| b.last_access <= block.last_access);
-                list.insert(pos, block);
+    /// Inserts `block` as a new node of `kind`: updates the aggregates and
+    /// links it into the recency, per-file and (if dirty) dirty chains at its
+    /// sorted position. O(1) in the common append case.
+    fn insert_node(&mut self, kind: ListKind, block: DataBlock) -> Idx {
+        self.agg_insert(kind, &block);
+        let file = block.file.clone();
+        let dirty = block.dirty;
+        let idx = self.alloc(Node {
+            block,
+            kind,
+            links: [UNLINKED; 3],
+        });
+        let k = li(kind);
+        insert_sorted(&mut self.arena, &mut self.lists[k].recency, RECENCY, idx);
+        self.lists[k].len += 1;
+        let entry = self.per_file.get_mut(&file).expect("agg_insert created it");
+        insert_sorted(&mut self.arena, &mut entry.chains[k], FILE, idx);
+        if dirty {
+            insert_sorted(&mut self.arena, &mut self.lists[k].dirty, DIRTY, idx);
+        }
+        idx
+    }
+
+    /// Inserts `block` as a new clean node of `kind` directly before `anchor`
+    /// (a node of the same file) in the recency and per-file chains. Used by
+    /// the flush split, where the clean head must sit right before the dirty
+    /// remainder; total bytes are unchanged, so the caller adjusts the
+    /// aggregates via [`LruLists::agg_clean_in_place`] +
+    /// [`LruLists::agg_note_split`].
+    fn insert_node_before(&mut self, kind: ListKind, block: DataBlock, anchor: Idx) -> Idx {
+        debug_assert!(!block.dirty, "flush split head must be clean");
+        let file = block.file.clone();
+        let idx = self.alloc(Node {
+            block,
+            kind,
+            links: [UNLINKED; 3],
+        });
+        let k = li(kind);
+        insert_before(
+            &mut self.arena,
+            &mut self.lists[k].recency,
+            RECENCY,
+            anchor,
+            idx,
+        );
+        self.lists[k].len += 1;
+        let entry = self.per_file.get_mut(&file).expect("remainder keeps entry");
+        insert_before(&mut self.arena, &mut entry.chains[k], FILE, anchor, idx);
+        idx
+    }
+
+    /// Unlinks node `i` from every chain, updates the aggregates, frees the
+    /// slot and returns the block. O(1).
+    fn remove_node(&mut self, i: Idx) -> DataBlock {
+        let (kind, file, dirty) = {
+            let n = node_ref(&self.arena, i);
+            (n.kind, n.block.file.clone(), n.block.dirty)
+        };
+        let k = li(kind);
+        unlink(&mut self.arena, &mut self.lists[k].recency, RECENCY, i);
+        self.lists[k].len -= 1;
+        let entry = self
+            .per_file
+            .get_mut(&file)
+            .expect("linked block has entry");
+        unlink(&mut self.arena, &mut entry.chains[k], FILE, i);
+        if dirty {
+            unlink(&mut self.arena, &mut self.lists[k].dirty, DIRTY, i);
+        }
+        let node = self.release(i);
+        self.agg_remove(kind, &node.block);
+        node.block
+    }
+
+    /// Removes node `i` from the dirty chain of its list (after its block was
+    /// marked clean in place).
+    fn unlink_dirty(&mut self, i: Idx) {
+        let k = li(node_ref(&self.arena, i).kind);
+        unlink(&mut self.arena, &mut self.lists[k].dirty, DIRTY, i);
+    }
+
+    /// Whether nodes `a` and `b` (recency-adjacent, `a` before `b`) can be
+    /// coalesced: both inactive, both clean, same file, and — crucially —
+    /// the *same* last access time. Merging blocks with different timestamps
+    /// would move the earlier block's bytes past the insertion point of a
+    /// later out-of-order insert (a demotion with an intermediate timestamp),
+    /// reordering bytes relative to other files; equal timestamps leave no
+    /// such point, so any future insertion lands strictly before or after
+    /// the merged block in both the merged and unmerged orders.
+    fn mergeable(&self, a: Idx, b: Idx) -> bool {
+        let na = node_ref(&self.arena, a);
+        let nb = node_ref(&self.arena, b);
+        na.kind == ListKind::Inactive
+            && nb.kind == ListKind::Inactive
+            && !na.block.dirty
+            && !nb.block.dirty
+            && na.block.last_access == nb.block.last_access
+            && na.block.file == nb.block.file
+    }
+
+    /// Merges recency-adjacent node `from` into its successor `into` (same
+    /// file, both clean, both inactive): `into` absorbs the bytes, keeps its
+    /// own (later) `last_access`, and `from` is freed. Byte aggregates are
+    /// unchanged; only the block count drops.
+    fn merge_into(&mut self, from: Idx, into: Idx) {
+        debug_assert!(self.mergeable(from, into));
+        debug_assert_eq!(node_ref(&self.arena, from).links[RECENCY].next, into);
+        let k = li(ListKind::Inactive);
+        unlink(&mut self.arena, &mut self.lists[k].recency, RECENCY, from);
+        self.lists[k].len -= 1;
+        let file = node_ref(&self.arena, from).block.file.clone();
+        let entry = self
+            .per_file
+            .get_mut(&file)
+            .expect("linked block has entry");
+        unlink(&mut self.arena, &mut entry.chains[k], FILE, from);
+        let from_node = self.release(from);
+        let into_node = node_mut(&mut self.arena, into);
+        into_node.block.size += from_node.block.size;
+        // Clean blocks never expire, so the merged entry time is inert; keep
+        // the earlier one for a deterministic, order-independent result.
+        into_node.block.entry_time = into_node.block.entry_time.min(from_node.block.entry_time);
+        if let Some(f) = self.per_file.get_mut(&file) {
+            f.bytes.blocks -= 1;
+        }
+    }
+
+    /// Opportunistically coalesces node `i` with its recency neighbors when
+    /// they are clean inactive blocks of the same file. Returns the surviving
+    /// node. Amortized O(1); bounds arena growth under flush splits.
+    fn try_coalesce(&mut self, i: Idx) -> Idx {
+        {
+            let n = node_ref(&self.arena, i);
+            if n.kind != ListKind::Inactive || n.block.dirty {
+                return i;
             }
         }
+        let mut cur = i;
+        let next = node_ref(&self.arena, cur).links[RECENCY].next;
+        if next != NIL && self.mergeable(cur, next) {
+            self.merge_into(cur, next);
+            cur = next;
+        }
+        let prev = node_ref(&self.arena, cur).links[RECENCY].prev;
+        if prev != NIL && self.mergeable(prev, cur) {
+            self.merge_into(prev, cur);
+        }
+        cur
     }
 
     /// Adds a clean block (data just read from disk) to the inactive list.
@@ -317,9 +718,8 @@ impl LruLists {
         if size <= EPSILON {
             return;
         }
-        let block = DataBlock::clean(file, size, now);
-        self.agg_insert(ListKind::Inactive, &block);
-        Self::insert_sorted(&mut self.inactive, block);
+        let idx = self.insert_node(ListKind::Inactive, DataBlock::clean(file, size, now));
+        self.try_coalesce(idx);
         self.balance();
         self.debug_validate();
     }
@@ -330,9 +730,7 @@ impl LruLists {
         if size <= EPSILON {
             return;
         }
-        let block = DataBlock::dirty(file, size, now);
-        self.agg_insert(ListKind::Inactive, &block);
-        Self::insert_sorted(&mut self.inactive, block);
+        self.insert_node(ListKind::Inactive, DataBlock::dirty(file, size, now));
         self.balance();
         self.debug_validate();
     }
@@ -343,6 +741,10 @@ impl LruLists {
     /// block appended to the active list; dirty portions move to the active
     /// list individually, preserving their entry time. Returns the number of
     /// bytes that were actually cached (which may be less than `amount`).
+    ///
+    /// Only the target file's blocks are touched (its per-file chains), so
+    /// the cost is O(k) in the file's block count, independent of how many
+    /// blocks of other files surround them.
     pub fn read_cached(&mut self, file: &FileId, amount: f64, now: SimTime) -> f64 {
         if amount <= EPSILON || self.cached_amount(file) <= EPSILON {
             return 0.0;
@@ -360,71 +762,51 @@ impl LruLists {
                     last_access: now,
                     dirty: true,
                 };
-                self.agg_insert(ListKind::Active, &promoted);
-                Self::insert_sorted(&mut self.active, promoted);
+                self.insert_node(ListKind::Active, promoted);
             } else {
                 clean_total += blk.size;
             }
         }
         if clean_total > EPSILON {
             let merged = DataBlock::clean(file.clone(), clean_total, now);
-            self.agg_insert(ListKind::Active, &merged);
-            Self::insert_sorted(&mut self.active, merged);
+            self.insert_node(ListKind::Active, merged);
         }
         self.debug_validate();
         read_total
     }
 
     /// Removes up to `amount` bytes of `file` from the lists, inactive first,
-    /// LRU first, splitting the last block if needed.
+    /// LRU first, splitting the last block if needed. Walks only the file's
+    /// own chains.
     fn take_for_read(&mut self, file: &FileId, amount: f64) -> Vec<DataBlock> {
         let mut taken = Vec::new();
         let mut remaining = amount;
-        for kind in [ListKind::Inactive, ListKind::Active] {
-            // Skip (or stop scanning) a list once the file has no bytes left
-            // on it; without this, a read of a small file would still walk
-            // every block of the other files.
-            let on_list = self.per_file.get(file).map_or(0.0, |f| match kind {
-                ListKind::Inactive => f.inactive_bytes,
-                ListKind::Active => f.cached - f.inactive_bytes,
-            });
-            if on_list <= EPSILON {
-                continue;
+        for kind in KINDS {
+            if remaining <= EPSILON {
+                break;
             }
-            let mut from_list = 0.0;
-            let list_len = match kind {
-                ListKind::Inactive => self.inactive.len(),
-                ListKind::Active => self.active.len(),
+            let Some(entry) = self.per_file.get(file) else {
+                break;
             };
-            let mut i = 0;
-            while i < list_len && remaining > EPSILON && from_list < on_list - EPSILON {
-                let list = match kind {
-                    ListKind::Inactive => &mut self.inactive,
-                    ListKind::Active => &mut self.active,
-                };
-                if i >= list.len() {
+            let mut i = entry.chains[li(kind)].head;
+            while i != NIL && remaining > EPSILON {
+                let next = node_ref(&self.arena, i).links[FILE].next;
+                let size = node_ref(&self.arena, i).block.size;
+                if size <= remaining + EPSILON {
+                    let blk = self.remove_node(i);
+                    remaining -= blk.size;
+                    taken.push(blk);
+                } else {
+                    let head = node_mut(&mut self.arena, i).block.split_off(remaining);
+                    // The head leaves the list (it is re-accounted when the
+                    // promotion re-inserts it); the remainder keeps the block
+                    // count.
+                    self.agg_shrink(kind, file, head.size, head.dirty);
+                    taken.push(head);
+                    remaining = 0.0;
                     break;
                 }
-                if &list[i].file == file {
-                    if list[i].size <= remaining + EPSILON {
-                        let blk = list.remove(i).expect("index checked above");
-                        remaining -= blk.size;
-                        from_list += blk.size;
-                        self.agg_remove(kind, &blk);
-                        taken.push(blk);
-                        continue;
-                    } else {
-                        let head = list[i].split_off(remaining);
-                        // The head leaves the list (it is re-accounted when
-                        // the promotion re-inserts it); the remainder keeps
-                        // the block count.
-                        self.agg_shrink(kind, file, head.size, head.dirty);
-                        taken.push(head);
-                        remaining = 0.0;
-                        break;
-                    }
-                }
-                i += 1;
+                i = next;
             }
         }
         taken
@@ -436,6 +818,9 @@ impl LruLists {
     /// Returns the number of bytes flushed; the caller is responsible for
     /// simulating the corresponding disk write time.
     ///
+    /// Steps straight from one dirty block to the next along the per-list
+    /// dirty chains — clean blocks are never visited.
+    ///
     /// Calling with a non-positive `amount` is a no-op (paper Algorithm 2:
     /// "when called with negative arguments, `flush` and `evict` simply
     /// return").
@@ -444,55 +829,54 @@ impl LruLists {
             return 0.0;
         }
         let mut flushed = 0.0;
-        for kind in [ListKind::Inactive, ListKind::Active] {
-            let list_dirty = match kind {
-                ListKind::Inactive => self.inactive_agg.dirty,
-                ListKind::Active => self.active_agg.dirty,
-            };
-            if list_dirty <= EPSILON {
+        for kind in KINDS {
+            let k = li(kind);
+            if self.lists[k].agg.dirty <= EPSILON {
                 continue;
             }
-            let mut i = 0;
-            loop {
-                let list = match kind {
-                    ListKind::Inactive => &mut self.inactive,
-                    ListKind::Active => &mut self.active,
-                };
-                if i >= list.len() {
-                    break;
-                }
+            let mut i = self.lists[k].dirty.head;
+            while i != NIL {
+                let next = node_ref(&self.arena, i).links[DIRTY].next;
                 if flushed >= amount - EPSILON {
                     self.debug_validate();
                     return flushed;
                 }
-                let is_candidate = list[i].dirty && exclude.is_none_or(|f| &list[i].file != f);
+                let is_candidate =
+                    exclude.is_none_or(|f| &node_ref(&self.arena, i).block.file != f);
                 if is_candidate {
                     let need = amount - flushed;
-                    if list[i].size <= need + EPSILON {
-                        list[i].dirty = false;
-                        let size = list[i].size;
-                        let file = list[i].file.clone();
+                    let size = node_ref(&self.arena, i).block.size;
+                    if size <= need + EPSILON {
+                        node_mut(&mut self.arena, i).block.dirty = false;
+                        let file = node_ref(&self.arena, i).block.file.clone();
+                        self.unlink_dirty(i);
                         flushed += size;
                         self.agg_clean_in_place(kind, &file, size);
+                        if kind == ListKind::Inactive {
+                            self.try_coalesce(i);
+                        }
                     } else {
-                        let mut head = list[i].split_off(need);
+                        let mut head = node_mut(&mut self.arena, i).block.split_off(need);
                         head.dirty = false;
                         flushed += head.size;
                         let file = head.file.clone();
-                        let size = head.size;
+                        let head_size = head.size;
                         // Same last-access time as the remainder: insert right
-                        // before it to keep the list ordered. Splitting a
+                        // before it to keep the chains ordered. Splitting a
                         // dirty block into a clean head plus a dirty remainder
                         // leaves total bytes unchanged: only the dirty share
                         // and the block count move.
-                        list.insert(i, head);
-                        self.agg_clean_in_place(kind, &file, size);
+                        let head_idx = self.insert_node_before(kind, head, i);
+                        self.agg_clean_in_place(kind, &file, head_size);
                         self.agg_note_split(&file);
+                        if kind == ListKind::Inactive {
+                            self.try_coalesce(head_idx);
+                        }
                         self.debug_validate();
                         return flushed;
                     }
                 }
-                i += 1;
+                i = next;
             }
         }
         self.debug_validate();
@@ -517,26 +901,28 @@ impl LruLists {
         }
         let target = amount.min(available);
         let mut evicted = 0.0;
-        let mut i = 0;
-        while i < self.inactive.len() && evicted < target - EPSILON {
-            let is_candidate =
-                !self.inactive[i].dirty && exclude.is_none_or(|f| &self.inactive[i].file != f);
+        let mut i = self.lists[0].recency.head;
+        while i != NIL && evicted < target - EPSILON {
+            let next = node_ref(&self.arena, i).links[RECENCY].next;
+            let is_candidate = {
+                let b = &node_ref(&self.arena, i).block;
+                !b.dirty && exclude.is_none_or(|f| &b.file != f)
+            };
             if is_candidate {
                 let need = amount - evicted;
-                if self.inactive[i].size <= need + EPSILON {
-                    let blk = self.inactive.remove(i).expect("index checked above");
+                let size = node_ref(&self.arena, i).block.size;
+                if size <= need + EPSILON {
+                    let blk = self.remove_node(i);
                     evicted += blk.size;
-                    self.agg_remove(ListKind::Inactive, &blk);
-                    continue;
                 } else {
-                    self.inactive[i].size -= need;
-                    let file = self.inactive[i].file.clone();
+                    node_mut(&mut self.arena, i).block.size -= need;
+                    let file = node_ref(&self.arena, i).block.file.clone();
                     self.agg_shrink(ListKind::Inactive, &file, need, false);
                     evicted += need;
                     break;
                 }
             }
-            i += 1;
+            i = next;
         }
         self.debug_validate();
         evicted
@@ -544,27 +930,31 @@ impl LruLists {
 
     /// Marks every dirty block older than `expire` seconds as clean and
     /// returns the total number of bytes to be written back (paper
-    /// Algorithm 1, the periodical flusher).
+    /// Algorithm 1, the periodical flusher). Walks only the dirty chains,
+    /// so the cost is O(dirty blocks), not O(all blocks).
     pub fn flush_expired(&mut self, now: SimTime, expire: f64) -> f64 {
         if self.total_dirty() <= EPSILON {
             return 0.0;
         }
         let mut flushed = 0.0;
-        for kind in [ListKind::Inactive, ListKind::Active] {
-            let mut cleaned: Vec<(FileId, f64)> = Vec::new();
-            let list = match kind {
-                ListKind::Inactive => &mut self.inactive,
-                ListKind::Active => &mut self.active,
-            };
-            for blk in list.iter_mut() {
-                if blk.is_expired(now, expire) {
-                    blk.dirty = false;
-                    flushed += blk.size;
-                    cleaned.push((blk.file.clone(), blk.size));
+        for kind in KINDS {
+            let mut i = self.lists[li(kind)].dirty.head;
+            while i != NIL {
+                let next = node_ref(&self.arena, i).links[DIRTY].next;
+                if node_ref(&self.arena, i).block.is_expired(now, expire) {
+                    node_mut(&mut self.arena, i).block.dirty = false;
+                    let (file, size) = {
+                        let b = &node_ref(&self.arena, i).block;
+                        (b.file.clone(), b.size)
+                    };
+                    self.unlink_dirty(i);
+                    flushed += size;
+                    self.agg_clean_in_place(kind, &file, size);
+                    if kind == ListKind::Inactive {
+                        self.try_coalesce(i);
+                    }
                 }
-            }
-            for (file, size) in cleaned {
-                self.agg_clean_in_place(kind, &file, size);
+                i = next;
             }
         }
         self.debug_validate();
@@ -572,25 +962,24 @@ impl LruLists {
     }
 
     /// Removes every block belonging to `file` (used when a simulated file is
-    /// deleted). Returns the number of bytes removed.
+    /// deleted). Returns the number of bytes removed. Walks only the file's
+    /// own chains: O(k) in the file's block count.
     pub fn invalidate_file(&mut self, file: &FileId) -> f64 {
-        if self.per_file.remove(file).is_none() {
+        if !self.per_file.contains_key(file) {
             return 0.0;
         }
         let mut removed = 0.0;
-        for (list, agg) in [
-            (&mut self.inactive, &mut self.inactive_agg),
-            (&mut self.active, &mut self.active_agg),
-        ] {
-            list.retain(|b| {
-                if &b.file == file {
-                    removed += b.size;
-                    agg.sub(b.size, b.dirty);
-                    false
-                } else {
-                    true
-                }
-            });
+        for k in [0, 1] {
+            let mut i = self
+                .per_file
+                .get(file)
+                .map_or(NIL, |entry| entry.chains[k].head);
+            while i != NIL {
+                let next = node_ref(&self.arena, i).links[FILE].next;
+                let blk = self.remove_node(i);
+                removed += blk.size;
+                i = next;
+            }
         }
         self.debug_validate();
         removed
@@ -600,16 +989,18 @@ impl LruLists {
     /// of the inactive list, by demoting least recently used active blocks
     /// (paper §III-A-1, after Gorman's description of the kernel behaviour).
     /// The demotion decision is O(1) — the byte totals are incremental, so no
-    /// list is re-summed per demoted block — and re-inserting the demoted
-    /// block costs a binary search plus an O(min(i, n−i)) element shift.
+    /// list is re-summed per demoted block — and re-linking the demoted block
+    /// costs O(1) in the append-ordered case and at most a walk from the
+    /// nearer end of the inactive chain otherwise; no elements are ever
+    /// shifted.
     pub fn balance(&mut self) {
-        while !self.active.is_empty()
-            && self.active_agg.bytes > 2.0 * self.inactive_agg.bytes + EPSILON
+        while self.lists[1].len > 0
+            && self.lists[1].agg.bytes > 2.0 * self.lists[0].agg.bytes + EPSILON
         {
-            let demoted = self.active.pop_front().expect("checked non-empty");
-            self.agg_remove(ListKind::Active, &demoted);
-            self.agg_insert(ListKind::Inactive, &demoted);
-            Self::insert_sorted(&mut self.inactive, demoted);
+            let head = self.lists[1].recency.head;
+            let demoted = self.remove_node(head);
+            let idx = self.insert_node(ListKind::Inactive, demoted);
+            self.try_coalesce(idx);
         }
     }
 
@@ -620,20 +1011,137 @@ impl LruLists {
     /// last access time, and the active list is at most twice the inactive
     /// list (up to one block of slack, since balancing moves whole blocks).
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (name, list) in [("inactive", &self.inactive), ("active", &self.active)] {
-            for (a, b) in list.iter().zip(list.iter().skip(1)) {
+        for (name, list) in [
+            ("inactive", self.inactive_blocks()),
+            ("active", self.active_blocks()),
+        ] {
+            let blocks: Vec<&DataBlock> = list.collect();
+            for (a, b) in blocks.iter().zip(blocks.iter().skip(1)) {
                 if a.last_access > b.last_access {
                     return Err(format!("{name} list is not sorted by last access"));
                 }
             }
-            if let Some(b) = list.iter().find(|b| b.size <= 0.0) {
+            if let Some(b) = blocks.iter().find(|b| b.size <= 0.0) {
                 return Err(format!(
                     "{name} list contains a non-positive block ({})",
                     b.size
                 ));
             }
         }
+        self.check_chains()?;
         self.check_aggregates()?;
+        Ok(())
+    }
+
+    /// Verifies the chain structure against the recency chains: every chain
+    /// doubly linked and consistent with its endpoints, the dirty and
+    /// per-file chains exactly the recency chain filtered by dirtiness /
+    /// file, and the slab bookkeeping (lengths, free list) coherent.
+    pub fn check_chains(&self) -> Result<(), String> {
+        let collect = |head: Idx, lk: usize| -> Result<Vec<Idx>, String> {
+            let mut out = Vec::new();
+            let mut prev = NIL;
+            let mut i = head;
+            while i != NIL {
+                if i as usize >= self.arena.len() {
+                    return Err(format!("chain index {i} out of arena bounds"));
+                }
+                let Slot::Occupied(n) = &self.arena[i as usize] else {
+                    return Err(format!("chain references vacant slot {i}"));
+                };
+                if n.links[lk].prev != prev {
+                    return Err(format!("node {i}: bad prev link in dimension {lk}"));
+                }
+                out.push(i);
+                prev = i;
+                i = n.links[lk].next;
+                if out.len() > self.arena.len() {
+                    return Err("chain cycle detected".into());
+                }
+            }
+            Ok(out)
+        };
+        let mut occupied = 0usize;
+        for (k, kind) in KINDS.iter().enumerate() {
+            let list = &self.lists[k];
+            let recency = collect(list.recency.head, RECENCY)?;
+            if recency.last().copied().unwrap_or(NIL) != list.recency.tail {
+                return Err(format!("list {k}: recency tail mismatch"));
+            }
+            if recency.len() != list.len {
+                return Err(format!(
+                    "list {k}: recency chain has {} nodes, len counter says {}",
+                    recency.len(),
+                    list.len
+                ));
+            }
+            for &i in &recency {
+                if node_ref(&self.arena, i).kind != *kind {
+                    return Err(format!("node {i} linked into the wrong list"));
+                }
+            }
+            occupied += recency.len();
+            let dirty = collect(list.dirty.head, DIRTY)?;
+            if dirty.last().copied().unwrap_or(NIL) != list.dirty.tail {
+                return Err(format!("list {k}: dirty tail mismatch"));
+            }
+            let expected_dirty: Vec<Idx> = recency
+                .iter()
+                .copied()
+                .filter(|&i| node_ref(&self.arena, i).block.dirty)
+                .collect();
+            if dirty != expected_dirty {
+                return Err(format!(
+                    "list {k}: dirty chain is not the dirty subsequence of the recency chain"
+                ));
+            }
+            for (file, entry) in &self.per_file {
+                let fchain = collect(entry.chains[k].head, FILE)?;
+                if fchain.last().copied().unwrap_or(NIL) != entry.chains[k].tail {
+                    return Err(format!("file {file}: chain tail mismatch on list {k}"));
+                }
+                let expected: Vec<Idx> = recency
+                    .iter()
+                    .copied()
+                    .filter(|&i| &node_ref(&self.arena, i).block.file == file)
+                    .collect();
+                if fchain != expected {
+                    return Err(format!(
+                        "file {file}: chain is not its subsequence of list {k}'s recency chain"
+                    ));
+                }
+            }
+        }
+        let vacant = self
+            .arena
+            .iter()
+            .filter(|s| matches!(s, Slot::Vacant { .. }))
+            .count();
+        if occupied + vacant != self.arena.len() {
+            return Err(format!(
+                "arena has {} slots but {} occupied + {} vacant",
+                self.arena.len(),
+                occupied,
+                vacant
+            ));
+        }
+        let mut free = 0usize;
+        let mut i = self.free_head;
+        while i != NIL {
+            let Slot::Vacant { next_free } = self.arena[i as usize] else {
+                return Err(format!("free list references occupied slot {i}"));
+            };
+            free += 1;
+            if free > self.arena.len() {
+                return Err("free list cycle detected".into());
+            }
+            i = next_free;
+        }
+        if free != vacant {
+            return Err(format!(
+                "free list has {free} slots but {vacant} are vacant"
+            ));
+        }
         Ok(())
     }
 
@@ -648,12 +1156,12 @@ impl LruLists {
         for (name, agg, recomputed) in [
             (
                 "inactive",
-                self.inactive_agg,
+                self.lists[0].agg,
                 self.recompute_list_agg(ListKind::Inactive),
             ),
             (
                 "active",
-                self.active_agg,
+                self.lists[1].agg,
                 self.recompute_list_agg(ListKind::Active),
             ),
         ] {
@@ -682,6 +1190,7 @@ impl LruLists {
             let Some(actual) = self.per_file.get(file) else {
                 return Err(format!("file {file} missing from per-file map"));
             };
+            let actual = &actual.bytes;
             if actual.blocks != expected.blocks {
                 return Err(format!(
                     "file {file}: block counter {} != scan {}",
@@ -713,8 +1222,8 @@ impl LruLists {
     /// Scan-based oracle for one list's aggregates.
     fn recompute_list_agg(&self, kind: ListKind) -> ListAgg {
         let list = match kind {
-            ListKind::Inactive => &self.inactive,
-            ListKind::Active => &self.active,
+            ListKind::Inactive => self.inactive_blocks(),
+            ListKind::Active => self.active_blocks(),
         };
         let mut agg = ListAgg::default();
         for b in list {
@@ -727,8 +1236,8 @@ impl LruLists {
     fn recompute_per_file(&self) -> HashMap<FileId, FileBytes> {
         let mut map: HashMap<FileId, FileBytes> = HashMap::new();
         for (kind, list) in [
-            (ListKind::Inactive, &self.inactive),
-            (ListKind::Active, &self.active),
+            (ListKind::Inactive, self.inactive_blocks()),
+            (ListKind::Active, self.active_blocks()),
         ] {
             for b in list {
                 let f = map.entry(b.file.clone()).or_default();
@@ -748,17 +1257,40 @@ impl LruLists {
         map
     }
 
-    /// Cross-checks the incremental counters against the scan oracles after
-    /// every mutation in debug builds; compiles to nothing in release builds
-    /// so the hot paths stay O(1).
+    /// Cross-checks the incremental counters and chain structure against the
+    /// scan oracles after every mutation in debug builds; compiles to nothing
+    /// in release builds so the hot paths stay O(1).
     #[inline]
     fn debug_validate(&self) {
         #[cfg(debug_assertions)]
         {
+            if let Err(e) = self.check_chains() {
+                panic!("intrusive chains diverged from recency truth: {e}");
+            }
             if let Err(e) = self.check_aggregates() {
                 panic!("incremental aggregates diverged from scan oracle: {e}");
             }
         }
+    }
+}
+
+/// Iterator over the blocks of one chain, front (LRU) first.
+pub struct ChainBlocks<'a> {
+    arena: &'a [Slot],
+    cur: Idx,
+    lk: usize,
+}
+
+impl<'a> Iterator for ChainBlocks<'a> {
+    type Item = &'a DataBlock;
+
+    fn next(&mut self) -> Option<&'a DataBlock> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = node_ref(self.arena, self.cur);
+        self.cur = node.links[self.lk].next;
+        Some(&node.block)
     }
 }
 
@@ -772,6 +1304,10 @@ mod tests {
 
     fn approx(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    fn nth<'a>(mut it: ChainBlocks<'a>, n: usize) -> &'a DataBlock {
+        it.nth(n).expect("chain shorter than index")
     }
 
     #[test]
@@ -788,8 +1324,8 @@ mod tests {
         let mut lru = LruLists::new();
         lru.add_clean("f1".into(), 100.0, t(1.0));
         lru.add_dirty("f2".into(), 50.0, t(2.0));
-        assert_eq!(lru.inactive_blocks().len(), 2);
-        assert_eq!(lru.active_blocks().len(), 0);
+        assert_eq!(lru.inactive_blocks().count(), 2);
+        assert_eq!(lru.active_blocks().count(), 0);
         approx(lru.total_cached(), 150.0);
         approx(lru.total_dirty(), 50.0);
         approx(lru.cached_amount(&"f1".into()), 100.0);
@@ -814,11 +1350,88 @@ mod tests {
         let read = lru.read_cached(&f, 300.0, t(3.0));
         approx(read, 300.0);
         // Both clean blocks were merged into a single active block.
-        assert_eq!(lru.inactive_blocks().len(), 0);
-        assert_eq!(lru.active_blocks().len(), 1);
-        approx(lru.active_blocks()[0].size, 300.0);
-        assert!(!lru.active_blocks()[0].dirty);
-        assert_eq!(lru.active_blocks()[0].last_access, t(3.0));
+        assert_eq!(lru.inactive_blocks().count(), 0);
+        assert_eq!(lru.active_blocks().count(), 1);
+        approx(nth(lru.active_blocks(), 0).size, 300.0);
+        assert!(!nth(lru.active_blocks(), 0).dirty);
+        assert_eq!(nth(lru.active_blocks(), 0).last_access, t(3.0));
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn adjacent_clean_inactive_blocks_of_one_file_coalesce() {
+        let mut lru = LruLists::new();
+        let f: FileId = "f".into();
+        // Same simulated instant (e.g. two chunks of one request): one node.
+        lru.add_clean(f.clone(), 100.0, t(1.0));
+        lru.add_clean(f.clone(), 200.0, t(1.0));
+        assert_eq!(lru.block_count(), 1);
+        approx(lru.cached_amount(&f), 300.0);
+        approx(nth(lru.inactive_blocks(), 0).size, 300.0);
+        assert_eq!(nth(lru.inactive_blocks(), 0).last_access, t(1.0));
+        // Different timestamps must NOT coalesce: a later demotion with an
+        // intermediate timestamp could otherwise land on the wrong side of
+        // the merged bytes.
+        lru.add_clean(f.clone(), 50.0, t(2.0));
+        assert_eq!(lru.block_count(), 2);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn coalescing_skips_other_files_dirty_blocks_and_the_active_list() {
+        let mut lru = LruLists::new();
+        lru.add_clean("a".into(), 100.0, t(1.0));
+        lru.add_clean("b".into(), 100.0, t(2.0));
+        assert_eq!(lru.block_count(), 2); // different files
+        let mut lru = LruLists::new();
+        lru.add_dirty("a".into(), 100.0, t(1.0));
+        lru.add_dirty("a".into(), 100.0, t(2.0));
+        assert_eq!(lru.block_count(), 2); // dirty blocks never coalesce
+        let f: FileId = "p".into();
+        let mut lru = LruLists::new();
+        lru.add_clean(f.clone(), 100.0, t(1.0));
+        lru.read_cached(&f, 100.0, t(2.0));
+        lru.add_clean(f.clone(), 50.0, t(3.0));
+        lru.read_cached(&f, 50.0, t(4.0));
+        // Both blocks are clean, same file, but live on the active list where
+        // coalescing would coarsen demotion granularity.
+        assert!(lru.active_blocks().count() >= 1);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn flush_turning_blocks_clean_coalesces_them() {
+        let mut lru = LruLists::new();
+        let f: FileId = "f".into();
+        // Two dirty blocks written at the same instant (one request, two
+        // chunks).
+        lru.add_dirty(f.clone(), 100.0, t(1.0));
+        lru.add_dirty(f.clone(), 100.0, t(1.0));
+        assert_eq!(lru.block_count(), 2);
+        let flushed = lru.flush_lru(200.0, None);
+        approx(flushed, 200.0);
+        approx(lru.total_dirty(), 0.0);
+        // Both blocks turned clean and merged into one arena node.
+        assert_eq!(lru.block_count(), 1);
+        approx(nth(lru.inactive_blocks(), 0).size, 200.0);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repeated_partial_flushes_do_not_grow_the_arena() {
+        // A partial flush splits a clean head off the dirty remainder at the
+        // same timestamp; the heads must coalesce fragment by fragment
+        // instead of accumulating one node per flush.
+        let mut lru = LruLists::new();
+        let f: FileId = "f".into();
+        lru.add_dirty(f.clone(), 1000.0, t(1.0));
+        for _ in 0..100 {
+            approx(lru.flush_lru(10.0, None), 10.0);
+        }
+        approx(lru.total_dirty(), 0.0);
+        approx(lru.cached_amount(&f), 1000.0);
+        // One clean block (all heads merged) — not 100 fragments.
+        assert_eq!(lru.block_count(), 1);
         lru.check_invariants().unwrap();
     }
 
@@ -830,15 +1443,14 @@ mod tests {
         lru.add_dirty(f.clone(), 100.0, t(2.0));
         let read = lru.read_cached(&f, 200.0, t(5.0));
         approx(read, 200.0);
-        assert_eq!(lru.active_blocks().len(), 2);
+        assert_eq!(lru.active_blocks().count(), 2);
         let entries: Vec<f64> = lru
             .active_blocks()
-            .iter()
             .map(|b| b.entry_time.as_secs())
             .collect();
         assert_eq!(entries, vec![1.0, 2.0]);
-        assert!(lru.active_blocks().iter().all(|b| b.dirty));
-        assert!(lru.active_blocks().iter().all(|b| b.last_access == t(5.0)));
+        assert!(lru.active_blocks().all(|b| b.dirty));
+        assert!(lru.active_blocks().all(|b| b.last_access == t(5.0)));
     }
 
     #[test]
@@ -873,8 +1485,8 @@ mod tests {
         approx(read, 50.0);
         approx(lru.cached_amount(&"f2".into()), 80.0);
         // f2 stayed on the inactive list.
-        assert_eq!(lru.inactive_blocks().len(), 1);
-        assert_eq!(lru.inactive_blocks()[0].file, "f2".into());
+        assert_eq!(lru.inactive_blocks().count(), 1);
+        assert_eq!(nth(lru.inactive_blocks(), 0).file, "f2".into());
     }
 
     #[test]
@@ -884,7 +1496,7 @@ mod tests {
         // One block on the active list (accessed twice) ...
         lru.add_clean(f.clone(), 100.0, t(1.0));
         lru.read_cached(&f, 100.0, t(2.0));
-        assert_eq!(lru.active_blocks().len(), 1);
+        assert_eq!(lru.active_blocks().count(), 1);
         // ... and a newer block on the inactive list.
         lru.add_clean(f.clone(), 100.0, t(3.0));
         // Reading 100 bytes must consume the inactive block, not the active one.
@@ -997,7 +1609,6 @@ mod tests {
         let evictable = lru.evictable(None);
         let clean_inactive: f64 = lru
             .inactive_blocks()
-            .iter()
             .filter(|b| !b.dirty)
             .map(|b| b.size)
             .sum();
@@ -1031,7 +1642,7 @@ mod tests {
             lru.add_dirty(f.clone(), 100.0, t(i as f64));
         }
         lru.read_cached(&f, 300.0, t(10.0));
-        assert_eq!(lru.active_blocks().len(), 3);
+        assert_eq!(lru.active_blocks().count(), 3);
         approx(lru.inactive_bytes(), 0.0);
         // Balancing demotes least recently used active blocks until the
         // active list is at most twice the inactive list.
@@ -1061,6 +1672,30 @@ mod tests {
     }
 
     #[test]
+    fn arena_slots_are_reused_after_removal() {
+        let mut lru = LruLists::new();
+        for round in 0..5 {
+            for i in 0..10 {
+                lru.add_dirty(
+                    FileId::new(format!("f{i}")),
+                    10.0,
+                    t((round * 10 + i) as f64),
+                );
+            }
+            lru.flush_lru(100.0, None);
+            lru.evict(100.0, None);
+        }
+        assert!(lru.is_empty());
+        // The arena never grew past one round's worth of live blocks.
+        assert!(
+            lru.arena.len() <= 20,
+            "arena grew to {} slots",
+            lru.arena.len()
+        );
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
     fn cached_per_file_reports_every_file() {
         let mut lru = LruLists::new();
         lru.add_clean("f1".into(), 100.0, t(1.0));
@@ -1087,6 +1722,27 @@ mod tests {
         lru.read_cached(&f, 130.0, t(4.0));
         approx(lru.total_cached(), before);
         approx(lru.total_dirty(), 60.0);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn out_of_order_insert_lands_at_sorted_position() {
+        let mut lru = LruLists::new();
+        // Force a demotion whose last_access falls between two inactive
+        // blocks: the demoted block must land between them.
+        let f: FileId = "old".into();
+        lru.add_clean(f.clone(), 10.0, t(1.0));
+        lru.read_cached(&f, 10.0, t(2.0)); // active, la = 2
+        lru.add_clean("mid".into(), 1.0, t(1.5));
+        lru.add_clean("new".into(), 1.0, t(3.0));
+        lru.balance();
+        let la: Vec<f64> = lru
+            .inactive_blocks()
+            .map(|b| b.last_access.as_secs())
+            .collect();
+        let mut sorted = la.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(la, sorted, "inactive list must stay sorted: {la:?}");
         lru.check_invariants().unwrap();
     }
 }

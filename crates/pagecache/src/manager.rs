@@ -7,6 +7,14 @@
 //! and writes back expired dirty data (Algorithm 1). Disk and memory transfer
 //! times are delegated to the flow-level storage models, so concurrent
 //! accesses from several applications naturally share bandwidth.
+//!
+//! The underlying [`LruLists`] are an intrusive slab arena with per-file and
+//! per-list dirty chains, so the per-request operations the controller drives
+//! scale with the data they touch, not with the total cache population:
+//! [`MemoryManager::read_from_cache`] and [`MemoryManager::invalidate_file`]
+//! visit only the target file's blocks, [`MemoryManager::flush`] and
+//! [`MemoryManager::flush_expired`] only dirty blocks, and every byte
+//! aggregate the controller polls is O(1).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

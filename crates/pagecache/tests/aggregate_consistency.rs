@@ -47,11 +47,11 @@ fn scan_dirty(lru: &LruLists) -> f64 {
 }
 
 fn scan_inactive(lru: &LruLists) -> f64 {
-    lru.inactive_blocks().iter().map(|b| b.size).sum()
+    lru.inactive_blocks().map(|b| b.size).sum()
 }
 
 fn scan_active(lru: &LruLists) -> f64 {
-    lru.active_blocks().iter().map(|b| b.size).sum()
+    lru.active_blocks().map(|b| b.size).sum()
 }
 
 fn scan_cached_amount(lru: &LruLists, file: &FileId) -> f64 {
@@ -70,7 +70,6 @@ fn scan_dirty_amount(lru: &LruLists, file: &FileId) -> f64 {
 
 fn scan_evictable(lru: &LruLists, exclude: Option<&FileId>) -> f64 {
     lru.inactive_blocks()
-        .iter()
         .filter(|b| !b.dirty && (exclude != Some(&b.file)))
         .map(|b| b.size)
         .sum()
@@ -102,7 +101,12 @@ fn incremental_aggregates_match_full_scan_over_10k_random_ops() {
     let mut lru = LruLists::new();
     let mut clock = 0.0;
     for op in 0..OPS {
-        clock += rng.f64(0.01, 1.0);
+        // 1-in-8 ops keep the previous timestamp: simulated events often
+        // coincide (chunks of one request), and equal timestamps are what
+        // arms the arena's coalescing paths — they must be covered here.
+        if rng.usize(0, 8) != 0 {
+            clock += rng.f64(0.01, 1.0);
+        }
         let now = SimTime::from_secs(clock);
         let file = &files[rng.usize(0, FILES)];
         match rng.usize(0, 10) {
@@ -184,4 +188,444 @@ fn incremental_aggregates_match_full_scan_over_10k_random_ops() {
     }
     // The workload actually exercised a non-trivial cache.
     assert!(lru.block_count() > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Differential test: arena LRU vs a retained naive scan-based model.
+// ---------------------------------------------------------------------------
+
+use pagecache::DataBlock;
+use std::collections::VecDeque;
+
+/// A faithful port of the pre-arena `VecDeque` implementation of `LruLists`,
+/// with every aggregate recomputed by scanning (no incremental counters, no
+/// intrusive chains, no coalescing). It serves as the executable
+/// specification the slab-arena rewrite must match byte-for-byte (within
+/// `EPSILON`): same read/flush/evict results, same aggregates, under any
+/// operation sequence.
+#[derive(Default)]
+struct NaiveLru {
+    inactive: VecDeque<DataBlock>,
+    active: VecDeque<DataBlock>,
+}
+
+impl NaiveLru {
+    fn list(&self, active: bool) -> &VecDeque<DataBlock> {
+        if active {
+            &self.active
+        } else {
+            &self.inactive
+        }
+    }
+
+    fn total_cached(&self) -> f64 {
+        self.inactive
+            .iter()
+            .chain(&self.active)
+            .map(|b| b.size)
+            .sum()
+    }
+
+    fn total_dirty(&self) -> f64 {
+        self.inactive
+            .iter()
+            .chain(&self.active)
+            .filter(|b| b.dirty)
+            .map(|b| b.size)
+            .sum()
+    }
+
+    fn inactive_bytes(&self) -> f64 {
+        self.inactive.iter().map(|b| b.size).sum()
+    }
+
+    fn active_bytes(&self) -> f64 {
+        self.active.iter().map(|b| b.size).sum()
+    }
+
+    fn cached_amount(&self, file: &FileId) -> f64 {
+        self.inactive
+            .iter()
+            .chain(&self.active)
+            .filter(|b| &b.file == file)
+            .map(|b| b.size)
+            .sum()
+    }
+
+    fn dirty_amount(&self, file: &FileId) -> f64 {
+        self.inactive
+            .iter()
+            .chain(&self.active)
+            .filter(|b| b.dirty && &b.file == file)
+            .map(|b| b.size)
+            .sum()
+    }
+
+    fn evictable(&self, exclude: Option<&FileId>) -> f64 {
+        self.inactive
+            .iter()
+            .filter(|b| !b.dirty && exclude != Some(&b.file))
+            .map(|b| b.size)
+            .sum()
+    }
+
+    fn insert_sorted(list: &mut VecDeque<DataBlock>, block: DataBlock) {
+        match list.back() {
+            None => list.push_back(block),
+            Some(b) if b.last_access <= block.last_access => list.push_back(block),
+            _ => {
+                let pos = list.partition_point(|b| b.last_access <= block.last_access);
+                list.insert(pos, block);
+            }
+        }
+    }
+
+    fn add_clean(&mut self, file: FileId, size: f64, now: SimTime) {
+        if size <= EPSILON {
+            return;
+        }
+        Self::insert_sorted(&mut self.inactive, DataBlock::clean(file, size, now));
+        self.balance();
+    }
+
+    fn add_dirty(&mut self, file: FileId, size: f64, now: SimTime) {
+        if size <= EPSILON {
+            return;
+        }
+        Self::insert_sorted(&mut self.inactive, DataBlock::dirty(file, size, now));
+        self.balance();
+    }
+
+    fn read_cached(&mut self, file: &FileId, amount: f64, now: SimTime) -> f64 {
+        if amount <= EPSILON || self.cached_amount(file) <= EPSILON {
+            return 0.0;
+        }
+        let taken = self.take_for_read(file, amount);
+        let mut clean_total = 0.0;
+        let mut read_total = 0.0;
+        for blk in taken {
+            read_total += blk.size;
+            if blk.dirty {
+                let promoted = DataBlock {
+                    file: blk.file,
+                    size: blk.size,
+                    entry_time: blk.entry_time,
+                    last_access: now,
+                    dirty: true,
+                };
+                Self::insert_sorted(&mut self.active, promoted);
+            } else {
+                clean_total += blk.size;
+            }
+        }
+        if clean_total > EPSILON {
+            let merged = DataBlock::clean(file.clone(), clean_total, now);
+            Self::insert_sorted(&mut self.active, merged);
+        }
+        read_total
+    }
+
+    fn take_for_read(&mut self, file: &FileId, amount: f64) -> Vec<DataBlock> {
+        let mut taken = Vec::new();
+        let mut remaining = amount;
+        for active in [false, true] {
+            let on_list: f64 = self
+                .list(active)
+                .iter()
+                .filter(|b| &b.file == file)
+                .map(|b| b.size)
+                .sum();
+            if on_list <= EPSILON {
+                continue;
+            }
+            let mut from_list = 0.0;
+            let mut i = 0;
+            while remaining > EPSILON && from_list < on_list - EPSILON {
+                let list = if active {
+                    &mut self.active
+                } else {
+                    &mut self.inactive
+                };
+                if i >= list.len() {
+                    break;
+                }
+                if &list[i].file == file {
+                    if list[i].size <= remaining + EPSILON {
+                        let blk = list.remove(i).expect("index checked above");
+                        remaining -= blk.size;
+                        from_list += blk.size;
+                        taken.push(blk);
+                        continue;
+                    } else {
+                        let head = list[i].split_off(remaining);
+                        taken.push(head);
+                        remaining = 0.0;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+        taken
+    }
+
+    fn flush_lru(&mut self, amount: f64, exclude: Option<&FileId>) -> f64 {
+        if amount <= EPSILON || self.total_dirty() <= EPSILON {
+            return 0.0;
+        }
+        let mut flushed = 0.0;
+        for active in [false, true] {
+            let list_dirty: f64 = self
+                .list(active)
+                .iter()
+                .filter(|b| b.dirty)
+                .map(|b| b.size)
+                .sum();
+            if list_dirty <= EPSILON {
+                continue;
+            }
+            let mut i = 0;
+            loop {
+                let list = if active {
+                    &mut self.active
+                } else {
+                    &mut self.inactive
+                };
+                if i >= list.len() {
+                    break;
+                }
+                if flushed >= amount - EPSILON {
+                    return flushed;
+                }
+                let is_candidate = list[i].dirty && exclude != Some(&list[i].file);
+                if is_candidate {
+                    let need = amount - flushed;
+                    if list[i].size <= need + EPSILON {
+                        list[i].dirty = false;
+                        flushed += list[i].size;
+                    } else {
+                        let mut head = list[i].split_off(need);
+                        head.dirty = false;
+                        flushed += head.size;
+                        list.insert(i, head);
+                        return flushed;
+                    }
+                }
+                i += 1;
+            }
+        }
+        flushed
+    }
+
+    fn evict(&mut self, amount: f64, exclude: Option<&FileId>) -> f64 {
+        if amount <= EPSILON {
+            return 0.0;
+        }
+        self.balance();
+        let available = self.evictable(exclude);
+        if available <= EPSILON {
+            return 0.0;
+        }
+        let target = amount.min(available);
+        let mut evicted = 0.0;
+        let mut i = 0;
+        while i < self.inactive.len() && evicted < target - EPSILON {
+            let is_candidate = !self.inactive[i].dirty && exclude != Some(&self.inactive[i].file);
+            if is_candidate {
+                let need = amount - evicted;
+                if self.inactive[i].size <= need + EPSILON {
+                    let blk = self.inactive.remove(i).expect("index checked above");
+                    evicted += blk.size;
+                    continue;
+                } else {
+                    self.inactive[i].size -= need;
+                    evicted += need;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        evicted
+    }
+
+    fn flush_expired(&mut self, now: SimTime, expire: f64) -> f64 {
+        if self.total_dirty() <= EPSILON {
+            return 0.0;
+        }
+        let mut flushed = 0.0;
+        for list in [&mut self.inactive, &mut self.active] {
+            for blk in list.iter_mut() {
+                if blk.is_expired(now, expire) {
+                    blk.dirty = false;
+                    flushed += blk.size;
+                }
+            }
+        }
+        flushed
+    }
+
+    fn invalidate_file(&mut self, file: &FileId) -> f64 {
+        let mut removed = 0.0;
+        for list in [&mut self.inactive, &mut self.active] {
+            list.retain(|b| {
+                if &b.file == file {
+                    removed += b.size;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        removed
+    }
+
+    fn balance(&mut self) {
+        while !self.active.is_empty() && self.active_bytes() > 2.0 * self.inactive_bytes() + EPSILON
+        {
+            let demoted = self.active.pop_front().expect("checked non-empty");
+            Self::insert_sorted(&mut self.inactive, demoted);
+        }
+    }
+}
+
+/// Drives the arena `LruLists` and the naive scan-based model through the
+/// same 10k random operations and asserts, after every single operation,
+/// that the operation results (`read_cached` / `flush_lru` / `evict` /
+/// `flush_expired` / `invalidate_file` returns) and every byte aggregate are
+/// identical within `EPSILON`. Block *granularity* may differ (the arena
+/// coalesces adjacent clean inactive blocks of one file), but no byte-level
+/// observable may.
+#[test]
+fn arena_lru_matches_naive_scan_model_over_10k_random_ops() {
+    const OPS: usize = 10_000;
+    const FILES: usize = 8;
+    let files: Vec<FileId> = (0..FILES)
+        .map(|i| FileId::new(format!("file_{i}")))
+        .collect();
+    let mut rng = Rng(0xBADC0FFEE);
+    let mut arena = LruLists::new();
+    let mut naive = NaiveLru::default();
+    let mut clock = 0.0;
+    for op in 0..OPS {
+        // 1-in-8 ops keep the previous timestamp: simulated events often
+        // coincide (chunks of one request), and equal timestamps are what
+        // arms the arena's coalescing paths — they must be covered here.
+        if rng.usize(0, 8) != 0 {
+            clock += rng.f64(0.01, 1.0);
+        }
+        let now = SimTime::from_secs(clock);
+        let file = &files[rng.usize(0, FILES)];
+        let (what, a, b) = match rng.usize(0, 10) {
+            0..=2 => {
+                let size = rng.f64(0.5, 400.0);
+                arena.add_clean(file.clone(), size, now);
+                naive.add_clean(file.clone(), size, now);
+                ("add_clean", 0.0, 0.0)
+            }
+            3 | 4 => {
+                let size = rng.f64(0.5, 400.0);
+                arena.add_dirty(file.clone(), size, now);
+                naive.add_dirty(file.clone(), size, now);
+                ("add_dirty", 0.0, 0.0)
+            }
+            5 | 6 => {
+                let amount = rng.f64(1.0, 900.0);
+                (
+                    "read_cached",
+                    arena.read_cached(file, amount, now),
+                    naive.read_cached(file, amount, now),
+                )
+            }
+            7 => {
+                let amount = rng.f64(0.0, 900.0);
+                let exclude = (rng.usize(0, 3) == 0).then_some(file);
+                (
+                    "flush_lru",
+                    arena.flush_lru(amount, exclude),
+                    naive.flush_lru(amount, exclude),
+                )
+            }
+            8 => {
+                let amount = rng.f64(0.0, 900.0);
+                let exclude = (rng.usize(0, 3) == 0).then_some(file);
+                (
+                    "evict",
+                    arena.evict(amount, exclude),
+                    naive.evict(amount, exclude),
+                )
+            }
+            _ => match rng.usize(0, 3) {
+                0 => (
+                    "flush_expired",
+                    arena.flush_expired(now, 5.0),
+                    naive.flush_expired(now, 5.0),
+                ),
+                1 => {
+                    arena.balance();
+                    naive.balance();
+                    ("balance", 0.0, 0.0)
+                }
+                _ => (
+                    "invalidate_file",
+                    arena.invalidate_file(file),
+                    naive.invalidate_file(file),
+                ),
+            },
+        };
+        assert_close(&format!("{what} result"), a, b, op);
+        assert_close(
+            "total_cached",
+            arena.total_cached(),
+            naive.total_cached(),
+            op,
+        );
+        assert_close("total_dirty", arena.total_dirty(), naive.total_dirty(), op);
+        assert_close(
+            "inactive_bytes",
+            arena.inactive_bytes(),
+            naive.inactive_bytes(),
+            op,
+        );
+        assert_close(
+            "active_bytes",
+            arena.active_bytes(),
+            naive.active_bytes(),
+            op,
+        );
+        assert_close(
+            "evictable",
+            arena.evictable(None),
+            naive.evictable(None),
+            op,
+        );
+        let probe = &files[rng.usize(0, FILES)];
+        assert_close(
+            "cached_amount",
+            arena.cached_amount(probe),
+            naive.cached_amount(probe),
+            op,
+        );
+        assert_close(
+            "dirty_amount",
+            arena.dirty_amount(probe),
+            naive.dirty_amount(probe),
+            op,
+        );
+        assert_close(
+            "evictable(exclude)",
+            arena.evictable(Some(probe)),
+            naive.evictable(Some(probe)),
+            op,
+        );
+        arena.check_invariants().unwrap();
+    }
+    assert!(arena.block_count() > 0);
+    // Coalescing can only reduce block granularity, never add to it.
+    let naive_blocks = naive.inactive.len() + naive.active.len();
+    assert!(
+        arena.block_count() <= naive_blocks,
+        "arena has {} blocks, naive {}",
+        arena.block_count(),
+        naive_blocks
+    );
 }

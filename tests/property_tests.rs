@@ -118,7 +118,7 @@ fn lru_lists_invariants_hold_under_random_operations() {
             // rewrite they share the same counters, so only an independent
             // scan can catch drift).
             let scan_cached: f64 = lru.iter_all().map(|b| b.size).sum();
-            let scan_inactive: f64 = lru.inactive_blocks().iter().map(|b| b.size).sum();
+            let scan_inactive: f64 = lru.inactive_blocks().map(|b| b.size).sum();
             let per_file_sum: f64 = lru.cached_per_file().values().sum();
             assert!((per_file_sum - scan_cached).abs() < 1e-6);
             assert!((lru.total_cached() - scan_cached).abs() < 1e-6);
