@@ -67,6 +67,7 @@ fn bench_sharing_policy_ablation(c: &mut Criterion) {
     ] {
         let scenario = Scenario::new(base_platform(), app.clone(), kind)
             .with_instances(8)
+            .expect("at least one instance")
             .with_sample_interval(None);
         group.bench_with_input(BenchmarkId::from_parameter(label), &scenario, |b, s| {
             b.iter(|| run_scenario(s).unwrap().mean_total_read_time())

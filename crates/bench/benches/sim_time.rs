@@ -28,6 +28,7 @@ fn bench_simulation_time(c: &mut Criterion) {
             };
             let scenario = Scenario::new(platform, app.clone(), kind)
                 .with_instances(instances)
+                .expect("at least one instance")
                 .with_sample_interval(None);
             group.bench_with_input(
                 BenchmarkId::new(label, instances),

@@ -66,7 +66,7 @@ pub fn run_concurrency_sweep(
         let run = |kind: SimulatorKind| -> Result<_, ScenarioError> {
             let report = run_scenario(
                 &Scenario::new(platform.clone(), app.clone(), kind)
-                    .with_instances(instances)
+                    .with_instances(instances)?
                     .with_sample_interval(None),
             )?;
             Ok((

@@ -95,7 +95,7 @@ pub fn run_simulation_time_measurement(
             };
             let report = run_scenario(
                 &Scenario::new(platform, app.clone(), kind)
-                    .with_instances(instances)
+                    .with_instances(instances)?
                     .with_sample_interval(None),
             )?;
             Ok(report.wall_clock_seconds)

@@ -1,6 +1,7 @@
-//! A unified filesystem façade over the three back-ends, so the workflow
-//! layer can run the same application against the cached, cacheless and NFS
-//! configurations.
+//! A unified filesystem façade over the three `simfs` back-ends, for users
+//! driving the filesystems directly (the `workflow` layer now dispatches
+//! through its own `IoBackend` trait instead, which also covers the kernel
+//! emulator and the cacheless NFS mount).
 
 use pagecache::{FileId, IoOpStats, MemoryManager};
 
@@ -45,6 +46,57 @@ impl FileSystem {
             FileSystem::Cached(fs) => fs.write_file(file, size).await,
             FileSystem::Direct(fs) => fs.write_file(file, size).await,
             FileSystem::Nfs(fs) => fs.write_file(file, size).await,
+        }
+    }
+
+    /// Reads `len` bytes of `file` starting at `offset` (clamped to the
+    /// file; `len = f64::INFINITY` reads to end of file).
+    pub async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, FsError> {
+        match self {
+            FileSystem::Cached(fs) => fs.read_range(file, offset, len).await,
+            FileSystem::Direct(fs) => fs.read_range(file, offset, len).await,
+            FileSystem::Nfs(fs) => fs.read_range(file, offset, len).await,
+        }
+    }
+
+    /// Writes `len` bytes at `offset`, creating or extending the file as
+    /// needed (never shrinking it).
+    pub async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, FsError> {
+        match self {
+            FileSystem::Cached(fs) => fs.write_range(file, offset, len).await,
+            FileSystem::Direct(fs) => fs.write_range(file, offset, len).await,
+            FileSystem::Nfs(fs) => fs.write_range(file, offset, len).await,
+        }
+    }
+
+    /// Flushes the file's dirty cached data to stable storage (`fsync`).
+    /// A no-op on the direct and NFS filesystems, whose writes are already
+    /// synchronous/writethrough.
+    pub async fn fsync(&self, file: &FileId) -> Result<IoOpStats, FsError> {
+        match self {
+            FileSystem::Cached(fs) => fs.fsync(file).await,
+            FileSystem::Direct(fs) => fs.fsync(file).await,
+            FileSystem::Nfs(fs) => fs.fsync(file).await,
+        }
+    }
+
+    /// Flushes all dirty cached data (`sync`). A no-op except on the cached
+    /// local filesystem.
+    pub async fn sync(&self) -> IoOpStats {
+        match self {
+            FileSystem::Cached(fs) => fs.sync().await,
+            FileSystem::Direct(fs) => fs.sync().await,
+            FileSystem::Nfs(fs) => fs.sync().await,
         }
     }
 
@@ -143,6 +195,36 @@ mod tests {
         assert!(w.bytes_to_cache > 0.0);
         fs.delete_file(&"g".into()).unwrap();
         assert!(!fs.registry().exists(&"g".into()));
+    }
+
+    #[test]
+    fn facade_forwards_range_ops_and_fsync() {
+        let sim = Simulation::new();
+        let fs = cached(&sim);
+        fs.create_file(&"f".into(), 100.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                let tail = fs
+                    .read_range(&"f".into(), 60.0 * MB, f64::INFINITY)
+                    .await
+                    .unwrap();
+                let w = fs
+                    .write_range(&"g".into(), 10.0 * MB, 20.0 * MB)
+                    .await
+                    .unwrap();
+                let fsync = fs.fsync(&"g".into()).await.unwrap();
+                let sync = fs.sync().await;
+                (tail, w, fsync, sync)
+            }
+        });
+        sim.run();
+        let (tail, w, fsync, sync) = h.try_take_result().unwrap();
+        assert!((tail.bytes_from_disk - 40.0 * MB).abs() < 1.0);
+        assert!((w.bytes_to_cache - 20.0 * MB).abs() < 1.0);
+        assert!((fsync.bytes_to_disk - 20.0 * MB).abs() < 1.0);
+        assert_eq!(sync.bytes_to_disk, 0.0); // fsync already cleaned everything
+        assert!(fs.registry().size(&"g".into()).unwrap() == 30.0 * MB);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //!   (the cacheless behaviour of vanilla WRENCH, used as the baseline);
 //! * [`NfsFileSystem`] / [`NfsServer`] — a network filesystem with a client
 //!   read cache and a writethrough server cache (the paper's Exp 3 setup);
-//! * [`FileSystem`] — an enum façade so the workflow layer can drive any of
-//!   the three with the same code.
+//! * [`FileSystem`] — an enum façade so direct `simfs` users can drive any
+//!   of the three with the same code (the workflow layer dispatches through
+//!   its own `IoBackend` trait instead).
 
 #![warn(missing_docs)]
 
@@ -22,6 +23,6 @@ mod registry;
 
 pub use error::FsError;
 pub use fs::FileSystem;
-pub use local::{CachedFileSystem, DirectFileSystem};
+pub use local::{extend_for_write, CachedFileSystem, DirectFileSystem};
 pub use nfs::{NfsFileSystem, NfsServer};
 pub use registry::FileRegistry;

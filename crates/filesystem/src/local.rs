@@ -2,11 +2,48 @@
 //! cacheless behaviour of vanilla WRENCH).
 
 use des::SimContext;
-use pagecache::{FileId, IoController, IoOpStats, MemoryManager};
+use pagecache::{clamp_io_range, FileId, IoController, IoOpStats, MemoryManager};
 use storage_model::Disk;
 
 use crate::error::FsError;
 use crate::registry::FileRegistry;
+
+/// Grows the registration of `file` so it covers a write of `len` bytes at
+/// `offset`, allocating the extra disk space on `disk`. Creates the file
+/// when it does not exist; never shrinks it (range writes extend, deleting
+/// and rewriting truncates). Rejects non-finite ranges — a write, unlike a
+/// read, has no end-of-file to clamp to. Returns the clamped `(offset,
+/// len)` actually written.
+///
+/// Shared by every filesystem whose registration is a [`FileRegistry`]
+/// (the local filesystems, NFS, and `workflow`'s cacheless NFS mount), so
+/// the extend-never-shrink rule lives in one place.
+pub fn extend_for_write(
+    registry: &FileRegistry,
+    disk: &Disk,
+    file: &FileId,
+    offset: f64,
+    len: f64,
+) -> Result<(f64, f64), FsError> {
+    if !offset.is_finite() || !len.is_finite() {
+        return Err(FsError::InvalidRange { offset, len });
+    }
+    let offset = offset.max(0.0);
+    let len = len.max(0.0);
+    let new_end = offset + len;
+    match registry.size(file) {
+        Ok(old) if new_end > old => {
+            disk.allocate(new_end - old)?;
+            registry.create_or_replace(file, new_end);
+        }
+        Ok(_) => {}
+        Err(_) => {
+            disk.allocate(new_end)?;
+            registry.create(file, new_end)?;
+        }
+    }
+    Ok((offset, len))
+}
 
 /// A local filesystem whose I/O goes through the simulated page cache
 /// (WRENCH-cache behaviour).
@@ -55,20 +92,69 @@ impl CachedFileSystem {
         self.registry.create(file, size)
     }
 
-    /// Reads a whole file through the page cache.
+    /// Reads a whole file through the page cache. A corollary of
+    /// [`CachedFileSystem::read_range`] over `[0, size)`.
     pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, FsError> {
+        self.read_range(file, 0.0, f64::INFINITY).await
+    }
+
+    /// Reads `len` bytes of `file` starting at `offset` through the page
+    /// cache (`len = f64::INFINITY` reads to end of file; the range is
+    /// clamped to the file). The macroscopic cache model is amount-based, so
+    /// a partial re-read hits the cache for up to `min(len, cached_amount)`
+    /// bytes.
+    pub async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, FsError> {
         let size = self.registry.size(file)?;
-        Ok(self.io.read_file(file, size).await)
+        let (_start, amount) = clamp_io_range(offset, len, size);
+        Ok(self.io.read_amount(file, size, amount).await)
     }
 
     /// Writes (creates or overwrites) a file of `size` bytes through the page
-    /// cache.
+    /// cache. Unlike [`CachedFileSystem::write_range`], this replaces the
+    /// file registration: the old size is freed first (truncate semantics).
     pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, FsError> {
+        if !size.is_finite() {
+            return Err(FsError::InvalidRange {
+                offset: 0.0,
+                len: size,
+            });
+        }
         if let Some(old) = self.registry.create_or_replace(file, size) {
             self.disk.free(old);
         }
         self.disk.allocate(size)?;
-        Ok(self.io.write_file(file, size).await)
+        Ok(self.io.write_amount(file, size).await)
+    }
+
+    /// Writes `len` bytes at `offset` through the page cache, creating the
+    /// file or extending it to `offset + len` as needed. Range writes never
+    /// shrink a file; delete and rewrite to truncate.
+    pub async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, FsError> {
+        let (_offset, len) = extend_for_write(&self.registry, &self.disk, file, offset, len)?;
+        Ok(self.io.write_amount(file, len).await)
+    }
+
+    /// Flushes the file's dirty cached data to disk synchronously (`fsync`).
+    /// On this writeback filesystem the flush happens at disk bandwidth and
+    /// the flushed data stays cached (clean).
+    pub async fn fsync(&self, file: &FileId) -> Result<IoOpStats, FsError> {
+        self.registry.size(file)?;
+        Ok(self.io.fsync(file).await)
+    }
+
+    /// Flushes all dirty cached data of the host to disk (`sync`).
+    pub async fn sync(&self) -> IoOpStats {
+        self.io.sync().await
     }
 
     /// Deletes a file: drops its cached data and frees its disk space.
@@ -116,31 +202,83 @@ impl DirectFileSystem {
         self.registry.create(file, size)
     }
 
-    /// Reads a whole file directly from disk.
+    /// Reads a whole file directly from disk. A corollary of
+    /// [`DirectFileSystem::read_range`] over `[0, size)`.
     pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, FsError> {
+        self.read_range(file, 0.0, f64::INFINITY).await
+    }
+
+    /// Reads `len` bytes at `offset` directly from disk (no cache: every
+    /// byte pays the disk bandwidth).
+    pub async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, FsError> {
         let size = self.registry.size(file)?;
+        let (_start, amount) = clamp_io_range(offset, len, size);
         let start = self.ctx.now();
-        self.disk.read(size).await;
+        if amount > 0.0 {
+            self.disk.read(amount).await;
+        }
         Ok(IoOpStats {
-            bytes_from_disk: size,
+            bytes_from_disk: amount,
             duration: self.ctx.now().duration_since(start),
             ..IoOpStats::default()
         })
     }
 
-    /// Writes a file directly to disk.
+    /// Writes a file directly to disk (truncate semantics).
     pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, FsError> {
+        if !size.is_finite() {
+            return Err(FsError::InvalidRange {
+                offset: 0.0,
+                len: size,
+            });
+        }
         if let Some(old) = self.registry.create_or_replace(file, size) {
             self.disk.free(old);
         }
         self.disk.allocate(size)?;
+        self.write_amount(size).await
+    }
+
+    /// Writes `len` bytes at `offset` directly to disk, creating or
+    /// extending the file as needed (never shrinking it).
+    pub async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, FsError> {
+        let (_offset, len) = extend_for_write(&self.registry, &self.disk, file, offset, len)?;
+        self.write_amount(len).await
+    }
+
+    async fn write_amount(&self, amount: f64) -> Result<IoOpStats, FsError> {
         let start = self.ctx.now();
-        self.disk.write(size).await;
+        if amount > 0.0 {
+            self.disk.write(amount).await;
+        }
         Ok(IoOpStats {
-            bytes_to_disk: size,
+            bytes_to_disk: amount,
             duration: self.ctx.now().duration_since(start),
             ..IoOpStats::default()
         })
+    }
+
+    /// `fsync` on the cacheless filesystem is a no-op: every write already
+    /// went to disk synchronously.
+    pub async fn fsync(&self, file: &FileId) -> Result<IoOpStats, FsError> {
+        self.registry.size(file)?;
+        Ok(IoOpStats::default())
+    }
+
+    /// `sync` on the cacheless filesystem is a no-op (nothing is ever
+    /// dirty).
+    pub async fn sync(&self) -> IoOpStats {
+        IoOpStats::default()
     }
 
     /// Deletes a file and frees its disk space.
@@ -257,6 +395,67 @@ mod tests {
             fs.create_file(&"big".into(), 200.0 * MB),
             Err(FsError::DiskFull(_))
         ));
+    }
+
+    #[test]
+    fn cached_fs_range_ops_and_fsync() {
+        let sim = Simulation::new();
+        let fs = cached_fs(&sim, 10_000.0, f64::INFINITY);
+        fs.create_file(&"f".into(), 500.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                // Whole read, then a partial re-read: full cache hit.
+                fs.read_file(&"f".into()).await.unwrap();
+                let partial = fs
+                    .read_range(&"f".into(), 100.0 * MB, 200.0 * MB)
+                    .await
+                    .unwrap();
+                // A range write extends the file and dirties the cache.
+                let w = fs
+                    .write_range(&"g".into(), 100.0 * MB, 50.0 * MB)
+                    .await
+                    .unwrap();
+                let fsync = fs.fsync(&"g".into()).await.unwrap();
+                let fsync_again = fs.fsync(&"g".into()).await.unwrap();
+                (partial, w, fsync, fsync_again)
+            }
+        });
+        sim.run();
+        let (partial, w, fsync, fsync_again) = h.try_take_result().unwrap();
+        approx(partial.bytes_from_cache, 200.0 * MB);
+        approx(partial.bytes_from_disk, 0.0);
+        approx(w.bytes_to_cache, 50.0 * MB);
+        assert_eq!(fs.registry().size(&"g".into()).unwrap(), 150.0 * MB);
+        approx(fs.disk().used(), 650.0 * MB);
+        approx(fsync.bytes_to_disk, 50.0 * MB);
+        approx(fsync_again.bytes_to_disk, 0.0);
+        approx(fs.memory_manager().dirty(), 0.0);
+    }
+
+    #[test]
+    fn cached_fs_range_read_clamps_to_file() {
+        let sim = Simulation::new();
+        let fs = cached_fs(&sim, 10_000.0, f64::INFINITY);
+        fs.create_file(&"f".into(), 100.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                let tail = fs
+                    .read_range(&"f".into(), 80.0 * MB, f64::INFINITY)
+                    .await
+                    .unwrap();
+                let beyond = fs
+                    .read_range(&"f".into(), 200.0 * MB, 10.0 * MB)
+                    .await
+                    .unwrap();
+                (tail, beyond)
+            }
+        });
+        sim.run();
+        let (tail, beyond) = h.try_take_result().unwrap();
+        approx(tail.bytes_from_disk, 20.0 * MB);
+        assert_eq!(beyond.total_bytes(), 0.0);
     }
 
     #[test]

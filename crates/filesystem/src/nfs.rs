@@ -18,6 +18,7 @@ use pagecache::{FileId, IoOpStats, MemoryManager, DEFAULT_CHUNK_SIZE, EPSILON};
 use storage_model::{Disk, NetworkLink};
 
 use crate::error::FsError;
+use crate::local::extend_for_write;
 use crate::registry::FileRegistry;
 
 /// The NFS server: a remote host with a disk and a (writethrough) page cache.
@@ -161,11 +162,25 @@ impl NfsFileSystem {
     /// Reads a whole file over NFS. Client-cached data is read from client
     /// memory; the rest is served by the server (from its cache or disk) and
     /// travels over the network, after which it enters the client read cache.
+    /// A corollary of [`NfsFileSystem::read_range`] over `[0, size)`.
     pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, FsError> {
+        self.read_range(file, 0.0, f64::INFINITY).await
+    }
+
+    /// Reads `len` bytes at `offset` over NFS. Both caches are amount-based
+    /// (macroscopic model), so a partial re-read is served client-side for up
+    /// to `min(len, client_cached)` bytes.
+    pub async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, FsError> {
         let size = self.registry.size(file)?;
+        let (_start, amount) = pagecache::clamp_io_range(offset, len, size);
         let start = self.ctx.now();
         let mut stats = IoOpStats::default();
-        let mut remaining = size;
+        let mut remaining = amount;
         while remaining > EPSILON {
             let chunk = remaining.min(self.chunk_size);
             let client_cached = self.client_mm.cached_amount(file);
@@ -208,15 +223,39 @@ impl NfsFileSystem {
     }
 
     /// Writes a whole file over NFS: data travels over the network and is
-    /// written through on the server (no client write cache).
+    /// written through on the server (no client write cache). Truncate
+    /// semantics: the old registration is replaced.
     pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, FsError> {
+        if !size.is_finite() {
+            return Err(FsError::InvalidRange {
+                offset: 0.0,
+                len: size,
+            });
+        }
         if let Some(old) = self.registry.create_or_replace(file, size) {
             self.server.disk.free(old);
         }
         self.server.disk.allocate(size)?;
+        Ok(self.write_amount(file, size).await)
+    }
+
+    /// Writes `len` bytes at `offset` over NFS, creating the file or
+    /// extending it to `offset + len` as needed (never shrinking it).
+    pub async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, FsError> {
+        let (_offset, len) =
+            extend_for_write(&self.registry, &self.server.disk, file, offset, len)?;
+        Ok(self.write_amount(file, len).await)
+    }
+
+    async fn write_amount(&self, file: &FileId, amount: f64) -> IoOpStats {
         let start = self.ctx.now();
         let mut stats = IoOpStats::default();
-        let mut remaining = size;
+        let mut remaining = amount;
         while remaining > EPSILON {
             let chunk = remaining.min(self.chunk_size);
             self.link.transfer(chunk).await;
@@ -225,7 +264,20 @@ impl NfsFileSystem {
             remaining -= chunk;
         }
         stats.duration = self.ctx.now().duration_since(start);
-        Ok(stats)
+        stats
+    }
+
+    /// `fsync` over this NFS mount is a no-op: there is no client write
+    /// cache and the server cache is writethrough, so every written byte is
+    /// already persistent on the server disk when the write returns.
+    pub async fn fsync(&self, file: &FileId) -> Result<IoOpStats, FsError> {
+        self.registry.size(file)?;
+        Ok(IoOpStats::default())
+    }
+
+    /// `sync` is likewise a no-op on this writethrough mount.
+    pub async fn sync(&self) -> IoOpStats {
+        IoOpStats::default()
     }
 }
 

@@ -10,6 +10,12 @@
 //!   --filter SUBSTR    only run scenarios whose name contains SUBSTR
 //!   --out PATH         where to write RESULTS.json (default: RESULTS.json)
 //!   --golden PATH      golden baseline path (default: baselines/golden.json)
+//!   --check-frozen P   additionally require every metric of the frozen
+//!                      reference P (a past golden) to be bit-identical in
+//!                      this run; metrics/scenarios added since are ignored.
+//!                      The proof a scenario-adding PR must carry: the
+//!                      regenerated golden did not move pre-existing
+//!                      predictions
 //!   --timings          include machine-dependent wall-clock timings in the
 //!                      output (breaks bit-identical output; never gated)
 //!   --list             list registered scenarios and exit
@@ -20,10 +26,13 @@
 
 use std::process::ExitCode;
 
-use harness::{compare, make_golden, parse, registry, run_sweep, SweepConfig};
+use harness::{
+    compare, compare_intersection_exact, make_golden, parse, registry, run_sweep, SweepConfig,
+};
 
 struct Options {
     check: bool,
+    check_frozen: Option<String>,
     update_golden: bool,
     list: bool,
     timings: bool,
@@ -35,6 +44,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         check: false,
+        check_frozen: None,
         update_golden: false,
         list: false,
         timings: false,
@@ -50,6 +60,7 @@ fn parse_args() -> Result<Options, String> {
         };
         match arg.as_str() {
             "--check" => opts.check = true,
+            "--check-frozen" => opts.check_frozen = Some(value("--check-frozen")?),
             "--update-golden" => opts.update_golden = true,
             "--list" => opts.list = true,
             "--timings" => opts.timings = true,
@@ -85,8 +96,9 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const HELP: &str = "\
-Usage: sweep [--check | --update-golden] [--threads N] [--seed N]
-             [--filter SUBSTR] [--out PATH] [--golden PATH] [--timings] [--list]
+Usage: sweep [--check | --update-golden] [--check-frozen PATH] [--threads N]
+             [--seed N] [--filter SUBSTR] [--out PATH] [--golden PATH]
+             [--timings] [--list]
 
 Runs every registered scenario in parallel, writes RESULTS.json, and (with
 --check) fails on out-of-tolerance drift from the golden baseline.
@@ -144,6 +156,41 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     eprintln!("wrote {}", opts.out);
+
+    // The frozen bit-identity check runs first so it composes with both
+    // --check and --update-golden: a regeneration that moved pre-existing
+    // predictions fails here *before* the new golden is written.
+    if let Some(frozen_path) = &opts.check_frozen {
+        let frozen = match std::fs::read_to_string(frozen_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| parse(&text))
+        {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("sweep: cannot read frozen reference {frozen_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match compare_intersection_exact(&frozen, &results.to_json(false)) {
+            Ok(drifts) if drifts.is_empty() => {
+                eprintln!("frozen check passed: every {frozen_path} metric is bit-identical");
+            }
+            Ok(drifts) => {
+                eprintln!(
+                    "frozen check FAILED: {} pre-existing metric(s) moved or vanished",
+                    drifts.len()
+                );
+                for d in &drifts {
+                    eprintln!("  {d}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("sweep: cannot compare against frozen reference: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if opts.update_golden {
         let previous = std::fs::read_to_string(&opts.golden)
@@ -204,5 +251,6 @@ fn main() -> ExitCode {
             }
         }
     }
+
     ExitCode::SUCCESS
 }

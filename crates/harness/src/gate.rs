@@ -197,6 +197,56 @@ pub fn compare(golden: &Json, results: &Json) -> Result<Vec<Drift>, String> {
     Ok(drifts)
 }
 
+/// Compares a sweep run against a **frozen** reference document,
+/// restricted to the reference's scenarios and metrics and with **zero
+/// tolerance**: every metric the reference knows must be present in the run
+/// and bit-identical; scenarios and metrics that exist only in the run are
+/// ignored.
+///
+/// This is the proof obligation of a PR that *adds* scenarios or metrics:
+/// regenerating `baselines/golden.json` in the same commit is legitimate,
+/// but the regeneration must not move any pre-existing prediction. CI runs
+/// this against the frozen snapshot of the previous baseline
+/// (`sweep --check-frozen <path>`).
+pub fn compare_intersection_exact(reference: &Json, results: &Json) -> Result<Vec<Drift>, String> {
+    let reference_scenarios = reference
+        .get("scenarios")
+        .ok_or("reference file has no 'scenarios' section")?;
+    let result_scenarios = results
+        .get("scenarios")
+        .ok_or("results file has no 'scenarios' section")?;
+
+    let mut drifts = Vec::new();
+    for (name, reference_scenario) in reference_scenarios.pairs() {
+        let Some(result_scenario) = result_scenarios.get(name) else {
+            drifts.push(Drift::MissingScenario(name.clone()));
+            continue;
+        };
+        let actual = metric_map(result_scenario);
+        for &(metric, reference_value) in &metric_map(reference_scenario) {
+            let key = format!("{name}/{metric}");
+            let Some(&(_, actual_value)) = actual.iter().find(|(k, _)| *k == metric) else {
+                drifts.push(Drift::MissingMetric(key));
+                continue;
+            };
+            // Bit-identity: the JSON round-trip uses shortest-representation
+            // floats, so equality of the parsed values is equality of the
+            // rendered documents.
+            if actual_value != reference_value {
+                let scale = reference_value.abs().max(ABS_FLOOR);
+                drifts.push(Drift::Value {
+                    key,
+                    golden: reference_value,
+                    actual: actual_value,
+                    rel: (actual_value - reference_value).abs() / scale,
+                    tolerance: 0.0,
+                });
+            }
+        }
+    }
+    Ok(drifts)
+}
+
 /// Attaches a tolerances section to a result document, producing a complete
 /// golden file. Existing tolerances (when regenerating) are carried over.
 pub fn make_golden(results: &Json, previous_golden: Option<&Json>) -> Json {
@@ -311,6 +361,40 @@ mod tests {
         // relative drift.
         let results = doc("{\"a\": 1e-16}");
         assert_eq!(compare(&golden, &results).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn intersection_check_ignores_additions_but_pins_the_rest() {
+        let reference = parse(
+            "{\"version\":1,\"scenarios\":{\
+              \"s\":{\"group\":\"paper\",\"metrics\":{\"kept\":1.5,\"dropped\":2.0}},\
+              \"gone\":{\"group\":\"paper\",\"metrics\":{\"m\":1.0}}}}",
+        )
+        .unwrap();
+        let results = parse(
+            "{\"version\":1,\"scenarios\":{\
+              \"s\":{\"group\":\"paper\",\"metrics\":{\"kept\":1.5,\"added\":9.0}},\
+              \"brand_new\":{\"group\":\"programs\",\"metrics\":{\"x\":1.0}}}}",
+        )
+        .unwrap();
+        let drifts = compare_intersection_exact(&reference, &results).unwrap();
+        // New scenario and new metric are fine; losing a reference scenario
+        // or metric is not.
+        assert!(drifts.contains(&Drift::MissingScenario("gone".to_string())));
+        assert!(drifts.contains(&Drift::MissingMetric("s/dropped".to_string())));
+        assert_eq!(drifts.len(), 2);
+    }
+
+    #[test]
+    fn intersection_check_has_zero_tolerance() {
+        let reference = doc("{\"a\": 100.0}");
+        // A drift that passes the default 1e-6 relative gate still fails the
+        // bit-identity check.
+        let results = doc("{\"a\": 100.00000001}");
+        assert_eq!(compare(&reference, &results).unwrap(), Vec::new());
+        let drifts = compare_intersection_exact(&reference, &results).unwrap();
+        assert_eq!(drifts.len(), 1);
+        assert!(matches!(&drifts[0], Drift::Value { tolerance, .. } if *tolerance == 0.0));
     }
 
     #[test]

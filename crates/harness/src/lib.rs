@@ -4,9 +4,9 @@
 //! must track the page-cache behaviour of a real system. This crate is the
 //! subsystem that keeps the reproduction honest about it:
 //!
-//! * [`scenario`] — the [`Scenario`](scenario::Scenario) trait: a named,
+//! * [`scenario`] — the [`Scenario`] trait: a named,
 //!   deterministic simulation run producing ordered `(metric, value)` pairs;
-//! * [`registry`] — every paper figure/table, the `examples/` workloads, and
+//! * [`registry`](mod@registry) — every paper figure/table, the `examples/` workloads, and
 //!   synthetic sweeps (dirty ratios, cache size, read/write mix,
 //!   concurrency) wrapped as scenarios;
 //! * [`runner`] — fans scenarios out across `std::thread` workers (one
@@ -34,7 +34,7 @@ pub mod registry;
 pub mod runner;
 pub mod scenario;
 
-pub use gate::{compare, make_golden, Drift, Tolerances};
+pub use gate::{compare, compare_intersection_exact, make_golden, Drift, Tolerances};
 pub use json::{parse, Json};
 pub use registry::registry;
 pub use runner::{run_sweep, ScenarioResult, SweepConfig, SweepResults};

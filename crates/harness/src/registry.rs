@@ -12,10 +12,10 @@
 
 use experiments::platform::scaled_platform;
 use experiments::{run_exp1_for_size, run_exp2, run_exp3, run_exp4};
-use storage_model::units::GB;
+use storage_model::units::{GB, MB};
 use workflow::{
-    run_scenario, ApplicationSpec, FileSpec, PlatformSpec, RunStats, Scenario as WorkflowScenario,
-    ScenarioReport, SimulatorKind, TaskSpec,
+    run_scenario, ApplicationSpec, FileSpec, Op, PlatformSpec, RunStats,
+    Scenario as WorkflowScenario, ScenarioReport, SimulatorKind, TaskSpec,
 };
 
 use crate::scenario::{FnScenario, Metrics, Scenario};
@@ -114,6 +114,36 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
             run: example_concurrent_instances,
         },
         FnScenario {
+            name: "example_database_workload",
+            group: "examples",
+            description: "examples/database_workload.rs: commit loop (Repeat+Fsync) + checkpoint",
+            run: example_database_workload,
+        },
+        FnScenario {
+            name: "prog_database_fsync",
+            group: "programs",
+            description: "CAWL-style interleaved small writes + fsync, all four back-ends",
+            run: prog_database_fsync,
+        },
+        FnScenario {
+            name: "prog_random_partial_reread",
+            group: "programs",
+            description: "random 64 MB partial re-reads at several cache-to-working-set ratios",
+            run: prog_random_partial_reread,
+        },
+        FnScenario {
+            name: "prog_scan_then_reread",
+            group: "programs",
+            description: "full scan followed by repeated hot-set re-reads, all four back-ends",
+            run: prog_scan_then_reread,
+        },
+        FnScenario {
+            name: "prog_fsync_storm",
+            group: "programs",
+            description: "many small files written and fsync'd back to back",
+            run: prog_fsync_storm,
+        },
+        FnScenario {
             name: "sweep_dirty_ratio",
             group: "sweep",
             description: "write behaviour across vm.dirty_ratio / dirty_background_ratio",
@@ -173,6 +203,7 @@ fn run(
     if instances > 1 {
         scenario = scenario
             .with_instances(instances)
+            .map_err(err)?
             .with_sample_interval(None);
     }
     run_scenario(&scenario).map_err(err)
@@ -410,6 +441,7 @@ fn fig8() -> Result<Metrics, String> {
             let report = run_scenario(
                 &WorkflowScenario::new(platform, app.clone(), kind)
                     .with_instances(instances)
+                    .map_err(err)?
                     .with_sample_interval(None),
             )
             .map_err(err)?;
@@ -427,7 +459,6 @@ fn fig8() -> Result<Metrics, String> {
 // ---------------------------------------------------------------------------
 
 fn uniform_platform(memory: f64) -> PlatformSpec {
-    use storage_model::units::MB;
     PlatformSpec::uniform(
         memory,
         storage_model::DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
@@ -536,6 +567,236 @@ fn example_concurrent_instances() -> Result<Metrics, String> {
                 report.mean_total_write_time(),
             );
         }
+    }
+    Ok(m)
+}
+
+// ---------------------------------------------------------------------------
+// Workload-program scenarios (offset I/O, fsync, repetition)
+// ---------------------------------------------------------------------------
+
+/// Tiny xorshift PRNG so program scenarios can draw deterministic offsets
+/// without any ambient state (same generator family as the sweep runner).
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// A float in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The four local back-ends with their metric labels.
+const ALL_KINDS: [(&str, SimulatorKind); 4] = [
+    ("cacheless", SimulatorKind::Cacheless),
+    ("prototype", SimulatorKind::Prototype),
+    ("cache", SimulatorKind::PageCache),
+    ("kernel_emu", SimulatorKind::KernelEmu),
+];
+
+/// CAWL-style "database": a commit loop rewriting a WAL record with an fsync
+/// after every commit, then a checkpoint write and a final sync — small
+/// interleaved writes whose cost is dominated by the synchronous writeback,
+/// not the cache. Gated on all four back-ends.
+fn prog_database_fsync() -> Result<Metrics, String> {
+    let platform = scaled_platform(8.0 * GB);
+    let record = 64.0 * MB;
+    let app = ApplicationSpec::new("prog-database").with_task(TaskSpec::program(
+        "commit loop",
+        vec![
+            Op::repeat(
+                16,
+                vec![
+                    Op::write_range("wal", 0.0, record),
+                    Op::fsync("wal"),
+                    Op::compute(0.05),
+                ],
+            ),
+            Op::write_range("table", 0.0, 512.0 * MB),
+            Op::Sync,
+        ],
+    ));
+    let mut m = Metrics::new();
+    for (label, kind) in ALL_KINDS {
+        let report = run(&platform, &app, kind, 1)?;
+        let task = &report.instance_reports[0].tasks[0];
+        m.push(format!("{label}/write_s"), task.write_time);
+        m.push(
+            format!("{label}/bytes_to_disk"),
+            task.write_stats.bytes_to_disk,
+        );
+        m.push(format!("{label}/makespan_s"), report.mean_makespan());
+        if let Some(wb) = report.writeback {
+            m.push(
+                format!("{label}/synchronous_flushed"),
+                wb.synchronous_flushed,
+            );
+        }
+    }
+    Ok(m)
+}
+
+/// Random 64 MB partial re-reads of a 2 GB working set at three
+/// cache-to-working-set ratios. Access-pattern-dependent eviction ("Cache is
+/// King": scan vs. random diverge) makes the macroscopic model and the
+/// kernel emulator legitimately different here — both are gated.
+fn prog_random_partial_reread() -> Result<Metrics, String> {
+    let working_set = 2.0 * GB;
+    let request = 64.0 * MB;
+    // A *streaming* scan (read a chunk, release its anonymous copy) warms
+    // the cache up to roughly the host memory, so the cache-to-working-set
+    // ratio — not the application's anonymous footprint — decides how much
+    // of the working set stays resident.
+    let mut ops = Vec::new();
+    let chunks = (working_set / request) as usize;
+    for i in 0..chunks {
+        ops.push(Op::read_range("data", i as f64 * request, request));
+        ops.push(Op::ReleaseMemory(request));
+    }
+    // Deterministic random offsets, shared by every platform/back-end so the
+    // comparison is apples to apples.
+    let mut rng = XorShift::new(0x5eed_cafe);
+    for _ in 0..24 {
+        let offset = (rng.next_f64() * (working_set - request) / MB).floor() * MB;
+        ops.push(Op::read_range("data", offset, request));
+        ops.push(Op::ReleaseMemory(request));
+    }
+    let app = ApplicationSpec::new("prog-random-reread")
+        .with_initial_file(FileSpec::new("data", working_set))
+        .with_task(TaskSpec::program("random re-reads", ops));
+    let mut m = Metrics::new();
+    for ratio_pct in [50u32, 100, 200] {
+        let memory = working_set * ratio_pct as f64 / 100.0;
+        let platform = scaled_platform(memory.max(1.0 * GB));
+        for (label, kind) in [
+            ("cache", SimulatorKind::PageCache),
+            ("kernel_emu", SimulatorKind::KernelEmu),
+        ] {
+            let report = run(&platform, &app, kind, 1)?;
+            let stats = report.run_stats();
+            let prefix = format!("ratio_{ratio_pct:03}/{label}");
+            m.push(format!("{prefix}/read_s"), report.mean_total_read_time());
+            m.push(format!("{prefix}/hit_ratio"), stats.cache_hit_ratio);
+            m.push(format!("{prefix}/bytes_from_disk"), stats.bytes_from_disk);
+        }
+    }
+    Ok(m)
+}
+
+/// A full scan of a 3 GB file followed by four re-reads of its first 512 MB
+/// — the scan-then-re-read pattern. Cached back-ends serve the hot set from
+/// memory; the cacheless baseline pays disk bandwidth every time. Gated on
+/// all four back-ends.
+fn prog_scan_then_reread() -> Result<Metrics, String> {
+    let file_size = 3.0 * GB;
+    let hot = 512.0 * MB;
+    let app = ApplicationSpec::new("prog-scan-reread")
+        .with_initial_file(FileSpec::new("data", file_size))
+        .with_task(TaskSpec::program(
+            "scan",
+            vec![Op::read("data"), Op::ReleaseMemory(file_size)],
+        ))
+        .with_task(TaskSpec::program(
+            "hot set",
+            vec![Op::repeat(
+                4,
+                vec![Op::read_range("data", 0.0, hot), Op::ReleaseMemory(hot)],
+            )],
+        ));
+    let platform = scaled_platform(8.0 * GB);
+    let mut m = Metrics::new();
+    for (label, kind) in ALL_KINDS {
+        let report = run(&platform, &app, kind, 1)?;
+        m.push(format!("{label}/scan_s"), report.mean_task_read_time(0));
+        m.push(format!("{label}/reread_s"), report.mean_task_read_time(1));
+        let stats = report.run_stats();
+        m.push(format!("{label}/hit_ratio"), stats.cache_hit_ratio);
+    }
+    Ok(m)
+}
+
+/// Sixteen small files written and fsync'd back to back (an "fsync storm"),
+/// then one sync. Exercises the per-file dirty chains: every fsync flushes
+/// only its own file.
+fn prog_fsync_storm() -> Result<Metrics, String> {
+    let file_size = 32.0 * MB;
+    let mut ops = Vec::new();
+    for i in 0..16 {
+        ops.push(Op::write_range(format!("seg_{i:02}"), 0.0, file_size));
+        ops.push(Op::fsync(format!("seg_{i:02}")));
+    }
+    ops.push(Op::Sync);
+    let app = ApplicationSpec::new("prog-fsync-storm").with_task(TaskSpec::program("storm", ops));
+    let platform = scaled_platform(8.0 * GB);
+    let mut m = Metrics::new();
+    for (label, kind) in [
+        ("cache", SimulatorKind::PageCache),
+        ("kernel_emu", SimulatorKind::KernelEmu),
+    ] {
+        let report = run(&platform, &app, kind, 1)?;
+        let task = &report.instance_reports[0].tasks[0];
+        m.push(format!("{label}/write_s"), task.write_time);
+        m.push(
+            format!("{label}/bytes_to_disk"),
+            task.write_stats.bytes_to_disk,
+        );
+        let wb = report
+            .writeback
+            .ok_or_else(|| format!("{label} reported no writeback counters"))?;
+        m.push(
+            format!("{label}/synchronous_flushed"),
+            wb.synchronous_flushed,
+        );
+        m.push(format!("{label}/background_flushed"), wb.background_flushed);
+    }
+    Ok(m)
+}
+
+/// The `examples/database_workload.rs` workload at harness scale.
+fn example_database_workload() -> Result<Metrics, String> {
+    let platform = uniform_platform(8.0 * GB);
+    let app = ApplicationSpec::new("database").with_task(TaskSpec::program(
+        "commit loop + checkpoint",
+        vec![
+            Op::repeat(
+                32,
+                vec![
+                    Op::write_range("wal", 0.0, 16.0 * MB),
+                    Op::fsync("wal"),
+                    Op::compute(0.05),
+                ],
+            ),
+            Op::write_range("table", 0.0, 512.0 * MB),
+            Op::Sync,
+        ],
+    ));
+    let mut m = Metrics::new();
+    for (label, kind) in [
+        ("cacheless", SimulatorKind::Cacheless),
+        ("cache", SimulatorKind::PageCache),
+        ("kernel_emu", SimulatorKind::KernelEmu),
+    ] {
+        let report = run(&platform, &app, kind, 1)?;
+        let task = &report.instance_reports[0].tasks[0];
+        m.push(format!("{label}/write_s"), task.write_time);
+        m.push(format!("{label}/makespan_s"), report.mean_makespan());
+        m.push(
+            format!("{label}/bytes_to_disk"),
+            task.write_stats.bytes_to_disk,
+        );
     }
     Ok(m)
 }
@@ -677,19 +938,20 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(names.len(), dedup.len(), "duplicate scenario names");
-        for group in ["paper", "examples", "sweep"] {
+        for group in ["paper", "examples", "sweep", "programs"] {
             assert!(
                 scenarios.iter().any(|s| s.group() == group),
                 "no scenario in group {group}"
             );
         }
-        // Ten paper artefacts and at least three synthetic sweeps, per the
-        // acceptance criteria.
+        // Ten paper artefacts, at least three synthetic sweeps, and at least
+        // four workload-program scenarios, per the acceptance criteria.
         assert_eq!(
             scenarios.iter().filter(|s| s.group() == "paper").count(),
             10
         );
         assert!(scenarios.iter().filter(|s| s.group() == "sweep").count() >= 3);
+        assert!(scenarios.iter().filter(|s| s.group() == "programs").count() >= 4);
         assert!(scenarios.iter().all(|s| !s.description().is_empty()));
     }
 

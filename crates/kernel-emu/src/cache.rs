@@ -36,6 +36,118 @@ const NIL: u32 = u32::MAX;
 const CLEAN: usize = 0;
 const DIRTY: usize = 1;
 
+/// Sorted, disjoint, half-open byte ranges: the emulator's record of *which*
+/// offsets of a file are resident in the cache. The float aggregates of
+/// [`FilePages`] remain the source of truth for *totals* (thresholds,
+/// eviction targets); the range set refines them with true page positions so
+/// offset-granular reads know exactly which bytes must come from disk. The
+/// two views are kept consistent (`total() == FilePages::cached()`): range
+/// inserts only add uncovered bytes, and eviction trims ranges by the
+/// evicted amount, lowest offsets first (the least recently used end under
+/// the sequential-access assumption the macroscopic model also makes).
+#[derive(Debug, Default, Clone)]
+struct RangeSet {
+    spans: Vec<(f64, f64)>,
+}
+
+impl RangeSet {
+    /// Total resident bytes. Consumed by the debug oracle only, hence unused
+    /// in release builds.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn total(&self) -> f64 {
+        self.spans.iter().map(|(a, b)| b - a).sum()
+    }
+
+    /// Bytes of `[a, b)` that are resident.
+    fn covered_len(&self, a: f64, b: f64) -> f64 {
+        self.spans
+            .iter()
+            .map(|&(sa, sb)| (sb.min(b) - sa.max(a)).max(0.0))
+            .sum()
+    }
+
+    /// The sub-ranges of `[a, b)` that are *not* resident, in offset order.
+    fn gaps(&self, a: f64, b: f64) -> Vec<(f64, f64)> {
+        let mut gaps = Vec::new();
+        let mut cursor = a;
+        for &(sa, sb) in &self.spans {
+            if sb <= cursor {
+                continue;
+            }
+            if sa >= b {
+                break;
+            }
+            if sa > cursor + EPS {
+                gaps.push((cursor, sa.min(b)));
+            }
+            cursor = cursor.max(sb);
+            if cursor >= b {
+                break;
+            }
+        }
+        if cursor < b - EPS {
+            gaps.push((cursor, b));
+        }
+        gaps
+    }
+
+    /// Adds `[a, b)`, merging overlapping or touching spans.
+    fn insert(&mut self, a: f64, b: f64) {
+        if b - a <= EPS {
+            return;
+        }
+        let mut merged = (a, b);
+        let mut out = Vec::with_capacity(self.spans.len() + 1);
+        let mut iter = self.spans.iter().peekable();
+        while let Some(&&(sa, sb)) = iter.peek() {
+            if sb < a - EPS {
+                out.push((sa, sb));
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        while let Some(&&(sa, sb)) = iter.peek() {
+            if sa <= b + EPS {
+                merged.0 = merged.0.min(sa);
+                merged.1 = merged.1.max(sb);
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        out.push(merged);
+        out.extend(iter);
+        self.spans = out;
+    }
+
+    /// Removes `amount` bytes from the lowest offsets.
+    fn trim_front(&mut self, mut amount: f64) {
+        let mut drop_to = 0;
+        for span in self.spans.iter_mut() {
+            if amount <= EPS {
+                break;
+            }
+            let len = span.1 - span.0;
+            if len <= amount + EPS {
+                amount -= len;
+                drop_to += 1;
+            } else {
+                span.0 += amount;
+                amount = 0.0;
+            }
+        }
+        self.spans.drain(..drop_to);
+    }
+
+    /// End offset of the highest resident span (0 when empty). The
+    /// amount-based legacy insert APIs append here, so sequential whole-file
+    /// traffic lays its pages down at the true offsets.
+    fn high_water(&self) -> f64 {
+        self.spans.last().map_or(0.0, |&(_, b)| b)
+    }
+}
+
 /// One prev/next pair of an intrusive membership chain.
 #[derive(Debug, Clone, Copy)]
 struct Link {
@@ -143,6 +255,9 @@ pub struct KernelCacheCounters {
 struct FileSlot {
     file: FileId,
     pages: FilePages,
+    /// Which byte offsets of the file are resident (`total()` always equals
+    /// `pages.cached()`).
+    resident: RangeSet,
     /// Links indexed by [`CLEAN`] / [`DIRTY`].
     links: [Link; 2],
     /// Whether the slot is currently a member of each chain.
@@ -194,6 +309,7 @@ impl State {
         let slot = FileSlot {
             file: file.clone(),
             pages: FilePages::default(),
+            resident: RangeSet::default(),
             links: [UNLINKED; 2],
             linked: [false, false],
         };
@@ -297,6 +413,24 @@ impl State {
                 dirty
             );
             debug_assert_eq!(self.index.len() + self.free_slots.len(), self.slots.len());
+            // The per-file resident ranges and the float aggregates must
+            // describe the same number of bytes, and the spans must be
+            // sorted and disjoint.
+            for (file, &i) in &self.index {
+                let s = self.slot(i);
+                let resident = s.resident.total();
+                let cached = s.pages.cached();
+                debug_assert!(
+                    (resident - cached).abs() <= 1e-3 + 1e-6 * cached.abs(),
+                    "file {file}: resident ranges {resident} != cached bytes {cached}"
+                );
+                for w in s.resident.spans.windows(2) {
+                    debug_assert!(
+                        w[0].1 <= w[1].0 + EPS,
+                        "file {file}: overlapping/unsorted resident spans"
+                    );
+                }
+            }
             // Every qualifying file must be a chain member (the chains may
             // conservatively hold more; they are pruned lazily).
             for (dim, qualifies) in [
@@ -504,12 +638,21 @@ impl KernelCache {
                 if exclude.is_some_and(|f| f == &s.slot(i).file) {
                     continue;
                 }
-                let pages = &mut s.slot_mut(i).pages;
-                if respect_protection && self.tuning.protect_files_being_written && pages.write_open
+                let slot = s.slot_mut(i);
+                if respect_protection
+                    && self.tuning.protect_files_being_written
+                    && slot.pages.write_open
                 {
                     continue;
                 }
-                evicted += pages.evict_clean(amount - evicted);
+                let removed = slot.pages.evict_clean(amount - evicted);
+                if removed > EPS {
+                    // Keep the range view in sync: reclaimed pages leave from
+                    // the lowest offsets (the LRU end under sequential
+                    // access).
+                    slot.resident.trim_front(removed);
+                }
+                evicted += removed;
             }
             if evicted >= amount - EPS || !self.tuning.protect_files_being_written {
                 break;
@@ -592,44 +735,145 @@ impl KernelCache {
         self.write_back(amount, false).await
     }
 
-    /// Adds clean pages of a file that were just read from disk.
+    /// Adds clean pages of a file that were just read from disk. A corollary
+    /// of [`KernelCache::insert_clean_range`] at the file's resident
+    /// high-water mark (sequential whole-file traffic lands at its true
+    /// offsets).
     pub fn insert_clean(&self, file: &FileId, bytes: f64) {
-        if bytes <= EPS {
-            return;
-        }
-        let now = self.ctx.now();
-        let mut s = self.state.borrow_mut();
-        let i = s.ensure_slot(file);
-        {
-            let pages = &mut s.slot_mut(i).pages;
-            pages.inactive_clean += bytes;
-            pages.last_access = now;
-        }
-        s.link(i, CLEAN);
-        s.cached_total += bytes;
-        s.debug_validate();
+        let start = self.resident_high_water(file);
+        self.insert_clean_range(file, start, start + bytes);
     }
 
     /// Adds dirty pages of a file that were just written by an application.
+    /// A corollary of [`KernelCache::insert_dirty_range`] at the file's
+    /// resident high-water mark.
     pub fn insert_dirty(&self, file: &FileId, bytes: f64) {
-        if bytes <= EPS {
+        let start = self.resident_high_water(file);
+        self.insert_dirty_range(file, start, start + bytes);
+    }
+
+    /// Bytes of `[start, end)` of `file` that are resident in the cache.
+    pub fn resident_len(&self, file: &FileId, start: f64, end: f64) -> f64 {
+        let s = self.state.borrow();
+        s.index
+            .get(file)
+            .map_or(0.0, |&i| s.slot(i).resident.covered_len(start, end))
+    }
+
+    /// The sub-ranges of `[start, end)` of `file` that are *not* resident, in
+    /// offset order — the disk-read plan of a range read. Callers capture
+    /// this *before* any reclaim they trigger, so the bytes they insert
+    /// afterwards are exactly the bytes they read from disk.
+    pub fn uncovered(&self, file: &FileId, start: f64, end: f64) -> Vec<(f64, f64)> {
+        let s = self.state.borrow();
+        s.index.get(file).map_or_else(
+            || vec![(start, end)],
+            |&i| s.slot(i).resident.gaps(start, end),
+        )
+    }
+
+    /// End offset of the file's highest resident span (0 when nothing is
+    /// cached).
+    pub fn resident_high_water(&self, file: &FileId) -> f64 {
+        let s = self.state.borrow();
+        s.index
+            .get(file)
+            .map_or(0.0, |&i| s.slot(i).resident.high_water())
+    }
+
+    /// Adds the *non-resident* part of `[start, end)` of `file` as clean
+    /// pages just read from disk. Already-resident bytes are left untouched
+    /// (the caller served them from the cache), so the float aggregates and
+    /// the range view grow by the same amount. Returns the number of bytes
+    /// actually inserted.
+    pub fn insert_clean_range(&self, file: &FileId, start: f64, end: f64) -> f64 {
+        if end - start <= EPS {
+            return 0.0;
+        }
+        let now = self.ctx.now();
+        let mut s = self.state.borrow_mut();
+        let i = s.ensure_slot(file);
+        let added = {
+            let slot = s.slot_mut(i);
+            let added = (end - start) - slot.resident.covered_len(start, end);
+            slot.resident.insert(start, end);
+            slot.pages.inactive_clean += added;
+            slot.pages.last_access = now;
+            added
+        };
+        if added > EPS {
+            s.link(i, CLEAN);
+            s.cached_total += added;
+        }
+        s.debug_validate();
+        added
+    }
+
+    /// Adds `[start, end)` of `file` as dirty pages just written by an
+    /// application. Non-resident bytes enter the cache as new inactive dirty
+    /// pages; bytes that were already resident are *re-dirtied* in place
+    /// (clean pages move to the dirty share, already-dirty pages stay
+    /// dirty), so rewriting the same record does not inflate the cache.
+    pub fn insert_dirty_range(&self, file: &FileId, start: f64, end: f64) {
+        if end - start <= EPS {
             return;
         }
         let now = self.ctx.now();
         let mut s = self.state.borrow_mut();
         let i = s.ensure_slot(file);
-        {
-            let pages = &mut s.slot_mut(i).pages;
-            pages.inactive_dirty += bytes;
+        let (added, redirtied) = {
+            let slot = s.slot_mut(i);
+            let overlap = slot.resident.covered_len(start, end);
+            let added = (end - start) - overlap;
+            slot.resident.insert(start, end);
+            let pages = &mut slot.pages;
+            pages.inactive_dirty += added;
+            // Overlapped pages turn dirty where they sit; pages of the
+            // overlap that were already dirty need no accounting change.
+            let redirty_inactive = pages.inactive_clean.min(overlap);
+            pages.inactive_clean -= redirty_inactive;
+            pages.inactive_dirty += redirty_inactive;
+            let redirty_active = pages.active_clean.min(overlap - redirty_inactive);
+            pages.active_clean -= redirty_active;
+            pages.active_dirty += redirty_active;
             pages.last_access = now;
             if pages.oldest_dirty.is_none() {
                 pages.oldest_dirty = Some(now);
             }
-        }
+            (added, redirty_inactive + redirty_active)
+        };
         s.link(i, DIRTY);
-        s.cached_total += bytes;
-        s.dirty_total += bytes;
+        s.cached_total += added;
+        s.dirty_total += added + redirtied;
         s.debug_validate();
+    }
+
+    /// Writes back every dirty page of one file (`fsync`), simulating the
+    /// disk write. O(1) bookkeeping via the file's slab slot. Counted as
+    /// throttled (synchronous) writeback. Returns the amount written back.
+    pub async fn write_back_file(&self, file: &FileId) -> f64 {
+        let flushed = {
+            let mut s = self.state.borrow_mut();
+            let Some(&i) = s.index.get(file) else {
+                return 0.0;
+            };
+            let dirty = s.slot(i).pages.dirty();
+            if dirty <= EPS {
+                return 0.0;
+            }
+            let cleaned = s.slot_mut(i).pages.clean_dirty(dirty);
+            if cleaned > 0.0 {
+                s.link(i, CLEAN);
+            }
+            s.counters.throttled_writeback += cleaned;
+            s.dirty_total = (s.dirty_total - cleaned).max(0.0);
+            s.debug_validate();
+            cleaned
+        };
+        if flushed > EPS {
+            self.disk.write(flushed).await;
+        }
+        flushed
     }
 
     /// Records a second access to `bytes` of a file: promotes them from the

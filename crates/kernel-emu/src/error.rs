@@ -1,19 +1,17 @@
-//! Filesystem error types.
+//! Structured errors of the emulated filesystem.
 
 use std::fmt;
 
 use pagecache::FileId;
 use storage_model::DiskFullError;
 
-/// Errors returned by the simulated filesystems.
+/// Errors returned by [`crate::KernelFileSystem`].
 #[derive(Debug, Clone, PartialEq)]
-pub enum FsError {
-    /// The file is not registered in the filesystem.
+pub enum KernelFsError {
+    /// The file is not registered in the emulated filesystem.
     FileNotFound(FileId),
     /// The backing disk has no room for the file.
     DiskFull(DiskFullError),
-    /// A file with this name already exists.
-    AlreadyExists(FileId),
     /// A write range with a non-finite offset or length (a finite range is
     /// required: an unbounded write would never terminate).
     InvalidRange {
@@ -24,24 +22,23 @@ pub enum FsError {
     },
 }
 
-impl fmt::Display for FsError {
+impl fmt::Display for KernelFsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FsError::FileNotFound(file) => write!(f, "file '{file}' not found"),
-            FsError::DiskFull(e) => write!(f, "{e}"),
-            FsError::AlreadyExists(file) => write!(f, "file '{file}' already exists"),
-            FsError::InvalidRange { offset, len } => {
+            KernelFsError::FileNotFound(file) => write!(f, "file '{file}' not found"),
+            KernelFsError::DiskFull(e) => write!(f, "{e}"),
+            KernelFsError::InvalidRange { offset, len } => {
                 write!(f, "invalid write range: offset {offset}, len {len}")
             }
         }
     }
 }
 
-impl std::error::Error for FsError {}
+impl std::error::Error for KernelFsError {}
 
-impl From<DiskFullError> for FsError {
+impl From<DiskFullError> for KernelFsError {
     fn from(e: DiskFullError) -> Self {
-        FsError::DiskFull(e)
+        KernelFsError::DiskFull(e)
     }
 }
 
@@ -51,11 +48,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = FsError::FileNotFound("missing".into());
+        let e = KernelFsError::FileNotFound("missing".into());
         assert!(e.to_string().contains("missing"));
-        let e = FsError::AlreadyExists("dup".into());
-        assert!(e.to_string().contains("already exists"));
-        let e: FsError = DiskFullError {
+        let e: KernelFsError = DiskFullError {
             disk: "d0".into(),
             requested: 10.0,
             available: 5.0,

@@ -1,16 +1,23 @@
 //! File-level front end of the kernel emulator, mirroring the API of
 //! `simfs::CachedFileSystem` so the workflow layer can use the emulator as the
 //! "real system" back-end.
+//!
+//! Unlike the macroscopic filesystems, reads here are planned against the
+//! cache's *resident page ranges*: a request for `[offset, offset + len)`
+//! reads exactly the non-resident sub-ranges from disk and serves the rest
+//! from memory, so random and partial access patterns are modelled at page
+//! fidelity. Whole-file operations are corollaries of the range operations.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use des::SimContext;
-use pagecache::{FileId, IoOpStats};
+use pagecache::{clamp_io_range, FileId, IoOpStats};
 use storage_model::Disk;
 
 use crate::cache::KernelCache;
+use crate::error::KernelFsError;
 
 const EPS: f64 = 1e-6;
 
@@ -58,8 +65,8 @@ impl KernelFileSystem {
     }
 
     /// Registers a pre-existing file without simulating I/O.
-    pub fn create_file(&self, file: &FileId, size: f64) -> Result<(), String> {
-        self.disk.allocate(size).map_err(|e| e.to_string())?;
+    pub fn create_file(&self, file: &FileId, size: f64) -> Result<(), KernelFsError> {
+        self.disk.allocate(size)?;
         self.files.borrow_mut().insert(file.clone(), size.max(0.0));
         Ok(())
     }
@@ -69,32 +76,56 @@ impl KernelFileSystem {
         self.files.borrow().get(file).copied()
     }
 
+    fn require_size(&self, file: &FileId) -> Result<f64, KernelFsError> {
+        self.file_size(file)
+            .ok_or_else(|| KernelFsError::FileNotFound(file.clone()))
+    }
+
     /// Deletes a file: frees disk space and drops its cached pages.
-    pub fn delete_file(&self, file: &FileId) -> Result<(), String> {
+    pub fn delete_file(&self, file: &FileId) -> Result<(), KernelFsError> {
         let size = self
             .files
             .borrow_mut()
             .remove(file)
-            .ok_or_else(|| format!("file '{file}' not found"))?;
+            .ok_or_else(|| KernelFsError::FileNotFound(file.clone()))?;
         self.disk.free(size);
         self.cache.invalidate_file(file);
         Ok(())
     }
 
-    /// Reads a whole file through the emulated cache.
-    pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, String> {
-        let size = self
-            .file_size(file)
-            .ok_or_else(|| format!("file '{file}' not found"))?;
+    /// Reads a whole file through the emulated cache. A corollary of
+    /// [`KernelFileSystem::read_range`] over `[0, size)`.
+    pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, KernelFsError> {
+        self.read_range(file, 0.0, f64::INFINITY).await
+    }
+
+    /// Reads `len` bytes of `file` starting at `offset` through the emulated
+    /// cache (`len = f64::INFINITY` reads to end of file; the range is
+    /// clamped to the file). The emulator tracks resident page ranges, so
+    /// exactly the non-resident bytes of the request are read from disk.
+    pub async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, KernelFsError> {
+        let size = self.require_size(file)?;
+        let (range_start, amount) = clamp_io_range(offset, len, size);
         let start = self.ctx.now();
         let mut stats = IoOpStats::default();
-        let mut remaining = size;
-        while remaining > EPS {
-            let chunk = remaining.min(self.request_size);
-            let cached = self.cache.cached_amount(file);
-            let uncached = (size - cached).max(0.0);
-            let from_disk = chunk.min(uncached);
-            let from_cache = chunk - from_disk;
+        let mut pos = range_start;
+        let end = range_start + amount;
+        while end - pos > EPS {
+            let chunk_end = (pos + self.request_size).min(end);
+            let chunk = chunk_end - pos;
+            // The disk-read plan is captured *before* reclaim: if direct
+            // reclaim below evicts pages of this very range, the bytes
+            // inserted afterwards are still exactly the bytes read from
+            // disk (the just-evicted part is served at memory speed — the
+            // same approximation the amount-based model makes).
+            let plan = self.cache.uncovered(file, pos, chunk_end);
+            let from_disk: f64 = plan.iter().map(|(a, b)| b - a).sum();
+            let from_cache = (chunk - from_disk).max(0.0);
 
             // Reclaim: make room for the anonymous copy plus the new pages.
             let required = chunk + from_disk;
@@ -113,7 +144,9 @@ impl KernelFileSystem {
 
             if from_disk > EPS {
                 self.disk.read(from_disk).await;
-                self.cache.insert_clean(file, from_disk);
+                for &(a, b) in &plan {
+                    self.cache.insert_clean_range(file, a, b);
+                }
                 stats.bytes_from_disk += from_disk;
                 stats.bytes_to_cache += from_disk;
             }
@@ -123,25 +156,75 @@ impl KernelFileSystem {
                 stats.bytes_from_cache += from_cache;
             }
             self.cache.use_anonymous_memory(chunk);
-            remaining -= chunk;
+            pos = chunk_end;
         }
         stats.duration = self.ctx.now().duration_since(start);
         Ok(stats)
     }
 
     /// Writes a whole file through the emulated cache (writeback semantics
-    /// with `balance_dirty_pages`-style throttling).
-    pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, String> {
+    /// with `balance_dirty_pages`-style throttling). Replaces the file's
+    /// registration (truncate semantics), then behaves like a range write of
+    /// `[0, size)`.
+    pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, KernelFsError> {
+        if !size.is_finite() {
+            return Err(KernelFsError::InvalidRange {
+                offset: 0.0,
+                len: size,
+            });
+        }
         if let Some(old) = self.files.borrow_mut().insert(file.clone(), size.max(0.0)) {
             self.disk.free(old);
         }
-        self.disk.allocate(size).map_err(|e| e.to_string())?;
+        self.disk.allocate(size)?;
+        self.write_span(file, 0.0, size.max(0.0)).await
+    }
+
+    /// Writes `len` bytes at `offset` through the emulated cache, creating
+    /// the file or extending it to `offset + len` as needed (never shrinking
+    /// it).
+    pub async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, KernelFsError> {
+        if !offset.is_finite() || !len.is_finite() {
+            return Err(KernelFsError::InvalidRange { offset, len });
+        }
+        let offset = offset.max(0.0);
+        let len = len.max(0.0);
+        let new_end = offset + len;
+        let old = self.file_size(file);
+        match old {
+            Some(old) if new_end > old => {
+                self.disk.allocate(new_end - old)?;
+                self.files.borrow_mut().insert(file.clone(), new_end);
+            }
+            Some(_) => {}
+            None => {
+                self.disk.allocate(new_end)?;
+                self.files.borrow_mut().insert(file.clone(), new_end);
+            }
+        }
+        self.write_span(file, offset, offset + len).await
+    }
+
+    /// The common write loop over `[start, end)`: dirty-threshold balancing,
+    /// reclaim, and page insertion at the true offsets.
+    async fn write_span(
+        &self,
+        file: &FileId,
+        start: f64,
+        end: f64,
+    ) -> Result<IoOpStats, KernelFsError> {
         self.cache.set_write_open(file, true);
-        let start = self.ctx.now();
+        let t0 = self.ctx.now();
         let mut stats = IoOpStats::default();
-        let mut remaining = size;
-        while remaining > EPS {
-            let chunk = remaining.min(self.request_size);
+        let mut pos = start;
+        while end - pos > EPS {
+            let chunk_end = (pos + self.request_size).min(end);
+            let chunk = chunk_end - pos;
 
             // balance_dirty_pages: above the dirty threshold the writer itself
             // writes back, down to the background threshold.
@@ -164,13 +247,39 @@ impl KernelFileSystem {
             }
 
             self.cache.memory().write(chunk).await;
-            self.cache.insert_dirty(file, chunk);
+            self.cache.insert_dirty_range(file, pos, chunk_end);
             stats.bytes_to_cache += chunk;
-            remaining -= chunk;
+            pos = chunk_end;
         }
         self.cache.set_write_open(file, false);
-        stats.duration = self.ctx.now().duration_since(start);
+        stats.duration = self.ctx.now().duration_since(t0);
         Ok(stats)
+    }
+
+    /// Flushes the file's dirty pages to disk synchronously (`fsync`):
+    /// targeted per-file writeback at disk bandwidth, counted as throttled
+    /// (synchronous) writeback.
+    pub async fn fsync(&self, file: &FileId) -> Result<IoOpStats, KernelFsError> {
+        self.require_size(file)?;
+        let start = self.ctx.now();
+        let flushed = self.cache.write_back_file(file).await;
+        Ok(IoOpStats {
+            bytes_to_disk: flushed,
+            duration: self.ctx.now().duration_since(start),
+            ..IoOpStats::default()
+        })
+    }
+
+    /// Flushes every dirty page of the host to disk (`sync`), oldest dirty
+    /// file first.
+    pub async fn sync(&self) -> IoOpStats {
+        let start = self.ctx.now();
+        let flushed = self.cache.write_back(self.cache.dirty(), true).await;
+        IoOpStats {
+            bytes_to_disk: flushed,
+            duration: self.ctx.now().duration_since(start),
+            ..IoOpStats::default()
+        }
     }
 }
 
@@ -233,6 +342,40 @@ mod tests {
     }
 
     #[test]
+    fn range_read_fetches_only_uncached_pages() {
+        let (sim, fs) = setup(10_000.0);
+        fs.create_file(&"f".into(), 1000.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                // Cache the first 400 MB only.
+                fs.read_range(&"f".into(), 0.0, 400.0 * MB).await.unwrap();
+                fs.cache().release_anonymous_memory(400.0 * MB);
+                // A 200..600 MB read: 200 MB resident, 200 MB from disk.
+                let mixed = fs
+                    .read_range(&"f".into(), 200.0 * MB, 400.0 * MB)
+                    .await
+                    .unwrap();
+                fs.cache().release_anonymous_memory(400.0 * MB);
+                // A re-read of pages never touched reads disk in full.
+                let tail = fs
+                    .read_range(&"f".into(), 600.0 * MB, f64::INFINITY)
+                    .await
+                    .unwrap();
+                (mixed, tail)
+            }
+        });
+        sim.run();
+        let (mixed, tail) = h.try_take_result().unwrap();
+        approx_pct(mixed.bytes_from_cache, 200.0 * MB, 0.1);
+        approx_pct(mixed.bytes_from_disk, 200.0 * MB, 0.1);
+        approx_pct(tail.bytes_from_disk, 400.0 * MB, 0.1);
+        assert_eq!(tail.bytes_from_cache, 0.0);
+        // The whole file is now resident.
+        approx_pct(fs.cache().cached_amount(&"f".into()), 1000.0 * MB, 0.1);
+    }
+
+    #[test]
     fn write_within_thresholds_is_memory_speed() {
         let (sim, fs) = setup(10_000.0);
         let h = sim.spawn({
@@ -245,6 +388,55 @@ mod tests {
         approx_pct(stats.bytes_to_cache, 500.0 * MB, 0.1);
         assert_eq!(stats.bytes_to_disk, 0.0);
         approx_pct(fs.cache().dirty(), 500.0 * MB, 0.1);
+    }
+
+    #[test]
+    fn rewriting_a_record_does_not_inflate_the_cache() {
+        let (sim, fs) = setup(10_000.0);
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                fs.write_range(&"db".into(), 0.0, 100.0 * MB).await.unwrap();
+                // Rewrite the same 100 MB record ten times.
+                for _ in 0..10 {
+                    fs.write_range(&"db".into(), 0.0, 100.0 * MB).await.unwrap();
+                }
+            }
+        });
+        sim.run();
+        assert!(h.is_finished());
+        approx_pct(fs.cache().cached_amount(&"db".into()), 100.0 * MB, 0.1);
+        approx_pct(fs.cache().dirty(), 100.0 * MB, 0.1);
+        assert_eq!(fs.file_size(&"db".into()), Some(100.0 * MB));
+    }
+
+    #[test]
+    fn fsync_writes_back_only_the_target_file() {
+        let (sim, fs) = setup(10_000.0);
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                fs.write_file(&"a".into(), 420.0 * MB).await.unwrap();
+                fs.write_file(&"b".into(), 100.0 * MB).await.unwrap();
+                let t0 = fs.ctx.now().as_secs();
+                let s = fs.fsync(&"a".into()).await.unwrap();
+                (s, fs.ctx.now().as_secs() - t0)
+            }
+        });
+        sim.run();
+        let (stats, elapsed) = h.try_take_result().unwrap();
+        approx_pct(stats.bytes_to_disk, 420.0 * MB, 0.1);
+        approx_pct(elapsed, 1.0, 1.0); // 420 MB at 420 MB/s write bandwidth
+        assert!(fs.cache().dirty() > 99.0 * MB); // b stays dirty
+        approx_pct(fs.cache().counters().throttled_writeback, 420.0 * MB, 0.1);
+        let h2 = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.sync().await }
+        });
+        sim.run();
+        let sync_stats = h2.try_take_result().unwrap();
+        approx_pct(sync_stats.bytes_to_disk, 100.0 * MB, 0.1);
+        assert!(fs.cache().dirty() < 1.0);
     }
 
     #[test]
@@ -310,7 +502,10 @@ mod tests {
             async move { fs.read_file(&"missing".into()).await }
         });
         sim.run();
-        assert!(h.try_take_result().unwrap().is_err());
+        assert!(matches!(
+            h.try_take_result().unwrap(),
+            Err(KernelFsError::FileNotFound(_))
+        ));
         fs.delete_file(&"a".into()).unwrap();
         assert!(fs.delete_file(&"a".into()).is_err());
         assert_eq!(fs.disk().used(), 0.0);

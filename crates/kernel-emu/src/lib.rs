@@ -21,9 +21,11 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod error;
 mod fs;
 mod tuning;
 
 pub use cache::{KernelCache, KernelCacheCounters};
+pub use error::KernelFsError;
 pub use fs::{KernelFileSystem, DEFAULT_REQUEST_SIZE};
 pub use tuning::{KernelTuning, PAGE_SIZE};

@@ -24,6 +24,21 @@ use crate::stats::IoOpStats;
 /// Default chunk size used when the caller does not specify one (bytes).
 pub const DEFAULT_CHUNK_SIZE: f64 = 100.0 * 1e6;
 
+/// Clamps the byte range `[offset, offset + len)` to a file of `file_size`
+/// bytes and returns `(start, amount)`. Negative offsets are clamped to 0,
+/// `len = f64::INFINITY` means "to end of file", and ranges beyond the end
+/// of the file are truncated (possibly to zero bytes). Shared by every
+/// filesystem implementing offset-granular I/O.
+pub fn clamp_io_range(offset: f64, len: f64, file_size: f64) -> (f64, f64) {
+    let start = offset.max(0.0).min(file_size);
+    let end = if len == f64::INFINITY {
+        file_size
+    } else {
+        (start + len.max(0.0)).min(file_size)
+    };
+    (start, (end - start).max(0.0))
+}
+
 /// The I/O Controller of one host: the entry point applications use to read
 /// and write files through the simulated page cache.
 #[derive(Clone)]
@@ -64,14 +79,27 @@ impl IoController {
 
     /// Reads a whole file of `size` bytes, chunk by chunk (paper Algorithm 2),
     /// and accounts for one anonymous-memory copy of the data in the
-    /// application. Returns aggregated statistics for the operation.
+    /// application. Returns aggregated statistics for the operation. A
+    /// corollary of [`IoController::read_amount`] with `amount = size`.
     pub async fn read_file(&self, file: &FileId, size: f64) -> IoOpStats {
+        self.read_amount(file, size, size).await
+    }
+
+    /// Reads `amount` bytes of a file of `file_size` bytes through the cache,
+    /// chunk by chunk. The macroscopic model is amount-based: *which* offsets
+    /// are requested does not matter, only how much of the file is cached
+    /// (the round-robin access assumption of paper §III-B) — uncached data is
+    /// served from disk first, so a partial re-read hits the cache for
+    /// `min(amount, cached_amount)` bytes once the uncached share is
+    /// exhausted. Callers translate `[offset, offset + len)` ranges into an
+    /// amount with [`clamp_io_range`].
+    pub async fn read_amount(&self, file: &FileId, file_size: f64, amount: f64) -> IoOpStats {
         let start = self.ctx.now();
         let mut stats = IoOpStats::default();
-        let mut remaining = size;
+        let mut remaining = amount;
         while remaining > EPSILON {
             let chunk = remaining.min(self.chunk_size);
-            let chunk_stats = self.read_chunk(file, size, chunk).await;
+            let chunk_stats = self.read_chunk(file, file_size, chunk).await;
             stats.merge(&chunk_stats);
             remaining -= chunk;
         }
@@ -81,10 +109,19 @@ impl IoController {
 
     /// Writes a whole file of `size` bytes, chunk by chunk (paper Algorithm 3
     /// in writeback mode, or the writethrough variant described in §III-B).
+    /// A corollary of [`IoController::write_amount`].
     pub async fn write_file(&self, file: &FileId, size: f64) -> IoOpStats {
+        self.write_amount(file, size).await
+    }
+
+    /// Writes `amount` bytes of `file` through the cache, chunk by chunk.
+    /// Like reads, writes are amount-based in the macroscopic model: a range
+    /// write of `len` bytes behaves identically wherever in the file it
+    /// lands.
+    pub async fn write_amount(&self, file: &FileId, amount: f64) -> IoOpStats {
         let start = self.ctx.now();
         let mut stats = IoOpStats::default();
-        let mut remaining = size;
+        let mut remaining = amount;
         while remaining > EPSILON {
             let chunk = remaining.min(self.chunk_size);
             let chunk_stats = match self.mm.config().write_mode {
@@ -96,6 +133,32 @@ impl IoController {
         }
         stats.duration = self.ctx.now().duration_since(start);
         stats
+    }
+
+    /// Flushes every dirty byte of one file to disk (`fsync`). The
+    /// writeback happens synchronously at disk bandwidth; the per-file dirty
+    /// state is located through the file's own chains, so the cost scales
+    /// with the file's block count, not the cache population.
+    pub async fn fsync(&self, file: &FileId) -> IoOpStats {
+        let start = self.ctx.now();
+        let flushed = self.mm.flush_file(file).await;
+        IoOpStats {
+            bytes_to_disk: flushed,
+            duration: self.ctx.now().duration_since(start),
+            ..IoOpStats::default()
+        }
+    }
+
+    /// Flushes all dirty data of the host to disk (`sync`), least recently
+    /// used first.
+    pub async fn sync(&self) -> IoOpStats {
+        let start = self.ctx.now();
+        let flushed = self.mm.flush(self.mm.dirty(), None).await;
+        IoOpStats {
+            bytes_to_disk: flushed,
+            duration: self.ctx.now().duration_since(start),
+            ..IoOpStats::default()
+        }
     }
 
     /// Reads one chunk (paper Algorithm 2).
@@ -467,5 +530,93 @@ mod tests {
     fn invalid_chunk_size_rejected() {
         let (_sim, io) = setup(1000.0 * MB, WriteMode::WriteBack);
         let _ = io.with_chunk_size(0.0);
+    }
+
+    #[test]
+    fn clamp_io_range_cases() {
+        assert_eq!(clamp_io_range(0.0, f64::INFINITY, 100.0), (0.0, 100.0));
+        assert_eq!(clamp_io_range(40.0, 100.0, 100.0), (40.0, 60.0));
+        assert_eq!(clamp_io_range(-5.0, 10.0, 100.0), (0.0, 10.0));
+        assert_eq!(clamp_io_range(150.0, 10.0, 100.0), (100.0, 0.0));
+        assert_eq!(clamp_io_range(20.0, -3.0, 100.0), (20.0, 0.0));
+        assert_eq!(clamp_io_range(0.0, f64::INFINITY, 0.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn partial_reread_hits_cache_for_min_len_cached() {
+        let (sim, io) = setup(10_000.0 * MB, WriteMode::WriteBack);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move {
+                io.read_file(&"f".into(), 1000.0 * MB).await;
+                io.memory_manager().release_anonymous_memory(1000.0 * MB);
+                // A 300 MB partial re-read of the fully cached file.
+                io.read_amount(&"f".into(), 1000.0 * MB, 300.0 * MB).await
+            }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_from_cache, 300.0 * MB);
+        approx(stats.bytes_from_disk, 0.0);
+        approx(stats.duration, 0.3);
+    }
+
+    #[test]
+    fn fsync_flushes_only_the_target_file() {
+        let (sim, io) = setup(10_000.0 * MB, WriteMode::WriteBack);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move {
+                io.write_file(&"a".into(), 300.0 * MB).await;
+                io.write_file(&"b".into(), 200.0 * MB).await;
+                let t0 = io.ctx.now().as_secs();
+                let s = io.fsync(&"a".into()).await;
+                (s, io.ctx.now().as_secs() - t0)
+            }
+        });
+        sim.run();
+        let (stats, elapsed) = h.try_take_result().unwrap();
+        approx(stats.bytes_to_disk, 300.0 * MB);
+        approx(stats.duration, elapsed);
+        approx(elapsed, 3.0); // 300 MB at 100 MB/s
+        approx(io.memory_manager().dirty_amount(&"a".into()), 0.0);
+        approx(io.memory_manager().dirty_amount(&"b".into()), 200.0 * MB);
+        // The flushed data stays cached, now clean.
+        approx(io.memory_manager().cached_amount(&"a".into()), 300.0 * MB);
+        io.memory_manager().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fsync_of_clean_file_is_a_noop() {
+        let (sim, io) = setup(10_000.0 * MB, WriteMode::WriteBack);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move {
+                io.read_file(&"f".into(), 100.0 * MB).await;
+                io.fsync(&"f".into()).await
+            }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_to_disk, 0.0);
+        approx(stats.duration, 0.0);
+    }
+
+    #[test]
+    fn sync_flushes_all_dirty_data() {
+        let (sim, io) = setup(10_000.0 * MB, WriteMode::WriteBack);
+        let h = sim.spawn({
+            let io = io.clone();
+            async move {
+                io.write_file(&"a".into(), 300.0 * MB).await;
+                io.write_file(&"b".into(), 200.0 * MB).await;
+                io.sync().await
+            }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        approx(stats.bytes_to_disk, 500.0 * MB);
+        approx(io.memory_manager().dirty(), 0.0);
+        approx(io.memory_manager().cached(), 500.0 * MB);
     }
 }

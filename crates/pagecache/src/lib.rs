@@ -53,7 +53,7 @@ mod stats;
 
 pub use block::{DataBlock, FileId};
 pub use config::{PageCacheConfig, WriteMode};
-pub use controller::{IoController, DEFAULT_CHUNK_SIZE};
+pub use controller::{clamp_io_range, IoController, DEFAULT_CHUNK_SIZE};
 pub use lru::{ListKind, LruLists, EPSILON};
 pub use manager::{MemoryManager, MemoryManagerCounters};
 pub use stats::{CacheContentSnapshot, IoOpStats, MemorySample, MemoryTrace};

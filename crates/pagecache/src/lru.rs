@@ -961,6 +961,41 @@ impl LruLists {
         flushed
     }
 
+    /// Marks every dirty block of `file` clean (the cache side of an
+    /// `fsync`), walking only the file's own per-(file, list) chains: O(k) in
+    /// the file's block count, independent of how much other data is cached.
+    /// Returns the number of bytes to be written back; the caller is
+    /// responsible for simulating the corresponding disk write time.
+    pub fn flush_file(&mut self, file: &FileId) -> f64 {
+        if self.dirty_amount(file) <= EPSILON {
+            return 0.0;
+        }
+        let mut flushed = 0.0;
+        for kind in KINDS {
+            let k = li(kind);
+            let mut i = self.per_file.get(file).map_or(NIL, |e| e.chains[k].head);
+            while i != NIL {
+                // Coalescing only ever merges `i` or its already-visited
+                // predecessor into a *later* surviving node, so the captured
+                // successor stays valid.
+                let next = node_ref(&self.arena, i).links[FILE].next;
+                if node_ref(&self.arena, i).block.dirty {
+                    let size = node_ref(&self.arena, i).block.size;
+                    node_mut(&mut self.arena, i).block.dirty = false;
+                    self.unlink_dirty(i);
+                    flushed += size;
+                    self.agg_clean_in_place(kind, file, size);
+                    if kind == ListKind::Inactive {
+                        self.try_coalesce(i);
+                    }
+                }
+                i = next;
+            }
+        }
+        self.debug_validate();
+        flushed
+    }
+
     /// Removes every block belonging to `file` (used when a simulated file is
     /// deleted). Returns the number of bytes removed. Walks only the file's
     /// own chains: O(k) in the file's block count.

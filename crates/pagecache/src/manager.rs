@@ -239,6 +239,23 @@ impl MemoryManager {
         flushed
     }
 
+    /// Flushes every dirty byte of one file to disk (the cache side of an
+    /// `fsync`): walks only the file's own chains — O(file's blocks) — and
+    /// simulates the disk write. Counted as synchronous (on-demand) flushing.
+    /// Returns the number of bytes written back.
+    pub async fn flush_file(&self, file: &FileId) -> f64 {
+        let flushed = {
+            let mut s = self.state.borrow_mut();
+            let flushed = s.lru.flush_file(file);
+            s.counters.flushed_on_demand += flushed;
+            flushed
+        };
+        if flushed > EPSILON {
+            self.disk.write(flushed).await;
+        }
+        flushed
+    }
+
     /// Reads `amount` bytes of `file` from the cache: updates the LRU lists
     /// (promotions, merges, splits) and simulates the memory read. Returns the
     /// number of bytes that were actually cached.

@@ -464,6 +464,19 @@ impl NaiveLru {
         flushed
     }
 
+    fn flush_file(&mut self, file: &FileId) -> f64 {
+        let mut flushed = 0.0;
+        for list in [&mut self.inactive, &mut self.active] {
+            for blk in list.iter_mut() {
+                if blk.dirty && &blk.file == file {
+                    blk.dirty = false;
+                    flushed += blk.size;
+                }
+            }
+        }
+        flushed
+    }
+
     fn invalidate_file(&mut self, file: &FileId) -> f64 {
         let mut removed = 0.0;
         for list in [&mut self.inactive, &mut self.active] {
@@ -490,8 +503,8 @@ impl NaiveLru {
 
 /// Drives the arena `LruLists` and the naive scan-based model through the
 /// same 10k random operations and asserts, after every single operation,
-/// that the operation results (`read_cached` / `flush_lru` / `evict` /
-/// `flush_expired` / `invalidate_file` returns) and every byte aggregate are
+/// that the operation results (`read_cached` / `flush_lru` / `flush_file` /
+/// `evict` / `flush_expired` / `invalidate_file` returns) and every byte aggregate are
 /// identical within `EPSILON`. Block *granularity* may differ (the arena
 /// coalesces adjacent clean inactive blocks of one file), but no byte-level
 /// observable may.
@@ -565,6 +578,7 @@ fn arena_lru_matches_naive_scan_model_over_10k_random_ops() {
                     naive.balance();
                     ("balance", 0.0, 0.0)
                 }
+                2 => ("flush_file", arena.flush_file(file), naive.flush_file(file)),
                 _ => (
                     "invalidate_file",
                     arena.invalidate_file(file),

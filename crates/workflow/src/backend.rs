@@ -1,4 +1,5 @@
-//! Simulator back-ends: the four ways a scenario can be executed.
+//! Simulator back-ends: the four ways a scenario can be executed, unified
+//! behind the [`IoBackend`] trait.
 //!
 //! | Back-end | Paper counterpart | Devices | Page cache |
 //! |---|---|---|---|
@@ -6,14 +7,38 @@
 //! | [`SimulatorKind::Prototype`] | Python prototype | simulated, no bandwidth sharing | macroscopic model |
 //! | [`SimulatorKind::PageCache`] | WRENCH-cache | simulated (symmetric) | macroscopic model |
 //! | [`SimulatorKind::KernelEmu`] | the real cluster | measured (asymmetric) | page-granularity emulator |
+//!
+//! Five concrete filesystems implement [`IoBackend`]: the three `simfs`
+//! filesystems ([`CachedFileSystem`], [`DirectFileSystem`],
+//! [`NfsFileSystem`]), the kernel emulator ([`KernelFileSystem`]), and the
+//! cacheless NFS mount ([`DirectNfs`]). [`Backend::build`] picks and
+//! constructs the right one for a platform/simulator combination; the
+//! [`Backend`] enum it returns forwards every trait method to the inner
+//! filesystem through a single dispatch macro, so the scenario runner stays
+//! monomorphic (no `dyn`, no per-method match duplication).
+//!
+//! ## `fsync` semantics per back-end
+//!
+//! | Back-end | `fsync(file)` | `sync` |
+//! |---|---|---|
+//! | cached local | targeted per-file dirty writeback at disk bandwidth | flush all dirty data |
+//! | direct local | no-op (writes are synchronous) | no-op |
+//! | NFS | no-op (no client write cache; writethrough server) | no-op |
+//! | kernel emulator | per-file dirty-page writeback, counted as throttled writeback | flush all dirty pages |
+//! | direct NFS | no-op (writes are synchronous) | no-op |
 
 use des::SimContext;
-use kernel_emu::{KernelCache, KernelFileSystem, KernelTuning};
-use pagecache::{FileId, IoController, IoOpStats, MemoryManager, MemorySample, PageCacheConfig};
-use simfs::{CachedFileSystem, DirectFileSystem, FileSystem, NfsFileSystem, NfsServer};
+use kernel_emu::{KernelCache, KernelFileSystem, KernelFsError, KernelTuning};
+use pagecache::{
+    clamp_io_range, FileId, IoController, IoOpStats, MemoryManager, MemorySample, PageCacheConfig,
+};
+use simfs::{
+    extend_for_write, CachedFileSystem, DirectFileSystem, FsError, NfsFileSystem, NfsServer,
+};
 use storage_model::{Disk, MemoryDevice, NetworkLink};
 
 use crate::platform::{DeviceSet, PlatformSpec, StorageKind};
+use crate::report::WritebackCounters;
 
 /// Which simulator runs the scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,28 +77,431 @@ impl SimulatorKind {
     }
 }
 
-/// Errors raised while building or running a scenario.
+/// Errors raised while building or running a scenario. Filesystem failures
+/// keep their structured cause instead of being stringified at the boundary.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioError {
     /// The platform description is invalid.
     InvalidPlatform(String),
+    /// The scenario configuration is invalid (e.g. zero instances).
+    InvalidScenario(String),
     /// The back-end cannot run this scenario (e.g. the prototype with NFS).
     Unsupported(String),
-    /// A filesystem operation failed.
-    Filesystem(String),
+    /// A `simfs` filesystem operation failed.
+    Filesystem(FsError),
+    /// A kernel-emulator filesystem operation failed.
+    Kernel(KernelFsError),
 }
 
 impl std::fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScenarioError::InvalidPlatform(m) => write!(f, "invalid platform: {m}"),
+            ScenarioError::InvalidScenario(m) => write!(f, "invalid scenario: {m}"),
             ScenarioError::Unsupported(m) => write!(f, "unsupported scenario: {m}"),
-            ScenarioError::Filesystem(m) => write!(f, "filesystem error: {m}"),
+            ScenarioError::Filesystem(e) => write!(f, "filesystem error: {e}"),
+            ScenarioError::Kernel(e) => write!(f, "filesystem error: {e}"),
         }
     }
 }
 
-impl std::error::Error for ScenarioError {}
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Filesystem(e) => Some(e),
+            ScenarioError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for ScenarioError {
+    fn from(e: FsError) -> Self {
+        ScenarioError::Filesystem(e)
+    }
+}
+
+impl From<KernelFsError> for ScenarioError {
+    fn from(e: KernelFsError) -> Self {
+        ScenarioError::Kernel(e)
+    }
+}
+
+/// The unified surface every simulator back-end exposes to the scenario
+/// runner: offset-granular I/O (`read_range` / `write_range` / `fsync` /
+/// `sync`), plus the lifecycle and introspection hooks the runner needs.
+/// Whole-file operations are corollaries of the range operations, not
+/// primitives.
+///
+/// The futures returned by the async methods are deliberately `!Send`: the
+/// DES engine is single-threaded and back-ends share `Rc` state.
+#[allow(async_fn_in_trait)]
+pub trait IoBackend {
+    /// Registers a pre-existing file without simulating any I/O.
+    fn create_file(&self, file: &FileId, size: f64) -> Result<(), ScenarioError>;
+
+    /// Reads `len` bytes of `file` starting at `offset` (`len =
+    /// f64::INFINITY` reads to end of file; the range is clamped to the
+    /// file).
+    async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError>;
+
+    /// Writes `len` bytes at `offset`, creating the file or extending it to
+    /// `offset + len` as needed. Range writes never shrink a file.
+    async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError>;
+
+    /// Flushes the file's dirty cached data to stable storage. A no-op on
+    /// back-ends whose writes are already synchronous (see the module-level
+    /// semantics table).
+    async fn fsync(&self, file: &FileId) -> Result<IoOpStats, ScenarioError>;
+
+    /// Flushes all dirty cached data of the host to stable storage.
+    async fn sync(&self) -> Result<IoOpStats, ScenarioError>;
+
+    /// Reads a whole file — a corollary of [`IoBackend::read_range`] over
+    /// `[0, size)`.
+    async fn read_file(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
+        self.read_range(file, 0.0, f64::INFINITY).await
+    }
+
+    /// Writes a whole file. The default is the range-write corollary
+    /// (`write_range(0, size)`, extend-never-shrink); every provided
+    /// back-end overrides it with whole-file **replace** semantics (the old
+    /// registration is freed first), matching the classic API uniformly.
+    async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, ScenarioError> {
+        self.write_range(file, 0.0, size).await
+    }
+
+    /// Starts the background flusher / writeback threads (if the back-end
+    /// has a page cache).
+    fn start_background(&self) {}
+
+    /// Stops the background threads so the simulation can terminate.
+    fn stop_background(&self) {}
+
+    /// Releases anonymous memory used by the application (no-op on back-ends
+    /// without memory modelling).
+    fn release_anonymous_memory(&self, _amount: f64) {}
+
+    /// Takes a memory sample (`None` on back-ends without memory modelling).
+    fn sample_memory(&self) -> Option<MemorySample> {
+        None
+    }
+
+    /// The collected memory trace, if any.
+    fn memory_trace(&self) -> Option<pagecache::MemoryTrace> {
+        None
+    }
+
+    /// A labelled snapshot of the cache content per file, if the back-end
+    /// has a cache.
+    fn cache_snapshot(&self, _label: &str) -> Option<pagecache::CacheContentSnapshot> {
+        None
+    }
+
+    /// Cumulative writeback/eviction counters of the back-end's page cache,
+    /// if it has one. These are the per-run statistics the sweep harness
+    /// records next to the simulated times.
+    fn writeback_counters(&self) -> Option<WritebackCounters> {
+        None
+    }
+
+    /// Short label of the back-end kind.
+    fn kind_label(&self) -> &'static str;
+}
+
+impl IoBackend for CachedFileSystem {
+    fn create_file(&self, file: &FileId, size: f64) -> Result<(), ScenarioError> {
+        CachedFileSystem::create_file(self, file, size).map_err(ScenarioError::from)
+    }
+
+    async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        CachedFileSystem::read_range(self, file, offset, len)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        CachedFileSystem::write_range(self, file, offset, len)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, ScenarioError> {
+        CachedFileSystem::write_file(self, file, size)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn fsync(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
+        CachedFileSystem::fsync(self, file)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn sync(&self) -> Result<IoOpStats, ScenarioError> {
+        Ok(CachedFileSystem::sync(self).await)
+    }
+
+    fn start_background(&self) {
+        self.memory_manager().spawn_periodical_flusher();
+    }
+
+    fn stop_background(&self) {
+        self.memory_manager().stop();
+    }
+
+    fn release_anonymous_memory(&self, amount: f64) {
+        self.memory_manager().release_anonymous_memory(amount);
+    }
+
+    fn sample_memory(&self) -> Option<MemorySample> {
+        Some(self.memory_manager().sample())
+    }
+
+    fn memory_trace(&self) -> Option<pagecache::MemoryTrace> {
+        Some(self.memory_manager().trace())
+    }
+
+    fn cache_snapshot(&self, label: &str) -> Option<pagecache::CacheContentSnapshot> {
+        Some(self.memory_manager().cache_content_snapshot(label))
+    }
+
+    fn writeback_counters(&self) -> Option<WritebackCounters> {
+        let c = self.memory_manager().counters();
+        Some(WritebackCounters {
+            background_flushed: c.flushed_background,
+            synchronous_flushed: c.flushed_on_demand,
+            evicted: c.evicted,
+        })
+    }
+
+    fn kind_label(&self) -> &'static str {
+        "cached-local"
+    }
+}
+
+impl IoBackend for DirectFileSystem {
+    fn create_file(&self, file: &FileId, size: f64) -> Result<(), ScenarioError> {
+        DirectFileSystem::create_file(self, file, size).map_err(ScenarioError::from)
+    }
+
+    async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        DirectFileSystem::read_range(self, file, offset, len)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        DirectFileSystem::write_range(self, file, offset, len)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, ScenarioError> {
+        DirectFileSystem::write_file(self, file, size)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn fsync(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
+        DirectFileSystem::fsync(self, file)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn sync(&self) -> Result<IoOpStats, ScenarioError> {
+        Ok(DirectFileSystem::sync(self).await)
+    }
+
+    fn kind_label(&self) -> &'static str {
+        "direct-local"
+    }
+}
+
+impl IoBackend for NfsFileSystem {
+    fn create_file(&self, file: &FileId, size: f64) -> Result<(), ScenarioError> {
+        NfsFileSystem::create_file(self, file, size).map_err(ScenarioError::from)
+    }
+
+    async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        NfsFileSystem::read_range(self, file, offset, len)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        NfsFileSystem::write_range(self, file, offset, len)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, ScenarioError> {
+        NfsFileSystem::write_file(self, file, size)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn fsync(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
+        NfsFileSystem::fsync(self, file)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn sync(&self) -> Result<IoOpStats, ScenarioError> {
+        Ok(NfsFileSystem::sync(self).await)
+    }
+
+    fn release_anonymous_memory(&self, amount: f64) {
+        self.client_memory_manager()
+            .release_anonymous_memory(amount);
+    }
+
+    fn sample_memory(&self) -> Option<MemorySample> {
+        Some(self.client_memory_manager().sample())
+    }
+
+    fn memory_trace(&self) -> Option<pagecache::MemoryTrace> {
+        Some(self.client_memory_manager().trace())
+    }
+
+    fn cache_snapshot(&self, label: &str) -> Option<pagecache::CacheContentSnapshot> {
+        Some(self.client_memory_manager().cache_content_snapshot(label))
+    }
+
+    fn writeback_counters(&self) -> Option<WritebackCounters> {
+        let c = self.client_memory_manager().counters();
+        Some(WritebackCounters {
+            background_flushed: c.flushed_background,
+            synchronous_flushed: c.flushed_on_demand,
+            evicted: c.evicted,
+        })
+    }
+
+    fn kind_label(&self) -> &'static str {
+        "nfs"
+    }
+}
+
+impl IoBackend for KernelFileSystem {
+    fn create_file(&self, file: &FileId, size: f64) -> Result<(), ScenarioError> {
+        KernelFileSystem::create_file(self, file, size).map_err(ScenarioError::from)
+    }
+
+    async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        KernelFileSystem::read_range(self, file, offset, len)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        KernelFileSystem::write_range(self, file, offset, len)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, ScenarioError> {
+        KernelFileSystem::write_file(self, file, size)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn fsync(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
+        KernelFileSystem::fsync(self, file)
+            .await
+            .map_err(ScenarioError::from)
+    }
+
+    async fn sync(&self) -> Result<IoOpStats, ScenarioError> {
+        Ok(KernelFileSystem::sync(self).await)
+    }
+
+    fn start_background(&self) {
+        self.cache().spawn_writeback_threads();
+    }
+
+    fn stop_background(&self) {
+        self.cache().stop();
+    }
+
+    fn release_anonymous_memory(&self, amount: f64) {
+        self.cache().release_anonymous_memory(amount);
+    }
+
+    fn sample_memory(&self) -> Option<MemorySample> {
+        Some(self.cache().sample())
+    }
+
+    fn memory_trace(&self) -> Option<pagecache::MemoryTrace> {
+        Some(self.cache().trace())
+    }
+
+    fn cache_snapshot(&self, label: &str) -> Option<pagecache::CacheContentSnapshot> {
+        Some(self.cache().cache_content_snapshot(label))
+    }
+
+    fn writeback_counters(&self) -> Option<WritebackCounters> {
+        let c = self.cache().counters();
+        Some(WritebackCounters {
+            background_flushed: c.background_writeback,
+            synchronous_flushed: c.throttled_writeback,
+            evicted: c.evicted,
+        })
+    }
+
+    fn kind_label(&self) -> &'static str {
+        "kernel-emu"
+    }
+}
 
 /// A cacheless NFS mount (vanilla WRENCH with remote storage): every access is
 /// a network transfer plus a server disk access.
@@ -94,38 +522,75 @@ impl DirectNfs {
             registry: simfs::FileRegistry::new(),
         }
     }
+}
 
+impl IoBackend for DirectNfs {
     fn create_file(&self, file: &FileId, size: f64) -> Result<(), ScenarioError> {
         self.server_disk
             .allocate(size)
-            .map_err(|e| ScenarioError::Filesystem(e.to_string()))?;
+            .map_err(FsError::from)
+            .map_err(ScenarioError::from)?;
         self.registry
             .create(file, size)
-            .map_err(|e| ScenarioError::Filesystem(e.to_string()))
+            .map_err(ScenarioError::from)
     }
 
-    async fn read_file(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
-        let size = self
-            .registry
-            .size(file)
-            .map_err(|e| ScenarioError::Filesystem(e.to_string()))?;
+    async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        let size = self.registry.size(file).map_err(ScenarioError::from)?;
+        let (_start, amount) = clamp_io_range(offset, len, size);
         let start = self.ctx.now();
-        self.server_disk.read(size).await;
-        self.link.transfer(size).await;
+        if amount > 0.0 {
+            self.server_disk.read(amount).await;
+            self.link.transfer(amount).await;
+        }
         Ok(IoOpStats {
-            bytes_from_disk: size,
+            bytes_from_disk: amount,
+            duration: self.ctx.now().duration_since(start),
+            ..IoOpStats::default()
+        })
+    }
+
+    async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        let (_offset, len) = extend_for_write(&self.registry, &self.server_disk, file, offset, len)
+            .map_err(ScenarioError::from)?;
+        let start = self.ctx.now();
+        if len > 0.0 {
+            self.link.transfer(len).await;
+            self.server_disk.write(len).await;
+        }
+        Ok(IoOpStats {
+            bytes_to_disk: len,
             duration: self.ctx.now().duration_since(start),
             ..IoOpStats::default()
         })
     }
 
     async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, ScenarioError> {
+        // Whole-file writes replace the registration (truncate semantics),
+        // consistent with every other back-end's `write_file`.
+        if !size.is_finite() {
+            return Err(ScenarioError::Filesystem(FsError::InvalidRange {
+                offset: 0.0,
+                len: size,
+            }));
+        }
         if let Some(old) = self.registry.create_or_replace(file, size) {
             self.server_disk.free(old);
         }
         self.server_disk
             .allocate(size)
-            .map_err(|e| ScenarioError::Filesystem(e.to_string()))?;
+            .map_err(FsError::from)
+            .map_err(ScenarioError::from)?;
         let start = self.ctx.now();
         self.link.transfer(size).await;
         self.server_disk.write(size).await;
@@ -135,17 +600,124 @@ impl DirectNfs {
             ..IoOpStats::default()
         })
     }
+
+    async fn fsync(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
+        self.registry.size(file).map_err(ScenarioError::from)?;
+        Ok(IoOpStats::default())
+    }
+
+    async fn sync(&self) -> Result<IoOpStats, ScenarioError> {
+        Ok(IoOpStats::default())
+    }
+
+    fn kind_label(&self) -> &'static str {
+        "direct-nfs"
+    }
 }
 
-/// A fully constructed simulation back-end: devices plus filesystem.
+/// A fully constructed simulation back-end. Every variant implements
+/// [`IoBackend`]; the enum forwards each call through one dispatch macro so
+/// the runner stays monomorphic without per-method match duplication.
 #[derive(Clone)]
 pub enum Backend {
-    /// One of the `simfs` filesystems (cached, direct, or NFS).
-    Fs(FileSystem),
+    /// Local filesystem with page caching (WRENCH-cache behaviour).
+    Cached(CachedFileSystem),
+    /// Local filesystem without page caching (vanilla WRENCH behaviour).
+    Direct(DirectFileSystem),
+    /// NFS mount (client read cache, writethrough server).
+    Nfs(NfsFileSystem),
     /// The kernel-fidelity emulator.
     Kernel(KernelFileSystem),
     /// Cacheless remote storage.
     DirectNfs(DirectNfs),
+}
+
+/// Forwards one method call to whichever filesystem the back-end holds.
+macro_rules! dispatch {
+    ($self:expr, $b:ident => $body:expr) => {
+        match $self {
+            Backend::Cached($b) => $body,
+            Backend::Direct($b) => $body,
+            Backend::Nfs($b) => $body,
+            Backend::Kernel($b) => $body,
+            Backend::DirectNfs($b) => $body,
+        }
+    };
+}
+
+impl IoBackend for Backend {
+    // The concrete filesystems keep inherent methods with the same names as
+    // the trait's (their crate-local, structured-error API), so the forwards
+    // below use UFCS to target the trait impls unambiguously.
+    fn create_file(&self, file: &FileId, size: f64) -> Result<(), ScenarioError> {
+        dispatch!(self, b => IoBackend::create_file(b, file, size))
+    }
+
+    async fn read_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        dispatch!(self, b => IoBackend::read_range(b, file, offset, len).await)
+    }
+
+    async fn write_range(
+        &self,
+        file: &FileId,
+        offset: f64,
+        len: f64,
+    ) -> Result<IoOpStats, ScenarioError> {
+        dispatch!(self, b => IoBackend::write_range(b, file, offset, len).await)
+    }
+
+    async fn fsync(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
+        dispatch!(self, b => IoBackend::fsync(b, file).await)
+    }
+
+    async fn sync(&self) -> Result<IoOpStats, ScenarioError> {
+        dispatch!(self, b => IoBackend::sync(b).await)
+    }
+
+    async fn read_file(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
+        dispatch!(self, b => IoBackend::read_file(b, file).await)
+    }
+
+    async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, ScenarioError> {
+        dispatch!(self, b => IoBackend::write_file(b, file, size).await)
+    }
+
+    fn start_background(&self) {
+        dispatch!(self, b => b.start_background())
+    }
+
+    fn stop_background(&self) {
+        dispatch!(self, b => b.stop_background())
+    }
+
+    fn release_anonymous_memory(&self, amount: f64) {
+        dispatch!(self, b => b.release_anonymous_memory(amount))
+    }
+
+    fn sample_memory(&self) -> Option<MemorySample> {
+        dispatch!(self, b => b.sample_memory())
+    }
+
+    fn memory_trace(&self) -> Option<pagecache::MemoryTrace> {
+        dispatch!(self, b => b.memory_trace())
+    }
+
+    fn cache_snapshot(&self, label: &str) -> Option<pagecache::CacheContentSnapshot> {
+        dispatch!(self, b => b.cache_snapshot(label))
+    }
+
+    fn writeback_counters(&self) -> Option<WritebackCounters> {
+        dispatch!(self, b => b.writeback_counters())
+    }
+
+    fn kind_label(&self) -> &'static str {
+        dispatch!(self, b => b.kind_label())
+    }
 }
 
 impl Backend {
@@ -186,9 +758,9 @@ impl Backend {
         };
 
         match (platform.storage, kind) {
-            (StorageKind::Local, SimulatorKind::Cacheless) => Ok(Backend::Fs(FileSystem::Direct(
-                DirectFileSystem::new(ctx, disk),
-            ))),
+            (StorageKind::Local, SimulatorKind::Cacheless) => {
+                Ok(Backend::Direct(DirectFileSystem::new(ctx, disk)))
+            }
             (StorageKind::Local, SimulatorKind::PageCache | SimulatorKind::Prototype) => {
                 let mm = MemoryManager::new(
                     ctx,
@@ -197,9 +769,7 @@ impl Backend {
                     disk.clone(),
                 );
                 let io = IoController::new(ctx, mm).with_chunk_size(platform.chunk_size);
-                Ok(Backend::Fs(FileSystem::Cached(CachedFileSystem::new(
-                    io, disk,
-                ))))
+                Ok(Backend::Cached(CachedFileSystem::new(io, disk)))
             }
             (StorageKind::Local, SimulatorKind::KernelEmu) => {
                 let mut tuning = KernelTuning::with_memory(platform.host_memory);
@@ -249,154 +819,14 @@ impl Backend {
                     devices.network_latency,
                 );
                 let server = NfsServer::new(server_mm, server_disk);
-                Ok(Backend::Fs(FileSystem::Nfs(
+                Ok(Backend::Nfs(
                     NfsFileSystem::new(ctx, client_mm, link, server)
                         .with_chunk_size(platform.chunk_size),
-                )))
+                ))
             }
             (StorageKind::Nfs, SimulatorKind::Prototype) => Err(ScenarioError::Unsupported(
                 "the Python prototype does not simulate network filesystems".to_string(),
             )),
-        }
-    }
-
-    /// Registers a pre-existing file.
-    pub fn create_file(&self, file: &FileId, size: f64) -> Result<(), ScenarioError> {
-        match self {
-            Backend::Fs(fs) => fs
-                .create_file(file, size)
-                .map_err(|e| ScenarioError::Filesystem(e.to_string())),
-            Backend::Kernel(fs) => fs
-                .create_file(file, size)
-                .map_err(ScenarioError::Filesystem),
-            Backend::DirectNfs(fs) => fs.create_file(file, size),
-        }
-    }
-
-    /// Reads a whole file.
-    pub async fn read_file(&self, file: &FileId) -> Result<IoOpStats, ScenarioError> {
-        match self {
-            Backend::Fs(fs) => fs
-                .read_file(file)
-                .await
-                .map_err(|e| ScenarioError::Filesystem(e.to_string())),
-            Backend::Kernel(fs) => fs.read_file(file).await.map_err(ScenarioError::Filesystem),
-            Backend::DirectNfs(fs) => fs.read_file(file).await,
-        }
-    }
-
-    /// Writes a whole file.
-    pub async fn write_file(&self, file: &FileId, size: f64) -> Result<IoOpStats, ScenarioError> {
-        match self {
-            Backend::Fs(fs) => fs
-                .write_file(file, size)
-                .await
-                .map_err(|e| ScenarioError::Filesystem(e.to_string())),
-            Backend::Kernel(fs) => fs
-                .write_file(file, size)
-                .await
-                .map_err(ScenarioError::Filesystem),
-            Backend::DirectNfs(fs) => fs.write_file(file, size).await,
-        }
-    }
-
-    /// Starts the background flusher / writeback threads (if the back-end has
-    /// a page cache).
-    pub fn start_background(&self) {
-        match self {
-            Backend::Fs(FileSystem::Cached(fs)) => {
-                fs.memory_manager().spawn_periodical_flusher();
-            }
-            Backend::Kernel(fs) => {
-                fs.cache().spawn_writeback_threads();
-            }
-            _ => {}
-        }
-    }
-
-    /// Stops the background threads so the simulation can terminate.
-    pub fn stop_background(&self) {
-        match self {
-            Backend::Fs(FileSystem::Cached(fs)) => fs.memory_manager().stop(),
-            Backend::Kernel(fs) => fs.cache().stop(),
-            _ => {}
-        }
-    }
-
-    /// Registers anonymous memory used by the application.
-    pub fn release_anonymous_memory(&self, amount: f64) {
-        match self {
-            Backend::Fs(fs) => {
-                if let Some(mm) = fs.memory_manager() {
-                    mm.release_anonymous_memory(amount);
-                }
-            }
-            Backend::Kernel(fs) => fs.cache().release_anonymous_memory(amount),
-            Backend::DirectNfs(_) => {}
-        }
-    }
-
-    /// Takes a memory sample (no-op on back-ends without memory modelling).
-    pub fn sample_memory(&self) -> Option<MemorySample> {
-        match self {
-            Backend::Fs(fs) => fs.memory_manager().map(|mm| mm.sample()),
-            Backend::Kernel(fs) => Some(fs.cache().sample()),
-            Backend::DirectNfs(_) => None,
-        }
-    }
-
-    /// The collected memory trace, if any.
-    pub fn memory_trace(&self) -> Option<pagecache::MemoryTrace> {
-        match self {
-            Backend::Fs(fs) => fs.memory_manager().map(|mm| mm.trace()),
-            Backend::Kernel(fs) => Some(fs.cache().trace()),
-            Backend::DirectNfs(_) => None,
-        }
-    }
-
-    /// A labelled snapshot of the cache content per file, if the back-end has
-    /// a cache.
-    pub fn cache_snapshot(&self, label: &str) -> Option<pagecache::CacheContentSnapshot> {
-        match self {
-            Backend::Fs(fs) => fs
-                .memory_manager()
-                .map(|mm| mm.cache_content_snapshot(label)),
-            Backend::Kernel(fs) => Some(fs.cache().cache_content_snapshot(label)),
-            Backend::DirectNfs(_) => None,
-        }
-    }
-
-    /// Cumulative writeback/eviction counters of the back-end's page cache,
-    /// if it has one. These are the per-run statistics the sweep harness
-    /// records next to the simulated times.
-    pub fn writeback_counters(&self) -> Option<crate::report::WritebackCounters> {
-        match self {
-            Backend::Fs(fs) => fs.memory_manager().map(|mm| {
-                let c = mm.counters();
-                crate::report::WritebackCounters {
-                    background_flushed: c.flushed_background,
-                    synchronous_flushed: c.flushed_on_demand,
-                    evicted: c.evicted,
-                }
-            }),
-            Backend::Kernel(fs) => {
-                let c = fs.cache().counters();
-                Some(crate::report::WritebackCounters {
-                    background_flushed: c.background_writeback,
-                    synchronous_flushed: c.throttled_writeback,
-                    evicted: c.evicted,
-                })
-            }
-            Backend::DirectNfs(_) => None,
-        }
-    }
-
-    /// Short label of the back-end kind.
-    pub fn kind_label(&self) -> &'static str {
-        match self {
-            Backend::Fs(fs) => fs.kind(),
-            Backend::Kernel(_) => "kernel-emu",
-            Backend::DirectNfs(_) => "direct-nfs",
         }
     }
 }
@@ -478,6 +908,179 @@ mod tests {
     }
 
     #[test]
+    fn whole_file_ops_are_range_corollaries() {
+        for kind in SimulatorKind::all() {
+            let sim = Simulation::new();
+            let ctx = sim.context();
+            let backend = Backend::build(&ctx, &platform(), kind).unwrap();
+            backend.create_file(&"f".into(), 400.0 * MB).unwrap();
+            let h = sim.spawn({
+                let backend = backend.clone();
+                async move {
+                    let whole = backend.read_file(&"f".into()).await.unwrap();
+                    backend.release_anonymous_memory(400.0 * MB);
+                    let range = backend
+                        .read_range(&"f".into(), 0.0, f64::INFINITY)
+                        .await
+                        .unwrap();
+                    (whole, range)
+                }
+            });
+            sim.run();
+            let (whole, range) = h.try_take_result().unwrap();
+            assert_eq!(whole.bytes_from_disk, 400.0 * MB, "{kind:?}");
+            assert_eq!(whole.bytes_from_disk + whole.bytes_from_cache, 400.0 * MB);
+            // The second whole read goes through the same range path.
+            assert_eq!(
+                range.bytes_from_disk + range.bytes_from_cache,
+                400.0 * MB,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fsync_semantics_per_backend() {
+        // Writeback back-ends flush on fsync; synchronous ones report 0.
+        for (kind, expect_flush) in [
+            (SimulatorKind::Cacheless, false),
+            (SimulatorKind::PageCache, true),
+            (SimulatorKind::KernelEmu, true),
+        ] {
+            let sim = Simulation::new();
+            let ctx = sim.context();
+            let backend = Backend::build(&ctx, &platform(), kind).unwrap();
+            let h = sim.spawn({
+                let backend = backend.clone();
+                async move {
+                    backend
+                        .write_range(&"f".into(), 0.0, 200.0 * MB)
+                        .await
+                        .unwrap();
+                    backend.fsync(&"f".into()).await.unwrap()
+                }
+            });
+            sim.run();
+            let stats = h.try_take_result().unwrap();
+            if expect_flush {
+                assert!(
+                    (stats.bytes_to_disk - 200.0 * MB).abs() < MB,
+                    "{kind:?}: fsync flushed {}",
+                    stats.bytes_to_disk
+                );
+            } else {
+                assert_eq!(stats.bytes_to_disk, 0.0, "{kind:?}");
+            }
+        }
+        // NFS mounts are writethrough: fsync is a no-op.
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let backend =
+            Backend::build(&ctx, &platform().with_nfs(), SimulatorKind::PageCache).unwrap();
+        let h = sim.spawn({
+            let backend = backend.clone();
+            async move {
+                backend
+                    .write_range(&"f".into(), 0.0, 100.0 * MB)
+                    .await
+                    .unwrap();
+                backend.fsync(&"f".into()).await.unwrap()
+            }
+        });
+        sim.run();
+        assert_eq!(h.try_take_result().unwrap().bytes_to_disk, 0.0);
+    }
+
+    #[test]
+    fn write_file_truncates_uniformly_across_backends() {
+        // Whole-file rewrite with a smaller size: every back-end replaces
+        // the registration (truncate semantics), so a later whole read sees
+        // the new size.
+        for (kind, nfs) in [
+            (SimulatorKind::Cacheless, false),
+            (SimulatorKind::PageCache, false),
+            (SimulatorKind::KernelEmu, false),
+            (SimulatorKind::PageCache, true),
+            (SimulatorKind::Cacheless, true),
+        ] {
+            let sim = Simulation::new();
+            let ctx = sim.context();
+            let p = if nfs {
+                platform().with_nfs()
+            } else {
+                platform()
+            };
+            let backend = Backend::build(&ctx, &p, kind).unwrap();
+            let h = sim.spawn({
+                let backend = backend.clone();
+                async move {
+                    backend.write_file(&"f".into(), 500.0 * MB).await.unwrap();
+                    backend.write_file(&"f".into(), 100.0 * MB).await.unwrap();
+                    backend.release_anonymous_memory(600.0 * MB);
+                    backend.read_file(&"f".into()).await.unwrap()
+                }
+            });
+            sim.run();
+            let read = h.try_take_result().unwrap();
+            let total = read.bytes_from_disk + read.bytes_from_cache;
+            assert!(
+                (total - 100.0 * MB).abs() < MB,
+                "{kind:?} nfs={nfs}: whole read saw {total} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_write_ranges_are_rejected() {
+        for kind in SimulatorKind::all() {
+            let sim = Simulation::new();
+            let ctx = sim.context();
+            let backend = Backend::build(&ctx, &platform(), kind).unwrap();
+            let h = sim.spawn({
+                let backend = backend.clone();
+                async move {
+                    let inf_len = backend.write_range(&"f".into(), 0.0, f64::INFINITY).await;
+                    let nan_off = backend.write_range(&"f".into(), f64::NAN, 10.0).await;
+                    let inf_file = backend.write_file(&"f".into(), f64::INFINITY).await;
+                    (inf_len, nan_off, inf_file)
+                }
+            });
+            sim.run();
+            let (inf_len, nan_off, inf_file) = h.try_take_result().unwrap();
+            for (what, r) in [
+                ("len=inf", inf_len),
+                ("offset=nan", nan_off),
+                ("size=inf", inf_file),
+            ] {
+                assert!(
+                    matches!(
+                        r,
+                        Err(ScenarioError::Filesystem(FsError::InvalidRange { .. }))
+                            | Err(ScenarioError::Kernel(KernelFsError::InvalidRange { .. }))
+                    ),
+                    "{kind:?} {what}: {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fsync_of_missing_file_is_an_error() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let backend = Backend::build(&ctx, &platform(), SimulatorKind::PageCache).unwrap();
+        let h = sim.spawn({
+            let backend = backend.clone();
+            async move { backend.fsync(&"missing".into()).await }
+        });
+        sim.run();
+        assert!(matches!(
+            h.try_take_result().unwrap(),
+            Err(ScenarioError::Filesystem(FsError::FileNotFound(_)))
+        ));
+    }
+
+    #[test]
     fn invalid_platform_is_rejected() {
         let sim = Simulation::new();
         let ctx = sim.context();
@@ -487,5 +1090,23 @@ mod tests {
             Backend::build(&ctx, &p, SimulatorKind::PageCache),
             Err(ScenarioError::InvalidPlatform(_))
         ));
+    }
+
+    #[test]
+    fn structured_errors_preserve_the_cause() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let backend = Backend::build(&ctx, &platform(), SimulatorKind::KernelEmu).unwrap();
+        let h = sim.spawn({
+            let backend = backend.clone();
+            async move { backend.read_file(&"nope".into()).await }
+        });
+        sim.run();
+        match h.try_take_result().unwrap() {
+            Err(ScenarioError::Kernel(KernelFsError::FileNotFound(f))) => {
+                assert_eq!(f.name(), "nope");
+            }
+            other => panic!("expected structured kernel error, got {other:?}"),
+        }
     }
 }

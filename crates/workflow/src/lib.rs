@@ -1,6 +1,6 @@
 //! # `workflow` — WRENCH-like application layer
 //!
-//! Describes platforms and applications, and runs them against one of four
+//! Describes platforms and workloads, and runs them against one of four
 //! simulator back-ends:
 //!
 //! * **Cacheless** — every I/O hits the disk (the original WRENCH simulator
@@ -10,6 +10,45 @@
 //! * **PageCache** — the full WRENCH-cache model on shared devices;
 //! * **KernelEmu** — the page-granularity kernel emulator with measured
 //!   bandwidths, standing in for the real cluster.
+//!
+//! All four live behind the [`IoBackend`] trait, whose primitives are
+//! **offset-granular**: `read_range`, `write_range`, `fsync`, `sync`.
+//! Whole-file operations are corollaries (`read_file ≡ read_range(0, size)`),
+//! not primitives.
+//!
+//! ## Workload programs
+//!
+//! A task is a **program** of [`Op`] instructions — range reads and writes,
+//! compute phases, `fsync`/`sync`, memory releases, [`Op::Repeat`] loops —
+//! so workloads well beyond whole-file read→compute→write pipelines (small
+//! interleaved writes with fsyncs, random partial re-reads, scan-then-reread
+//! mixes) are expressible directly:
+//!
+//! ```
+//! use storage_model::{DeviceSpec, units::{GB, MB}};
+//! use workflow::{ApplicationSpec, Op, PlatformSpec, Scenario, SimulatorKind, TaskSpec,
+//!                run_scenario};
+//!
+//! let platform = PlatformSpec::uniform(
+//!     8.0 * GB,
+//!     DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+//!     DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+//! );
+//! // A database-style commit loop: rewrite a record, fsync it, think.
+//! let app = ApplicationSpec::new("db").with_task(TaskSpec::program(
+//!     "commits",
+//!     vec![Op::repeat(8, vec![
+//!         Op::write_range("table", 0.0, 16.0 * MB),
+//!         Op::fsync("table"),
+//!         Op::compute(0.1),
+//!     ])],
+//! ));
+//! let report = run_scenario(&Scenario::new(platform, app, SimulatorKind::PageCache)).unwrap();
+//! assert!(report.instance_reports[0].tasks[0].write_stats.bytes_to_disk > 100.0 * MB);
+//! ```
+//!
+//! The classic builder API still works unchanged and **lowers** to a program
+//! (see [`TaskSpec::lower`]), with identical simulated behaviour:
 //!
 //! ```
 //! use storage_model::{DeviceSpec, units::{GB, MB}};
@@ -24,6 +63,16 @@
 //! let report = run_scenario(&Scenario::new(platform, app, SimulatorKind::PageCache)).unwrap();
 //! assert_eq!(report.instance_reports.len(), 1);
 //! ```
+//!
+//! ## Migrating from the whole-file API
+//!
+//! | old builder call | lowered program |
+//! |---|---|
+//! | `.reads(FileSpec::new("in", s))` | `Op::Read {{ file: "in", offset: 0, len: ∞ }}` |
+//! | `.writes(FileSpec::new("out", s))` | `Op::Write {{ file: "out", offset: 0, len: s }}` |
+//! | `TaskSpec::new(name, cpu)` | `Op::Compute(cpu)` between the reads and writes |
+//! | `release_memory_after: true` | trailing `Op::ReleaseMemory(input_bytes)` |
+//! | *(implicit phase sampling)* | `Op::Sample` / `Op::Snapshot("Read i")` at phase ends |
 
 #![warn(missing_docs)]
 
@@ -33,11 +82,11 @@ mod report;
 mod runner;
 mod spec;
 
-pub use backend::{Backend, ScenarioError, SimulatorKind};
+pub use backend::{Backend, DirectNfs, IoBackend, ScenarioError, SimulatorKind};
 pub use platform::{DeviceSet, PlatformSpec, StorageKind};
 pub use report::{
     absolute_relative_error_pct, InstanceReport, RunStats, ScenarioReport, TaskReport,
     WritebackCounters,
 };
 pub use runner::{run_scenario, scoped_file, Scenario};
-pub use spec::{ApplicationSpec, FileSpec, TaskSpec};
+pub use spec::{flatten_program, ApplicationSpec, FileSpec, Op, TaskSpec};

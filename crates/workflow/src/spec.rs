@@ -1,4 +1,12 @@
-//! Workload descriptions: files, tasks and applications.
+//! Workload descriptions: files, tasks, workload programs and applications.
+//!
+//! A task is, at bottom, a **workload program**: a list of [`Op`]
+//! instructions (range reads and writes, compute phases, `fsync`/`sync`,
+//! memory releases, repetition) executed sequentially by the scenario
+//! runner. The classic builder API ([`TaskSpec::reads`], [`TaskSpec::writes`]
+//! plus `cpu_time`) is kept and **lowers** to a program via
+//! [`TaskSpec::lower`], so every read→compute→write pipeline is just a
+//! special case of the general shape, with identical simulated behaviour.
 //!
 //! The two applications of the paper are provided as constructors:
 //! [`ApplicationSpec::synthetic_pipeline`] (the three-task C program of
@@ -26,25 +34,155 @@ impl FileSpec {
     }
 }
 
-/// One task of an application: read inputs, compute, write outputs.
+/// One instruction of a workload program. File references are by name; sizes
+/// come from the filesystem registry at execution time, so a `Read` needs no
+/// size and `len = f64::INFINITY` means "to end of file".
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Read `len` bytes of `file` starting at `offset` (clamped to the
+    /// file).
+    Read {
+        /// File name (scoped per instance at execution time).
+        file: String,
+        /// Byte offset of the first byte read.
+        offset: f64,
+        /// Bytes to read; `f64::INFINITY` reads to end of file.
+        len: f64,
+    },
+    /// Write `len` bytes at `offset`, creating the file or extending it to
+    /// `offset + len` as needed (range writes never shrink a file).
+    Write {
+        /// File name (scoped per instance at execution time).
+        file: String,
+        /// Byte offset of the first byte written.
+        offset: f64,
+        /// Bytes to write.
+        len: f64,
+    },
+    /// Spin the CPU for the given number of simulated seconds.
+    Compute(f64),
+    /// Flush the file's dirty cached data to stable storage (semantics per
+    /// back-end are documented on [`crate::IoBackend`]).
+    Fsync(String),
+    /// Flush all dirty cached data of the host.
+    Sync,
+    /// Release anonymous application memory (bytes).
+    ReleaseMemory(f64),
+    /// Repeat the inner program `n` times (unrolled at execution).
+    Repeat {
+        /// Number of iterations.
+        n: usize,
+        /// The repeated program.
+        ops: Vec<Op>,
+    },
+    /// Record a memory sample (all instances). The legacy lowering emits one
+    /// after each read and write phase, preserving the classic profile
+    /// shape; custom programs place them freely.
+    Sample,
+    /// Take a labelled cache-content snapshot (instance 0 only).
+    Snapshot(String),
+}
+
+impl Op {
+    /// Reads a whole file.
+    pub fn read(file: impl Into<String>) -> Op {
+        Op::Read {
+            file: file.into(),
+            offset: 0.0,
+            len: f64::INFINITY,
+        }
+    }
+
+    /// Reads `len` bytes at `offset`.
+    pub fn read_range(file: impl Into<String>, offset: f64, len: f64) -> Op {
+        Op::Read {
+            file: file.into(),
+            offset,
+            len,
+        }
+    }
+
+    /// Writes `len` bytes at offset 0.
+    pub fn write(file: impl Into<String>, len: f64) -> Op {
+        Op::Write {
+            file: file.into(),
+            offset: 0.0,
+            len,
+        }
+    }
+
+    /// Writes `len` bytes at `offset`.
+    pub fn write_range(file: impl Into<String>, offset: f64, len: f64) -> Op {
+        Op::Write {
+            file: file.into(),
+            offset,
+            len,
+        }
+    }
+
+    /// Spins the CPU for `secs` simulated seconds.
+    pub fn compute(secs: f64) -> Op {
+        Op::Compute(secs)
+    }
+
+    /// Flushes one file's dirty data.
+    pub fn fsync(file: impl Into<String>) -> Op {
+        Op::Fsync(file.into())
+    }
+
+    /// Repeats `ops` `n` times.
+    pub fn repeat(n: usize, ops: Vec<Op>) -> Op {
+        Op::Repeat { n, ops }
+    }
+
+    /// Appends this op's flattened form (with `Repeat` unrolled) to `out`.
+    fn flatten_into(&self, out: &mut Vec<Op>) {
+        match self {
+            Op::Repeat { n, ops } => {
+                for _ in 0..*n {
+                    for op in ops {
+                        op.flatten_into(out);
+                    }
+                }
+            }
+            other => out.push(other.clone()),
+        }
+    }
+}
+
+/// Flattens a program, unrolling every [`Op::Repeat`].
+pub fn flatten_program(ops: &[Op]) -> Vec<Op> {
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        op.flatten_into(&mut out);
+    }
+    out
+}
+
+/// One task of an application. Either the classic three-phase shape (read
+/// inputs, compute, write outputs — the builder API) or an explicit workload
+/// program ([`TaskSpec::program`]); the former lowers to the latter.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Task name (e.g. "Task 1", "Skull stripping").
     pub name: String,
     /// CPU time in seconds (measured on the real system and injected into the
-    /// simulation, as the paper does).
+    /// simulation, as the paper does). Ignored when `ops` is non-empty.
     pub cpu_time: f64,
-    /// Files read at the start of the task.
+    /// Files read at the start of the task (builder shape only).
     pub inputs: Vec<FileSpec>,
-    /// Files written at the end of the task.
+    /// Files written at the end of the task (builder shape only).
     pub outputs: Vec<FileSpec>,
     /// Whether the task's anonymous memory is released when it completes
-    /// (true for both applications of the paper).
+    /// (true for both applications of the paper; builder shape only).
     pub release_memory_after: bool,
+    /// Explicit workload program. When non-empty it *is* the task; the
+    /// builder fields above are ignored.
+    pub ops: Vec<Op>,
 }
 
 impl TaskSpec {
-    /// Creates a task.
+    /// Creates a task in the classic builder shape.
     pub fn new(name: impl Into<String>, cpu_time: f64) -> Self {
         TaskSpec {
             name: name.into(),
@@ -52,6 +190,21 @@ impl TaskSpec {
             inputs: Vec::new(),
             outputs: Vec::new(),
             release_memory_after: true,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Creates a task from an explicit workload program. Programs manage
+    /// their own memory releases and observability ([`Op::ReleaseMemory`],
+    /// [`Op::Sample`], [`Op::Snapshot`]).
+    pub fn program(name: impl Into<String>, ops: Vec<Op>) -> Self {
+        TaskSpec {
+            name: name.into(),
+            cpu_time: 0.0,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            release_memory_after: false,
+            ops,
         }
     }
 
@@ -67,14 +220,50 @@ impl TaskSpec {
         self
     }
 
-    /// Total bytes read by the task.
+    /// Total bytes read by the task (builder shape).
     pub fn input_bytes(&self) -> f64 {
         self.inputs.iter().map(|f| f.size).sum()
     }
 
-    /// Total bytes written by the task.
+    /// Total bytes written by the task (builder shape).
     pub fn output_bytes(&self) -> f64 {
         self.outputs.iter().map(|f| f.size).sum()
+    }
+
+    /// The workload program this task executes: the explicit program when
+    /// one was given, otherwise the lowering of the classic three-phase
+    /// shape —
+    ///
+    /// ```text
+    /// Read(input…) Sample Snapshot("Read i")
+    /// Compute(cpu_time)
+    /// Write(output…) Sample Snapshot("Write i")
+    /// [ReleaseMemory(input_bytes) Sample]     (if release_memory_after)
+    /// ```
+    ///
+    /// `task_idx` is the 0-based task position, used for the snapshot
+    /// labels ("Read 1", "Write 1", …).
+    pub fn lower(&self, task_idx: usize) -> Vec<Op> {
+        if !self.ops.is_empty() {
+            return self.ops.clone();
+        }
+        let mut ops = Vec::new();
+        for input in &self.inputs {
+            ops.push(Op::read(&input.name));
+        }
+        ops.push(Op::Sample);
+        ops.push(Op::Snapshot(format!("Read {}", task_idx + 1)));
+        ops.push(Op::Compute(self.cpu_time));
+        for output in &self.outputs {
+            ops.push(Op::write(&output.name, output.size));
+        }
+        ops.push(Op::Sample);
+        ops.push(Op::Snapshot(format!("Write {}", task_idx + 1)));
+        if self.release_memory_after {
+            ops.push(Op::ReleaseMemory(self.input_bytes()));
+            ops.push(Op::Sample);
+        }
+        ops
     }
 }
 
@@ -269,6 +458,50 @@ mod tests {
         // Step 3 reads what step 2 wrote; step 4 reads what step 1 wrote.
         assert_eq!(app.tasks[2].inputs[0].name, app.tasks[1].outputs[0].name);
         assert_eq!(app.tasks[3].inputs[0].name, app.tasks[0].outputs[0].name);
+    }
+
+    #[test]
+    fn legacy_task_lowers_to_the_canonical_program() {
+        let task = TaskSpec::new("t", 2.5)
+            .reads(FileSpec::new("in", 10.0 * MB))
+            .writes(FileSpec::new("out", 5.0 * MB));
+        let ops = task.lower(2);
+        assert_eq!(
+            ops,
+            vec![
+                Op::read("in"),
+                Op::Sample,
+                Op::Snapshot("Read 3".to_string()),
+                Op::Compute(2.5),
+                Op::write("out", 5.0 * MB),
+                Op::Sample,
+                Op::Snapshot("Write 3".to_string()),
+                Op::ReleaseMemory(10.0 * MB),
+                Op::Sample,
+            ]
+        );
+    }
+
+    #[test]
+    fn program_task_is_returned_verbatim() {
+        let ops = vec![Op::read_range("f", 1.0, 2.0), Op::Sync];
+        let task = TaskSpec::program("custom", ops.clone());
+        assert_eq!(task.lower(0), ops);
+        assert!(!task.release_memory_after);
+    }
+
+    #[test]
+    fn repeat_unrolls_recursively() {
+        let ops = vec![
+            Op::write("wal", 1.0),
+            Op::repeat(2, vec![Op::fsync("wal"), Op::repeat(2, vec![Op::Sync])]),
+        ];
+        let flat = flatten_program(&ops);
+        assert_eq!(flat.len(), 1 + 2 * (1 + 2));
+        assert_eq!(flat[1], Op::fsync("wal"));
+        assert_eq!(flat[2], Op::Sync);
+        assert_eq!(flat[3], Op::Sync);
+        assert_eq!(flat[4], Op::fsync("wal"));
     }
 
     #[test]

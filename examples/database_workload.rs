@@ -1,0 +1,72 @@
+//! A CAWL-style "database" workload on the workload-program API: a commit
+//! loop that rewrites a WAL record and fsyncs it after every commit, with a
+//! little think time in between — the small-interleaved-writes + sync
+//! pattern that write-pattern studies (e.g. CAWL, arXiv:2306.05701) show
+//! dominates cache-aware I/O performance, and that the whole-file pipeline
+//! API could not express.
+//!
+//! Run with: `cargo run --release --example database_workload`
+
+use linux_pagecache_sim::prelude::*;
+
+fn main() {
+    let platform = PlatformSpec::uniform(
+        8.0 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    );
+
+    // 32 commits: rewrite a 16 MB WAL record, fsync it, think for 50 ms.
+    // Then checkpoint: write the 512 MB table image and sync everything.
+    let commits = 32;
+    let record = 16.0 * MB;
+    let app = ApplicationSpec::new("database").with_task(TaskSpec::program(
+        "commit loop + checkpoint",
+        vec![
+            Op::repeat(
+                commits,
+                vec![
+                    Op::write_range("wal", 0.0, record),
+                    Op::fsync("wal"),
+                    Op::compute(0.05),
+                ],
+            ),
+            Op::write_range("table", 0.0, 512.0 * MB),
+            Op::Sync,
+        ],
+    ));
+
+    println!("commit loop: {commits} x (write 16 MB + fsync) + 512 MB checkpoint + sync\n");
+    for kind in [
+        SimulatorKind::Cacheless,
+        SimulatorKind::PageCache,
+        SimulatorKind::KernelEmu,
+    ] {
+        let report = run_scenario(&Scenario::new(platform.clone(), app.clone(), kind))
+            .expect("simulation failed");
+        let task = &report.instance_reports[0].tasks[0];
+        let wb = report.writeback;
+        println!("--- {} ---", kind.label());
+        println!(
+            "  write+fsync time {:>6.2}s  think {:>5.2}s  makespan {:>6.2}s",
+            task.write_time,
+            task.compute_time,
+            report.instance_reports[0].makespan()
+        );
+        println!(
+            "  to cache {:>6.0} MB   to disk {:>6.0} MB",
+            task.write_stats.bytes_to_cache / MB,
+            task.write_stats.bytes_to_disk / MB
+        );
+        if let Some(wb) = wb {
+            println!(
+                "  synchronous writeback {:>6.0} MB   background {:>6.0} MB",
+                wb.synchronous_flushed / MB,
+                wb.background_flushed / MB
+            );
+        }
+    }
+    println!("\nEvery fsync forces the 16 MB record to disk: the cacheless and cached");
+    println!("back-ends converge on the WAL (sync writes), while the checkpoint still");
+    println!("enjoys writeback caching where a cache exists.");
+}

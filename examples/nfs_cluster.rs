@@ -21,6 +21,7 @@ fn main() {
             let report = run_scenario(
                 &Scenario::new(platform.clone(), app.clone(), kind)
                     .with_instances(instances)
+                    .expect("at least one instance")
                     .with_sample_interval(None),
             )
             .expect("run failed");

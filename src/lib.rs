@@ -53,7 +53,7 @@ pub mod prelude {
     pub use storage_model::units::{GB, GIB, MB};
     pub use storage_model::{DeviceSpec, Disk, MemoryDevice, NetworkLink, SharedResource};
     pub use workflow::{
-        run_scenario, ApplicationSpec, FileSpec, PlatformSpec, RunStats, Scenario, ScenarioReport,
-        SimulatorKind, TaskSpec, WritebackCounters,
+        run_scenario, ApplicationSpec, FileSpec, IoBackend, Op, PlatformSpec, RunStats, Scenario,
+        ScenarioReport, SimulatorKind, TaskSpec, WritebackCounters,
     };
 }

@@ -15,10 +15,12 @@ fn scenario_fails_cleanly_when_the_disk_fills_up() {
     let app = ApplicationSpec::synthetic_pipeline(4.0 * GB);
     let err = run_scenario(&Scenario::new(platform, app, SimulatorKind::PageCache)).unwrap_err();
     match err {
-        ScenarioError::Filesystem(msg) => {
-            assert!(msg.contains("full"), "unexpected message: {msg}")
+        // The structured error keeps the cause: a DiskFull with the exact
+        // requested/available byte counts, not a stringified message.
+        ScenarioError::Filesystem(simfs::FsError::DiskFull(e)) => {
+            assert!(e.requested > e.available, "unexpected error: {e}")
         }
-        other => panic!("expected a filesystem error, got {other:?}"),
+        other => panic!("expected a disk-full filesystem error, got {other:?}"),
     }
 }
 

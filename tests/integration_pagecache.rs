@@ -139,6 +139,7 @@ fn concurrency_scales_io_times_under_contention() {
         let report = run_scenario(
             &Scenario::new(platform(64.0), app.clone(), SimulatorKind::Cacheless)
                 .with_instances(instances)
+                .unwrap()
                 .with_sample_interval(None),
         )
         .unwrap();
@@ -154,7 +155,9 @@ fn scenario_reports_are_deterministic() {
     let app = ApplicationSpec::synthetic_pipeline(1.0 * GB);
     let run = || {
         let r = run_scenario(
-            &Scenario::new(platform(16.0), app.clone(), SimulatorKind::PageCache).with_instances(3),
+            &Scenario::new(platform(16.0), app.clone(), SimulatorKind::PageCache)
+                .with_instances(3)
+                .unwrap(),
         )
         .unwrap();
         (
