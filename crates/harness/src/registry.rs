@@ -144,6 +144,24 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
             run: prog_fsync_storm,
         },
         FnScenario {
+            name: "prog_strided_reads",
+            group: "programs",
+            description: "strided read passes at several strides, model vs emulator hit ratios",
+            run: prog_strided_reads,
+        },
+        FnScenario {
+            name: "prog_seq_random_switch",
+            group: "programs",
+            description: "sequential-random-sequential mode switches under readahead",
+            run: prog_seq_random_switch,
+        },
+        FnScenario {
+            name: "prog_write_burst_throttle",
+            group: "programs",
+            description: "write bursts straddling the dirty thresholds, paced vs unpaced",
+            run: prog_write_burst_throttle,
+        },
+        FnScenario {
             name: "sweep_dirty_ratio",
             group: "sweep",
             description: "write behaviour across vm.dirty_ratio / dirty_background_ratio",
@@ -166,6 +184,18 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
             group: "sweep",
             description: "read/write contention across concurrent-instance counts",
             run: sweep_concurrency,
+        },
+        FnScenario {
+            name: "sweep_readahead_window",
+            group: "sweep",
+            description: "sequential scan + re-read across readahead window sizes",
+            run: sweep_readahead_window,
+        },
+        FnScenario {
+            name: "sweep_throttle_pacing",
+            group: "sweep",
+            description: "write-burst behaviour across balance_dirty_pages pacing strengths",
+            run: sweep_throttle_pacing,
         },
     ];
     scenarios
@@ -765,6 +795,224 @@ fn prog_fsync_storm() -> Result<Metrics, String> {
     Ok(m)
 }
 
+/// A strided pass over `[0, file_size)`: `request` bytes every `stride`
+/// bytes, each followed by a release of the anonymous copy so the cache —
+/// not the application footprint — decides residency.
+fn strided_pass(file: &str, file_size: f64, request: f64, stride: f64) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut offset = 0.0;
+    while offset + request <= file_size {
+        ops.push(Op::read_range(file, offset, request));
+        ops.push(Op::ReleaseMemory(request));
+        offset += stride;
+    }
+    ops
+}
+
+/// Two identical strided passes over a 2 GB file at strides of 1×, 2× and
+/// 4× the 64 MB request size. This is the access-pattern divergence the
+/// kernel emulator's resident ranges were built to expose: on the re-read
+/// pass the emulator hits exactly the strided ranges it kept (hit ratio → 1
+/// for the touched bytes), while the amount-based macroscopic model still
+/// sees an half-uncached file and keeps going to disk. Readahead is on, so
+/// the contiguous stride additionally reports prefetched bytes and the
+/// sparse strides prove the window stays collapsed.
+fn prog_strided_reads() -> Result<Metrics, String> {
+    let file_size = 2.0 * GB;
+    let request = 64.0 * MB;
+    let mut m = Metrics::new();
+    for factor in [1u32, 2, 4] {
+        let mut ops = strided_pass("data", file_size, request, factor as f64 * request);
+        ops.extend(strided_pass(
+            "data",
+            file_size,
+            request,
+            factor as f64 * request,
+        ));
+        let app = ApplicationSpec::new("prog-strided")
+            .with_initial_file(FileSpec::new("data", file_size))
+            .with_task(TaskSpec::program("strided passes", ops));
+        let platform = scaled_platform(8.0 * GB).with_readahead(32.0 * MB, 256.0 * MB);
+        for (label, kind) in [
+            ("cache", SimulatorKind::PageCache),
+            ("kernel_emu", SimulatorKind::KernelEmu),
+        ] {
+            let report = run(&platform, &app, kind, 1)?;
+            let stats = report.run_stats();
+            let prefix = format!("stride_{factor}/{label}");
+            m.push(format!("{prefix}/read_s"), report.mean_total_read_time());
+            m.push(format!("{prefix}/hit_ratio"), stats.cache_hit_ratio);
+            m.push(format!("{prefix}/bytes_from_disk"), stats.bytes_from_disk);
+            m.push(format!("{prefix}/bytes_prefetched"), stats.bytes_prefetched);
+        }
+    }
+    Ok(m)
+}
+
+/// Sequential → random → sequential mode switches on one 3 GB file with
+/// readahead enabled: the window grows over the first GB, collapses for 16
+/// random mid-file reads, and regrows over the final GB. Gated on both the
+/// macroscopic model (no readahead notion, prefetched stays 0) and the
+/// emulator.
+fn prog_seq_random_switch() -> Result<Metrics, String> {
+    let file_size = 3.0 * GB;
+    let request = 64.0 * MB;
+    let mut ops = strided_pass("data", 1.0 * GB, request, request);
+    let mut rng = XorShift::new(0xA11CE5);
+    let mut prev_end = 1.0 * GB;
+    for _ in 0..16 {
+        // Random requests in the middle GB, re-drawn if one would continue
+        // the previous request (that would legitimately count as
+        // sequential).
+        let mut offset;
+        loop {
+            offset = 1.0 * GB + (rng.next_f64() * (1.0 * GB - request) / MB).floor() * MB;
+            if (offset - prev_end).abs() > 1.0 {
+                break;
+            }
+        }
+        ops.push(Op::read_range("data", offset, request));
+        ops.push(Op::ReleaseMemory(request));
+        prev_end = offset + request;
+    }
+    let tail_start = 2.0 * GB;
+    let mut offset = tail_start;
+    while offset + request <= file_size {
+        ops.push(Op::read_range("data", offset, request));
+        ops.push(Op::ReleaseMemory(request));
+        offset += request;
+    }
+    let app = ApplicationSpec::new("prog-seq-random-switch")
+        .with_initial_file(FileSpec::new("data", file_size))
+        .with_task(TaskSpec::program("mode switches", ops));
+    let platform = scaled_platform(8.0 * GB).with_readahead(32.0 * MB, 256.0 * MB);
+    let mut m = Metrics::new();
+    for (label, kind) in [
+        ("cache", SimulatorKind::PageCache),
+        ("kernel_emu", SimulatorKind::KernelEmu),
+    ] {
+        let report = run(&platform, &app, kind, 1)?;
+        let stats = report.run_stats();
+        m.push(format!("{label}/read_s"), report.mean_total_read_time());
+        m.push(format!("{label}/hit_ratio"), stats.cache_hit_ratio);
+        m.push(format!("{label}/bytes_from_disk"), stats.bytes_from_disk);
+        m.push(format!("{label}/bytes_prefetched"), stats.bytes_prefetched);
+    }
+    Ok(m)
+}
+
+/// Six 300 MB write bursts with think time on a 4 GB host (background
+/// threshold 400 MB, dirty threshold 800 MB): every burst straddles the
+/// throttle band. Gated on the macroscopic model, the unpaced emulator, and
+/// the emulator with `balance_dirty_pages` pacing — the paced writer
+/// reports stall time and a lower dirty peak.
+fn prog_write_burst_throttle() -> Result<Metrics, String> {
+    let burst = 300.0 * MB;
+    // Appending bursts: dirty data accumulates across bursts (a rewrite of
+    // the same record would re-dirty in place and never reach the band).
+    let mut ops = Vec::new();
+    for i in 0..6 {
+        ops.push(Op::write_range("log", i as f64 * burst, burst));
+        ops.push(Op::compute(1.0));
+    }
+    let app = ApplicationSpec::new("prog-write-burst").with_task(TaskSpec::program("bursts", ops));
+    let platform = scaled_platform(4.0 * GB);
+    let mut m = Metrics::new();
+    for (label, kind, pacing) in [
+        ("cache", SimulatorKind::PageCache, 0.0),
+        ("kernel_emu_unpaced", SimulatorKind::KernelEmu, 0.0),
+        ("kernel_emu_paced", SimulatorKind::KernelEmu, 1.0),
+    ] {
+        let mut platform = platform.clone().with_throttle_pacing(pacing);
+        // Let the background threads run inside the think-time gaps.
+        platform.flush_interval = 0.5;
+        let report = run(&platform, &app, kind, 1)?;
+        let stats = report.run_stats();
+        m.push(format!("{label}/write_s"), report.mean_total_write_time());
+        m.push(format!("{label}/throttle_stall_s"), stats.throttle_stall_s);
+        m.push(format!("{label}/peak_dirty"), stats.peak_dirty);
+        m.push(format!("{label}/bytes_to_disk"), stats.bytes_to_disk);
+        let wb = report
+            .writeback
+            .ok_or_else(|| format!("{label} reported no writeback counters"))?;
+        m.push(
+            format!("{label}/synchronous_flushed"),
+            wb.synchronous_flushed,
+        );
+        m.push(format!("{label}/background_flushed"), wb.background_flushed);
+    }
+    Ok(m)
+}
+
+/// A sequential 2 GB scan followed by a re-read of the first 512 MB on the
+/// kernel emulator, across readahead window sizes (0 = disabled). The
+/// prefetched volume grows with the window while the total disk traffic of
+/// the scan stays constant — readahead never reads a byte twice.
+fn sweep_readahead_window() -> Result<Metrics, String> {
+    let file_size = 2.0 * GB;
+    let request = 64.0 * MB;
+    let hot = 512.0 * MB;
+    let mut ops = strided_pass("data", file_size, request, request);
+    ops.extend(strided_pass("data", hot, request, request));
+    let app = ApplicationSpec::new("sweep-readahead")
+        .with_initial_file(FileSpec::new("data", file_size))
+        .with_task(TaskSpec::program("scan + hot re-read", ops));
+    let mut m = Metrics::new();
+    for max_mb in [0u32, 64, 256, 1024] {
+        let platform = if max_mb == 0 {
+            scaled_platform(8.0 * GB)
+        } else {
+            scaled_platform(8.0 * GB).with_readahead(max_mb as f64 / 8.0 * MB, max_mb as f64 * MB)
+        };
+        let report = run(&platform, &app, SimulatorKind::KernelEmu, 1)?;
+        let stats = report.run_stats();
+        let prefix = format!("window_{max_mb:04}mb");
+        m.push(format!("{prefix}/read_s"), report.mean_total_read_time());
+        m.push(format!("{prefix}/bytes_prefetched"), stats.bytes_prefetched);
+        m.push(format!("{prefix}/bytes_from_disk"), stats.bytes_from_disk);
+        m.push(format!("{prefix}/hit_ratio"), stats.cache_hit_ratio);
+    }
+    Ok(m)
+}
+
+/// One sustained 1.5 GB write on a 4 GB host across pacing strengths: the
+/// stall time grows with the pacing factor while the synchronously flushed
+/// volume shrinks (stalled writers give the background threads time to
+/// drain — the CAWL observation).
+fn sweep_throttle_pacing() -> Result<Metrics, String> {
+    let app = ApplicationSpec::new("sweep-pacing").with_task(TaskSpec::program(
+        "sustained write",
+        vec![Op::write_range("out", 0.0, 1536.0 * MB)],
+    ));
+    let mut m = Metrics::new();
+    for (label, pacing) in [
+        ("pacing_000", 0.0),
+        ("pacing_050", 0.5),
+        ("pacing_100", 1.0),
+        ("pacing_200", 2.0),
+    ] {
+        let mut platform = scaled_platform(4.0 * GB).with_throttle_pacing(pacing);
+        // A sub-second flusher wakeup, so the background threads actually
+        // get to run inside the stalls the pacing creates (the paper-scale
+        // 5 s interval would sleep through this whole workload).
+        platform.flush_interval = 0.5;
+        let report = run(&platform, &app, SimulatorKind::KernelEmu, 1)?;
+        let stats = report.run_stats();
+        m.push(format!("{label}/write_s"), report.mean_total_write_time());
+        m.push(format!("{label}/throttle_stall_s"), stats.throttle_stall_s);
+        m.push(format!("{label}/peak_dirty"), stats.peak_dirty);
+        let wb = report
+            .writeback
+            .ok_or_else(|| format!("{label} reported no writeback counters"))?;
+        m.push(
+            format!("{label}/synchronous_flushed"),
+            wb.synchronous_flushed,
+        );
+        m.push(format!("{label}/background_flushed"), wb.background_flushed);
+    }
+    Ok(m)
+}
+
 /// The `examples/database_workload.rs` workload at harness scale.
 fn example_database_workload() -> Result<Metrics, String> {
     let platform = uniform_platform(8.0 * GB);
@@ -964,6 +1212,68 @@ mod tests {
             .entries()
             .iter()
             .any(|(k, v)| k == "measured/memory_read_mbps" && *v == 6860.0));
+    }
+
+    fn metric(m: &Metrics, name: &str) -> f64 {
+        m.entries()
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+    }
+
+    #[test]
+    fn strided_rereads_diverge_between_model_and_emulator() {
+        let m = prog_strided_reads().unwrap();
+        // On sparse strided re-reads the emulator's resident ranges hit
+        // while the amount-based model keeps reading disk: the emulator hit
+        // ratio must be *strictly* higher (the acceptance criterion of the
+        // readahead/throttling PR).
+        for stride in [2, 4] {
+            let emu = metric(&m, &format!("stride_{stride}/kernel_emu/hit_ratio"));
+            let model = metric(&m, &format!("stride_{stride}/cache/hit_ratio"));
+            assert!(
+                emu > model + 0.05,
+                "stride {stride}: emulator {emu} vs model {model}"
+            );
+            // Sparse strides collapse the window after the fresh-stream
+            // request at offset 0: at most the one-shot initial window
+            // (32 MB) is ever speculated.
+            assert!(
+                metric(&m, &format!("stride_{stride}/kernel_emu/bytes_prefetched"))
+                    <= 32.0 * MB + 1.0
+            );
+        }
+        // The contiguous stride is sequential: readahead fires throughout.
+        assert!(metric(&m, "stride_1/kernel_emu/bytes_prefetched") > 500.0 * MB);
+        // The macroscopic model has no readahead notion at any stride.
+        assert_eq!(metric(&m, "stride_1/cache/bytes_prefetched"), 0.0);
+    }
+
+    #[test]
+    fn pacing_sweep_shows_stalls_and_less_synchronous_writeback() {
+        let m = sweep_throttle_pacing().unwrap();
+        // Every configuration stalls the writer: unpaced only in the hard
+        // leg (synchronous writeback at the dirty threshold), paced also in
+        // the band.
+        for label in ["pacing_000", "pacing_050", "pacing_100", "pacing_200"] {
+            assert!(metric(&m, &format!("{label}/throttle_stall_s")) > 0.0);
+        }
+        // The CAWL effect: stalled writers hand the work to the background
+        // threads, so the synchronously flushed volume falls monotonically
+        // with the pacing strength (and the background volume rises).
+        let sync: Vec<f64> = ["pacing_000", "pacing_050", "pacing_100", "pacing_200"]
+            .iter()
+            .map(|l| metric(&m, &format!("{l}/synchronous_flushed")))
+            .collect();
+        assert!(
+            sync.windows(2).all(|w| w[1] < w[0]),
+            "synchronous flushing not monotonically decreasing: {sync:?}"
+        );
+        assert!(
+            metric(&m, "pacing_200/background_flushed")
+                > metric(&m, "pacing_000/background_flushed")
+        );
     }
 
     #[test]

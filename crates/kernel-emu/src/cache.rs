@@ -247,6 +247,11 @@ pub struct KernelCacheCounters {
     pub throttled_writeback: f64,
     /// Bytes evicted under memory pressure.
     pub evicted: f64,
+    /// Bytes read from disk by the readahead model ahead of demand.
+    pub prefetched: f64,
+    /// Seconds writers spent blocked in `balance_dirty_pages`-style
+    /// throttling (synchronous threshold writeback plus pacing stalls).
+    pub throttle_stall_seconds: f64,
 }
 
 /// One file's slab slot: its page accounting plus the intrusive links of the
@@ -566,6 +571,20 @@ impl KernelCache {
     /// Aggregate counters.
     pub fn counters(&self) -> KernelCacheCounters {
         self.state.borrow().counters
+    }
+
+    /// Records readahead disk traffic (bytes actually read ahead of demand).
+    pub fn note_prefetch(&self, bytes: f64) {
+        if bytes > 0.0 {
+            self.state.borrow_mut().counters.prefetched += bytes;
+        }
+    }
+
+    /// Records time a writer spent blocked in dirty-page throttling.
+    pub fn note_throttle_stall(&self, seconds: f64) {
+        if seconds > 0.0 {
+            self.state.borrow_mut().counters.throttle_stall_seconds += seconds;
+        }
     }
 
     /// Registers anonymous application memory.
@@ -1134,6 +1153,151 @@ mod tests {
         approx(cache.anonymous(), 0.0);
         let snap = cache.cache_content_snapshot("end");
         assert_eq!(snap.per_file.len(), 0);
+    }
+
+    /// Tiny xorshift PRNG (no external dependencies; same generator family
+    /// as the harness dispatcher).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn new(seed: u64) -> Self {
+            XorShift(seed.max(1))
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        /// A value in `[0, bound)`.
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Naive per-page model of a [`RangeSet`]: a `HashSet` of resident page
+    /// indices. All driver operations are page-aligned, so every f64 value
+    /// involved is an exact integer and comparisons can be byte-exact.
+    #[derive(Default)]
+    struct NaivePages(std::collections::HashSet<u64>);
+
+    const PROP_PAGE: f64 = 4096.0;
+
+    impl NaivePages {
+        fn insert(&mut self, a: u64, b: u64) {
+            self.0.extend(a..b);
+        }
+
+        /// Removes `k` pages from the lowest offsets.
+        fn trim_front(&mut self, k: u64) {
+            let mut pages: Vec<u64> = self.0.iter().copied().collect();
+            pages.sort_unstable();
+            for p in pages.into_iter().take(k as usize) {
+                self.0.remove(&p);
+            }
+        }
+
+        fn covered(&self, a: u64, b: u64) -> u64 {
+            (a..b).filter(|p| self.0.contains(p)).count() as u64
+        }
+
+        /// Maximal uncovered page runs within `[a, b)`, as byte ranges.
+        fn gaps(&self, a: u64, b: u64) -> Vec<(f64, f64)> {
+            let mut out = Vec::new();
+            let mut run_start = None;
+            for p in a..b {
+                match (self.0.contains(&p), run_start) {
+                    (false, None) => run_start = Some(p),
+                    (true, Some(s)) => {
+                        out.push((s as f64 * PROP_PAGE, p as f64 * PROP_PAGE));
+                        run_start = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(s) = run_start {
+                out.push((s as f64 * PROP_PAGE, b as f64 * PROP_PAGE));
+            }
+            out
+        }
+
+        fn total(&self) -> u64 {
+            self.0.len() as u64
+        }
+
+        fn high_water(&self) -> f64 {
+            self.0
+                .iter()
+                .max()
+                .map_or(0.0, |&p| (p + 1) as f64 * PROP_PAGE)
+        }
+    }
+
+    /// Property test: 12k randomized page-aligned insert/trim/query ops on a
+    /// [`RangeSet`] must agree byte-exactly with the naive per-page model —
+    /// total coverage, covered length of arbitrary ranges, the uncovered-gap
+    /// plan, and the high-water mark, after every single op.
+    #[test]
+    fn range_set_matches_naive_page_model() {
+        const PAGES: u64 = 512;
+        const OPS: usize = 12_000;
+        let mut rng = XorShift::new(0x9e3779b97f4a7c15);
+        let mut rs = RangeSet::default();
+        let mut naive = NaivePages::default();
+        for op in 0..OPS {
+            match rng.below(4) {
+                0 | 1 => {
+                    // Insert a random page range (inserts dominate so the
+                    // set stays populated).
+                    let a = rng.below(PAGES);
+                    let b = (a + 1 + rng.below(64)).min(PAGES);
+                    rs.insert(a as f64 * PROP_PAGE, b as f64 * PROP_PAGE);
+                    naive.insert(a, b);
+                }
+                2 => {
+                    // Trim a random number of pages from the front
+                    // (occasionally more than are resident).
+                    let k = rng.below(96);
+                    rs.trim_front(k as f64 * PROP_PAGE);
+                    naive.trim_front(k);
+                }
+                _ => {
+                    // Zero-length insert: must be a no-op.
+                    let a = rng.below(PAGES);
+                    rs.insert(a as f64 * PROP_PAGE, a as f64 * PROP_PAGE);
+                }
+            }
+            // Byte-exact coverage.
+            assert_eq!(
+                rs.total(),
+                naive.total() as f64 * PROP_PAGE,
+                "op {op}: total"
+            );
+            assert_eq!(rs.high_water(), naive.high_water(), "op {op}: high water");
+            // A random query range (possibly empty, possibly past the end).
+            let qa = rng.below(PAGES + 32);
+            let qb = qa + rng.below(128);
+            let (fa, fb) = (qa as f64 * PROP_PAGE, qb as f64 * PROP_PAGE);
+            assert_eq!(
+                rs.covered_len(fa, fb),
+                naive.covered(qa, qb.min(PAGES)).min(qb - qa) as f64 * PROP_PAGE,
+                "op {op}: covered_len({qa}, {qb})"
+            );
+            assert_eq!(
+                rs.gaps(fa, fb),
+                naive.gaps(qa, qb),
+                "op {op}: gaps({qa}, {qb})"
+            );
+            // Structural invariants: sorted, disjoint, non-empty spans.
+            for w in rs.spans.windows(2) {
+                assert!(w[0].1 < w[1].0, "op {op}: touching/unsorted spans");
+            }
+            assert!(rs.spans.iter().all(|&(a, b)| b > a), "op {op}: empty span");
+        }
     }
 
     #[test]

@@ -7,6 +7,34 @@
 //! reads exactly the non-resident sub-ranges from disk and serves the rest
 //! from memory, so random and partial access patterns are modelled at page
 //! fidelity. Whole-file operations are corollaries of the range operations.
+//!
+//! ## Readahead
+//!
+//! When [`KernelTuning::readahead_max`](crate::KernelTuning) is non-zero,
+//! each file carries a Linux-style readahead stream: a request continuing
+//! exactly where the previous one ended (or a fresh stream starting at
+//! offset 0) is *sequential* and grows the per-file window — starting at
+//! `readahead_min`, doubling per sequential request up to `readahead_max` —
+//! while any other request collapses it to zero. After a sequential request
+//! is served, the non-resident part of the window beyond it is read from
+//! disk as extra traffic (`IoOpStats::bytes_prefetched`) and inserted into
+//! the cache's resident [range set](crate::KernelCache::uncovered) ahead of
+//! demand. Prefetch is speculative: it only reads *gaps* (never a byte
+//! twice) and never triggers reclaim — the plan is clipped to the free
+//! memory headroom.
+//!
+//! ## Writer throttling
+//!
+//! Writes are balanced against the dirty thresholds twice. At the **dirty
+//! ratio** the writer itself writes back down to the background threshold
+//! (the hard `balance_dirty_pages` leg the emulator always had); with
+//! [`KernelTuning::throttle_pacing`](crate::KernelTuning) non-zero, writers
+//! are additionally *paced* while dirty data sits **between** the background
+//! and the dirty threshold — stalled after each request proportionally to
+//! how deep into the band the host is, converging on disk write bandwidth at
+//! the limit, exactly the steady state of the kernel's task rate limit. Time
+//! spent in either leg is reported as `IoOpStats::throttle_stall` and
+//! accumulated in [`KernelCacheCounters`](crate::KernelCacheCounters).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -24,14 +52,40 @@ const EPS: f64 = 1e-6;
 /// Default request size used by the emulated VFS layer (bytes).
 pub const DEFAULT_REQUEST_SIZE: f64 = 100.0 * 1e6;
 
+/// Per-file bookkeeping of the emulated VFS layer: the registered size plus
+/// the state of the file's readahead stream (Linux keeps this in
+/// `struct file_ra_state`; files here are opened implicitly, so the stream
+/// is per file).
+#[derive(Debug, Clone, Copy)]
+struct FileMeta {
+    /// Registered file size in bytes.
+    size: f64,
+    /// Where the next sequential request is expected to start (the end of
+    /// the last demand request). `None` until the file is first read.
+    ra_next: Option<f64>,
+    /// Current readahead window in bytes (0 = collapsed).
+    ra_window: f64,
+}
+
+impl FileMeta {
+    fn new(size: f64) -> Self {
+        FileMeta {
+            size: size.max(0.0),
+            ra_next: None,
+            ra_window: 0.0,
+        }
+    }
+}
+
 /// A local filesystem whose behaviour is emulated at kernel fidelity
-/// (background writeback, writer throttling, eviction protection).
+/// (background writeback, readahead, writer throttling, eviction
+/// protection).
 #[derive(Clone)]
 pub struct KernelFileSystem {
     ctx: SimContext,
     cache: KernelCache,
     disk: Disk,
-    files: Rc<RefCell<BTreeMap<FileId, f64>>>,
+    files: Rc<RefCell<BTreeMap<FileId, FileMeta>>>,
     request_size: f64,
 }
 
@@ -67,13 +121,15 @@ impl KernelFileSystem {
     /// Registers a pre-existing file without simulating I/O.
     pub fn create_file(&self, file: &FileId, size: f64) -> Result<(), KernelFsError> {
         self.disk.allocate(size)?;
-        self.files.borrow_mut().insert(file.clone(), size.max(0.0));
+        self.files
+            .borrow_mut()
+            .insert(file.clone(), FileMeta::new(size));
         Ok(())
     }
 
     /// Size of a registered file.
     pub fn file_size(&self, file: &FileId) -> Option<f64> {
-        self.files.borrow().get(file).copied()
+        self.files.borrow().get(file).map(|m| m.size)
     }
 
     fn require_size(&self, file: &FileId) -> Result<f64, KernelFsError> {
@@ -83,12 +139,12 @@ impl KernelFileSystem {
 
     /// Deletes a file: frees disk space and drops its cached pages.
     pub fn delete_file(&self, file: &FileId) -> Result<(), KernelFsError> {
-        let size = self
+        let meta = self
             .files
             .borrow_mut()
             .remove(file)
             .ok_or_else(|| KernelFsError::FileNotFound(file.clone()))?;
-        self.disk.free(size);
+        self.disk.free(meta.size);
         self.cache.invalidate_file(file);
         Ok(())
     }
@@ -155,11 +211,90 @@ impl KernelFileSystem {
                 self.cache.touch(file, from_cache);
                 stats.bytes_from_cache += from_cache;
             }
+            self.readahead(file, size, pos, chunk_end, chunk, &mut stats)
+                .await;
             self.cache.use_anonymous_memory(chunk);
             pos = chunk_end;
         }
         stats.duration = self.ctx.now().duration_since(start);
         Ok(stats)
+    }
+
+    /// The readahead leg of one demand request `[start, end)`: updates the
+    /// file's stream state (sequentiality detection, window growth/collapse)
+    /// and, when a window is open, reads the non-resident part of
+    /// `[end, end + window)` from disk ahead of demand. `pending_anon` is
+    /// the anonymous copy of the demand chunk that has not been charged yet;
+    /// the speculative read never triggers reclaim, so its plan is clipped
+    /// to the free headroom left after that charge.
+    async fn readahead(
+        &self,
+        file: &FileId,
+        file_size: f64,
+        start: f64,
+        end: f64,
+        pending_anon: f64,
+        stats: &mut IoOpStats,
+    ) {
+        let tuning = self.cache.tuning();
+        let (ra_min, ra_max) = (tuning.readahead_min, tuning.readahead_max);
+        if ra_max <= EPS {
+            return;
+        }
+        let window = {
+            let mut files = self.files.borrow_mut();
+            let Some(meta) = files.get_mut(file) else {
+                return;
+            };
+            // A request is sequential when it continues exactly where the
+            // previous one ended — or when it is the very first request of
+            // the file and starts at offset 0 (Linux fires initial readahead
+            // from `do_sync_mmap_readahead` / `page_cache_sync_ra` there).
+            let sequential = match meta.ra_next {
+                Some(next) => (start - next).abs() <= EPS,
+                None => start.abs() <= EPS,
+            };
+            meta.ra_window = if !sequential {
+                0.0
+            } else if meta.ra_window <= EPS {
+                ra_min.min(ra_max)
+            } else {
+                (meta.ra_window * 2.0).min(ra_max)
+            };
+            meta.ra_next = Some(end);
+            meta.ra_window
+        };
+        if window <= EPS {
+            return;
+        }
+        let ra_end = (end + window).min(file_size);
+        // Only gaps are fetched — readahead never reads a byte twice — and
+        // the plan stops at the free-memory budget instead of evicting
+        // anything (the kernel drops readahead under pressure too).
+        let budget = (self.cache.free_memory() - pending_anon).max(0.0);
+        let mut planned = 0.0;
+        let mut plan = Vec::new();
+        for (a, b) in self.cache.uncovered(file, end, ra_end) {
+            if planned >= budget - EPS {
+                break;
+            }
+            let b = b.min(a + (budget - planned));
+            if b - a > EPS {
+                planned += b - a;
+                plan.push((a, b));
+            }
+        }
+        if planned <= EPS {
+            return;
+        }
+        self.disk.read(planned).await;
+        for &(a, b) in &plan {
+            self.cache.insert_clean_range(file, a, b);
+        }
+        self.cache.note_prefetch(planned);
+        stats.bytes_from_disk += planned;
+        stats.bytes_to_cache += planned;
+        stats.bytes_prefetched += planned;
     }
 
     /// Writes a whole file through the emulated cache (writeback semantics
@@ -173,8 +308,18 @@ impl KernelFileSystem {
                 len: size,
             });
         }
-        if let Some(old) = self.files.borrow_mut().insert(file.clone(), size.max(0.0)) {
-            self.disk.free(old);
+        // Truncate semantics: the registration (and with it the readahead
+        // stream) is replaced wholesale, and — like `open(O_TRUNC)` — the
+        // old resident pages are dropped, dirty ones discarded unwritten.
+        // Without this, pages beyond the new EOF would linger as phantom
+        // cached bytes no read can ever hit (reads clamp to the new size).
+        if let Some(old) = self
+            .files
+            .borrow_mut()
+            .insert(file.clone(), FileMeta::new(size))
+        {
+            self.disk.free(old.size);
+            self.cache.invalidate_file(file);
         }
         self.disk.allocate(size)?;
         self.write_span(file, 0.0, size.max(0.0)).await
@@ -199,12 +344,18 @@ impl KernelFileSystem {
         match old {
             Some(old) if new_end > old => {
                 self.disk.allocate(new_end - old)?;
-                self.files.borrow_mut().insert(file.clone(), new_end);
+                // Extension keeps the readahead stream: only the size moves.
+                self.files
+                    .borrow_mut()
+                    .entry(file.clone())
+                    .and_modify(|m| m.size = new_end);
             }
             Some(_) => {}
             None => {
                 self.disk.allocate(new_end)?;
-                self.files.borrow_mut().insert(file.clone(), new_end);
+                self.files
+                    .borrow_mut()
+                    .insert(file.clone(), FileMeta::new(new_end));
             }
         }
         self.write_span(file, offset, offset + len).await
@@ -226,13 +377,18 @@ impl KernelFileSystem {
             let chunk_end = (pos + self.request_size).min(end);
             let chunk = chunk_end - pos;
 
-            // balance_dirty_pages: above the dirty threshold the writer itself
-            // writes back, down to the background threshold.
+            // balance_dirty_pages, hard leg: above the dirty threshold the
+            // writer itself writes back, down to the background threshold.
+            // The time it spends doing so is by definition a throttle stall.
             let projected_dirty = self.cache.dirty() + chunk;
             if projected_dirty > self.cache.dirty_threshold() {
+                let stall_start = self.ctx.now();
                 let target = (projected_dirty - self.cache.background_threshold()).max(0.0);
                 let flushed = self.cache.write_back(target, true).await;
                 stats.bytes_to_disk += flushed;
+                let stalled = self.ctx.now().duration_since(stall_start);
+                stats.throttle_stall += stalled;
+                self.cache.note_throttle_stall(stalled);
             }
 
             // Make room for the new dirty pages.
@@ -249,6 +405,29 @@ impl KernelFileSystem {
             self.cache.memory().write(chunk).await;
             self.cache.insert_dirty_range(file, pos, chunk_end);
             stats.bytes_to_cache += chunk;
+
+            // balance_dirty_pages, pacing leg: between the background and
+            // the dirty threshold the writer is slowed in proportion to how
+            // deep into the band the host is, converging on disk write
+            // bandwidth at the limit (the kernel's task rate limit). The
+            // stall gives the background writeback threads simulated time to
+            // drain, which is exactly the CAWL observation: stalled writers,
+            // not just background flushing, dominate cache-aware writes.
+            let pacing = self.cache.tuning().throttle_pacing;
+            if pacing > 0.0 {
+                let background = self.cache.background_threshold();
+                let limit = self.cache.dirty_threshold();
+                let dirty = self.cache.dirty();
+                if dirty > background + EPS && limit > background + EPS {
+                    let ramp = ((dirty - background) / (limit - background)).min(1.0);
+                    let pause = pacing * ramp * self.disk.ideal_write_time(chunk);
+                    if pause > EPS {
+                        self.ctx.sleep(pause).await;
+                        stats.throttle_stall += pause;
+                        self.cache.note_throttle_stall(pause);
+                    }
+                }
+            }
             pos = chunk_end;
         }
         self.cache.set_write_open(file, false);
@@ -298,6 +477,10 @@ mod tests {
     }
 
     fn setup(total_mb: f64) -> (Simulation, KernelFileSystem) {
+        setup_with(KernelTuning::with_memory(total_mb * MB))
+    }
+
+    fn setup_with(tuning: KernelTuning) -> (Simulation, KernelFileSystem) {
         let sim = Simulation::new();
         let ctx = sim.context();
         // Real-cluster style asymmetric bandwidths (Table III).
@@ -310,12 +493,7 @@ mod tests {
             "ssd",
             DeviceSpec::asymmetric(510.0 * MB, 420.0 * MB, 0.0, f64::INFINITY),
         );
-        let cache = KernelCache::new(
-            &ctx,
-            KernelTuning::with_memory(total_mb * MB),
-            memory,
-            disk.clone(),
-        );
+        let cache = KernelCache::new(&ctx, tuning, memory, disk.clone());
         let fs = KernelFileSystem::new(&ctx, cache, disk);
         (sim, fs)
     }
@@ -411,6 +589,28 @@ mod tests {
     }
 
     #[test]
+    fn write_file_truncation_drops_stale_pages() {
+        let (sim, fs) = setup(10_000.0);
+        fs.create_file(&"f".into(), 1000.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                // Make the whole 1000 MB resident, then truncate to 100 MB.
+                fs.read_file(&"f".into()).await.unwrap();
+                fs.cache().release_anonymous_memory(1000.0 * MB);
+                fs.write_file(&"f".into(), 100.0 * MB).await.unwrap();
+            }
+        });
+        sim.run();
+        assert!(h.is_finished());
+        // No phantom pages beyond the new EOF: exactly the rewritten 100 MB
+        // is cached (and dirty), not 1000 MB.
+        approx_pct(fs.cache().cached_amount(&"f".into()), 100.0 * MB, 0.1);
+        approx_pct(fs.cache().dirty(), 100.0 * MB, 0.1);
+        assert_eq!(fs.file_size(&"f".into()), Some(100.0 * MB));
+    }
+
+    #[test]
     fn fsync_writes_back_only_the_target_file() {
         let (sim, fs) = setup(10_000.0);
         let h = sim.spawn({
@@ -488,6 +688,171 @@ mod tests {
         assert!(
             later <= fs.cache().background_threshold() + 1.0,
             "later = {later}"
+        );
+    }
+
+    fn readahead_tuning(total_mb: f64) -> KernelTuning {
+        KernelTuning::with_memory(total_mb * MB).with_readahead(50.0 * MB, 400.0 * MB)
+    }
+
+    #[test]
+    fn sequential_scan_with_readahead_reads_each_byte_once() {
+        let (sim, fs) = setup_with(readahead_tuning(10_000.0));
+        fs.create_file(&"f".into(), 1000.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.read_file(&"f".into()).await.unwrap() }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        // Prefetch fired, but every byte of the file hit the disk exactly
+        // once: the prefetched share was served from cache on demand instead
+        // of being read again.
+        assert!(stats.bytes_prefetched > 100.0 * MB, "{stats:?}");
+        approx_pct(stats.bytes_from_disk, 1000.0 * MB, 0.1);
+        approx_pct(stats.bytes_from_cache, stats.bytes_prefetched, 0.1);
+        approx_pct(
+            fs.cache().counters().prefetched,
+            stats.bytes_prefetched,
+            0.1,
+        );
+        approx_pct(fs.cache().cached_amount(&"f".into()), 1000.0 * MB, 0.1);
+    }
+
+    #[test]
+    fn readahead_window_grows_then_collapses_on_a_jump() {
+        let (sim, fs) = setup_with(readahead_tuning(10_000.0));
+        fs.create_file(&"f".into(), 2000.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                // Two sequential requests: initial window (50 MB), doubled
+                // (100 MB).
+                fs.read_range(&"f".into(), 0.0, 100.0 * MB).await.unwrap();
+                let w1 = fs.files.borrow()[&"f".into()].ra_window;
+                fs.read_range(&"f".into(), 100.0 * MB, 100.0 * MB)
+                    .await
+                    .unwrap();
+                let w2 = fs.files.borrow()[&"f".into()].ra_window;
+                // A jump collapses the window and prefetches nothing.
+                let jump = fs
+                    .read_range(&"f".into(), 1500.0 * MB, 100.0 * MB)
+                    .await
+                    .unwrap();
+                let w3 = fs.files.borrow()[&"f".into()].ra_window;
+                (w1, w2, w3, jump)
+            }
+        });
+        sim.run();
+        let (w1, w2, w3, jump) = h.try_take_result().unwrap();
+        approx_pct(w1, 50.0 * MB, 0.1);
+        approx_pct(w2, 100.0 * MB, 0.1);
+        assert_eq!(w3, 0.0);
+        assert_eq!(jump.bytes_prefetched, 0.0);
+    }
+
+    #[test]
+    fn random_reads_never_prefetch() {
+        let (sim, fs) = setup_with(readahead_tuning(10_000.0));
+        fs.create_file(&"f".into(), 2000.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move {
+                let mut stats = IoOpStats::default();
+                for offset_mb in [700.0, 100.0, 1500.0, 400.0, 1100.0] {
+                    let s = fs
+                        .read_range(&"f".into(), offset_mb * MB, 50.0 * MB)
+                        .await
+                        .unwrap();
+                    stats.merge(&s);
+                }
+                stats
+            }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        assert_eq!(stats.bytes_prefetched, 0.0);
+        assert_eq!(fs.cache().counters().prefetched, 0.0);
+        approx_pct(stats.bytes_from_disk, 250.0 * MB, 0.1);
+    }
+
+    #[test]
+    fn readahead_prefetch_is_clipped_to_free_memory() {
+        // 1000 MB of RAM: a 600 MB demand read plus its anonymous copy
+        // leaves almost nothing for speculation — prefetch must shrink
+        // rather than evict.
+        let (sim, fs) = setup_with(readahead_tuning(1000.0));
+        fs.create_file(&"f".into(), 2000.0 * MB).unwrap();
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.read_range(&"f".into(), 0.0, 600.0 * MB).await.unwrap() }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        // The unclipped windows would speculate 50+100+200+400+400 MB ahead;
+        // the free-memory budget caps what is actually fetched well below
+        // that, and the host never overcommits on behalf of speculation.
+        assert!(stats.bytes_prefetched <= 500.0 * MB, "{stats:?}");
+        assert!(stats.bytes_prefetched > 0.0, "{stats:?}");
+        assert!(fs.cache().cached() + fs.cache().anonymous() <= 1000.0 * MB + 1.0);
+    }
+
+    #[test]
+    fn pacing_stalls_writers_between_the_thresholds() {
+        // 1000 MB of RAM: background threshold 100 MB, dirty threshold
+        // 200 MB. A 180 MB write ends between the two; with pacing the
+        // writer is stalled, without it the write runs at memory speed.
+        let unpaced = {
+            let (sim, fs) = setup(1000.0);
+            let h = sim.spawn({
+                let fs = fs.clone();
+                async move { fs.write_file(&"out".into(), 180.0 * MB).await.unwrap() }
+            });
+            sim.run();
+            h.try_take_result().unwrap()
+        };
+        let paced = {
+            let (sim, fs) =
+                setup_with(KernelTuning::with_memory(1000.0 * MB).with_throttle_pacing(1.0));
+            let h = sim.spawn({
+                let fs = fs.clone();
+                async move { fs.write_file(&"out".into(), 180.0 * MB).await.unwrap() }
+            });
+            sim.run();
+            (h.try_take_result().unwrap(), fs.cache().counters())
+        };
+        assert_eq!(unpaced.throttle_stall, 0.0);
+        let (paced_stats, counters) = paced;
+        assert!(paced_stats.throttle_stall > 0.0, "{paced_stats:?}");
+        approx_pct(
+            counters.throttle_stall_seconds,
+            paced_stats.throttle_stall,
+            0.1,
+        );
+        assert!(paced_stats.duration > unpaced.duration + paced_stats.throttle_stall * 0.9);
+        // Pacing slows the writer but flushes nothing extra by itself.
+        assert_eq!(paced_stats.bytes_to_disk, 0.0);
+    }
+
+    #[test]
+    fn hard_throttle_time_is_reported_as_stall() {
+        // 600 MB write on a 1000 MB host crosses the 200 MB dirty threshold:
+        // the synchronous writeback the writer performs is a stall even with
+        // pacing disabled.
+        let (sim, fs) = setup(1000.0);
+        let h = sim.spawn({
+            let fs = fs.clone();
+            async move { fs.write_file(&"out".into(), 600.0 * MB).await.unwrap() }
+        });
+        sim.run();
+        let stats = h.try_take_result().unwrap();
+        assert!(stats.bytes_to_disk >= 350.0 * MB);
+        assert!(stats.throttle_stall > 0.5, "{}", stats.throttle_stall);
+        assert!(stats.throttle_stall <= stats.duration);
+        approx_pct(
+            fs.cache().counters().throttle_stall_seconds,
+            stats.throttle_stall,
+            0.1,
         );
     }
 

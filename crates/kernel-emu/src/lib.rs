@@ -7,9 +7,17 @@
 //! deliberately leaves out —
 //!
 //! * the background dirty threshold (`vm.dirty_background_ratio`),
-//! * writer throttling à la `balance_dirty_pages`,
+//! * writer throttling à la `balance_dirty_pages` — both the hard leg
+//!   (synchronous writeback above `vm.dirty_ratio`) and, opt-in, the pacing
+//!   leg that stalls writers between the two thresholds
+//!   ([`KernelTuning::throttle_pacing`]),
 //! * eviction protection of files currently being written,
-//! * per-file page accounting instead of per-I/O data blocks,
+//! * per-file page accounting instead of per-I/O data blocks, refined to
+//!   **true resident byte ranges** per file,
+//! * opt-in Linux-style **readahead**: per-file sequentiality detection
+//!   with a growing/collapsing window whose prefetch lands in the resident
+//!   ranges ahead of demand ([`KernelTuning::readahead_max`]; see
+//!   [`KernelFileSystem`] for the exact model),
 //!
 //! and that is configured with the *measured, asymmetric* device bandwidths of
 //! Table III (whereas the simulators use the symmetric averages). Simulators
@@ -28,4 +36,4 @@ mod tuning;
 pub use cache::{KernelCache, KernelCacheCounters};
 pub use error::KernelFsError;
 pub use fs::{KernelFileSystem, DEFAULT_REQUEST_SIZE};
-pub use tuning::{KernelTuning, PAGE_SIZE};
+pub use tuning::{KernelTuning, LINUX_READAHEAD_MAX, LINUX_READAHEAD_MIN, PAGE_SIZE};

@@ -27,9 +27,15 @@ pub const DEFAULT_CHUNK_SIZE: f64 = 100.0 * 1e6;
 /// Clamps the byte range `[offset, offset + len)` to a file of `file_size`
 /// bytes and returns `(start, amount)`. Negative offsets are clamped to 0,
 /// `len = f64::INFINITY` means "to end of file", and ranges beyond the end
-/// of the file are truncated (possibly to zero bytes). Shared by every
-/// filesystem implementing offset-granular I/O.
+/// of the file are truncated (possibly to zero bytes). A `NaN` offset or
+/// length describes no range at all and clamps to zero bytes (`NaN.max(0.0)`
+/// is `0.0` in Rust, so without the explicit check a NaN offset would
+/// silently read the *start* of the file). Shared by every filesystem
+/// implementing offset-granular I/O.
 pub fn clamp_io_range(offset: f64, len: f64, file_size: f64) -> (f64, f64) {
+    if offset.is_nan() || len.is_nan() {
+        return (0.0, 0.0);
+    }
     let start = offset.max(0.0).min(file_size);
     let end = if len == f64::INFINITY {
         file_size
@@ -231,7 +237,11 @@ impl IoController {
         }
 
         // Lines 11-18: the dirty threshold was reached; repeatedly flush,
-        // evict, and write the remaining data to the cache.
+        // evict, and write the remaining data to the cache. This loop is the
+        // macroscopic equivalent of `balance_dirty_pages` blocking the
+        // writer, so the time it takes is reported as a throttle stall —
+        // comparable with the kernel emulator's pacing/hard-throttle stalls.
+        let stall_start = self.ctx.now();
         let mut remaining = chunk - mem_amt;
         while remaining > EPSILON {
             let flushed = self.mm.flush(chunk - mem_amt, None).await;
@@ -254,6 +264,7 @@ impl IoController {
                 remaining = 0.0;
             }
         }
+        stats.throttle_stall = self.ctx.now().duration_since(stall_start);
 
         stats.duration = self.ctx.now().duration_since(start);
         stats
@@ -540,6 +551,28 @@ mod tests {
         assert_eq!(clamp_io_range(150.0, 10.0, 100.0), (100.0, 0.0));
         assert_eq!(clamp_io_range(20.0, -3.0, 100.0), (20.0, 0.0));
         assert_eq!(clamp_io_range(0.0, f64::INFINITY, 0.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn clamp_io_range_edge_cases() {
+        // Zero-length ranges anywhere in or out of the file.
+        assert_eq!(clamp_io_range(0.0, 0.0, 100.0), (0.0, 0.0));
+        assert_eq!(clamp_io_range(50.0, 0.0, 100.0), (50.0, 0.0));
+        // Offset exactly at EOF, and beyond it (finite and infinite).
+        assert_eq!(clamp_io_range(100.0, 0.0, 100.0), (100.0, 0.0));
+        assert_eq!(clamp_io_range(100.0, f64::INFINITY, 100.0), (100.0, 0.0));
+        assert_eq!(clamp_io_range(f64::INFINITY, 10.0, 100.0), (100.0, 0.0));
+        // A range straddling EOF truncates to the in-file part.
+        assert_eq!(clamp_io_range(90.0, 20.0, 100.0), (90.0, 10.0));
+        // Negative infinity offset clamps like any negative offset.
+        assert_eq!(clamp_io_range(f64::NEG_INFINITY, 10.0, 100.0), (0.0, 10.0));
+        // NaN offset/length describe no range — notably, a NaN offset must
+        // not silently turn into a read of the first `len` bytes.
+        assert_eq!(clamp_io_range(f64::NAN, 10.0, 100.0), (0.0, 0.0));
+        assert_eq!(clamp_io_range(10.0, f64::NAN, 100.0), (0.0, 0.0));
+        assert_eq!(clamp_io_range(f64::NAN, f64::NAN, 100.0), (0.0, 0.0));
+        // Empty file: everything clamps to zero.
+        assert_eq!(clamp_io_range(5.0, 5.0, 0.0), (0.0, 0.0));
     }
 
     #[test]

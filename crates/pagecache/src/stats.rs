@@ -128,6 +128,13 @@ pub struct IoOpStats {
     /// flushes triggered by memory pressure count here, background flushes do
     /// not).
     pub bytes_to_disk: f64,
+    /// Bytes read from disk *ahead of demand* by a readahead model (a subset
+    /// of `bytes_from_disk`). Zero on back-ends without readahead.
+    pub bytes_prefetched: f64,
+    /// Seconds the caller spent blocked in dirty-page throttling
+    /// (`balance_dirty_pages`-style synchronous threshold writeback and
+    /// pacing stalls; a subset of `duration`).
+    pub throttle_stall: f64,
     /// Virtual time the operation took, in seconds.
     pub duration: f64,
 }
@@ -156,6 +163,8 @@ impl IoOpStats {
         self.bytes_from_cache += other.bytes_from_cache;
         self.bytes_to_cache += other.bytes_to_cache;
         self.bytes_to_disk += other.bytes_to_disk;
+        self.bytes_prefetched += other.bytes_prefetched;
+        self.throttle_stall += other.throttle_stall;
         self.duration += other.duration;
     }
 }
@@ -235,23 +244,25 @@ mod tests {
         let mut a = IoOpStats {
             bytes_from_disk: 100.0,
             bytes_from_cache: 300.0,
-            bytes_to_cache: 0.0,
-            bytes_to_disk: 0.0,
+            bytes_prefetched: 50.0,
             duration: 2.0,
+            ..IoOpStats::default()
         };
         assert_eq!(a.cache_hit_ratio(), 0.75);
         assert_eq!(a.total_bytes(), 400.0);
         let b = IoOpStats {
-            bytes_from_disk: 0.0,
-            bytes_from_cache: 0.0,
             bytes_to_cache: 500.0,
             bytes_to_disk: 200.0,
+            throttle_stall: 1.5,
             duration: 3.0,
+            ..IoOpStats::default()
         };
         assert_eq!(b.cache_hit_ratio(), 0.0);
         a.merge(&b);
         assert_eq!(a.bytes_to_cache, 500.0);
         assert_eq!(a.bytes_to_disk, 200.0);
+        assert_eq!(a.bytes_prefetched, 50.0);
+        assert_eq!(a.throttle_stall, 1.5);
         assert_eq!(a.duration, 5.0);
     }
 

@@ -777,6 +777,9 @@ impl Backend {
                 tuning.dirty_background_ratio = platform.dirty_background_ratio;
                 tuning.dirty_expire = platform.dirty_expire;
                 tuning.writeback_interval = platform.flush_interval;
+                tuning.readahead_min = platform.readahead_min;
+                tuning.readahead_max = platform.readahead_max;
+                tuning.throttle_pacing = platform.throttle_pacing;
                 let cache = KernelCache::new(ctx, tuning, memory, disk.clone());
                 Ok(Backend::Kernel(
                     KernelFileSystem::new(ctx, cache, disk).with_request_size(platform.chunk_size),

@@ -89,4 +89,7 @@ pub use report::{
     WritebackCounters,
 };
 pub use runner::{run_scenario, scoped_file, Scenario};
-pub use spec::{flatten_program, ApplicationSpec, FileSpec, Op, TaskSpec};
+pub use spec::{
+    flatten_program, ApplicationSpec, FileSpec, Op, ProgramError, TaskSpec, MAX_PROGRAM_OPS,
+    MAX_REPEAT_DEPTH,
+};

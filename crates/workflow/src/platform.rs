@@ -60,6 +60,19 @@ pub struct PlatformSpec {
     pub dirty_expire: f64,
     /// Periodical flusher interval, seconds.
     pub flush_interval: f64,
+    /// Initial readahead window of the kernel emulator, bytes (Linux
+    /// `get_init_ra_size`). Meaningful only when `readahead_max > 0`; the
+    /// macroscopic simulators are amount-based and have no notion of
+    /// readahead.
+    pub readahead_min: f64,
+    /// Maximum readahead window of the kernel emulator, bytes (Linux
+    /// `read_ahead_kb`). **Zero — the default — disables readahead**, so
+    /// predictions are unchanged unless a platform opts in.
+    pub readahead_max: f64,
+    /// `balance_dirty_pages` pacing strength of the kernel emulator
+    /// (see [`kernel_emu::KernelTuning`]). **Zero — the default — disables
+    /// pacing**; the hard throttle at the dirty ratio applies regardless.
+    pub throttle_pacing: f64,
 }
 
 impl PlatformSpec {
@@ -84,7 +97,28 @@ impl PlatformSpec {
             dirty_background_ratio: 0.1,
             dirty_expire: 30.0,
             flush_interval: 5.0,
+            readahead_min: 0.0,
+            readahead_max: 0.0,
+            throttle_pacing: 0.0,
         }
+    }
+
+    /// Enables the kernel emulator's readahead model with the given initial
+    /// and maximum window sizes (bytes). Use windows proportional to the
+    /// platform's chunk size the way Linux sizes its windows relative to
+    /// request sizes.
+    pub fn with_readahead(mut self, min: f64, max: f64) -> Self {
+        self.readahead_min = min;
+        self.readahead_max = max;
+        self
+    }
+
+    /// Enables the kernel emulator's `balance_dirty_pages` writer pacing
+    /// (`1.0` mirrors the kernel: writers at the dirty threshold are paced
+    /// down to disk write bandwidth).
+    pub fn with_throttle_pacing(mut self, pacing: f64) -> Self {
+        self.throttle_pacing = pacing;
+        self
     }
 
     /// Switches the platform to NFS storage.
@@ -131,6 +165,22 @@ impl PlatformSpec {
         if self.dirty_background_ratio > self.dirty_ratio {
             return Err("background dirty ratio must not exceed the dirty ratio".to_string());
         }
+        if !(self.readahead_min >= 0.0
+            && self.readahead_max >= 0.0
+            && self.readahead_min.is_finite()
+            && self.readahead_max.is_finite())
+        {
+            return Err("readahead windows must be finite and non-negative".to_string());
+        }
+        if self.readahead_max > 0.0 && self.readahead_min <= 0.0 {
+            return Err("readahead_min must be positive when readahead is enabled".to_string());
+        }
+        if self.readahead_min > self.readahead_max {
+            return Err("readahead_min must not exceed readahead_max".to_string());
+        }
+        if !(self.throttle_pacing >= 0.0 && self.throttle_pacing.is_finite()) {
+            return Err("throttle pacing must be finite and non-negative".to_string());
+        }
         Ok(())
     }
 }
@@ -175,6 +225,32 @@ mod tests {
         // An explicit background ratio above the dirty ratio is invalid.
         let bad = p.with_dirty_background_ratio(0.5);
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn readahead_and_pacing_knobs_validate() {
+        let p = PlatformSpec::uniform(
+            16.0 * GB,
+            DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+            DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+        );
+        // Off by default.
+        assert_eq!(p.readahead_max, 0.0);
+        assert_eq!(p.throttle_pacing, 0.0);
+        assert!(p.validate().is_ok());
+        let on = p
+            .clone()
+            .with_readahead(16.0 * MB, 256.0 * MB)
+            .with_throttle_pacing(1.0);
+        assert!(on.validate().is_ok());
+        assert_eq!(on.readahead_min, 16.0 * MB);
+        assert!(p
+            .clone()
+            .with_readahead(256.0 * MB, 16.0 * MB)
+            .validate()
+            .is_err());
+        assert!(p.clone().with_readahead(0.0, 16.0 * MB).validate().is_err());
+        assert!(p.clone().with_throttle_pacing(-1.0).validate().is_err());
     }
 
     #[test]

@@ -89,6 +89,14 @@ pub struct RunStats {
     pub bytes_to_disk: f64,
     /// Fraction of all read bytes served from the cache.
     pub cache_hit_ratio: f64,
+    /// Bytes read from disk ahead of demand by the kernel emulator's
+    /// readahead model (a subset of `bytes_from_disk`; 0 on back-ends
+    /// without readahead or with readahead disabled).
+    pub bytes_prefetched: f64,
+    /// Seconds writers spent blocked in dirty-page throttling
+    /// (`balance_dirty_pages`-style stalls), summed over every task of every
+    /// instance.
+    pub throttle_stall_s: f64,
     /// Peak cached data observed in the memory trace (0 without a trace).
     pub peak_cached: f64,
     /// Peak dirty data observed in the memory trace (0 without a trace).
@@ -173,6 +181,8 @@ impl ScenarioReport {
             bytes_to_cache: io.bytes_to_cache,
             bytes_to_disk: io.bytes_to_disk,
             cache_hit_ratio: io.cache_hit_ratio(),
+            bytes_prefetched: io.bytes_prefetched,
+            throttle_stall_s: io.throttle_stall,
             peak_cached,
             peak_dirty,
         }
@@ -274,12 +284,19 @@ mod tests {
             bytes_to_disk: 50.0,
             ..IoOpStats::default()
         };
+        r.instance_reports[1].tasks[0].read_stats = IoOpStats {
+            bytes_prefetched: 25.0,
+            throttle_stall: 0.5,
+            ..IoOpStats::default()
+        };
         let stats = r.run_stats();
         assert_eq!(stats.bytes_from_disk, 100.0);
         assert_eq!(stats.bytes_from_cache, 300.0);
         assert_eq!(stats.bytes_to_cache, 500.0);
         assert_eq!(stats.bytes_to_disk, 50.0);
         assert_eq!(stats.cache_hit_ratio, 0.75);
+        assert_eq!(stats.bytes_prefetched, 25.0);
+        assert_eq!(stats.throttle_stall_s, 0.5);
         // No memory trace: peaks are zero.
         assert_eq!(stats.peak_cached, 0.0);
         assert_eq!(stats.peak_dirty, 0.0);

@@ -189,7 +189,8 @@ async fn run_instance(
     let take_snapshots = instance == 0;
     let scoped = |name: &str| scoped_file(name, instance, instances);
     for (task_idx, task) in app.tasks.iter().enumerate() {
-        let program = flatten_program(&task.lower(task_idx));
+        let program = flatten_program(&task.lower(task_idx))
+            .map_err(|e| ScenarioError::InvalidScenario(format!("task '{}': {e}", task.name)))?;
         let mut report = TaskReport {
             task_name: task.name.clone(),
             read_time: 0.0,

@@ -135,28 +135,92 @@ impl Op {
         Op::Repeat { n, ops }
     }
 
-    /// Appends this op's flattened form (with `Repeat` unrolled) to `out`.
-    fn flatten_into(&self, out: &mut Vec<Op>) {
+    /// Appends this op's flattened form (with `Repeat` unrolled) to `out`,
+    /// enforcing the nesting and length bounds.
+    fn flatten_into(&self, out: &mut Vec<Op>, depth: usize) -> Result<(), ProgramError> {
         match self {
             Op::Repeat { n, ops } => {
+                if depth >= MAX_REPEAT_DEPTH {
+                    return Err(ProgramError::TooDeep {
+                        limit: MAX_REPEAT_DEPTH,
+                    });
+                }
                 for _ in 0..*n {
+                    let before = out.len();
                     for op in ops {
-                        op.flatten_into(out);
+                        op.flatten_into(out, depth + 1)?;
+                    }
+                    if out.len() == before {
+                        // The body flattens to nothing (empty, or nested
+                        // `Repeat { n: 0 }`): every further iteration is
+                        // identical, so stop instead of spinning `n` times.
+                        break;
                     }
                 }
             }
-            other => out.push(other.clone()),
+            other => {
+                if out.len() >= MAX_PROGRAM_OPS {
+                    return Err(ProgramError::TooLong {
+                        limit: MAX_PROGRAM_OPS,
+                    });
+                }
+                out.push(other.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Maximum number of instructions a program may unroll to. Bounds the memory
+/// and time of [`flatten_program`] against `Repeat` blow-ups like
+/// `Repeat { n: k, ops: [Repeat { n: k, … }] }`.
+pub const MAX_PROGRAM_OPS: usize = 1 << 20;
+
+/// Maximum [`Op::Repeat`] nesting depth. Bounds the recursion of
+/// [`flatten_program`] so a deeply nested program reports a structured error
+/// instead of overflowing the stack.
+pub const MAX_REPEAT_DEPTH: usize = 64;
+
+/// Structured errors of [`flatten_program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// `Repeat` blocks nested deeper than [`MAX_REPEAT_DEPTH`].
+    TooDeep {
+        /// The enforced nesting limit.
+        limit: usize,
+    },
+    /// The unrolled program exceeds [`MAX_PROGRAM_OPS`] instructions.
+    TooLong {
+        /// The enforced instruction limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::TooDeep { limit } => {
+                write!(f, "program nests Repeat deeper than {limit} levels")
+            }
+            ProgramError::TooLong { limit } => {
+                write!(f, "program unrolls to more than {limit} instructions")
+            }
         }
     }
 }
 
-/// Flattens a program, unrolling every [`Op::Repeat`].
-pub fn flatten_program(ops: &[Op]) -> Vec<Op> {
+impl std::error::Error for ProgramError {}
+
+/// Flattens a program, unrolling every [`Op::Repeat`]. The unroll is
+/// bounded: programs nesting deeper than [`MAX_REPEAT_DEPTH`] or unrolling
+/// to more than [`MAX_PROGRAM_OPS`] instructions return a structured
+/// [`ProgramError`] instead of exhausting the stack or memory.
+pub fn flatten_program(ops: &[Op]) -> Result<Vec<Op>, ProgramError> {
     let mut out = Vec::with_capacity(ops.len());
     for op in ops {
-        op.flatten_into(&mut out);
+        op.flatten_into(&mut out, 0)?;
     }
-    out
+    Ok(out)
 }
 
 /// One task of an application. Either the classic three-phase shape (read
@@ -496,12 +560,72 @@ mod tests {
             Op::write("wal", 1.0),
             Op::repeat(2, vec![Op::fsync("wal"), Op::repeat(2, vec![Op::Sync])]),
         ];
-        let flat = flatten_program(&ops);
+        let flat = flatten_program(&ops).unwrap();
         assert_eq!(flat.len(), 1 + 2 * (1 + 2));
         assert_eq!(flat[1], Op::fsync("wal"));
         assert_eq!(flat[2], Op::Sync);
         assert_eq!(flat[3], Op::Sync);
         assert_eq!(flat[4], Op::fsync("wal"));
+    }
+
+    #[test]
+    fn repeat_zero_and_empty_bodies_flatten_to_nothing() {
+        assert_eq!(
+            flatten_program(&[Op::repeat(0, vec![Op::Sync])]).unwrap(),
+            Vec::<Op>::new()
+        );
+        // An empty (or nested-zero) body must not spin `n` times.
+        assert_eq!(
+            flatten_program(&[Op::repeat(usize::MAX, vec![])]).unwrap(),
+            Vec::<Op>::new()
+        );
+        assert_eq!(
+            flatten_program(&[Op::repeat(usize::MAX, vec![Op::repeat(0, vec![Op::Sync])])])
+                .unwrap(),
+            Vec::<Op>::new()
+        );
+    }
+
+    #[test]
+    fn deeply_nested_repeat_is_a_structured_error() {
+        // MAX_REPEAT_DEPTH + 1 nested Repeats: the old recursive unroll would
+        // recurse unboundedly on programs like this; now it is a TooDeep.
+        let mut op = Op::Sync;
+        for _ in 0..=MAX_REPEAT_DEPTH {
+            op = Op::repeat(1, vec![op]);
+        }
+        assert_eq!(
+            flatten_program(&[op]),
+            Err(ProgramError::TooDeep {
+                limit: MAX_REPEAT_DEPTH
+            })
+        );
+        // Exactly at the limit it still unrolls.
+        let mut op = Op::Sync;
+        for _ in 0..MAX_REPEAT_DEPTH {
+            op = Op::repeat(1, vec![op]);
+        }
+        assert_eq!(flatten_program(&[op]).unwrap(), vec![Op::Sync]);
+    }
+
+    #[test]
+    fn oversized_unroll_is_a_structured_error() {
+        // 2^24 sync ops via nested doubling exceeds MAX_PROGRAM_OPS without
+        // the test having to materialise them.
+        let mut op = Op::Sync;
+        for _ in 0..24 {
+            op = Op::repeat(2, vec![op]);
+        }
+        assert_eq!(
+            flatten_program(&[op]),
+            Err(ProgramError::TooLong {
+                limit: MAX_PROGRAM_OPS
+            })
+        );
+        let err = ProgramError::TooLong {
+            limit: MAX_PROGRAM_OPS,
+        };
+        assert!(err.to_string().contains("instructions"));
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Readahead and access patterns: two strided read passes over one file on
+//! the macroscopic page-cache model vs the kernel emulator with a
+//! Linux-style readahead window.
+//!
+//! * At a **contiguous** stride the emulator's sequentiality detector keeps
+//!   the window open and prefetches ahead of demand — without ever reading
+//!   a byte twice, so the disk traffic matches plain demand paging.
+//! * At **sparse** strides the window collapses, and on the second pass the
+//!   emulator's resident page ranges hit exactly the strided bytes it kept,
+//!   while the amount-based macroscopic model still sees a half-uncached
+//!   file and keeps going to disk — the access-pattern divergence the
+//!   emulator exists to expose.
+//!
+//! Run with: `cargo run --release --example readahead_strided`
+
+use linux_pagecache_sim::prelude::*;
+
+fn strided_pass(file_size: f64, request: f64, stride: f64) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut offset = 0.0;
+    while offset + request <= file_size {
+        ops.push(Op::read_range("data", offset, request));
+        ops.push(Op::ReleaseMemory(request));
+        offset += stride;
+    }
+    ops
+}
+
+fn main() {
+    let file_size = 2.0 * GB;
+    let request = 64.0 * MB;
+    let platform = PlatformSpec::uniform(
+        8.0 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    )
+    // Windows scaled to the 64 MB request size, the way quick-scale
+    // experiments scale file sizes (a stock kernel: 64 KiB..128 KiB).
+    .with_readahead(32.0 * MB, 256.0 * MB);
+
+    println!("two strided passes over a 2 GB file, 64 MB requests\n");
+    println!(
+        "{:<8} {:<12} {:>10} {:>14} {:>12}",
+        "stride", "back-end", "hit ratio", "disk read", "prefetched"
+    );
+    for factor in [1u32, 2, 4] {
+        let mut ops = strided_pass(file_size, request, factor as f64 * request);
+        ops.extend(strided_pass(file_size, request, factor as f64 * request));
+        let app = ApplicationSpec::new("strided")
+            .with_initial_file(FileSpec::new("data", file_size))
+            .with_task(TaskSpec::program("passes", ops));
+        for (label, kind) in [
+            ("model", SimulatorKind::PageCache),
+            ("emulator", SimulatorKind::KernelEmu),
+        ] {
+            let report = run_scenario(&Scenario::new(platform.clone(), app.clone(), kind)).unwrap();
+            let stats = report.run_stats();
+            println!(
+                "{:<8} {:<12} {:>10.3} {:>11.0} MB {:>9.0} MB",
+                format!("{}x", factor),
+                label,
+                stats.cache_hit_ratio,
+                stats.bytes_from_disk / MB,
+                stats.bytes_prefetched / MB,
+            );
+        }
+    }
+    println!("\n(emulator hit ratios are strictly higher on sparse strides: resident");
+    println!("page ranges re-hit what the amount-based model re-reads from disk)");
+}
