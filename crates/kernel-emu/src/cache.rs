@@ -263,6 +263,15 @@ struct FileSlot {
     /// Which byte offsets of the file are resident (`total()` always equals
     /// `pages.cached()`).
     resident: RangeSet,
+    /// Which byte offsets were written but have not yet reached the disk —
+    /// the durability ledger consumed by [`KernelCache::crash_discard`].
+    /// Grown by every dirty insert, cleared by per-file writeback (`fsync`),
+    /// and trimmed lowest-offset-first by partial writeback (the same
+    /// deterministic approximation the resident set uses for eviction). An
+    /// independent record, not asserted against the position-blind float
+    /// aggregates: overlapping rewrites inflate the aggregates but not the
+    /// ledger.
+    dirty: RangeSet,
     /// Links indexed by [`CLEAN`] / [`DIRTY`].
     links: [Link; 2],
     /// Whether the slot is currently a member of each chain.
@@ -315,6 +324,7 @@ impl State {
             file: file.clone(),
             pages: FilePages::default(),
             resident: RangeSet::default(),
+            dirty: RangeSet::default(),
             links: [UNLINKED; 2],
             linked: [false, false],
         };
@@ -710,6 +720,9 @@ impl KernelCache {
                 let cleaned = s.slot_mut(i).pages.clean_dirty(amount - flushed);
                 flushed += cleaned;
                 if cleaned > 0.0 {
+                    // Partial writeback cleans the durability ledger from
+                    // the lowest offsets (deterministic approximation).
+                    s.slot_mut(i).dirty.trim_front(cleaned);
                     // The cleaned pages are now clean cache: make sure the
                     // file is reachable by the eviction pass.
                     s.link(i, CLEAN);
@@ -845,6 +858,7 @@ impl KernelCache {
             let overlap = slot.resident.covered_len(start, end);
             let added = (end - start) - overlap;
             slot.resident.insert(start, end);
+            slot.dirty.insert(start, end);
             let pages = &mut slot.pages;
             pages.inactive_dirty += added;
             // Overlapped pages turn dirty where they sit; pages of the
@@ -884,6 +898,8 @@ impl KernelCache {
             if cleaned > 0.0 {
                 s.link(i, CLEAN);
             }
+            // Every written position of the file is now on disk.
+            s.slot_mut(i).dirty = RangeSet::default();
             s.counters.throttled_writeback += cleaned;
             s.dirty_total = (s.dirty_total - cleaned).max(0.0);
             s.debug_validate();
@@ -893,6 +909,41 @@ impl KernelCache {
             self.disk.write(flushed).await;
         }
         flushed
+    }
+
+    /// The byte ranges of `file` that were written but have not yet reached
+    /// the disk — the durability ledger a crash turns into lost data.
+    /// Sorted and disjoint; empty for fully written-back (or unknown) files.
+    pub fn dirty_ranges(&self, file: &FileId) -> Vec<(f64, f64)> {
+        let s = self.state.borrow();
+        s.index
+            .get(file)
+            .map_or_else(Vec::new, |&i| s.slot(i).dirty.spans.clone())
+    }
+
+    /// Simulated power loss: drops every cached page and all anonymous
+    /// memory, and returns each file's lost dirty byte ranges (sorted by
+    /// file id). The trace and counters survive — they describe the run,
+    /// not the volatile state. Takes no simulated time.
+    pub fn crash_discard(&self) -> Vec<(FileId, Vec<(f64, f64)>)> {
+        let mut s = self.state.borrow_mut();
+        let entries: Vec<(FileId, u32)> = s.index.iter().map(|(k, &i)| (k.clone(), i)).collect();
+        let mut lost = Vec::new();
+        for (file, i) in entries {
+            let slot = s.slots[i as usize].take().expect("indexed slot is live");
+            if !slot.dirty.spans.is_empty() {
+                lost.push((file, slot.dirty.spans));
+            }
+        }
+        s.index.clear();
+        s.slots.clear();
+        s.free_slots.clear();
+        s.chains = [Chain::default(), Chain::default()];
+        s.anonymous = 0.0;
+        s.cached_total = 0.0;
+        s.dirty_total = 0.0;
+        s.debug_validate();
+        lost
     }
 
     /// Records a second access to `bytes` of a file: promotes them from the
@@ -1030,6 +1081,72 @@ mod tests {
         approx(cache.background_threshold(), 80.0 * MB);
         approx(cache.cached_amount(&"f".into()), 100.0 * MB);
         assert_eq!(cache.cached_per_file().len(), 2);
+    }
+
+    #[test]
+    fn dirty_ledger_tracks_unflushed_positions() {
+        let (sim, cache) = setup(1000.0);
+        cache.insert_dirty_range(&"f".into(), 0.0, 50.0 * MB);
+        cache.insert_dirty_range(&"f".into(), 80.0 * MB, 100.0 * MB);
+        assert_eq!(
+            cache.dirty_ranges(&"f".into()),
+            vec![(0.0, 50.0 * MB), (80.0 * MB, 100.0 * MB)]
+        );
+        // fsync clears the ledger entirely.
+        let h = sim.spawn({
+            let cache = cache.clone();
+            async move { cache.write_back_file(&"f".into()).await }
+        });
+        sim.run();
+        approx(h.try_take_result().unwrap(), 70.0 * MB);
+        assert!(cache.dirty_ranges(&"f".into()).is_empty());
+        // Redirtying after the flush starts a fresh ledger.
+        cache.insert_dirty_range(&"f".into(), 10.0 * MB, 20.0 * MB);
+        assert_eq!(
+            cache.dirty_ranges(&"f".into()),
+            vec![(10.0 * MB, 20.0 * MB)]
+        );
+    }
+
+    #[test]
+    fn partial_writeback_trims_the_ledger_from_the_front() {
+        let (sim, cache) = setup(1000.0);
+        cache.insert_dirty_range(&"f".into(), 0.0, 100.0 * MB);
+        let h = sim.spawn({
+            let cache = cache.clone();
+            async move { cache.write_back(40.0 * MB, false).await }
+        });
+        sim.run();
+        approx(h.try_take_result().unwrap(), 40.0 * MB);
+        assert_eq!(
+            cache.dirty_ranges(&"f".into()),
+            vec![(40.0 * MB, 100.0 * MB)]
+        );
+    }
+
+    #[test]
+    fn crash_discard_returns_lost_ranges_and_resets_state() {
+        let (sim, cache) = setup(1000.0);
+        cache.insert_clean(&"clean".into(), 100.0 * MB);
+        cache.insert_dirty_range(&"wal".into(), 0.0, 30.0 * MB);
+        cache.insert_dirty_range(&"logged".into(), 0.0, 10.0 * MB);
+        cache.use_anonymous_memory(50.0 * MB);
+        // A written-back file has nothing to lose.
+        let h = sim.spawn({
+            let cache = cache.clone();
+            async move { cache.write_back_file(&"logged".into()).await }
+        });
+        sim.run();
+        approx(h.try_take_result().unwrap(), 10.0 * MB);
+        let lost = cache.crash_discard();
+        assert_eq!(lost, vec![("wal".into(), vec![(0.0, 30.0 * MB)])]);
+        approx(cache.cached(), 0.0);
+        approx(cache.dirty(), 0.0);
+        approx(cache.anonymous(), 0.0);
+        assert!(cache.cached_per_file().is_empty());
+        // The cache keeps working after the reset.
+        cache.insert_clean(&"fresh".into(), 10.0 * MB);
+        approx(cache.cached(), 10.0 * MB);
     }
 
     #[test]

@@ -132,6 +132,16 @@ impl KernelFileSystem {
         self.files.borrow().get(file).map(|m| m.size)
     }
 
+    /// Every registered file and its size, sorted by file id (the same shape
+    /// as `simfs::FileRegistry::list`, used by crash durability reports).
+    pub fn list_files(&self) -> Vec<(FileId, f64)> {
+        self.files
+            .borrow()
+            .iter()
+            .map(|(k, m)| (k.clone(), m.size))
+            .collect()
+    }
+
     fn require_size(&self, file: &FileId) -> Result<f64, KernelFsError> {
         self.file_size(file)
             .ok_or_else(|| KernelFsError::FileNotFound(file.clone()))

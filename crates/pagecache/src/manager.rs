@@ -291,6 +291,25 @@ impl MemoryManager {
         self.state.borrow_mut().lru.invalidate_file(file)
     }
 
+    /// Simulated power loss: drops the entire page cache (clean and dirty)
+    /// and all anonymous memory, and returns the dirty bytes each file lost
+    /// — the data that had not reached stable storage. Takes no simulated
+    /// time; the trace and counters survive (they describe the run, not the
+    /// volatile state).
+    pub fn crash_discard(&self) -> Vec<(FileId, f64)> {
+        let files: Vec<FileId> = self.cached_per_file().into_keys().collect();
+        let mut lost = Vec::new();
+        for file in files {
+            let dirty = self.dirty_amount(&file);
+            if dirty > EPSILON {
+                lost.push((file.clone(), dirty));
+            }
+            self.invalidate_file(&file);
+        }
+        self.state.borrow_mut().anonymous = 0.0;
+        lost
+    }
+
     /// Flushes all expired dirty data (used by the periodical flusher, paper
     /// Algorithm 1). Returns the number of bytes written back.
     pub async fn flush_expired(&self) -> f64 {
@@ -595,6 +614,33 @@ mod tests {
         let removed = mm.invalidate_file(&"f1".into());
         approx(removed, 200.0 * MB);
         approx(mm.cached(), 100.0 * MB);
+    }
+
+    #[test]
+    fn crash_discard_reports_dirty_losses_and_empties_the_cache() {
+        let (sim, mm) = setup(10_000.0 * MB);
+        mm.add_to_cache(&"clean".into(), 300.0 * MB);
+        mm.use_anonymous_memory(100.0 * MB);
+        let h = sim.spawn({
+            let mm = mm.clone();
+            async move {
+                mm.write_to_cache(&"dirty".into(), 200.0 * MB).await;
+                mm.write_to_cache(&"mixed".into(), 50.0 * MB).await;
+                // Flush "mixed" so only "dirty" still holds unstable data.
+                mm.flush_file(&"mixed".into()).await;
+                mm.crash_discard()
+            }
+        });
+        sim.run();
+        let lost = h.try_take_result().unwrap();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].0, "dirty".into());
+        approx(lost[0].1, 200.0 * MB);
+        // The entire cache (clean included) and anonymous memory are gone.
+        approx(mm.cached(), 0.0);
+        approx(mm.dirty(), 0.0);
+        approx(mm.anonymous(), 0.0);
+        mm.check_invariants().unwrap();
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! | kernel emulator | per-file dirty-page writeback, counted as throttled writeback | flush all dirty pages |
 //! | direct NFS | no-op (writes are synchronous) | no-op |
 
+use std::collections::BTreeMap;
+
 use des::SimContext;
 use kernel_emu::{KernelCache, KernelFileSystem, KernelFsError, KernelTuning};
 use pagecache::{
@@ -37,6 +39,7 @@ use simfs::{
 };
 use storage_model::{Disk, MemoryDevice, NetworkLink};
 
+use crate::faults::{CrashReport, FileDurability, InjectedFault};
 use crate::platform::{DeviceSet, PlatformSpec, StorageKind};
 use crate::report::WritebackCounters;
 
@@ -91,6 +94,13 @@ pub enum ScenarioError {
     Filesystem(FsError),
     /// A kernel-emulator filesystem operation failed.
     Kernel(KernelFsError),
+    /// An operation failed because a scheduled fault fired (see
+    /// [`crate::faults::FaultPlan`]).
+    Injected(InjectedFault),
+    /// The scenario was cut short by an injected crash (simulated power
+    /// loss) and restart-after-crash was not enabled for a part of the run
+    /// that required it.
+    Crashed,
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -101,6 +111,8 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Unsupported(m) => write!(f, "unsupported scenario: {m}"),
             ScenarioError::Filesystem(e) => write!(f, "filesystem error: {e}"),
             ScenarioError::Kernel(e) => write!(f, "filesystem error: {e}"),
+            ScenarioError::Injected(e) => write!(f, "{e}"),
+            ScenarioError::Crashed => write!(f, "simulated power loss cut the scenario short"),
         }
     }
 }
@@ -215,6 +227,14 @@ pub trait IoBackend {
         None
     }
 
+    /// Simulated power loss: discards all volatile state (page cache,
+    /// anonymous memory) and reports the per-file durability of what
+    /// remains on stable storage. Back-ends whose writes are synchronous or
+    /// writethrough report every file fully durable. Takes no simulated
+    /// time, and the back-end remains usable afterwards (modelling the node
+    /// after a reboot with a cold cache).
+    fn crash(&self) -> CrashReport;
+
     /// Short label of the back-end kind.
     fn kind_label(&self) -> &'static str;
 }
@@ -295,6 +315,23 @@ impl IoBackend for CachedFileSystem {
         })
     }
 
+    fn crash(&self) -> CrashReport {
+        // The macroscopic model tracks dirty *amounts*, not positions: the
+        // durable part of each file is approximated as its leading span.
+        let lost: BTreeMap<_, _> = self.memory_manager().crash_discard().into_iter().collect();
+        CrashReport {
+            files: self
+                .registry()
+                .list()
+                .into_iter()
+                .map(|(file, size)| {
+                    let dirty = lost.get(&file).copied().unwrap_or(0.0);
+                    (file, FileDurability::from_dirty_amount(size, dirty))
+                })
+                .collect(),
+        }
+    }
+
     fn kind_label(&self) -> &'static str {
         "cached-local"
     }
@@ -341,6 +378,11 @@ impl IoBackend for DirectFileSystem {
 
     async fn sync(&self) -> Result<IoOpStats, ScenarioError> {
         Ok(DirectFileSystem::sync(self).await)
+    }
+
+    fn crash(&self) -> CrashReport {
+        // Every write went straight to the disk: nothing to lose.
+        CrashReport::all_durable(self.registry().list())
     }
 
     fn kind_label(&self) -> &'static str {
@@ -415,6 +457,14 @@ impl IoBackend for NfsFileSystem {
             synchronous_flushed: c.flushed_on_demand,
             evicted: c.evicted,
         })
+    }
+
+    fn crash(&self) -> CrashReport {
+        // No client write cache and a writethrough server: only the warm
+        // read caches are lost, every written byte is already durable.
+        self.client_memory_manager().crash_discard();
+        self.server().memory_manager().crash_discard();
+        CrashReport::all_durable(self.registry().list())
     }
 
     fn kind_label(&self) -> &'static str {
@@ -496,6 +546,22 @@ impl IoBackend for KernelFileSystem {
             synchronous_flushed: c.throttled_writeback,
             evicted: c.evicted,
         })
+    }
+
+    fn crash(&self) -> CrashReport {
+        // The emulator keeps a byte-exact dirty-range ledger: the durable
+        // ranges are its complement within each file.
+        let lost: BTreeMap<_, _> = self.cache().crash_discard().into_iter().collect();
+        CrashReport {
+            files: self
+                .list_files()
+                .into_iter()
+                .map(|(file, size)| {
+                    let ranges = lost.get(&file).map(Vec::as_slice).unwrap_or(&[]);
+                    (file, FileDurability::from_lost_ranges(size, ranges))
+                })
+                .collect(),
+        }
     }
 
     fn kind_label(&self) -> &'static str {
@@ -610,6 +676,11 @@ impl IoBackend for DirectNfs {
         Ok(IoOpStats::default())
     }
 
+    fn crash(&self) -> CrashReport {
+        // Writes are synchronous writethrough transfers: all durable.
+        CrashReport::all_durable(self.registry.list())
+    }
+
     fn kind_label(&self) -> &'static str {
         "direct-nfs"
     }
@@ -713,6 +784,10 @@ impl IoBackend for Backend {
 
     fn writeback_counters(&self) -> Option<WritebackCounters> {
         dispatch!(self, b => b.writeback_counters())
+    }
+
+    fn crash(&self) -> CrashReport {
+        dispatch!(self, b => IoBackend::crash(b))
     }
 
     fn kind_label(&self) -> &'static str {
@@ -1065,6 +1140,116 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn crash_durability_semantics_per_backend() {
+        // 200 MB written without fsync: lost on writeback back-ends, durable
+        // on synchronous/writethrough ones. A second file is fsync'd and must
+        // survive everywhere.
+        for (kind, nfs, expect_lost) in [
+            (SimulatorKind::Cacheless, false, false),
+            (SimulatorKind::PageCache, false, true),
+            (SimulatorKind::Prototype, false, true),
+            (SimulatorKind::KernelEmu, false, true),
+            (SimulatorKind::PageCache, true, false),
+            (SimulatorKind::KernelEmu, true, false),
+            (SimulatorKind::Cacheless, true, false),
+        ] {
+            let sim = Simulation::new();
+            let ctx = sim.context();
+            let p = if nfs {
+                platform().with_nfs()
+            } else {
+                platform()
+            };
+            let backend = Backend::build(&ctx, &p, kind).unwrap();
+            let h = sim.spawn({
+                let backend = backend.clone();
+                async move {
+                    backend
+                        .write_range(&"dirty".into(), 0.0, 200.0 * MB)
+                        .await
+                        .unwrap();
+                    backend
+                        .write_range(&"synced".into(), 0.0, 100.0 * MB)
+                        .await
+                        .unwrap();
+                    backend.fsync(&"synced".into()).await.unwrap();
+                    backend.crash()
+                }
+            });
+            sim.run();
+            let report = h.try_take_result().unwrap();
+            let ctx_label = format!("{kind:?} nfs={nfs}");
+            let dirty = &report.files[&"dirty".into()];
+            let synced = &report.files[&"synced".into()];
+            assert_eq!(
+                synced.lost_bytes, 0.0,
+                "{ctx_label}: fsync'd file lost data"
+            );
+            assert!(
+                (synced.durable_bytes - 100.0 * MB).abs() < MB,
+                "{ctx_label}: fsync'd file durable {}",
+                synced.durable_bytes
+            );
+            if expect_lost {
+                assert!(
+                    (dirty.lost_bytes - 200.0 * MB).abs() < MB,
+                    "{ctx_label}: expected the unsynced file lost, got {}",
+                    dirty.lost_bytes
+                );
+                assert_eq!(dirty.durable_bytes, 0.0, "{ctx_label}");
+            } else {
+                assert_eq!(dirty.lost_bytes, 0.0, "{ctx_label}");
+                assert!(
+                    (dirty.durable_bytes - 200.0 * MB).abs() < MB,
+                    "{ctx_label}: {}",
+                    dirty.durable_bytes
+                );
+            }
+            // The cache is cold after the crash: nothing is sampled as used.
+            if let Some(sample) = backend.sample_memory() {
+                assert!(sample.cached < MB, "{ctx_label}: cache survived the crash");
+                assert!(sample.dirty < MB, "{ctx_label}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_crash_reports_byte_exact_durable_ranges() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let backend = Backend::build(&ctx, &platform(), SimulatorKind::KernelEmu).unwrap();
+        backend.create_file(&"f".into(), 400.0 * MB).unwrap();
+        let h = sim.spawn({
+            let backend = backend.clone();
+            async move {
+                // Dirty two disjoint ranges of a durable file.
+                backend
+                    .write_range(&"f".into(), 50.0 * MB, 50.0 * MB)
+                    .await
+                    .unwrap();
+                backend
+                    .write_range(&"f".into(), 300.0 * MB, 20.0 * MB)
+                    .await
+                    .unwrap();
+                backend.crash()
+            }
+        });
+        sim.run();
+        let report = h.try_take_result().unwrap();
+        let f = &report.files[&"f".into()];
+        assert_eq!(
+            f.durable_ranges,
+            vec![
+                (0.0, 50.0 * MB),
+                (100.0 * MB, 300.0 * MB),
+                (320.0 * MB, 400.0 * MB)
+            ]
+        );
+        assert_eq!(f.lost_bytes, 70.0 * MB);
+        assert_eq!(f.durable_bytes, 330.0 * MB);
     }
 
     #[test]

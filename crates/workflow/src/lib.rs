@@ -77,15 +77,20 @@
 #![warn(missing_docs)]
 
 mod backend;
+pub mod faults;
 mod platform;
 mod report;
 mod runner;
 mod spec;
 
 pub use backend::{Backend, DirectNfs, IoBackend, ScenarioError, SimulatorKind};
+pub use faults::{
+    CrashReport, ErrorMode, FaultEvent, FaultPlan, FileDurability, InjectedFault,
+    InjectedFaultKind, IoErrorSpec, OpClass, RetryPolicy, Trigger,
+};
 pub use platform::{DeviceSet, PlatformSpec, StorageKind};
 pub use report::{
-    absolute_relative_error_pct, InstanceReport, RunStats, ScenarioReport, TaskReport,
+    absolute_relative_error_pct, InstanceReport, RunStats, ScenarioReport, TaskReport, TaskStatus,
     WritebackCounters,
 };
 pub use runner::{run_scenario, scoped_file, Scenario};

@@ -3,6 +3,33 @@
 use pagecache::{CacheContentSnapshot, IoOpStats, MemoryTrace};
 
 use crate::backend::SimulatorKind;
+use crate::faults::{CrashReport, InjectedFault};
+
+/// How a task ended.
+///
+/// Injected faults (see [`crate::faults`]) can fail a task without aborting
+/// the whole scenario: a task that exhausts its retry budget on a transient
+/// error, or hits a persistent one, is marked [`TaskStatus::Failed`] and the
+/// run continues in degraded mode with the remaining tasks. A simulated
+/// power loss marks the task it interrupted as [`TaskStatus::Interrupted`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum TaskStatus {
+    /// The task ran all its operations to completion.
+    #[default]
+    Completed,
+    /// The task was abandoned after an injected I/O error that retries
+    /// could not absorb. The payload is the fault that killed it.
+    Failed(InjectedFault),
+    /// A simulated crash (power loss) cut the task short.
+    Interrupted,
+}
+
+impl TaskStatus {
+    /// `true` when the task ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, TaskStatus::Completed)
+    }
+}
 
 /// Timing of one task of one application instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +46,10 @@ pub struct TaskReport {
     pub read_stats: IoOpStats,
     /// Aggregated statistics of the output writes.
     pub write_stats: IoOpStats,
+    /// How the task ended (always [`TaskStatus::Completed`] without faults).
+    pub status: TaskStatus,
+    /// Number of retried operations (attempts beyond each op's first).
+    pub retries: u64,
 }
 
 impl TaskReport {
@@ -101,6 +132,13 @@ pub struct RunStats {
     pub peak_cached: f64,
     /// Peak dirty data observed in the memory trace (0 without a trace).
     pub peak_dirty: f64,
+    /// Bytes the durability oracle found intact after a simulated crash
+    /// (0 when the scenario did not crash).
+    pub durable_bytes: f64,
+    /// Bytes of never-flushed dirty data destroyed by a simulated crash.
+    pub lost_bytes: f64,
+    /// Number of files that lost at least one byte in a simulated crash.
+    pub lost_files: f64,
 }
 
 /// Full result of one scenario run.
@@ -122,6 +160,13 @@ pub struct ScenarioReport {
     pub wall_clock_seconds: f64,
     /// Writeback/eviction counters of the back-end's cache, if it has one.
     pub writeback: Option<WritebackCounters>,
+    /// Durability oracle verdict of the simulated crash, if one was injected
+    /// and fired before the run completed.
+    pub crash: Option<CrashReport>,
+    /// Per-instance reports of the restart pass, when the scenario requested
+    /// restart-after-crash and a crash fired. The restarted program runs
+    /// against the post-crash durable state with all faults disarmed.
+    pub restart_reports: Vec<InstanceReport>,
 }
 
 impl ScenarioReport {
@@ -175,6 +220,11 @@ impl ScenarioReport {
             .as_ref()
             .map(|t| (t.max_cached(), t.max_dirty()))
             .unwrap_or((0.0, 0.0));
+        let (durable_bytes, lost_bytes, lost_files) = self
+            .crash
+            .as_ref()
+            .map(|c| (c.durable_bytes(), c.lost_bytes(), c.lost_files() as f64))
+            .unwrap_or((0.0, 0.0, 0.0));
         RunStats {
             bytes_from_disk: io.bytes_from_disk,
             bytes_from_cache: io.bytes_from_cache,
@@ -185,7 +235,32 @@ impl ScenarioReport {
             throttle_stall_s: io.throttle_stall,
             peak_cached,
             peak_dirty,
+            durable_bytes,
+            lost_bytes,
+            lost_files,
         }
+    }
+
+    /// Total number of retried operations across every task of every
+    /// instance (including the restart pass, if any).
+    pub fn total_retries(&self) -> u64 {
+        self.instance_reports
+            .iter()
+            .chain(self.restart_reports.iter())
+            .flat_map(|i| i.tasks.iter())
+            .map(|t| t.retries)
+            .sum()
+    }
+
+    /// Names of the tasks that did not complete, across all instances of the
+    /// main pass.
+    pub fn failed_tasks(&self) -> Vec<String> {
+        self.instance_reports
+            .iter()
+            .flat_map(|i| i.tasks.iter())
+            .filter(|t| !t.status.is_completed())
+            .map(|t| t.task_name.clone())
+            .collect()
     }
 
     fn mean_over_instances(&self, f: impl Fn(&InstanceReport) -> f64) -> f64 {
@@ -222,6 +297,8 @@ mod tests {
             write_time: w,
             read_stats: IoOpStats::default(),
             write_stats: IoOpStats::default(),
+            status: TaskStatus::Completed,
+            retries: 0,
         }
     }
 
@@ -244,6 +321,8 @@ mod tests {
             simulated_duration: 20.0,
             wall_clock_seconds: 0.01,
             writeback: None,
+            crash: None,
+            restart_reports: Vec::new(),
         }
     }
 
@@ -300,6 +379,40 @@ mod tests {
         // No memory trace: peaks are zero.
         assert_eq!(stats.peak_cached, 0.0);
         assert_eq!(stats.peak_dirty, 0.0);
+    }
+
+    #[test]
+    fn crash_report_feeds_run_stats_and_task_status_helpers() {
+        use crate::faults::{FileDurability, InjectedFault, InjectedFaultKind, OpClass};
+        use pagecache::FileId;
+
+        let mut r = report();
+        let mut crash = CrashReport::default();
+        crash.files.insert(
+            FileId::new("wal"),
+            FileDurability::from_dirty_amount(100.0, 30.0),
+        );
+        crash
+            .files
+            .insert(FileId::new("table"), FileDurability::fully_durable(50.0));
+        r.crash = Some(crash);
+        r.instance_reports[0].tasks[1].status = TaskStatus::Failed(InjectedFault {
+            kind: InjectedFaultKind::Io,
+            op: OpClass::Write,
+            file: None,
+            at: 1.0,
+            transient: false,
+        });
+        r.instance_reports[1].tasks[0].retries = 3;
+
+        let stats = r.run_stats();
+        assert_eq!(stats.durable_bytes, 120.0);
+        assert_eq!(stats.lost_bytes, 30.0);
+        assert_eq!(stats.lost_files, 1.0);
+        assert_eq!(r.failed_tasks(), vec!["t2"]);
+        assert_eq!(r.total_retries(), 3);
+        assert!(!r.instance_reports[0].tasks[1].status.is_completed());
+        assert!(r.instance_reports[0].tasks[0].status.is_completed());
     }
 
     #[test]

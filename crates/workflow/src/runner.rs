@@ -18,8 +18,9 @@ use des::Simulation;
 use pagecache::FileId;
 
 use crate::backend::{Backend, IoBackend, ScenarioError, SimulatorKind};
-use crate::platform::PlatformSpec;
-use crate::report::{InstanceReport, ScenarioReport, TaskReport};
+use crate::faults::{FaultPlan, FaultState, InjectedFault, OpClass};
+use crate::platform::{PlatformSpec, StorageKind};
+use crate::report::{InstanceReport, ScenarioReport, TaskReport, TaskStatus};
 use crate::spec::{flatten_program, ApplicationSpec, Op};
 
 /// A complete experiment configuration: platform + application + back-end.
@@ -37,6 +38,14 @@ pub struct Scenario {
     /// Period of the background memory sampler, seconds (`None` disables it;
     /// samples are always taken at phase boundaries).
     pub sample_interval: Option<f64>,
+    /// Injected faults (crash, I/O errors, disk-full, NFS outages). Empty by
+    /// default: without an explicit plan the run is fault-free and
+    /// bit-identical to what it was before faults existed.
+    pub faults: FaultPlan,
+    /// When `true` and the fault plan's crash fires, the whole application is
+    /// re-run against the post-crash durable state with faults disarmed; the
+    /// second pass is reported in [`ScenarioReport::restart_reports`].
+    pub restart_after_crash: bool,
 }
 
 impl Scenario {
@@ -48,7 +57,22 @@ impl Scenario {
             instances: 1,
             kind,
             sample_interval: Some(2.0),
+            faults: FaultPlan::none(),
+            restart_after_crash: false,
         }
+    }
+
+    /// Attaches a fault plan. The plan is validated by [`run_scenario`].
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Requests a restart pass after the planned crash fires: the application
+    /// re-runs from its first task against the durable post-crash state.
+    pub fn with_restart_after_crash(mut self) -> Self {
+        self.restart_after_crash = true;
+        self
     }
 
     /// Sets the number of concurrent instances. At least one instance is
@@ -89,10 +113,22 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
             "at least one instance is required".to_string(),
         ));
     }
+    scenario
+        .application
+        .validate()
+        .map_err(ScenarioError::InvalidScenario)?;
+    scenario
+        .faults
+        .validate()
+        .map_err(ScenarioError::InvalidScenario)?;
     let wall_start = Instant::now();
     let sim = Simulation::new();
     let ctx = sim.context();
     let backend = Backend::build(&ctx, &scenario.platform, scenario.kind)?;
+    let faults = FaultState::new(
+        scenario.faults.clone(),
+        scenario.platform.storage == StorageKind::Nfs,
+    );
 
     // Initial files of every instance exist before the applications start.
     for instance in 0..scenario.instances {
@@ -120,36 +156,72 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         });
     }
 
+    // Crash watchdog: at the planned instant, discard every page of volatile
+    // cache state and record the durability oracle's verdict. Exits silently
+    // if the application finished first (the crash never "happened").
+    if let Some(at) = scenario.faults.crash_time() {
+        let backend = backend.clone();
+        let faults = Rc::clone(&faults);
+        let done = Rc::clone(&done);
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            ctx2.sleep(at).await;
+            if done.get() || faults.crashed() {
+                return;
+            }
+            faults.record_crash(backend.crash());
+        });
+    }
+
     // Coordinator: spawns one process per instance, awaits them all, then
-    // stops the background threads so the simulation can terminate.
+    // stops the background threads so the simulation can terminate. If the
+    // planned crash fired and a restart was requested, a second pass re-runs
+    // the whole application against the durable state, faults disarmed.
     let coordinator = {
         let backend = backend.clone();
         let ctx = ctx.clone();
         let app = scenario.application.clone();
         let instances = scenario.instances;
         let done = Rc::clone(&done);
+        let faults = Rc::clone(&faults);
+        let restart = scenario.restart_after_crash;
         sim.spawn(async move {
-            let mut handles = Vec::new();
-            for instance in 0..instances {
-                let backend = backend.clone();
-                let ctx = ctx.clone();
-                let app = app.clone();
-                handles.push(ctx.clone().spawn(async move {
-                    run_instance(&ctx, &backend, &app, instance, instances).await
-                }));
-            }
+            let spawn_pass = |faults: Rc<FaultState>| {
+                let mut handles = Vec::new();
+                for instance in 0..instances {
+                    let backend = backend.clone();
+                    let ctx = ctx.clone();
+                    let app = app.clone();
+                    let faults = Rc::clone(&faults);
+                    handles.push(ctx.clone().spawn(async move {
+                        run_instance(&ctx, &backend, &app, instance, instances, &faults).await
+                    }));
+                }
+                handles
+            };
             let mut reports = Vec::new();
-            for handle in handles {
+            for handle in spawn_pass(Rc::clone(&faults)) {
                 reports.push(handle.await);
+            }
+            let mut restart_results = Vec::new();
+            if faults.crashed() && restart {
+                // Discard whatever the instances dirtied between the crash
+                // instant and noticing it, then re-run fault-free. The
+                // durability verdict stays the one recorded at the crash.
+                backend.crash();
+                faults.disarm();
+                for handle in spawn_pass(Rc::clone(&faults)) {
+                    restart_results.push(handle.await);
+                }
             }
             done.set(true);
             backend.stop_background();
-            reports
+            (reports, restart_results)
         })
     };
 
     sim.run();
-    let instance_results = coordinator
+    let (instance_results, restart_results) = coordinator
         .try_take_result()
         .expect("coordinator did not finish: simulation deadlocked");
     let mut instance_reports = Vec::new();
@@ -162,6 +234,12 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         instance_reports.push(report);
     }
     instance_reports.sort_by_key(|r| r.instance);
+    let mut restart_reports = Vec::new();
+    for result in restart_results {
+        let (report, _) = result?;
+        restart_reports.push(report);
+    }
+    restart_reports.sort_by_key(|r| r.instance);
 
     Ok(ScenarioReport {
         kind: scenario.kind,
@@ -172,23 +250,44 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         simulated_duration: sim.now().as_secs(),
         wall_clock_seconds: wall_start.elapsed().as_secs_f64(),
         writeback: backend.writeback_counters(),
+        crash: faults.take_crash_report(),
+        restart_reports,
     })
+}
+
+/// What an I/O operation of a program resolved to under the fault gate.
+enum IoOutcome {
+    /// The operation ran (possibly after retries) and produced stats.
+    Done(pagecache::IoOpStats),
+    /// An injected fault that retries could not absorb killed the operation.
+    Faulted(InjectedFault),
+    /// A simulated crash fired while the operation was pending.
+    Crashed,
 }
 
 /// Runs every task of one application instance — each task's workload
 /// program, op by op — and reports its timings.
+///
+/// Injected faults degrade rather than abort: a task whose operation fails
+/// with an unretryable injected error is marked [`TaskStatus::Failed`] and
+/// the instance continues with the next task; a simulated crash marks the
+/// current task [`TaskStatus::Interrupted`] and stops the instance.
 async fn run_instance(
     ctx: &des::SimContext,
     backend: &Backend,
     app: &ApplicationSpec,
     instance: usize,
     instances: usize,
+    faults: &FaultState,
 ) -> Result<(InstanceReport, Vec<pagecache::CacheContentSnapshot>), ScenarioError> {
     let mut tasks = Vec::new();
     let mut snapshots = Vec::new();
     let take_snapshots = instance == 0;
     let scoped = |name: &str| scoped_file(name, instance, instances);
     for (task_idx, task) in app.tasks.iter().enumerate() {
+        if faults.crashed() {
+            break;
+        }
         let program = flatten_program(&task.lower(task_idx))
             .map_err(|e| ScenarioError::InvalidScenario(format!("task '{}': {e}", task.name)))?;
         let mut report = TaskReport {
@@ -198,53 +297,118 @@ async fn run_instance(
             write_time: 0.0,
             read_stats: pagecache::IoOpStats::default(),
             write_stats: pagecache::IoOpStats::default(),
+            status: TaskStatus::Completed,
+            retries: 0,
         };
+        let mut interrupted = false;
         for op in &program {
+            if faults.crashed() {
+                report.status = TaskStatus::Interrupted;
+                interrupted = true;
+                break;
+            }
             let start = ctx.now();
-            match op {
-                Op::Read { file, offset, len } => {
-                    let stats = backend.read_range(&scoped(file), *offset, *len).await?;
-                    report.read_stats.merge(&stats);
-                    report.read_time += ctx.now().duration_since(start);
-                }
-                Op::Write { file, offset, len } => {
-                    let stats = backend.write_range(&scoped(file), *offset, *len).await?;
-                    report.write_stats.merge(&stats);
-                    report.write_time += ctx.now().duration_since(start);
-                }
-                Op::Fsync(file) => {
-                    let stats = backend.fsync(&scoped(file)).await?;
-                    report.write_stats.merge(&stats);
-                    report.write_time += ctx.now().duration_since(start);
-                }
-                Op::Sync => {
-                    let stats = backend.sync().await?;
-                    report.write_stats.merge(&stats);
-                    report.write_time += ctx.now().duration_since(start);
-                }
-                Op::Compute(secs) => {
-                    if *secs > 0.0 {
-                        ctx.sleep(*secs).await;
+            // I/O ops go through the fault gate with per-task retries; the
+            // rest (compute, memory, observability) cannot fault.
+            let io = match op {
+                Op::Read { file, .. } => Some((OpClass::Read, Some(file.as_str()))),
+                Op::Write { file, .. } => Some((OpClass::Write, Some(file.as_str()))),
+                Op::Fsync(file) => Some((OpClass::Fsync, Some(file.as_str()))),
+                Op::Sync => Some((OpClass::Sync, None)),
+                _ => None,
+            };
+            if let Some((class, file)) = io {
+                let scoped_id = file.map(scoped);
+                let mut attempt: u32 = 1;
+                let outcome = loop {
+                    if faults.crashed() {
+                        break IoOutcome::Crashed;
                     }
-                    report.compute_time += ctx.now().duration_since(start);
-                }
-                Op::ReleaseMemory(bytes) => {
-                    backend.release_anonymous_memory(*bytes);
-                }
-                Op::Sample => {
-                    backend.sample_memory();
-                }
-                Op::Snapshot(label) => {
-                    if take_snapshots {
-                        if let Some(snap) = backend.cache_snapshot(label) {
-                            snapshots.push(snap);
+                    if let Some(fault) = faults.check(
+                        ctx.now().as_secs(),
+                        class,
+                        file,
+                        scoped_id.as_ref(),
+                        attempt,
+                    ) {
+                        if fault.transient && attempt < task.retry.max_attempts {
+                            report.retries += 1;
+                            let delay = task.retry.delay(attempt);
+                            if delay > 0.0 {
+                                ctx.sleep(delay).await;
+                            }
+                            attempt += 1;
+                            continue;
+                        }
+                        break IoOutcome::Faulted(fault);
+                    }
+                    let stats = match op {
+                        Op::Read { file, offset, len } => {
+                            backend.read_range(&scoped(file), *offset, *len).await?
+                        }
+                        Op::Write { file, offset, len } => {
+                            backend.write_range(&scoped(file), *offset, *len).await?
+                        }
+                        Op::Fsync(file) => backend.fsync(&scoped(file)).await?,
+                        Op::Sync => backend.sync().await?,
+                        _ => unreachable!("gated ops are I/O ops"),
+                    };
+                    break IoOutcome::Done(stats);
+                };
+                match outcome {
+                    IoOutcome::Done(stats) => {
+                        // Retry backoff accrues to the op's phase time along
+                        // with the I/O itself.
+                        if class == OpClass::Read {
+                            report.read_stats.merge(&stats);
+                            report.read_time += ctx.now().duration_since(start);
+                        } else {
+                            report.write_stats.merge(&stats);
+                            report.write_time += ctx.now().duration_since(start);
                         }
                     }
+                    IoOutcome::Faulted(fault) => {
+                        report.status = TaskStatus::Failed(fault);
+                        break;
+                    }
+                    IoOutcome::Crashed => {
+                        report.status = TaskStatus::Interrupted;
+                        interrupted = true;
+                        break;
+                    }
                 }
-                Op::Repeat { .. } => unreachable!("flatten_program unrolls Repeat"),
+            } else {
+                match op {
+                    Op::Compute(secs) => {
+                        if *secs > 0.0 {
+                            ctx.sleep(*secs).await;
+                        }
+                        report.compute_time += ctx.now().duration_since(start);
+                    }
+                    Op::ReleaseMemory(bytes) => {
+                        backend.release_anonymous_memory(*bytes);
+                    }
+                    Op::Sample => {
+                        backend.sample_memory();
+                    }
+                    Op::Snapshot(label) => {
+                        if take_snapshots {
+                            if let Some(snap) = backend.cache_snapshot(label) {
+                                snapshots.push(snap);
+                            }
+                        }
+                    }
+                    Op::Repeat { .. } => unreachable!("flatten_program unrolls Repeat"),
+                    Op::Read { .. } | Op::Write { .. } | Op::Fsync(_) | Op::Sync => {
+                        unreachable!("I/O ops go through the fault gate")
+                    }
+                }
             }
         }
         tasks.push(report);
+        if interrupted {
+            break;
+        }
     }
     Ok((InstanceReport { instance, tasks }, snapshots))
 }
@@ -437,6 +601,188 @@ mod tests {
         assert!(task.write_time > 0.5, "{}", task.write_time);
         let wb = report.writeback.unwrap();
         assert!(wb.synchronous_flushed >= 255.0 * MB);
+    }
+
+    #[test]
+    fn nan_program_operands_are_rejected_before_any_simulation() {
+        // Without preflight validation a NaN write length would reach the
+        // device models and trip their internal NaN asserts.
+        let app = ApplicationSpec::new("bad")
+            .with_task(TaskSpec::program("t", vec![Op::write("f", f64::NAN)]));
+        let err =
+            run_scenario(&Scenario::new(platform(), app, SimulatorKind::PageCache)).unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidScenario(_)), "{err:?}");
+        assert!(err.to_string().contains("write length"), "{err}");
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_a_scenario_error() {
+        use crate::faults::FaultPlan;
+        let scenario = Scenario::new(platform(), small_app(), SimulatorKind::PageCache)
+            .with_faults(FaultPlan::crash_at(-1.0));
+        assert!(matches!(
+            run_scenario(&scenario),
+            Err(ScenarioError::InvalidScenario(_))
+        ));
+    }
+
+    #[test]
+    fn crash_interrupts_the_run_and_reports_durability() {
+        use crate::faults::FaultPlan;
+        let baseline = run_scenario(&Scenario::new(
+            platform(),
+            small_app(),
+            SimulatorKind::PageCache,
+        ))
+        .unwrap();
+        // Crash halfway through the fault-free makespan.
+        let at = baseline.simulated_duration / 2.0;
+        let report = run_scenario(
+            &Scenario::new(platform(), small_app(), SimulatorKind::PageCache)
+                .with_faults(FaultPlan::crash_at(at)),
+        )
+        .unwrap();
+        let crash = report.crash.as_ref().expect("crash fired");
+        assert!(!crash.files.is_empty());
+        let tasks = &report.instance_reports[0].tasks;
+        assert!(tasks.len() <= 3);
+        assert_eq!(
+            tasks.last().unwrap().status,
+            crate::report::TaskStatus::Interrupted
+        );
+        assert!(report.simulated_duration < baseline.simulated_duration);
+        let stats = report.run_stats();
+        assert_eq!(stats.durable_bytes, crash.durable_bytes());
+        assert_eq!(stats.lost_bytes, crash.lost_bytes());
+        // Post-crash the cache is empty.
+        let (cached, dirty) = {
+            let trace = report.memory_trace.as_ref().unwrap();
+            let last = trace.samples().last().unwrap();
+            (last.cached, last.dirty)
+        };
+        assert!(cached < MB && dirty < MB, "cached {cached}, dirty {dirty}");
+    }
+
+    #[test]
+    fn crash_after_completion_never_fires() {
+        use crate::faults::FaultPlan;
+        let report = run_scenario(
+            &Scenario::new(platform(), small_app(), SimulatorKind::PageCache)
+                .with_faults(FaultPlan::crash_at(1e6)),
+        )
+        .unwrap();
+        assert!(report.crash.is_none());
+        assert!(report.instance_reports[0]
+            .tasks
+            .iter()
+            .all(|t| t.status.is_completed()));
+        // The watchdog wakes at t = 1e6 even though the crash is skipped.
+        assert!(report.simulated_duration >= 1e6);
+    }
+
+    #[test]
+    fn transient_error_is_absorbed_by_retries() {
+        use crate::faults::{ErrorMode, FaultEvent, FaultPlan, IoErrorSpec, OpClass, RetryPolicy};
+        let app = |retry| {
+            ApplicationSpec::new("retry").with_task(
+                TaskSpec::program(
+                    "writer",
+                    vec![Op::write("out", 64.0 * MB), Op::fsync("out")],
+                )
+                .with_retry(retry),
+            )
+        };
+        let plan = FaultPlan::none().with_event(FaultEvent::IoError(IoErrorSpec::nth(
+            OpClass::Write,
+            1,
+            ErrorMode::Transient,
+        )));
+        // With retries the task completes; the backoff shows up as write time.
+        let report = run_scenario(
+            &Scenario::new(
+                platform(),
+                app(RetryPolicy::new(3, 0.5)),
+                SimulatorKind::PageCache,
+            )
+            .with_faults(plan.clone()),
+        )
+        .unwrap();
+        let task = &report.instance_reports[0].tasks[0];
+        assert!(task.status.is_completed());
+        assert_eq!(task.retries, 1);
+        assert!((task.write_stats.bytes_to_cache - 64.0 * MB).abs() < MB);
+        assert!(task.write_time >= 0.5, "{}", task.write_time);
+        assert_eq!(report.total_retries(), 1);
+        // Without retries the same fault kills the task.
+        let report = run_scenario(
+            &Scenario::new(
+                platform(),
+                app(RetryPolicy::none()),
+                SimulatorKind::PageCache,
+            )
+            .with_faults(plan),
+        )
+        .unwrap();
+        let task = &report.instance_reports[0].tasks[0];
+        assert!(!task.status.is_completed());
+        assert_eq!(report.failed_tasks(), vec!["writer"]);
+    }
+
+    #[test]
+    fn persistent_error_degrades_but_later_tasks_still_run() {
+        use crate::faults::{ErrorMode, FaultEvent, FaultPlan, IoErrorSpec, OpClass};
+        // Writes to "a" fail persistently; the task writing "b" is unharmed.
+        let app = ApplicationSpec::new("degraded")
+            .with_task(TaskSpec::program(
+                "doomed",
+                vec![Op::write("a", 64.0 * MB), Op::fsync("a")],
+            ))
+            .with_task(TaskSpec::program(
+                "survivor",
+                vec![Op::write("b", 64.0 * MB), Op::fsync("b")],
+            ));
+        let plan = FaultPlan::none().with_event(FaultEvent::IoError(
+            IoErrorSpec::at(OpClass::Write, 0.0, ErrorMode::Persistent).on_file("a"),
+        ));
+        let report = run_scenario(
+            &Scenario::new(platform(), app, SimulatorKind::PageCache).with_faults(plan),
+        )
+        .unwrap();
+        let tasks = &report.instance_reports[0].tasks;
+        assert_eq!(tasks.len(), 2);
+        assert!(!tasks[0].status.is_completed());
+        // The doomed task stopped at its first op: nothing was written.
+        assert_eq!(tasks[0].write_stats.bytes_to_cache, 0.0);
+        assert!(tasks[1].status.is_completed());
+        assert!(tasks[1].write_stats.bytes_to_disk > 63.0 * MB);
+        assert_eq!(report.failed_tasks(), vec!["doomed"]);
+        assert!(report.crash.is_none());
+    }
+
+    #[test]
+    fn restart_after_crash_reruns_the_application() {
+        use crate::faults::FaultPlan;
+        let baseline = run_scenario(&Scenario::new(
+            platform(),
+            small_app(),
+            SimulatorKind::PageCache,
+        ))
+        .unwrap();
+        let at = baseline.simulated_duration / 2.0;
+        let report = run_scenario(
+            &Scenario::new(platform(), small_app(), SimulatorKind::PageCache)
+                .with_faults(FaultPlan::crash_at(at))
+                .with_restart_after_crash(),
+        )
+        .unwrap();
+        assert!(report.crash.is_some());
+        assert_eq!(report.restart_reports.len(), 1);
+        let restart = &report.restart_reports[0];
+        assert_eq!(restart.tasks.len(), 3);
+        assert!(restart.tasks.iter().all(|t| t.status.is_completed()));
+        // The combined run takes longer than a clean one: the crash threw
+        // away warm cache state and half the work.
+        assert!(report.simulated_duration > baseline.simulated_duration);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 
 use storage_model::units::{GB, MB};
 
+use crate::faults::RetryPolicy;
+
 /// A file read or written by a task.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FileSpec {
@@ -223,6 +225,45 @@ pub fn flatten_program(ops: &[Op]) -> Result<Vec<Op>, ProgramError> {
     Ok(out)
 }
 
+/// Validates the operands of a program without unrolling it: offsets,
+/// lengths, compute times and memory amounts must not be NaN or negative (a
+/// read length of `f64::INFINITY` means "to end of file" and is the only
+/// infinite operand allowed). Catches bad values before they reach the
+/// device models, which assert on NaN transfer sizes.
+fn validate_ops(task: &str, ops: &[Op]) -> Result<(), String> {
+    let finite = |what: &str, v: f64| {
+        if v.is_finite() && v >= 0.0 {
+            Ok(())
+        } else {
+            Err(format!("task '{task}': {what} {v} must be finite and >= 0"))
+        }
+    };
+    // Explicit work stack: `Repeat` nesting depth is enforced (much later)
+    // by `flatten_program`, so validation must not recurse.
+    let mut stack: Vec<&Op> = ops.iter().collect();
+    while let Some(op) = stack.pop() {
+        match op {
+            Op::Read { offset, len, .. } => {
+                finite("read offset", *offset)?;
+                if len.is_nan() || *len < 0.0 {
+                    return Err(format!(
+                        "task '{task}': read length {len} must be >= 0 (INFINITY reads to EOF)"
+                    ));
+                }
+            }
+            Op::Write { offset, len, .. } => {
+                finite("write offset", *offset)?;
+                finite("write length", *len)?;
+            }
+            Op::Compute(secs) => finite("compute time", *secs)?,
+            Op::ReleaseMemory(bytes) => finite("released memory", *bytes)?,
+            Op::Repeat { ops, .. } => stack.extend(ops.iter()),
+            Op::Fsync(_) | Op::Sync | Op::Sample | Op::Snapshot(_) => {}
+        }
+    }
+    Ok(())
+}
+
 /// One task of an application. Either the classic three-phase shape (read
 /// inputs, compute, write outputs — the builder API) or an explicit workload
 /// program ([`TaskSpec::program`]); the former lowers to the latter.
@@ -243,6 +284,10 @@ pub struct TaskSpec {
     /// Explicit workload program. When non-empty it *is* the task; the
     /// builder fields above are ignored.
     pub ops: Vec<Op>,
+    /// Retry policy applied to each I/O operation of the task when a
+    /// *transient* fault is injected (see [`crate::faults`]). The default is
+    /// [`RetryPolicy::none`]: a single attempt, no retries.
+    pub retry: RetryPolicy,
 }
 
 impl TaskSpec {
@@ -255,6 +300,7 @@ impl TaskSpec {
             outputs: Vec::new(),
             release_memory_after: true,
             ops: Vec::new(),
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -269,7 +315,14 @@ impl TaskSpec {
             outputs: Vec::new(),
             release_memory_after: false,
             ops,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Sets the retry policy for the task's I/O operations.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Adds an input file.
@@ -464,6 +517,39 @@ impl ApplicationSpec {
     pub fn total_cpu_time(&self) -> f64 {
         self.tasks.iter().map(|t| t.cpu_time).sum()
     }
+
+    /// Validates every operand of the application before any simulation
+    /// runs: file sizes, CPU times, and the operands of every workload
+    /// program must not be NaN, negative, or (where a concrete amount is
+    /// needed) infinite.
+    pub fn validate(&self) -> Result<(), String> {
+        let file_ok = |where_: &str, f: &FileSpec| {
+            if f.size.is_finite() && f.size >= 0.0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{where_}: size of file '{}' ({}) must be finite and >= 0",
+                    f.name, f.size
+                ))
+            }
+        };
+        for f in &self.initial_files {
+            file_ok("initial files", f)?;
+        }
+        for task in &self.tasks {
+            for f in task.inputs.iter().chain(&task.outputs) {
+                file_ok(&format!("task '{}'", task.name), f)?;
+            }
+            if !(task.cpu_time.is_finite() && task.cpu_time >= 0.0) {
+                return Err(format!(
+                    "task '{}': cpu time {} must be finite and >= 0",
+                    task.name, task.cpu_time
+                ));
+            }
+            validate_ops(&task.name, &task.ops)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -626,6 +712,49 @@ mod tests {
             limit: MAX_PROGRAM_OPS,
         };
         assert!(err.to_string().contains("instructions"));
+    }
+
+    #[test]
+    fn application_validation_rejects_nan_and_negative_operands() {
+        let ok = ApplicationSpec::new("ok").with_task(TaskSpec::program(
+            "t",
+            vec![Op::read("a"), Op::write("b", 5.0), Op::compute(0.0)],
+        ));
+        assert!(ok.validate().is_ok());
+        // Whole-file reads use an infinite length: allowed.
+        assert!(ApplicationSpec::new("inf-read")
+            .with_task(TaskSpec::program("t", vec![Op::read("a")]))
+            .validate()
+            .is_ok());
+
+        let bad_cases = [
+            ApplicationSpec::new("x").with_initial_file(FileSpec::new("f", f64::NAN)),
+            ApplicationSpec::new("x").with_initial_file(FileSpec::new("f", -1.0)),
+            ApplicationSpec::new("x")
+                .with_task(TaskSpec::new("t", f64::NAN).reads(FileSpec::new("f", 1.0))),
+            ApplicationSpec::new("x")
+                .with_task(TaskSpec::new("t", 1.0).writes(FileSpec::new("f", f64::INFINITY))),
+            ApplicationSpec::new("x")
+                .with_task(TaskSpec::program("t", vec![Op::write("f", f64::NAN)])),
+            ApplicationSpec::new("x").with_task(TaskSpec::program(
+                "t",
+                vec![Op::write_range("f", -4.0, 1.0)],
+            )),
+            ApplicationSpec::new("x").with_task(TaskSpec::program(
+                "t",
+                vec![Op::read_range("f", f64::NAN, 1.0)],
+            )),
+            ApplicationSpec::new("x")
+                .with_task(TaskSpec::program("t", vec![Op::compute(f64::INFINITY)])),
+            // Operands are checked inside Repeat bodies too.
+            ApplicationSpec::new("x").with_task(TaskSpec::program(
+                "t",
+                vec![Op::repeat(3, vec![Op::ReleaseMemory(-2.0)])],
+            )),
+        ];
+        for app in bad_cases {
+            assert!(app.validate().is_err(), "{app:?} should be invalid");
+        }
     }
 
     #[test]

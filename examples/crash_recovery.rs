@@ -1,0 +1,97 @@
+//! A database-style commit loop hit by a simulated power loss, then
+//! restarted: the fsync'd WAL records survive the crash, the un-synced
+//! checkpoint image does not — the page cache's dirty/written-back split is
+//! exactly the durability boundary.
+//!
+//! The fault plan schedules one `Crash` mid-run; `with_restart_after_crash`
+//! makes the runner re-run the whole application against the post-crash
+//! durable state (warm cache lost, surviving bytes re-read from disk). The
+//! crash report prints per-file durable vs lost bytes — on the kernel
+//! emulator as byte-exact ranges from its dirty-range ledger.
+//!
+//! Run with: `cargo run --release --example crash_recovery`
+
+use linux_pagecache_sim::prelude::*;
+
+fn main() {
+    let platform = PlatformSpec::uniform(
+        8.0 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    );
+
+    // Twelve committed transactions (each appends a 16 MB WAL record and
+    // fsyncs it), then a 1.2 GB checkpoint image written WITHOUT a sync —
+    // the classic "did my data hit the platter?" split.
+    let record = 16.0 * MB;
+    let mut commit_ops = Vec::new();
+    for i in 0..12 {
+        commit_ops.push(Op::write_range("wal", i as f64 * record, record));
+        commit_ops.push(Op::fsync("wal"));
+        commit_ops.push(Op::compute(0.2));
+    }
+    let app = ApplicationSpec::new("crash-recovery")
+        .with_task(TaskSpec::program("commit loop", commit_ops))
+        .with_task(TaskSpec::program(
+            "checkpoint",
+            vec![
+                Op::write_range("table", 0.0, 1200.0 * MB),
+                Op::compute(10.0),
+            ],
+        ));
+
+    // Power loss at t = 9 s: all twelve commits and the checkpoint write
+    // have happened. 1.2 GB of dirty data exceeds this host's 800 MB
+    // background-writeback threshold, so the kernel emulator's flusher
+    // threads have drained part of the image by then — the crash lands
+    // mid-writeback and a durable prefix survives.
+    let plan = FaultPlan::crash_at(9.0);
+
+    println!("12 x (append 16 MB WAL record + fsync) + un-synced 1.2 GB checkpoint");
+    println!("power loss at t = 9.0 s, then restart against the durable state\n");
+    for kind in [
+        SimulatorKind::Cacheless,
+        SimulatorKind::PageCache,
+        SimulatorKind::KernelEmu,
+    ] {
+        let scenario = Scenario::new(platform.clone(), app.clone(), kind)
+            .with_faults(plan.clone())
+            .with_restart_after_crash();
+        let report = run_scenario(&scenario).expect("simulation failed");
+        println!("--- {} ---", kind.label());
+        let crash = report.crash.as_ref().expect("the planned crash fired");
+        for (file, d) in &crash.files {
+            print!(
+                "  {file:<6} {:>4.0} MB written, {:>4.0} MB durable, {:>4.0} MB lost",
+                d.size / MB,
+                d.durable_bytes / MB,
+                d.lost_bytes / MB
+            );
+            if d.lost_bytes > 0.0 && !d.durable_ranges.is_empty() {
+                let spans: Vec<String> = d
+                    .durable_ranges
+                    .iter()
+                    .map(|(s, e)| format!("[{:.0}, {:.0}) MB", s / MB, e / MB))
+                    .collect();
+                print!("  durable ranges: {}", spans.join(" "));
+            }
+            println!();
+        }
+        let restart = &report.restart_reports[0];
+        println!(
+            "  restart: {}/{} tasks completed in {:.2}s (the WAL re-read comes from disk)",
+            restart
+                .tasks
+                .iter()
+                .filter(|t| t.status.is_completed())
+                .count(),
+            restart.tasks.len(),
+            restart.makespan()
+        );
+    }
+    println!("\nThe fsync'd WAL always survives; the cacheless baseline writes");
+    println!("synchronously and loses nothing. The un-synced checkpoint splits the");
+    println!("write-back back-ends: the kernel emulator's background flusher saved a");
+    println!("byte-exact durable prefix before the crash, while the macroscopic model");
+    println!("(no early background flushing, only dirty-expiry) loses the whole image.");
+}

@@ -53,7 +53,8 @@ pub mod prelude {
     pub use storage_model::units::{GB, GIB, MB};
     pub use storage_model::{DeviceSpec, Disk, MemoryDevice, NetworkLink, SharedResource};
     pub use workflow::{
-        run_scenario, ApplicationSpec, FileSpec, IoBackend, Op, PlatformSpec, RunStats, Scenario,
-        ScenarioReport, SimulatorKind, TaskSpec, WritebackCounters,
+        run_scenario, ApplicationSpec, CrashReport, ErrorMode, FaultEvent, FaultPlan, FileSpec,
+        IoBackend, IoErrorSpec, Op, OpClass, PlatformSpec, RetryPolicy, RunStats, Scenario,
+        ScenarioReport, SimulatorKind, TaskSpec, TaskStatus, Trigger, WritebackCounters,
     };
 }

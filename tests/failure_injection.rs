@@ -25,6 +25,64 @@ fn scenario_fails_cleanly_when_the_disk_fills_up() {
 }
 
 #[test]
+fn kernel_emulator_also_fails_cleanly_when_the_disk_fills_up() {
+    // Error-path parity with the macroscopic back-ends: the kernel emulator
+    // reports the same structured disk-full cause through its own error type.
+    let platform = PlatformSpec::uniform(
+        64.0 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, 10.0 * GIB),
+    );
+    let app = ApplicationSpec::synthetic_pipeline(4.0 * GB);
+    let err = run_scenario(&Scenario::new(platform, app, SimulatorKind::KernelEmu)).unwrap_err();
+    match err {
+        ScenarioError::Kernel(kernel_emu::KernelFsError::DiskFull(e)) => {
+            assert!(e.requested > e.available, "unexpected error: {e}")
+        }
+        other => panic!("expected a kernel disk-full error, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_disk_full_degrades_without_aborting() {
+    // Unlike a *real* disk-full (above), an injected ENOSPC window fails the
+    // writing task and lets the rest of the run finish degraded.
+    let platform = PlatformSpec::uniform(
+        8.0 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    );
+    let mut app = ApplicationSpec::new("enospc").with_initial_file(FileSpec::new("in", 256.0 * MB));
+    for i in 1..=3 {
+        app = app.with_task(TaskSpec::program(
+            format!("t{i}"),
+            vec![Op::read("in"), Op::write(format!("out{i}"), 128.0 * MB)],
+        ));
+    }
+    let plan = FaultPlan::none().with_event(FaultEvent::DiskFull { at: 0.0 });
+    let report =
+        run_scenario(&Scenario::new(platform, app, SimulatorKind::PageCache).with_faults(plan))
+            .unwrap();
+    let tasks = &report.instance_reports[0].tasks;
+    assert_eq!(tasks.len(), 3);
+    // Every task read its input fine and died on the write.
+    assert!(tasks.iter().all(|t| !t.status.is_completed()));
+    assert!(tasks
+        .iter()
+        .all(|t| t.read_stats.bytes_from_disk + t.read_stats.bytes_from_cache > 255.0 * MB));
+    for t in tasks {
+        match &t.status {
+            TaskStatus::Failed(fault) => {
+                assert_eq!(fault.op, OpClass::Write);
+                assert!(!fault.transient);
+                assert!(fault.to_string().contains("ENOSPC"), "{fault}");
+            }
+            other => panic!("expected an injected failure, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn zero_byte_files_and_zero_cpu_tasks_are_handled() {
     let platform = PlatformSpec::uniform(
         4.0 * GB,
