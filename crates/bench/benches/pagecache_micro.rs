@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use des::{SimTime, Simulation};
-use pagecache::{FileId, IoController, LruLists, MemoryManager, PageCacheConfig};
+use pagecache::{EvictionPolicy, FileId, IoController, LruLists, MemoryManager, PageCacheConfig};
 use storage_model::units::{GB, MB};
 use storage_model::{DeviceSpec, Disk, MemoryDevice, SharedResource, SharingPolicy};
 
@@ -125,6 +125,46 @@ fn bench_lru_interleaved(c: &mut Criterion) {
     group.finish();
 }
 
+/// The interleaved multi-file workload under each replacement policy. The
+/// mechanism (chains, aggregates, coalescing) is shared; only the tier
+/// decisions differ, so every policy must stay within a small constant
+/// factor of the default 2-list numbers.
+fn bench_lru_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru_lists");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let blocks = 10_000usize;
+    for policy in EvictionPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(format!("policy_{policy}"), blocks),
+            &blocks,
+            |b, &n| {
+                let files: Vec<FileId> = (0..100).map(|i| FileId::new(format!("f{i}"))).collect();
+                b.iter(|| {
+                    let mut lru = LruLists::with_policy(policy);
+                    for i in 0..n {
+                        let file = files[i % files.len()].clone();
+                        if i % 10 < 3 {
+                            lru.add_dirty(file, 1.0 * MB, SimTime::from_secs(i as f64));
+                        } else {
+                            lru.add_clean(file, 1.0 * MB, SimTime::from_secs(i as f64));
+                        }
+                    }
+                    let per_file = n as f64 / files.len() as f64 * MB;
+                    for (k, file) in files.iter().enumerate() {
+                        lru.read_cached(file, per_file, SimTime::from_secs((n + k) as f64));
+                    }
+                    lru.flush_lru(n as f64 * MB * 0.15, None);
+                    lru.evict(n as f64 * MB / 4.0, None);
+                    lru.total_cached()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_shared_resource(c: &mut Criterion) {
     // 1k concurrent flows on one device: the fair-share model used to re-sync
     // every flow at every completion (O(n) per event, O(n^2) per run); the
@@ -229,6 +269,7 @@ criterion_group!(
     benches,
     bench_lru_operations,
     bench_lru_interleaved,
+    bench_lru_policies,
     bench_shared_resource,
     bench_io_controller,
     bench_des_engine

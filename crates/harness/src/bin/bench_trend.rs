@@ -1,0 +1,232 @@
+//! `bench_trend` — CI perf-trend gate over `scripts/bench.sh` output.
+//!
+//! Compares a current benchmark JSON (benchmark id → ns/iter, as written by
+//! the criterion shim's `BENCH_JSON` hook) against a committed reference
+//! (`baselines/bench_reference.json`) and fails only on an order-of-magnitude
+//! regression: a benchmark *group* (the first `/`-segment of the id) whose
+//! runtime grew by more than `--max-ratio` (default 5×) relative to the
+//! overall trend.
+//!
+//! Two deliberate design choices keep this gate quiet on shared CI runners:
+//!
+//! * **groups, not individual benches** — single smoke samples are noisy;
+//!   summing ns/iter over a group (`lru_lists`, `des_engine`, ...) averages
+//!   that out while still catching a complexity-class slip in any subsystem;
+//! * **median normalization** — every group ratio is divided by the median
+//!   group ratio, so a uniformly slower (or faster) machine moves every
+//!   group equally and cancels out; only a group that regressed *relative to
+//!   the others* trips the gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_trend <current.json> <reference.json> [--max-ratio N]
+//! ```
+//!
+//! Updating the reference: when benchmarks are added, removed, or
+//! intentionally change cost class, regenerate it in the same commit with
+//! `BENCH_SMOKE=1 scripts/bench.sh baselines/bench_reference.json` and say
+//! why in the PR. Benchmarks present in only one of the two files are
+//! reported but never fail the gate (new benches must not require a
+//! same-commit baseline rotation to land).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use harness::json;
+
+/// Per-group summed ns/iter, keyed by the first `/`-segment of the bench id.
+fn group_totals(doc: &json::Json, keys: &[String]) -> BTreeMap<String, f64> {
+    let mut totals = BTreeMap::new();
+    for key in keys {
+        let ns = doc.get(key).and_then(json::Json::as_f64).unwrap_or(0.0);
+        let group = key.split('/').next().unwrap_or(key).to_string();
+        *totals.entry(group).or_insert(0.0) += ns;
+    }
+    totals
+}
+
+/// One group's verdict.
+struct Trend {
+    group: String,
+    ratio: f64,
+    normalized: f64,
+}
+
+/// Compares two bench documents; returns the per-group trends (sorted by
+/// group name) computed over the benchmark ids present in **both**, plus the
+/// ids only one side has.
+fn compare(current: &json::Json, reference: &json::Json) -> (Vec<Trend>, Vec<String>, Vec<String>) {
+    let cur_keys: Vec<String> = current.pairs().iter().map(|(k, _)| k.clone()).collect();
+    let ref_keys: Vec<String> = reference.pairs().iter().map(|(k, _)| k.clone()).collect();
+    let common: Vec<String> = cur_keys
+        .iter()
+        .filter(|k| ref_keys.contains(k))
+        .cloned()
+        .collect();
+    let only_current: Vec<String> = cur_keys
+        .iter()
+        .filter(|k| !ref_keys.contains(k))
+        .cloned()
+        .collect();
+    let only_reference: Vec<String> = ref_keys
+        .iter()
+        .filter(|k| !cur_keys.contains(k))
+        .cloned()
+        .collect();
+
+    let cur_groups = group_totals(current, &common);
+    let ref_groups = group_totals(reference, &common);
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut trends: Vec<Trend> = Vec::new();
+    for (group, &ref_ns) in &ref_groups {
+        let cur_ns = cur_groups.get(group).copied().unwrap_or(0.0);
+        if ref_ns <= 0.0 || cur_ns <= 0.0 {
+            continue;
+        }
+        let ratio = cur_ns / ref_ns;
+        ratios.push(ratio);
+        trends.push(Trend {
+            group: group.clone(),
+            ratio,
+            normalized: ratio,
+        });
+    }
+    // Median group ratio = the machine-speed trend; normalize it away.
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median = if ratios.is_empty() {
+        1.0
+    } else {
+        ratios[ratios.len() / 2]
+    };
+    for t in &mut trends {
+        t.normalized = t.ratio / median;
+    }
+    (trends, only_current, only_reference)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut max_ratio = 5.0;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-ratio" {
+            i += 1;
+            max_ratio = args
+                .get(i)
+                .ok_or("--max-ratio needs a value")?
+                .parse::<f64>()
+                .map_err(|e| format!("invalid --max-ratio: {e}"))?;
+        } else {
+            paths.push(&args[i]);
+        }
+        i += 1;
+    }
+    let [current_path, reference_path] = paths[..] else {
+        return Err("usage: bench_trend <current.json> <reference.json> [--max-ratio N]".into());
+    };
+    let read = |path: &str| -> Result<json::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let current = read(current_path)?;
+    let reference = read(reference_path)?;
+
+    let (trends, only_current, only_reference) = compare(&current, &reference);
+    if trends.is_empty() {
+        return Err("no benchmark ids in common between the two files".into());
+    }
+    for id in &only_current {
+        println!("note: {id} has no reference entry (new bench?) — not gated");
+    }
+    for id in &only_reference {
+        println!("note: {id} is in the reference but was not run — not gated");
+    }
+    let mut failures = 0;
+    for t in &trends {
+        let verdict = if t.normalized > max_ratio {
+            failures += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<20} raw {:>7.2}x  vs-trend {:>7.2}x  {verdict}",
+            t.group, t.ratio, t.normalized
+        );
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} benchmark group(s) regressed more than {max_ratio}x against the trend; \
+             if intentional, regenerate the baseline: \
+             BENCH_SMOKE=1 scripts/bench.sh baselines/bench_reference.json"
+        ));
+    }
+    println!("bench trend ok: no group beyond {max_ratio}x of the cross-group trend");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_trend: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(pairs: &[(&str, f64)]) -> json::Json {
+        json::Json::Obj(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), json::Json::Num(*v)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn uniform_machine_slowdown_cancels_out() {
+        let reference = doc(&[("a/x/1", 100.0), ("b/y/1", 200.0), ("c/z/1", 50.0)]);
+        // Everything 8x slower: a slower runner, not a regression.
+        let current = doc(&[("a/x/1", 800.0), ("b/y/1", 1600.0), ("c/z/1", 400.0)]);
+        let (trends, _, _) = compare(&current, &reference);
+        assert!(trends.iter().all(|t| (t.normalized - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn single_group_regression_stands_out() {
+        let reference = doc(&[("a/x/1", 100.0), ("b/y/1", 200.0), ("c/z/1", 50.0)]);
+        let current = doc(&[("a/x/1", 100.0), ("b/y/1", 2400.0), ("c/z/1", 50.0)]);
+        let (trends, _, _) = compare(&current, &reference);
+        let b = trends.iter().find(|t| t.group == "b").unwrap();
+        assert!(b.normalized > 5.0, "normalized {}", b.normalized);
+        assert!(trends
+            .iter()
+            .filter(|t| t.group != "b")
+            .all(|t| t.normalized <= 5.0));
+    }
+
+    #[test]
+    fn groups_sum_their_benches_and_ignore_unmatched_ids() {
+        let reference = doc(&[("a/x/1", 100.0), ("a/x/2", 300.0), ("gone/x/1", 9.0)]);
+        let current = doc(&[("a/x/1", 150.0), ("a/x/2", 250.0), ("new/x/1", 7.0)]);
+        let (trends, only_cur, only_ref) = compare(&current, &reference);
+        assert_eq!(trends.len(), 1);
+        assert!((trends[0].ratio - 1.0).abs() < 1e-9); // 400 vs 400
+        assert_eq!(only_cur, vec!["new/x/1".to_string()]);
+        assert_eq!(only_ref, vec!["gone/x/1".to_string()]);
+    }
+
+    #[test]
+    fn cli_rejects_bad_usage() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["a".into()]).is_err());
+        assert!(run(&["a".into(), "b".into(), "--max-ratio".into()]).is_err());
+    }
+}

@@ -7,7 +7,9 @@
 //!   --update-golden    regenerate the golden baseline from this run
 //!   --threads N        worker threads (default: all cores)
 //!   --seed N           dispatch-order seed (output is seed-independent)
-//!   --filter SUBSTR    only run scenarios whose name contains SUBSTR
+//!   --filter SUBSTR    only run scenarios whose name or group contains
+//!                      SUBSTR (e.g. --filter eviction for the policy
+//!                      comparison group); composes with --list
 //!   --out PATH         where to write RESULTS.json (default: RESULTS.json)
 //!   --golden PATH      golden baseline path (default: baselines/golden.json)
 //!   --check-frozen P   additionally require every metric of the frozen
@@ -115,8 +117,20 @@ fn main() -> ExitCode {
 
     let scenarios = registry();
     if opts.list {
-        println!("{} registered scenarios:", scenarios.len());
-        for s in &scenarios {
+        let matches = |s: &dyn harness::Scenario| match &opts.config.filter {
+            Some(f) => s.name().contains(f.as_str()) || s.group().contains(f.as_str()),
+            None => true,
+        };
+        let listed: Vec<_> = scenarios.iter().filter(|s| matches(s.as_ref())).collect();
+        match &opts.config.filter {
+            Some(f) => println!(
+                "{} of {} registered scenarios match --filter {f:?}:",
+                listed.len(),
+                scenarios.len()
+            ),
+            None => println!("{} registered scenarios:", listed.len()),
+        }
+        for s in listed {
             println!("  [{:<8}] {:<32} {}", s.group(), s.name(), s.description());
         }
         return ExitCode::SUCCESS;

@@ -26,7 +26,8 @@ pub struct SweepConfig {
     pub threads: usize,
     /// Seed for the dispatch-order shuffle. Must not change the output.
     pub seed: u64,
-    /// Only run scenarios whose name contains this substring.
+    /// Only run scenarios whose name or group contains this substring
+    /// (`eviction` selects the whole policy-comparison group).
     pub filter: Option<String>,
 }
 
@@ -153,7 +154,9 @@ pub fn run_sweep(registry: &[Box<dyn Scenario>], config: &SweepConfig) -> SweepR
     // re-keyed by index below.
     let selected: Vec<usize> = (0..registry.len())
         .filter(|&i| match &config.filter {
-            Some(f) => registry[i].name().contains(f.as_str()),
+            Some(f) => {
+                registry[i].name().contains(f.as_str()) || registry[i].group().contains(f.as_str())
+            }
             None => true,
         })
         .collect();
@@ -320,6 +323,22 @@ mod tests {
         assert_eq!(results.scenarios.len(), 1);
         assert!(results.all_ok());
         assert!(results.total_wall_clock() >= 0.0);
+    }
+
+    #[test]
+    fn filter_also_matches_the_group_name() {
+        let registry = fake_registry();
+        // Every fake scenario is in the "sweep" group; a group filter selects
+        // them all even though no scenario *name* contains it.
+        let results = run_sweep(
+            &registry,
+            &SweepConfig {
+                threads: 2,
+                seed: 0,
+                filter: Some("sweep".to_string()),
+            },
+        );
+        assert_eq!(results.scenarios.len(), 3);
     }
 
     #[test]

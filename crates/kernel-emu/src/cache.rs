@@ -15,13 +15,36 @@
 //!
 //! This emulator plays the role of the *real cluster node* in our
 //! reproduction: simulators are evaluated by their error against it.
+//!
+//! # Mechanism vs. policy
+//!
+//! Like `pagecache::lru`, this module is *mechanism*: the file slab, the
+//! page accounting, the resident/durability range ledgers, and the
+//! clean/dirty membership chains. The *decisions* — in what order files are
+//! picked as eviction victims, whether a file gets a second chance, and how
+//! re-accessed files are classified — are delegated to the
+//! [`ReplacementPolicy`] configured via [`KernelTuning::eviction_policy`].
+//! Because the emulator tracks occupancy per file (not per block), it
+//! consumes the trait's *file-granular* hooks, driven off a per-file
+//! [`FileMeta`] stored in each slab slot: `file_admit` on inserts,
+//! `file_touch` on re-accesses, `file_rank` as the victim-ordering prefix
+//! (eviction sorts candidates by `(rank, last_access, file name)`),
+//! `file_second_chance` during the protection pass of [`KernelCache::evict`]
+//! and `file_on_evict` when a file's pages are fully reclaimed. Writeback
+//! order stays policy-independent: it is a durability concern (oldest dirty
+//! data first), not a replacement decision. The default
+//! [`TwoList`](pagecache::EvictionPolicy::TwoList) policy ranks every file 0
+//! and grants no second chances, reproducing the historical behaviour
+//! exactly.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use des::{JoinHandle, SimContext, SimTime};
-use pagecache::{CacheContentSnapshot, FileId, MemorySample, MemoryTrace};
+use pagecache::{
+    CacheContentSnapshot, FileId, FileMeta, MemorySample, MemoryTrace, ReplacementPolicy,
+};
 use storage_model::{Disk, MemoryDevice};
 
 use crate::tuning::KernelTuning;
@@ -260,6 +283,9 @@ pub struct KernelCacheCounters {
 struct FileSlot {
     file: FileId,
     pages: FilePages,
+    /// Per-file policy metadata (reference bit, hotness, generation) consumed
+    /// by the file-granular [`ReplacementPolicy`] hooks.
+    meta: FileMeta,
     /// Which byte offsets of the file are resident (`total()` always equals
     /// `pages.cached()`).
     resident: RangeSet,
@@ -299,6 +325,10 @@ struct State {
     dirty_total: f64,
     trace: MemoryTrace,
     counters: KernelCacheCounters,
+    /// Replacement policy: decides victim-file ordering, second chances and
+    /// re-access classification via the file-granular trait hooks. The
+    /// mechanism (slab, chains, ledgers) above is policy-independent.
+    policy: Box<dyn ReplacementPolicy>,
     stop: bool,
 }
 
@@ -323,6 +353,7 @@ impl State {
         let slot = FileSlot {
             file: file.clone(),
             pages: FilePages::default(),
+            meta: FileMeta::default(),
             resident: RangeSet::default(),
             dirty: RangeSet::default(),
             links: [UNLINKED; 2],
@@ -513,6 +544,7 @@ impl KernelCache {
                 dirty_total: 0.0,
                 trace: MemoryTrace::new(),
                 counters: KernelCacheCounters::default(),
+                policy: tuning.eviction_policy.build(),
                 stop: false,
             })),
         }
@@ -638,13 +670,17 @@ impl KernelCache {
         pages.cached()
     }
 
-    /// Evicts up to `amount` bytes of clean pages, least-recently-used file
-    /// first, skipping files currently being written (if the corresponding
-    /// tunable is enabled) and `exclude`. Returns the evicted amount.
+    /// Evicts up to `amount` bytes of clean pages, lowest-ranked and
+    /// least-recently-used file first, skipping files currently being written
+    /// (if the corresponding tunable is enabled) and `exclude`. Returns the
+    /// evicted amount.
     ///
     /// Candidates come from the has-clean membership chain, so only files
-    /// actually holding clean pages are visited; the sort reproduces the
-    /// historical `(last_access, file name)` selection order exactly.
+    /// actually holding clean pages are visited; the sort orders victims by
+    /// `(policy rank, last_access, file name)`. The default
+    /// [`TwoList`](pagecache::EvictionPolicy::TwoList) policy ranks every
+    /// file 0, reproducing the historical `(last_access, file name)`
+    /// selection order exactly.
     pub fn evict(&self, amount: f64, exclude: Option<&FileId>) -> f64 {
         if amount <= EPS {
             return 0.0;
@@ -652,13 +688,20 @@ impl KernelCache {
         let mut s = self.state.borrow_mut();
         let mut order = s.chain_candidates(CLEAN, |p| p.clean() > EPS);
         order.sort_by(|&a, &b| {
-            (s.slot(a).pages.last_access, &s.slot(a).file)
-                .cmp(&(s.slot(b).pages.last_access, &s.slot(b).file))
+            let ka = s.policy.file_rank(&s.slot(a).meta);
+            let kb = s.policy.file_rank(&s.slot(b).meta);
+            (ka, s.slot(a).pages.last_access, &s.slot(a).file).cmp(&(
+                kb,
+                s.slot(b).pages.last_access,
+                &s.slot(b).file,
+            ))
         });
+        let use_ref = s.policy.uses_reference_bits();
         let mut evicted = 0.0;
-        // First pass: respect the write-open protection; second pass: ignore
-        // it if we are still short (the kernel will reclaim those pages too
-        // under sufficient pressure).
+        // First pass: respect the write-open protection (and, under a
+        // reference-bit policy, grant referenced files one second chance);
+        // second pass: ignore both if we are still short (the kernel will
+        // reclaim those pages too under sufficient pressure).
         for respect_protection in [true, false] {
             for &i in &order {
                 if evicted >= amount - EPS {
@@ -667,11 +710,15 @@ impl KernelCache {
                 if exclude.is_some_and(|f| f == &s.slot(i).file) {
                     continue;
                 }
-                let slot = s.slot_mut(i);
+                let st = &mut *s;
+                let slot = st.slots[i as usize].as_mut().expect("vacant file slot");
                 if respect_protection
                     && self.tuning.protect_files_being_written
                     && slot.pages.write_open
                 {
+                    continue;
+                }
+                if respect_protection && use_ref && st.policy.file_second_chance(&mut slot.meta) {
                     continue;
                 }
                 let removed = slot.pages.evict_clean(amount - evicted);
@@ -680,10 +727,13 @@ impl KernelCache {
                     // the lowest offsets (the LRU end under sequential
                     // access).
                     slot.resident.trim_front(removed);
+                    if slot.pages.cached() <= EPS {
+                        st.policy.file_on_evict(&slot.file, &slot.meta);
+                    }
                 }
                 evicted += removed;
             }
-            if evicted >= amount - EPS || !self.tuning.protect_files_being_written {
+            if evicted >= amount - EPS || (!self.tuning.protect_files_being_written && !use_ref) {
                 break;
             }
         }
@@ -826,11 +876,13 @@ impl KernelCache {
         let mut s = self.state.borrow_mut();
         let i = s.ensure_slot(file);
         let added = {
-            let slot = s.slot_mut(i);
+            let st = &mut *s;
+            let slot = st.slots[i as usize].as_mut().expect("vacant file slot");
             let added = (end - start) - slot.resident.covered_len(start, end);
             slot.resident.insert(start, end);
             slot.pages.inactive_clean += added;
             slot.pages.last_access = now;
+            st.policy.file_admit(&slot.file, &mut slot.meta);
             added
         };
         if added > EPS {
@@ -854,7 +906,9 @@ impl KernelCache {
         let mut s = self.state.borrow_mut();
         let i = s.ensure_slot(file);
         let (added, redirtied) = {
-            let slot = s.slot_mut(i);
+            let st = &mut *s;
+            let slot = st.slots[i as usize].as_mut().expect("vacant file slot");
+            st.policy.file_admit(&slot.file, &mut slot.meta);
             let overlap = slot.resident.covered_len(start, end);
             let added = (end - start) - overlap;
             slot.resident.insert(start, end);
@@ -947,17 +1001,20 @@ impl KernelCache {
     }
 
     /// Records a second access to `bytes` of a file: promotes them from the
-    /// inactive to the active list.
+    /// inactive to the active list and notifies the replacement policy
+    /// (reference bit / hotness / generation stamp, depending on the policy).
     pub fn touch(&self, file: &FileId, bytes: f64) {
         if bytes <= EPS {
             return;
         }
         let now = self.ctx.now();
         let mut s = self.state.borrow_mut();
-        if let Some(&i) = s.index.get(file) {
-            let pages = &mut s.slot_mut(i).pages;
-            pages.promote(bytes);
-            pages.last_access = now;
+        let st = &mut *s;
+        if let Some(&i) = st.index.get(file) {
+            let slot = st.slots[i as usize].as_mut().expect("vacant file slot");
+            slot.pages.promote(bytes);
+            slot.pages.last_access = now;
+            st.policy.file_touch(&slot.file, &mut slot.meta);
         }
     }
 
@@ -1044,6 +1101,7 @@ impl KernelCache {
 mod tests {
     use super::*;
     use des::Simulation;
+    use pagecache::EvictionPolicy;
     use storage_model::{units::MB, DeviceSpec};
 
     fn setup(total_mb: f64) -> (Simulation, KernelCache) {
@@ -1057,6 +1115,25 @@ mod tests {
             DeviceSpec::asymmetric(510.0 * MB, 420.0 * MB, 0.0, f64::INFINITY),
         );
         let cache = KernelCache::new(&ctx, KernelTuning::with_memory(total_mb * MB), memory, disk);
+        (sim, cache)
+    }
+
+    fn setup_policy(total_mb: f64, policy: EvictionPolicy) -> (Simulation, KernelCache) {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let memory =
+            MemoryDevice::new(&ctx, DeviceSpec::symmetric(2764.0 * MB, 0.0, f64::INFINITY));
+        let disk = Disk::new(
+            &ctx,
+            "d",
+            DeviceSpec::asymmetric(510.0 * MB, 420.0 * MB, 0.0, f64::INFINITY),
+        );
+        let cache = KernelCache::new(
+            &ctx,
+            KernelTuning::with_memory(total_mb * MB).with_eviction_policy(policy),
+            memory,
+            disk,
+        );
         (sim, cache)
     }
 
@@ -1257,6 +1334,55 @@ mod tests {
         let pages = s.pages(&"f".into()).unwrap();
         approx(pages.active_clean, 60.0 * MB);
         approx(pages.inactive_clean, 40.0 * MB);
+    }
+
+    #[test]
+    fn clock_policy_gives_referenced_files_a_second_chance() {
+        let (_sim, cache) = setup_policy(1000.0, EvictionPolicy::Clock);
+        cache.insert_clean(&"a".into(), 50.0 * MB);
+        cache.insert_clean(&"b".into(), 50.0 * MB);
+        // The re-access sets `a`'s reference bit.
+        cache.touch(&"a".into(), 10.0 * MB);
+        approx(cache.evict(50.0 * MB, None), 50.0 * MB);
+        // `a` would be first in name order but is spared once; `b` goes.
+        approx(cache.cached_amount(&"a".into()), 50.0 * MB);
+        approx(cache.cached_amount(&"b".into()), 0.0);
+        // The second chance is consumed: the next eviction reclaims `a`.
+        approx(cache.evict(50.0 * MB, None), 50.0 * MB);
+        approx(cache.cached_amount(&"a".into()), 0.0);
+    }
+
+    #[test]
+    fn two_q_reinserted_files_outrank_one_shot_scans() {
+        let (_sim, cache) = setup_policy(1000.0, EvictionPolicy::TwoQ);
+        cache.insert_clean(&"hot".into(), 50.0 * MB);
+        // Fully reclaimed once: the file enters the ghost queue.
+        approx(cache.evict(50.0 * MB, None), 50.0 * MB);
+        // The re-insert is a ghost hit, classifying the file as hot (Am).
+        cache.insert_clean(&"hot".into(), 50.0 * MB);
+        cache.insert_clean(&"scan".into(), 50.0 * MB);
+        approx(cache.evict(50.0 * MB, None), 50.0 * MB);
+        // The one-shot scan ranks below the ghost-hit file and goes first.
+        approx(cache.cached_amount(&"hot".into()), 50.0 * MB);
+        approx(cache.cached_amount(&"scan".into()), 0.0);
+    }
+
+    #[test]
+    fn mglru_policy_evicts_older_generations_first() {
+        let (_sim, cache) = setup_policy(1000.0, EvictionPolicy::MglruGen);
+        cache.insert_clean(&"z_old".into(), 50.0 * MB);
+        cache.insert_clean(&"a_filler".into(), 1.0 * MB);
+        // Enough touches to advance the generation counter past one aging
+        // period, so later admissions carry a younger stamp.
+        for _ in 0..40 {
+            cache.touch(&"a_filler".into(), 1.0);
+        }
+        cache.insert_clean(&"a_young".into(), 50.0 * MB);
+        approx(cache.evict(50.0 * MB, None), 50.0 * MB);
+        // Without generation ranks the name tie-break would reclaim
+        // `a_young` first; the older stamp of `z_old` outweighs it.
+        approx(cache.cached_amount(&"z_old".into()), 0.0);
+        approx(cache.cached_amount(&"a_young".into()), 50.0 * MB);
     }
 
     #[test]

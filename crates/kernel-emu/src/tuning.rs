@@ -1,5 +1,7 @@
 //! Kernel tunables of the emulator (the `vm.*` sysctls of the real cluster).
 
+use pagecache::EvictionPolicy;
+
 /// Size of a page in bytes (4 KiB).
 pub const PAGE_SIZE: f64 = 4096.0;
 
@@ -57,6 +59,11 @@ pub struct KernelTuning {
     /// default; the hard throttle at the dirty threshold (synchronous
     /// writeback) applies regardless.
     pub throttle_pacing: f64,
+    /// Replacement policy deciding the victim-file order of eviction (and
+    /// second chances / ghost promotions under the non-default policies).
+    /// The default [`EvictionPolicy::TwoList`] reproduces the historical
+    /// pure-LRU `(last_access, file name)` order exactly.
+    pub eviction_policy: EvictionPolicy,
 }
 
 impl KernelTuning {
@@ -72,7 +79,14 @@ impl KernelTuning {
             readahead_min: 0.0,
             readahead_max: 0.0,
             throttle_pacing: 0.0,
+            eviction_policy: EvictionPolicy::TwoList,
         }
+    }
+
+    /// Overrides the eviction policy.
+    pub fn with_eviction_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction_policy = policy;
+        self
     }
 
     /// Enables the readahead model with the given initial and maximum window
@@ -151,6 +165,12 @@ mod tests {
         // Readahead and writer pacing are opt-in: off by default.
         assert_eq!(t.readahead_max, 0.0);
         assert_eq!(t.throttle_pacing, 0.0);
+        assert_eq!(t.eviction_policy, EvictionPolicy::TwoList);
+        assert_eq!(
+            t.with_eviction_policy(EvictionPolicy::Clock)
+                .eviction_policy,
+            EvictionPolicy::Clock
+        );
         assert!(t.validate().is_ok());
         let mut bad = t;
         bad.dirty_background_ratio = 0.5;

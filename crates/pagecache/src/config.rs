@@ -2,7 +2,10 @@
 //!
 //! Defaults follow the Linux kernel defaults used on the paper's cluster
 //! (CentOS 8.1): `vm.dirty_ratio = 20 %`, `dirty_expire_centisecs = 3000`
-//! (30 s) and a 5 s writeback wakeup interval.
+//! (30 s), a 5 s writeback wakeup interval, and the classic active/inactive
+//! 2-list eviction policy.
+
+use crate::policy::EvictionPolicy;
 
 /// How writes interact with the page cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +34,8 @@ pub struct PageCacheConfig {
     pub flush_interval: f64,
     /// Write mode of the cache.
     pub write_mode: WriteMode,
+    /// Replacement policy deciding which cached data is evicted first.
+    pub eviction_policy: EvictionPolicy,
 }
 
 impl PageCacheConfig {
@@ -43,7 +48,14 @@ impl PageCacheConfig {
             dirty_expire: 30.0,
             flush_interval: 5.0,
             write_mode: WriteMode::WriteBack,
+            eviction_policy: EvictionPolicy::TwoList,
         }
+    }
+
+    /// Overrides the eviction policy.
+    pub fn with_eviction_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction_policy = policy;
+        self
     }
 
     /// Switches the configuration to writethrough mode.
@@ -118,6 +130,7 @@ mod tests {
         assert_eq!(cfg.dirty_expire, 30.0);
         assert_eq!(cfg.flush_interval, 5.0);
         assert_eq!(cfg.write_mode, WriteMode::WriteBack);
+        assert_eq!(cfg.eviction_policy, EvictionPolicy::TwoList);
         assert!(cfg.validate().is_ok());
     }
 
@@ -127,11 +140,13 @@ mod tests {
             .writethrough()
             .with_dirty_ratio(0.4)
             .with_dirty_expire(10.0)
-            .with_flush_interval(1.0);
+            .with_flush_interval(1.0)
+            .with_eviction_policy(EvictionPolicy::TwoQ);
         assert_eq!(cfg.write_mode, WriteMode::WriteThrough);
         assert_eq!(cfg.dirty_ratio, 0.4);
         assert_eq!(cfg.dirty_expire, 10.0);
         assert_eq!(cfg.flush_interval, 1.0);
+        assert_eq!(cfg.eviction_policy, EvictionPolicy::TwoQ);
         assert!(cfg.validate().is_ok());
     }
 

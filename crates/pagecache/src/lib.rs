@@ -49,6 +49,7 @@ mod config;
 mod controller;
 mod lru;
 mod manager;
+pub mod policy;
 mod stats;
 
 pub use block::{DataBlock, FileId};
@@ -56,4 +57,5 @@ pub use config::{PageCacheConfig, WriteMode};
 pub use controller::{clamp_io_range, IoController, DEFAULT_CHUNK_SIZE};
 pub use lru::{ListKind, LruLists, EPSILON};
 pub use manager::{MemoryManager, MemoryManagerCounters};
+pub use policy::{EvictionPolicy, FileMeta, ReplacementPolicy, MAX_TIERS};
 pub use stats::{CacheContentSnapshot, IoOpStats, MemorySample, MemoryTrace};

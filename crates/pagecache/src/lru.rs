@@ -1,12 +1,27 @@
-//! The two-list LRU structure used by the simulation model (paper §III-A-1),
+//! The LRU list structure used by the simulation model (paper §III-A-1),
 //! built on a slab arena of [`DataBlock`] nodes threaded by intrusive
 //! doubly-linked chains (Linux `list_head`-style).
 //!
-//! As in the Linux kernel, cached data lives either on the *inactive* list
-//! (accessed once) or the *active* list (accessed more than once). Both lists
-//! are ordered by last access time, earliest first, so the least recently used
-//! data is always at the front. The active list is kept at most twice the
-//! size of the inactive list by demoting its least recently used blocks.
+//! # Mechanism vs. policy
+//!
+//! This module is pure *mechanism*: up to [`MAX_TIERS`] lists ("tiers") of
+//! blocks, each ordered by last access time (earliest first, so the least
+//! recently used data is always at the front), with O(1) incremental byte
+//! aggregates and O(1) intrusive re-linking. Which tier a block joins on
+//! first touch, where a re-accessed block is promoted, which tiers eviction
+//! may reclaim from and in what order, and when blocks demote between tiers
+//! are all *policy* decisions, delegated to a [`ReplacementPolicy`]
+//! (see [`crate::policy`]).
+//!
+//! Under the default [`EvictionPolicy::TwoList`] policy this reproduces the
+//! kernel behaviour the paper models bit-for-bit: tier 0 is the *inactive*
+//! list (accessed once), tier 1 the *active* list (accessed more than once),
+//! and the active list is kept at most twice the size of the inactive list
+//! by demoting its least recently used blocks. The other policies reuse the
+//! same chains and aggregates with different decisions: CLOCK keeps one tier
+//! plus per-block reference bits (honoured by [`LruLists::evict`]'s
+//! second-chance pass), 2Q splits tier 0/1 into A1in/Am with a ghost FIFO,
+//! and MGLRU treats all four tiers as a rotating generation ring.
 //!
 //! # Why intrusive chains
 //!
@@ -55,17 +70,18 @@
 //! and never shifts elements).
 //!
 //! To bound arena growth on flush-heavy workloads, recency-adjacent blocks
-//! of the same file on the **inactive** list that are both clean *and share
-//! the same last access time* are coalesced opportunistically (after an
-//! insert, a demotion, or a flush that turns a block clean) — this is the
-//! shape a partial flush produces: a clean split head next to its remainder,
-//! fragment after fragment at one timestamp. Equal timestamps make the merge
-//! provably order-neutral (no later out-of-order insertion can land between
-//! the merged bytes), so every byte-level observable — aggregates,
-//! flush/evict/read amounts, eviction order — is unchanged; only the block
-//! granularity coarsens. Active-list blocks are never coalesced because
-//! [`LruLists::balance`] demotes whole blocks, and merging would coarsen the
-//! demotion granularity (a behaviour change).
+//! of the same file on an **evictable** tier that are both clean, *share
+//! the same last access time* and carry the same reference bit are coalesced
+//! opportunistically (after an insert, a demotion, or a flush that turns a
+//! block clean) — this is the shape a partial flush produces: a clean split
+//! head next to its remainder, fragment after fragment at one timestamp.
+//! Equal timestamps make the merge provably order-neutral (no later
+//! out-of-order insertion can land between the merged bytes), so every
+//! byte-level observable — aggregates, flush/evict/read amounts, eviction
+//! order — is unchanged; only the block granularity coarsens. Blocks on
+//! policy-protected tiers (the 2-list active list) are never coalesced
+//! because [`LruLists::balance`] demotes whole blocks, and merging would
+//! coarsen the demotion granularity (a behaviour change).
 //!
 //! # Invariants
 //!
@@ -73,11 +89,11 @@
 //!   head/tail; the dirty and per-file chains are exactly the recency chain
 //!   filtered by dirtiness / file; recency chains are sorted by
 //!   `last_access`.
-//! * Aggregates: for each list, `agg.bytes` / `agg.dirty` equal the sum of
+//! * Aggregates: for each tier, `agg.bytes` / `agg.dirty` equal the sum of
 //!   sizes / dirty sizes of its blocks; for each file, `FileBytes { cached,
 //!   dirty, inactive_bytes, inactive_clean, blocks }` equal the same sums
-//!   restricted to that file (and `blocks` its exact block count, used to
-//!   drop empty entries).
+//!   restricted to that file (`inactive_*` counting the policy's evictable
+//!   tiers, and `blocks` its exact block count, used to drop empty entries).
 //!
 //! In debug builds every public mutator re-derives all counters from a full
 //! scan (the `recompute_*` oracles), validates the chain structure, and
@@ -92,6 +108,7 @@ use std::collections::{BTreeMap, HashMap};
 use des::SimTime;
 
 use crate::block::{DataBlock, FileId};
+use crate::policy::{EvictionPolicy, ReplacementPolicy, MAX_TIERS};
 
 /// Bytes below which two amounts are considered equal.
 pub const EPSILON: f64 = 1e-6;
@@ -105,7 +122,10 @@ const RECENCY: usize = 0;
 const FILE: usize = 1;
 const DIRTY: usize = 2;
 
-/// Which of the two LRU lists a block resides on.
+/// The two classic LRU lists of the default 2-list policy, kept for API
+/// compatibility. Internally blocks live on numbered tiers; under
+/// [`EvictionPolicy::TwoList`] tier 0 is [`ListKind::Inactive`] and tier 1
+/// [`ListKind::Active`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ListKind {
     /// The inactive list (data accessed once, candidates for eviction).
@@ -113,16 +133,6 @@ pub enum ListKind {
     /// The active list (data accessed more than once, protected).
     Active,
 }
-
-/// Index of a list kind into per-list arrays.
-fn li(kind: ListKind) -> usize {
-    match kind {
-        ListKind::Inactive => 0,
-        ListKind::Active => 1,
-    }
-}
-
-const KINDS: [ListKind; 2] = [ListKind::Inactive, ListKind::Active];
 
 /// One prev/next pair of an intrusive chain.
 #[derive(Debug, Clone, Copy)]
@@ -169,7 +179,11 @@ enum Slot {
 #[derive(Debug, Clone)]
 struct Node {
     block: DataBlock,
-    kind: ListKind,
+    /// The tier (list) this block resides on.
+    tier: usize,
+    /// CLOCK reference bit: set when the block was re-accessed, granting it
+    /// a second chance during eviction under policies that use it.
+    referenced: bool,
     /// Links indexed by [`RECENCY`], [`FILE`], [`DIRTY`].
     links: [Link; 3],
 }
@@ -291,20 +305,21 @@ impl ListAgg {
 /// Incrementally maintained byte totals of one file.
 #[derive(Debug, Default, Clone, Copy)]
 struct FileBytes {
-    /// Cached bytes of the file (both lists, clean + dirty).
+    /// Cached bytes of the file (all tiers, clean + dirty).
     cached: f64,
-    /// Dirty bytes of the file (both lists).
+    /// Dirty bytes of the file (all tiers).
     dirty: f64,
-    /// Bytes of the file on the inactive list (clean + dirty).
+    /// Bytes of the file on the policy's evictable tiers (clean + dirty);
+    /// the inactive list under the default 2-list policy.
     inactive_bytes: f64,
-    /// Clean bytes of the file on the inactive list (its evictable share).
+    /// Clean bytes of the file on the evictable tiers (its evictable share).
     inactive_clean: f64,
-    /// Exact number of blocks of the file across both lists. Used to decide
+    /// Exact number of blocks of the file across all tiers. Used to decide
     /// when the entry can be dropped without relying on float comparisons.
     blocks: usize,
 }
 
-/// Per-list state: the recency and dirty chains plus the byte aggregates.
+/// Per-tier state: the recency and dirty chains plus the byte aggregates.
 #[derive(Debug, Default, Clone)]
 struct ListState {
     recency: Chain,
@@ -313,45 +328,65 @@ struct ListState {
     agg: ListAgg,
 }
 
-/// Per-file state: the byte aggregates plus one per-list file chain.
+/// Per-file state: the byte aggregates plus one per-tier file chain.
 #[derive(Debug, Default, Clone)]
 struct FileState {
     bytes: FileBytes,
-    /// File chains indexed by [`li`]: this file's blocks on each list, in
+    /// File chains indexed by tier: this file's blocks on each tier, in
     /// recency order.
-    chains: [Chain; 2],
+    chains: [Chain; MAX_TIERS],
 }
 
-/// The pair of LRU lists holding all cached data blocks of one host.
+/// The LRU lists (tiers) holding all cached data blocks of one host; the
+/// tier decisions are delegated to the configured [`ReplacementPolicy`].
 #[derive(Debug, Clone)]
 pub struct LruLists {
     arena: Vec<Slot>,
     free_head: Idx,
-    /// Indexed by [`li`]: inactive, active.
-    lists: [ListState; 2],
+    /// Indexed by tier; under the default 2-list policy tier 0 is the
+    /// inactive list and tier 1 the active list.
+    lists: [ListState; MAX_TIERS],
     per_file: HashMap<FileId, FileState>,
+    policy: Box<dyn ReplacementPolicy>,
+    /// Cached [`ReplacementPolicy::evictable_tiers`] answer, so the hot
+    /// aggregate paths never touch the policy object.
+    evictable_mask: [bool; MAX_TIERS],
 }
 
 impl Default for LruLists {
     fn default() -> Self {
-        LruLists {
-            arena: Vec::new(),
-            free_head: NIL,
-            lists: [ListState::default(), ListState::default()],
-            per_file: HashMap::new(),
-        }
+        Self::with_policy(EvictionPolicy::default())
     }
 }
 
 impl LruLists {
-    /// Creates an empty cache.
+    /// Creates an empty cache under the default 2-list policy.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Total number of blocks across both lists.
+    /// Creates an empty cache under the given eviction policy.
+    pub fn with_policy(policy: EvictionPolicy) -> Self {
+        let policy = policy.build();
+        let evictable_mask = policy.evictable_tiers();
+        LruLists {
+            arena: Vec::new(),
+            free_head: NIL,
+            lists: std::array::from_fn(|_| ListState::default()),
+            per_file: HashMap::new(),
+            policy,
+            evictable_mask,
+        }
+    }
+
+    /// The eviction policy this cache runs under.
+    pub fn policy_kind(&self) -> EvictionPolicy {
+        self.policy.kind()
+    }
+
+    /// Total number of blocks across all tiers.
     pub fn block_count(&self) -> usize {
-        self.lists[0].len + self.lists[1].len
+        self.lists.iter().map(|l| l.len).sum()
     }
 
     /// Whether the cache holds no data at all.
@@ -359,24 +394,42 @@ impl LruLists {
         self.block_count() == 0
     }
 
-    /// Total cached bytes (clean + dirty, both lists). O(1).
+    /// Per-tier byte totals, the policy's decision input. O(1).
+    fn tier_bytes(&self) -> [f64; MAX_TIERS] {
+        std::array::from_fn(|t| self.lists[t].agg.bytes)
+    }
+
+    /// Per-tier block counts, the policy's decision input. O(1).
+    fn tier_lens(&self) -> [usize; MAX_TIERS] {
+        std::array::from_fn(|t| self.lists[t].len)
+    }
+
+    /// Total cached bytes (clean + dirty, all tiers). O(1).
     pub fn total_cached(&self) -> f64 {
-        self.lists[0].agg.bytes + self.lists[1].agg.bytes
+        self.lists.iter().map(|l| l.agg.bytes).sum()
     }
 
-    /// Total dirty bytes (both lists). O(1).
+    /// Total dirty bytes (all tiers). O(1).
     pub fn total_dirty(&self) -> f64 {
-        self.lists[0].agg.dirty + self.lists[1].agg.dirty
+        self.lists.iter().map(|l| l.agg.dirty).sum()
     }
 
-    /// Bytes of the inactive list. O(1).
+    /// Bytes on the policy's evictable tiers (the inactive list under the
+    /// default 2-list policy). O(1).
     pub fn inactive_bytes(&self) -> f64 {
-        self.lists[0].agg.bytes
+        (0..MAX_TIERS)
+            .filter(|&t| self.evictable_mask[t])
+            .map(|t| self.lists[t].agg.bytes)
+            .sum()
     }
 
-    /// Bytes of the active list. O(1).
+    /// Bytes on the policy's protected tiers (the active list under the
+    /// default 2-list policy). O(1).
     pub fn active_bytes(&self) -> f64 {
-        self.lists[1].agg.bytes
+        (0..MAX_TIERS)
+            .filter(|&t| !self.evictable_mask[t])
+            .map(|t| self.lists[t].agg.bytes)
+            .sum()
     }
 
     /// Cached bytes belonging to `file`. O(1) expected.
@@ -411,37 +464,43 @@ impl LruLists {
             .map(|(k, f)| (k, f.bytes.cached))
     }
 
-    /// Clean bytes on the inactive list that [`LruLists::evict`] could remove,
-    /// optionally excluding one file. O(1).
+    /// Clean bytes on the evictable tiers that [`LruLists::evict`] could
+    /// remove, optionally excluding one file. O(1).
     pub fn evictable(&self, exclude: Option<&FileId>) -> f64 {
-        let total = (self.lists[0].agg.bytes - self.lists[0].agg.dirty).max(0.0);
+        let total: f64 = (0..MAX_TIERS)
+            .filter(|&t| self.evictable_mask[t])
+            .map(|t| (self.lists[t].agg.bytes - self.lists[t].agg.dirty).max(0.0))
+            .sum();
         let excluded = exclude
             .and_then(|f| self.per_file.get(f))
             .map_or(0.0, |f| f.bytes.inactive_clean);
         (total - excluded).max(0.0)
     }
 
-    /// Iterates over all blocks, inactive list first, LRU first.
+    /// Iterates over all blocks, tier 0 first, LRU first within each tier.
     pub fn iter_all(&self) -> impl Iterator<Item = &DataBlock> {
-        self.inactive_blocks().chain(self.active_blocks())
+        (0..MAX_TIERS).flat_map(|t| self.tier_blocks(t))
     }
 
-    /// Blocks of the inactive list, LRU first.
+    /// Blocks of tier `t`, LRU first.
+    pub fn tier_blocks(&self, t: usize) -> ChainBlocks<'_> {
+        ChainBlocks {
+            arena: &self.arena,
+            cur: self.lists[t].recency.head,
+            lk: RECENCY,
+        }
+    }
+
+    /// Blocks of tier 0 (the inactive list under the default 2-list policy),
+    /// LRU first.
     pub fn inactive_blocks(&self) -> ChainBlocks<'_> {
-        ChainBlocks {
-            arena: &self.arena,
-            cur: self.lists[0].recency.head,
-            lk: RECENCY,
-        }
+        self.tier_blocks(0)
     }
 
-    /// Blocks of the active list, LRU first.
+    /// Blocks of tier 1 (the active list under the default 2-list policy),
+    /// LRU first.
     pub fn active_blocks(&self) -> ChainBlocks<'_> {
-        ChainBlocks {
-            arena: &self.arena,
-            cur: self.lists[1].recency.head,
-            lk: RECENCY,
-        }
+        self.tier_blocks(1)
     }
 
     /// Allocates an arena slot for `node`, reusing the free list.
@@ -477,17 +536,18 @@ impl LruLists {
         }
     }
 
-    /// Records a block joining `kind` in the aggregates. The counters only
+    /// Records a block joining `tier` in the aggregates. The counters only
     /// need its metadata; chain membership is handled separately.
-    fn agg_insert(&mut self, kind: ListKind, block: &DataBlock) {
-        self.lists[li(kind)].agg.add(block.size, block.dirty);
+    fn agg_insert(&mut self, tier: usize, block: &DataBlock) {
+        self.lists[tier].agg.add(block.size, block.dirty);
+        let evictable = self.evictable_mask[tier];
         let f = &mut self.per_file.entry(block.file.clone()).or_default().bytes;
         f.cached += block.size;
         f.blocks += 1;
         if block.dirty {
             f.dirty += block.size;
         }
-        if kind == ListKind::Inactive {
+        if evictable {
             f.inactive_bytes += block.size;
             if !block.dirty {
                 f.inactive_clean += block.size;
@@ -495,10 +555,11 @@ impl LruLists {
         }
     }
 
-    /// Records a block leaving `kind` in the aggregates, dropping the
+    /// Records a block leaving `tier` in the aggregates, dropping the
     /// per-file entry once its last block is gone.
-    fn agg_remove(&mut self, kind: ListKind, block: &DataBlock) {
-        self.lists[li(kind)].agg.sub(block.size, block.dirty);
+    fn agg_remove(&mut self, tier: usize, block: &DataBlock) {
+        self.lists[tier].agg.sub(block.size, block.dirty);
+        let evictable = self.evictable_mask[tier];
         if let Some(entry) = self.per_file.get_mut(&block.file) {
             let f = &mut entry.bytes;
             f.cached = (f.cached - block.size).max(0.0);
@@ -506,7 +567,7 @@ impl LruLists {
             if block.dirty {
                 f.dirty = (f.dirty - block.size).max(0.0);
             }
-            if kind == ListKind::Inactive {
+            if evictable {
                 f.inactive_bytes = (f.inactive_bytes - block.size).max(0.0);
                 if !block.dirty {
                     f.inactive_clean = (f.inactive_clean - block.size).max(0.0);
@@ -514,7 +575,7 @@ impl LruLists {
             }
             if f.blocks == 0 {
                 debug_assert!(
-                    entry.chains[0].is_empty() && entry.chains[1].is_empty(),
+                    entry.chains.iter().all(|c| c.is_empty()),
                     "dropping per-file entry with linked blocks"
                 );
                 self.per_file.remove(&block.file);
@@ -522,31 +583,33 @@ impl LruLists {
         }
     }
 
-    /// Records `amount` bytes of a dirty block on `kind` turning clean in
+    /// Records `amount` bytes of a dirty block on `tier` turning clean in
     /// place (a flush). Sizes do not change, only dirtiness.
-    fn agg_clean_in_place(&mut self, kind: ListKind, file: &FileId, amount: f64) {
-        let agg = &mut self.lists[li(kind)].agg;
+    fn agg_clean_in_place(&mut self, tier: usize, file: &FileId, amount: f64) {
+        let agg = &mut self.lists[tier].agg;
         agg.dirty = (agg.dirty - amount).max(0.0);
+        let evictable = self.evictable_mask[tier];
         if let Some(f) = self.per_file.get_mut(file) {
             f.bytes.dirty = (f.bytes.dirty - amount).max(0.0);
-            if kind == ListKind::Inactive {
+            if evictable {
                 f.bytes.inactive_clean += amount;
             }
         }
     }
 
-    /// Records a block on `kind` shrinking by `amount` bytes in place with
+    /// Records a block on `tier` shrinking by `amount` bytes in place with
     /// unchanged block count (a partial eviction or a partial take; the split
     /// head is accounted separately when it is re-inserted).
-    fn agg_shrink(&mut self, kind: ListKind, file: &FileId, amount: f64, dirty: bool) {
-        self.lists[li(kind)].agg.sub(amount, dirty);
+    fn agg_shrink(&mut self, tier: usize, file: &FileId, amount: f64, dirty: bool) {
+        self.lists[tier].agg.sub(amount, dirty);
+        let evictable = self.evictable_mask[tier];
         if let Some(f) = self.per_file.get_mut(file) {
             let f = &mut f.bytes;
             f.cached = (f.cached - amount).max(0.0);
             if dirty {
                 f.dirty = (f.dirty - amount).max(0.0);
             }
-            if kind == ListKind::Inactive {
+            if evictable {
                 f.inactive_bytes = (f.inactive_bytes - amount).max(0.0);
                 if !dirty {
                     f.inactive_clean = (f.inactive_clean - amount).max(0.0);
@@ -563,100 +626,103 @@ impl LruLists {
         }
     }
 
-    /// Inserts `block` as a new node of `kind`: updates the aggregates and
+    /// Inserts `block` as a new node on `tier`: updates the aggregates and
     /// links it into the recency, per-file and (if dirty) dirty chains at its
     /// sorted position. O(1) in the common append case.
-    fn insert_node(&mut self, kind: ListKind, block: DataBlock) -> Idx {
-        self.agg_insert(kind, &block);
+    fn insert_node(&mut self, tier: usize, block: DataBlock, referenced: bool) -> Idx {
+        self.agg_insert(tier, &block);
         let file = block.file.clone();
         let dirty = block.dirty;
         let idx = self.alloc(Node {
             block,
-            kind,
+            tier,
+            referenced,
             links: [UNLINKED; 3],
         });
-        let k = li(kind);
-        insert_sorted(&mut self.arena, &mut self.lists[k].recency, RECENCY, idx);
-        self.lists[k].len += 1;
+        insert_sorted(&mut self.arena, &mut self.lists[tier].recency, RECENCY, idx);
+        self.lists[tier].len += 1;
         let entry = self.per_file.get_mut(&file).expect("agg_insert created it");
-        insert_sorted(&mut self.arena, &mut entry.chains[k], FILE, idx);
+        insert_sorted(&mut self.arena, &mut entry.chains[tier], FILE, idx);
         if dirty {
-            insert_sorted(&mut self.arena, &mut self.lists[k].dirty, DIRTY, idx);
+            insert_sorted(&mut self.arena, &mut self.lists[tier].dirty, DIRTY, idx);
         }
         idx
     }
 
-    /// Inserts `block` as a new clean node of `kind` directly before `anchor`
-    /// (a node of the same file) in the recency and per-file chains. Used by
-    /// the flush split, where the clean head must sit right before the dirty
-    /// remainder; total bytes are unchanged, so the caller adjusts the
-    /// aggregates via [`LruLists::agg_clean_in_place`] +
-    /// [`LruLists::agg_note_split`].
-    fn insert_node_before(&mut self, kind: ListKind, block: DataBlock, anchor: Idx) -> Idx {
+    /// Inserts `block` as a new clean node on `tier` directly before `anchor`
+    /// (a node of the same file, whose reference bit the split head shares)
+    /// in the recency and per-file chains. Used by the flush split, where the
+    /// clean head must sit right before the dirty remainder; total bytes are
+    /// unchanged, so the caller adjusts the aggregates via
+    /// [`LruLists::agg_clean_in_place`] + [`LruLists::agg_note_split`].
+    fn insert_node_before(&mut self, tier: usize, block: DataBlock, anchor: Idx) -> Idx {
         debug_assert!(!block.dirty, "flush split head must be clean");
         let file = block.file.clone();
+        let referenced = node_ref(&self.arena, anchor).referenced;
         let idx = self.alloc(Node {
             block,
-            kind,
+            tier,
+            referenced,
             links: [UNLINKED; 3],
         });
-        let k = li(kind);
         insert_before(
             &mut self.arena,
-            &mut self.lists[k].recency,
+            &mut self.lists[tier].recency,
             RECENCY,
             anchor,
             idx,
         );
-        self.lists[k].len += 1;
+        self.lists[tier].len += 1;
         let entry = self.per_file.get_mut(&file).expect("remainder keeps entry");
-        insert_before(&mut self.arena, &mut entry.chains[k], FILE, anchor, idx);
+        insert_before(&mut self.arena, &mut entry.chains[tier], FILE, anchor, idx);
         idx
     }
 
     /// Unlinks node `i` from every chain, updates the aggregates, frees the
     /// slot and returns the block. O(1).
     fn remove_node(&mut self, i: Idx) -> DataBlock {
-        let (kind, file, dirty) = {
+        let (tier, file, dirty) = {
             let n = node_ref(&self.arena, i);
-            (n.kind, n.block.file.clone(), n.block.dirty)
+            (n.tier, n.block.file.clone(), n.block.dirty)
         };
-        let k = li(kind);
-        unlink(&mut self.arena, &mut self.lists[k].recency, RECENCY, i);
-        self.lists[k].len -= 1;
+        unlink(&mut self.arena, &mut self.lists[tier].recency, RECENCY, i);
+        self.lists[tier].len -= 1;
         let entry = self
             .per_file
             .get_mut(&file)
             .expect("linked block has entry");
-        unlink(&mut self.arena, &mut entry.chains[k], FILE, i);
+        unlink(&mut self.arena, &mut entry.chains[tier], FILE, i);
         if dirty {
-            unlink(&mut self.arena, &mut self.lists[k].dirty, DIRTY, i);
+            unlink(&mut self.arena, &mut self.lists[tier].dirty, DIRTY, i);
         }
         let node = self.release(i);
-        self.agg_remove(kind, &node.block);
+        self.agg_remove(tier, &node.block);
         node.block
     }
 
-    /// Removes node `i` from the dirty chain of its list (after its block was
+    /// Removes node `i` from the dirty chain of its tier (after its block was
     /// marked clean in place).
     fn unlink_dirty(&mut self, i: Idx) {
-        let k = li(node_ref(&self.arena, i).kind);
-        unlink(&mut self.arena, &mut self.lists[k].dirty, DIRTY, i);
+        let t = node_ref(&self.arena, i).tier;
+        unlink(&mut self.arena, &mut self.lists[t].dirty, DIRTY, i);
     }
 
     /// Whether nodes `a` and `b` (recency-adjacent, `a` before `b`) can be
-    /// coalesced: both inactive, both clean, same file, and — crucially —
-    /// the *same* last access time. Merging blocks with different timestamps
-    /// would move the earlier block's bytes past the insertion point of a
-    /// later out-of-order insert (a demotion with an intermediate timestamp),
-    /// reordering bytes relative to other files; equal timestamps leave no
-    /// such point, so any future insertion lands strictly before or after
-    /// the merged block in both the merged and unmerged orders.
+    /// coalesced: same evictable tier, both clean, same file, the same
+    /// reference bit, and — crucially — the *same* last access time. Merging
+    /// blocks with different timestamps would move the earlier block's bytes
+    /// past the insertion point of a later out-of-order insert (a demotion
+    /// with an intermediate timestamp), reordering bytes relative to other
+    /// files; equal timestamps leave no such point, so any future insertion
+    /// lands strictly before or after the merged block in both the merged
+    /// and unmerged orders. Equal reference bits keep the second-chance
+    /// outcome of every byte unchanged under CLOCK-style policies.
     fn mergeable(&self, a: Idx, b: Idx) -> bool {
         let na = node_ref(&self.arena, a);
         let nb = node_ref(&self.arena, b);
-        na.kind == ListKind::Inactive
-            && nb.kind == ListKind::Inactive
+        na.tier == nb.tier
+            && self.evictable_mask[na.tier]
+            && na.referenced == nb.referenced
             && !na.block.dirty
             && !nb.block.dirty
             && na.block.last_access == nb.block.last_access
@@ -664,21 +730,21 @@ impl LruLists {
     }
 
     /// Merges recency-adjacent node `from` into its successor `into` (same
-    /// file, both clean, both inactive): `into` absorbs the bytes, keeps its
-    /// own (later) `last_access`, and `from` is freed. Byte aggregates are
-    /// unchanged; only the block count drops.
+    /// file, both clean, same evictable tier): `into` absorbs the bytes,
+    /// keeps its own (later) `last_access`, and `from` is freed. Byte
+    /// aggregates are unchanged; only the block count drops.
     fn merge_into(&mut self, from: Idx, into: Idx) {
         debug_assert!(self.mergeable(from, into));
         debug_assert_eq!(node_ref(&self.arena, from).links[RECENCY].next, into);
-        let k = li(ListKind::Inactive);
-        unlink(&mut self.arena, &mut self.lists[k].recency, RECENCY, from);
-        self.lists[k].len -= 1;
+        let t = node_ref(&self.arena, from).tier;
+        unlink(&mut self.arena, &mut self.lists[t].recency, RECENCY, from);
+        self.lists[t].len -= 1;
         let file = node_ref(&self.arena, from).block.file.clone();
         let entry = self
             .per_file
             .get_mut(&file)
             .expect("linked block has entry");
-        unlink(&mut self.arena, &mut entry.chains[k], FILE, from);
+        unlink(&mut self.arena, &mut entry.chains[t], FILE, from);
         let from_node = self.release(from);
         let into_node = node_mut(&mut self.arena, into);
         into_node.block.size += from_node.block.size;
@@ -691,12 +757,13 @@ impl LruLists {
     }
 
     /// Opportunistically coalesces node `i` with its recency neighbors when
-    /// they are clean inactive blocks of the same file. Returns the surviving
-    /// node. Amortized O(1); bounds arena growth under flush splits.
+    /// they are clean same-tier blocks of the same file on an evictable
+    /// tier. Returns the surviving node. Amortized O(1); bounds arena growth
+    /// under flush splits.
     fn try_coalesce(&mut self, i: Idx) -> Idx {
         {
             let n = node_ref(&self.arena, i);
-            if n.kind != ListKind::Inactive || n.block.dirty {
+            if !self.evictable_mask[n.tier] || n.block.dirty {
                 return i;
             }
         }
@@ -713,34 +780,41 @@ impl LruLists {
         cur
     }
 
-    /// Adds a clean block (data just read from disk) to the inactive list.
+    /// Adds a clean block (data just read from disk) to the tier the policy
+    /// admits first-touch data to (the inactive list under the default
+    /// 2-list policy).
     pub fn add_clean(&mut self, file: FileId, size: f64, now: SimTime) {
         if size <= EPSILON {
             return;
         }
-        let idx = self.insert_node(ListKind::Inactive, DataBlock::clean(file, size, now));
+        let bytes = self.tier_bytes();
+        let tier = self.policy.insert_tier(&file, &bytes);
+        let idx = self.insert_node(tier, DataBlock::clean(file, size, now), false);
         self.try_coalesce(idx);
         self.balance();
         self.debug_validate();
     }
 
     /// Adds a dirty block (data just written by the application) to the
-    /// inactive list.
+    /// policy's first-touch tier.
     pub fn add_dirty(&mut self, file: FileId, size: f64, now: SimTime) {
         if size <= EPSILON {
             return;
         }
-        self.insert_node(ListKind::Inactive, DataBlock::dirty(file, size, now));
+        let bytes = self.tier_bytes();
+        let tier = self.policy.insert_tier(&file, &bytes);
+        self.insert_node(tier, DataBlock::dirty(file, size, now), false);
         self.balance();
         self.debug_validate();
     }
 
     /// Simulates a read of `amount` cached bytes of `file` (paper §III-A-2):
-    /// blocks are consumed from the inactive list first, then the active list,
-    /// least recently used first; clean portions are merged into a single new
-    /// block appended to the active list; dirty portions move to the active
-    /// list individually, preserving their entry time. Returns the number of
-    /// bytes that were actually cached (which may be less than `amount`).
+    /// blocks are consumed tier by tier in the policy's reclaim-first order
+    /// (inactive before active under the default 2-list policy), least
+    /// recently used first; clean portions are merged into a single new
+    /// block appended to the policy's promotion tier; dirty portions move
+    /// there individually, preserving their entry time. Returns the number
+    /// of bytes that were actually cached (which may be less than `amount`).
     ///
     /// Only the target file's blocks are touched (its per-file chains), so
     /// the cost is O(k) in the file's block count, independent of how many
@@ -749,6 +823,9 @@ impl LruLists {
         if amount <= EPSILON || self.cached_amount(file) <= EPSILON {
             return 0.0;
         }
+        let bytes = self.tier_bytes();
+        let dest = self.policy.promote_tier(file, &bytes);
+        let referenced = self.policy.uses_reference_bits();
         let taken = self.take_for_read(file, amount);
         let mut clean_total = 0.0;
         let mut read_total = 0.0;
@@ -762,33 +839,34 @@ impl LruLists {
                     last_access: now,
                     dirty: true,
                 };
-                self.insert_node(ListKind::Active, promoted);
+                self.insert_node(dest, promoted, referenced);
             } else {
                 clean_total += blk.size;
             }
         }
         if clean_total > EPSILON {
             let merged = DataBlock::clean(file.clone(), clean_total, now);
-            self.insert_node(ListKind::Active, merged);
+            let idx = self.insert_node(dest, merged, referenced);
+            self.try_coalesce(idx);
         }
         self.debug_validate();
         read_total
     }
 
-    /// Removes up to `amount` bytes of `file` from the lists, inactive first,
-    /// LRU first, splitting the last block if needed. Walks only the file's
-    /// own chains.
+    /// Removes up to `amount` bytes of `file` from the tiers in the policy's
+    /// reclaim-first order, LRU first, splitting the last block if needed.
+    /// Walks only the file's own chains.
     fn take_for_read(&mut self, file: &FileId, amount: f64) -> Vec<DataBlock> {
         let mut taken = Vec::new();
         let mut remaining = amount;
-        for kind in KINDS {
+        for tier in self.policy.tier_order() {
             if remaining <= EPSILON {
                 break;
             }
             let Some(entry) = self.per_file.get(file) else {
                 break;
             };
-            let mut i = entry.chains[li(kind)].head;
+            let mut i = entry.chains[tier].head;
             while i != NIL && remaining > EPSILON {
                 let next = node_ref(&self.arena, i).links[FILE].next;
                 let size = node_ref(&self.arena, i).block.size;
@@ -801,7 +879,7 @@ impl LruLists {
                     // The head leaves the list (it is re-accounted when the
                     // promotion re-inserts it); the remainder keeps the block
                     // count.
-                    self.agg_shrink(kind, file, head.size, head.dirty);
+                    self.agg_shrink(tier, file, head.size, head.dirty);
                     taken.push(head);
                     remaining = 0.0;
                     break;
@@ -813,12 +891,13 @@ impl LruLists {
     }
 
     /// Marks up to `amount` bytes of dirty data as clean, least recently used
-    /// first (inactive list before active list), optionally excluding one
-    /// file. The last block is split if it only needs to be partially flushed.
-    /// Returns the number of bytes flushed; the caller is responsible for
-    /// simulating the corresponding disk write time.
+    /// first (tiers visited in the policy's reclaim-first order: inactive
+    /// before active under the default 2-list policy), optionally excluding
+    /// one file. The last block is split if it only needs to be partially
+    /// flushed. Returns the number of bytes flushed; the caller is
+    /// responsible for simulating the corresponding disk write time.
     ///
-    /// Steps straight from one dirty block to the next along the per-list
+    /// Steps straight from one dirty block to the next along the per-tier
     /// dirty chains — clean blocks are never visited.
     ///
     /// Calling with a non-positive `amount` is a no-op (paper Algorithm 2:
@@ -829,12 +908,11 @@ impl LruLists {
             return 0.0;
         }
         let mut flushed = 0.0;
-        for kind in KINDS {
-            let k = li(kind);
-            if self.lists[k].agg.dirty <= EPSILON {
+        for t in self.policy.tier_order() {
+            if self.lists[t].agg.dirty <= EPSILON {
                 continue;
             }
-            let mut i = self.lists[k].dirty.head;
+            let mut i = self.lists[t].dirty.head;
             while i != NIL {
                 let next = node_ref(&self.arena, i).links[DIRTY].next;
                 if flushed >= amount - EPSILON {
@@ -851,10 +929,8 @@ impl LruLists {
                         let file = node_ref(&self.arena, i).block.file.clone();
                         self.unlink_dirty(i);
                         flushed += size;
-                        self.agg_clean_in_place(kind, &file, size);
-                        if kind == ListKind::Inactive {
-                            self.try_coalesce(i);
-                        }
+                        self.agg_clean_in_place(t, &file, size);
+                        self.try_coalesce(i);
                     } else {
                         let mut head = node_mut(&mut self.arena, i).block.split_off(need);
                         head.dirty = false;
@@ -866,12 +942,10 @@ impl LruLists {
                         // dirty block into a clean head plus a dirty remainder
                         // leaves total bytes unchanged: only the dirty share
                         // and the block count move.
-                        let head_idx = self.insert_node_before(kind, head, i);
-                        self.agg_clean_in_place(kind, &file, head_size);
+                        let head_idx = self.insert_node_before(t, head, i);
+                        self.agg_clean_in_place(t, &file, head_size);
                         self.agg_note_split(&file);
-                        if kind == ListKind::Inactive {
-                            self.try_coalesce(head_idx);
-                        }
+                        self.try_coalesce(head_idx);
                         self.debug_validate();
                         return flushed;
                     }
@@ -883,10 +957,17 @@ impl LruLists {
         flushed
     }
 
-    /// Removes up to `amount` bytes of clean data from the inactive list,
-    /// least recently used first, optionally excluding one file. The last
-    /// block is split if it only needs to be partially evicted. Returns the
-    /// number of bytes evicted. Non-positive amounts are a no-op.
+    /// Removes up to `amount` bytes of clean data from the policy's
+    /// evictable tiers (the inactive list under the default 2-list policy),
+    /// visiting tiers in the policy's reclaim-first order, least recently
+    /// used first within each, optionally excluding one file. The last block
+    /// is split if it only needs to be partially evicted. Returns the number
+    /// of bytes evicted. Non-positive amounts are a no-op.
+    ///
+    /// Under a policy with reference bits (CLOCK), eviction runs up to two
+    /// passes: the first pass clears the reference bit of each referenced
+    /// candidate instead of evicting it (the second chance); the second pass
+    /// reclaims regardless, guaranteeing progress.
     pub fn evict(&mut self, amount: f64, exclude: Option<&FileId>) -> f64 {
         if amount <= EPSILON {
             return 0.0;
@@ -901,28 +982,48 @@ impl LruLists {
         }
         let target = amount.min(available);
         let mut evicted = 0.0;
-        let mut i = self.lists[0].recency.head;
-        while i != NIL && evicted < target - EPSILON {
-            let next = node_ref(&self.arena, i).links[RECENCY].next;
-            let is_candidate = {
-                let b = &node_ref(&self.arena, i).block;
-                !b.dirty && exclude.is_none_or(|f| &b.file != f)
-            };
-            if is_candidate {
-                let need = amount - evicted;
-                let size = node_ref(&self.arena, i).block.size;
-                if size <= need + EPSILON {
-                    let blk = self.remove_node(i);
-                    evicted += blk.size;
-                } else {
-                    node_mut(&mut self.arena, i).block.size -= need;
-                    let file = node_ref(&self.arena, i).block.file.clone();
-                    self.agg_shrink(ListKind::Inactive, &file, need, false);
-                    evicted += need;
-                    break;
+        let order = self.policy.tier_order();
+        let use_ref = self.policy.uses_reference_bits();
+        let passes = if use_ref { 2 } else { 1 };
+        'reclaim: for pass in 0..passes {
+            for t in order {
+                if !self.evictable_mask[t] {
+                    continue;
+                }
+                let mut i = self.lists[t].recency.head;
+                while i != NIL && evicted < target - EPSILON {
+                    let next = node_ref(&self.arena, i).links[RECENCY].next;
+                    let is_candidate = {
+                        let b = &node_ref(&self.arena, i).block;
+                        !b.dirty && exclude.is_none_or(|f| &b.file != f)
+                    };
+                    if is_candidate {
+                        if pass == 0 && use_ref && node_ref(&self.arena, i).referenced {
+                            // Second chance: spare the block once.
+                            node_mut(&mut self.arena, i).referenced = false;
+                        } else {
+                            let need = amount - evicted;
+                            let size = node_ref(&self.arena, i).block.size;
+                            if size <= need + EPSILON {
+                                let blk = self.remove_node(i);
+                                evicted += blk.size;
+                                self.policy.on_evict(&blk.file, t);
+                            } else {
+                                node_mut(&mut self.arena, i).block.size -= need;
+                                let file = node_ref(&self.arena, i).block.file.clone();
+                                self.agg_shrink(t, &file, need, false);
+                                evicted += need;
+                                self.policy.on_evict(&file, t);
+                                break 'reclaim;
+                            }
+                        }
+                    }
+                    i = next;
+                }
+                if evicted >= target - EPSILON {
+                    break 'reclaim;
                 }
             }
-            i = next;
         }
         self.debug_validate();
         evicted
@@ -937,8 +1038,8 @@ impl LruLists {
             return 0.0;
         }
         let mut flushed = 0.0;
-        for kind in KINDS {
-            let mut i = self.lists[li(kind)].dirty.head;
+        for t in 0..MAX_TIERS {
+            let mut i = self.lists[t].dirty.head;
             while i != NIL {
                 let next = node_ref(&self.arena, i).links[DIRTY].next;
                 if node_ref(&self.arena, i).block.is_expired(now, expire) {
@@ -949,10 +1050,8 @@ impl LruLists {
                     };
                     self.unlink_dirty(i);
                     flushed += size;
-                    self.agg_clean_in_place(kind, &file, size);
-                    if kind == ListKind::Inactive {
-                        self.try_coalesce(i);
-                    }
+                    self.agg_clean_in_place(t, &file, size);
+                    self.try_coalesce(i);
                 }
                 i = next;
             }
@@ -971,9 +1070,8 @@ impl LruLists {
             return 0.0;
         }
         let mut flushed = 0.0;
-        for kind in KINDS {
-            let k = li(kind);
-            let mut i = self.per_file.get(file).map_or(NIL, |e| e.chains[k].head);
+        for t in 0..MAX_TIERS {
+            let mut i = self.per_file.get(file).map_or(NIL, |e| e.chains[t].head);
             while i != NIL {
                 // Coalescing only ever merges `i` or its already-visited
                 // predecessor into a *later* surviving node, so the captured
@@ -984,10 +1082,8 @@ impl LruLists {
                     node_mut(&mut self.arena, i).block.dirty = false;
                     self.unlink_dirty(i);
                     flushed += size;
-                    self.agg_clean_in_place(kind, file, size);
-                    if kind == ListKind::Inactive {
-                        self.try_coalesce(i);
-                    }
+                    self.agg_clean_in_place(t, file, size);
+                    self.try_coalesce(i);
                 }
                 i = next;
             }
@@ -1004,7 +1100,7 @@ impl LruLists {
             return 0.0;
         }
         let mut removed = 0.0;
-        for k in [0, 1] {
+        for k in 0..MAX_TIERS {
             let mut i = self
                 .per_file
                 .get(file)
@@ -1020,21 +1116,25 @@ impl LruLists {
         removed
     }
 
-    /// Re-balances the lists so the active list holds at most twice the bytes
-    /// of the inactive list, by demoting least recently used active blocks
-    /// (paper §III-A-1, after Gorman's description of the kernel behaviour).
-    /// The demotion decision is O(1) — the byte totals are incremental, so no
-    /// list is re-summed per demoted block — and re-linking the demoted block
-    /// costs O(1) in the append-ordered case and at most a walk from the
-    /// nearer end of the inactive chain otherwise; no elements are ever
-    /// shifted.
+    /// Re-balances the tiers by repeatedly applying the policy's demotion
+    /// rule: under the default 2-list policy, the active list holds at most
+    /// twice the bytes of the inactive list, maintained by demoting least
+    /// recently used active blocks (paper §III-A-1, after Gorman's
+    /// description of the kernel behaviour). The demotion decision is O(1) —
+    /// the byte totals are incremental, so no list is re-summed per demoted
+    /// block — and re-linking the demoted block costs O(1) in the
+    /// append-ordered case and at most a walk from the nearer end of the
+    /// target chain otherwise; no elements are ever shifted.
     pub fn balance(&mut self) {
-        while self.lists[1].len > 0
-            && self.lists[1].agg.bytes > 2.0 * self.lists[0].agg.bytes + EPSILON
-        {
-            let head = self.lists[1].recency.head;
+        loop {
+            let bytes = self.tier_bytes();
+            let lens = self.tier_lens();
+            let Some((from, to)) = self.policy.demotion(&bytes, &lens) else {
+                break;
+            };
+            let head = self.lists[from].recency.head;
             let demoted = self.remove_node(head);
-            let idx = self.insert_node(ListKind::Inactive, demoted);
+            let idx = self.insert_node(to, demoted, false);
             self.try_coalesce(idx);
         }
     }
@@ -1042,23 +1142,22 @@ impl LruLists {
     /// Checks the structural invariants of the lists; used by tests and
     /// property-based tests.
     ///
-    /// Invariants: every block has positive size, both lists are sorted by
-    /// last access time, and the active list is at most twice the inactive
-    /// list (up to one block of slack, since balancing moves whole blocks).
+    /// Invariants: every block has positive size and every tier is sorted by
+    /// last access time, under every policy (the 2-list "active at most
+    /// twice the inactive" property is maintained separately by
+    /// [`LruLists::balance`], up to one block of slack, since balancing
+    /// moves whole blocks).
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (name, list) in [
-            ("inactive", self.inactive_blocks()),
-            ("active", self.active_blocks()),
-        ] {
-            let blocks: Vec<&DataBlock> = list.collect();
+        for t in 0..MAX_TIERS {
+            let blocks: Vec<&DataBlock> = self.tier_blocks(t).collect();
             for (a, b) in blocks.iter().zip(blocks.iter().skip(1)) {
                 if a.last_access > b.last_access {
-                    return Err(format!("{name} list is not sorted by last access"));
+                    return Err(format!("tier {t} is not sorted by last access"));
                 }
             }
             if let Some(b) = blocks.iter().find(|b| b.size <= 0.0) {
                 return Err(format!(
-                    "{name} list contains a non-positive block ({})",
+                    "tier {t} contains a non-positive block ({})",
                     b.size
                 ));
             }
@@ -1097,7 +1196,7 @@ impl LruLists {
             Ok(out)
         };
         let mut occupied = 0usize;
-        for (k, kind) in KINDS.iter().enumerate() {
+        for k in 0..MAX_TIERS {
             let list = &self.lists[k];
             let recency = collect(list.recency.head, RECENCY)?;
             if recency.last().copied().unwrap_or(NIL) != list.recency.tail {
@@ -1111,7 +1210,7 @@ impl LruLists {
                 ));
             }
             for &i in &recency {
-                if node_ref(&self.arena, i).kind != *kind {
+                if node_ref(&self.arena, i).tier != k {
                     return Err(format!("node {i} linked into the wrong list"));
                 }
             }
@@ -1188,27 +1287,18 @@ impl LruLists {
         fn close(a: f64, b: f64) -> bool {
             (a - b).abs() <= EPSILON + 1e-9 * b.abs()
         }
-        for (name, agg, recomputed) in [
-            (
-                "inactive",
-                self.lists[0].agg,
-                self.recompute_list_agg(ListKind::Inactive),
-            ),
-            (
-                "active",
-                self.lists[1].agg,
-                self.recompute_list_agg(ListKind::Active),
-            ),
-        ] {
+        for t in 0..MAX_TIERS {
+            let agg = self.lists[t].agg;
+            let recomputed = self.recompute_list_agg(t);
             if !close(agg.bytes, recomputed.bytes) {
                 return Err(format!(
-                    "{name} bytes counter {} != recomputed {}",
+                    "tier {t} bytes counter {} != recomputed {}",
                     agg.bytes, recomputed.bytes
                 ));
             }
             if !close(agg.dirty, recomputed.dirty) {
                 return Err(format!(
-                    "{name} dirty counter {} != recomputed {}",
+                    "tier {t} dirty counter {} != recomputed {}",
                     agg.dirty, recomputed.dirty
                 ));
             }
@@ -1254,14 +1344,10 @@ impl LruLists {
         Ok(())
     }
 
-    /// Scan-based oracle for one list's aggregates.
-    fn recompute_list_agg(&self, kind: ListKind) -> ListAgg {
-        let list = match kind {
-            ListKind::Inactive => self.inactive_blocks(),
-            ListKind::Active => self.active_blocks(),
-        };
+    /// Scan-based oracle for one tier's aggregates.
+    fn recompute_list_agg(&self, t: usize) -> ListAgg {
         let mut agg = ListAgg::default();
-        for b in list {
+        for b in self.tier_blocks(t) {
             agg.add(b.size, b.dirty);
         }
         agg
@@ -1270,18 +1356,16 @@ impl LruLists {
     /// Scan-based oracle for the per-file aggregates.
     fn recompute_per_file(&self) -> HashMap<FileId, FileBytes> {
         let mut map: HashMap<FileId, FileBytes> = HashMap::new();
-        for (kind, list) in [
-            (ListKind::Inactive, self.inactive_blocks()),
-            (ListKind::Active, self.active_blocks()),
-        ] {
-            for b in list {
+        for t in 0..MAX_TIERS {
+            let evictable = self.evictable_mask[t];
+            for b in self.tier_blocks(t) {
                 let f = map.entry(b.file.clone()).or_default();
                 f.cached += b.size;
                 f.blocks += 1;
                 if b.dirty {
                     f.dirty += b.size;
                 }
-                if kind == ListKind::Inactive {
+                if evictable {
                     f.inactive_bytes += b.size;
                     if !b.dirty {
                         f.inactive_clean += b.size;
@@ -1758,6 +1842,95 @@ mod tests {
         approx(lru.total_cached(), before);
         approx(lru.total_dirty(), 60.0);
         lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clock_second_chance_spares_referenced_blocks() {
+        let mut lru = LruLists::with_policy(EvictionPolicy::Clock);
+        let f: FileId = "hot".into();
+        lru.add_clean(f.clone(), 100.0, t(1.0));
+        // The re-read keeps the block on tier 0 but sets its reference bit.
+        lru.read_cached(&f, 100.0, t(2.0));
+        approx(lru.active_bytes(), 0.0); // CLOCK has no protected tier
+        lru.add_clean("cold".into(), 100.0, t(3.0));
+        // Reclaim: the referenced block is spared once, the cold one goes,
+        // even though the hot block is the least recently used candidate.
+        let evicted = lru.evict(100.0, None);
+        approx(evicted, 100.0);
+        approx(lru.cached_amount(&f), 100.0);
+        approx(lru.cached_amount(&"cold".into()), 0.0);
+        // Its bit was consumed: the next reclaim takes it.
+        let evicted = lru.evict(100.0, None);
+        approx(evicted, 100.0);
+        approx(lru.cached_amount(&f), 0.0);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn two_q_ghost_hit_readmits_to_the_main_list() {
+        let mut lru = LruLists::with_policy(EvictionPolicy::TwoQ);
+        let f: FileId = "reread".into();
+        lru.add_clean(f.clone(), 100.0, t(1.0));
+        assert_eq!(lru.tier_blocks(0).count(), 1); // probationary A1in
+        lru.evict(100.0, None); // evicted from A1in -> remembered as a ghost
+        approx(lru.cached_amount(&f), 0.0);
+        // The ghost hit routes the re-fetched data straight to Am (tier 1).
+        lru.add_clean(f.clone(), 100.0, t(2.0));
+        assert_eq!(lru.tier_blocks(0).count(), 0);
+        assert_eq!(lru.tier_blocks(1).count(), 1);
+        // A1in drains before Am: the newer cold block is reclaimed first.
+        lru.add_clean("cold".into(), 100.0, t(3.0));
+        let evicted = lru.evict(100.0, None);
+        approx(evicted, 100.0);
+        approx(lru.cached_amount(&f), 100.0);
+        approx(lru.cached_amount(&"cold".into()), 0.0);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mglru_reclaims_older_generations_first() {
+        let mut lru = LruLists::with_policy(EvictionPolicy::MglruGen);
+        let a: FileId = "a".into();
+        let b: FileId = "b".into();
+        lru.add_clean(a.clone(), 100.0, t(1.0));
+        lru.read_cached(&a, 100.0, t(2.0));
+        lru.add_clean(b.clone(), 100.0, t(3.0));
+        // `a` was promoted before `b` was inserted, but its generation is
+        // older than `b`'s insert generation relative to the rotated ring:
+        // reclaim drains `a` before touching `b`.
+        let evicted = lru.evict(100.0, None);
+        approx(evicted, 100.0);
+        approx(lru.cached_amount(&a), 0.0);
+        approx(lru.cached_amount(&b), 100.0);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn every_policy_keeps_invariants_under_a_mixed_workload() {
+        for policy in EvictionPolicy::ALL {
+            let mut lru = LruLists::with_policy(policy);
+            assert_eq!(lru.policy_kind(), policy);
+            let mut clock = 0.0;
+            for round in 0..30 {
+                clock += 1.0;
+                let f = FileId::new(format!("f{}", round % 5));
+                match round % 6 {
+                    0 | 1 => lru.add_clean(f, 50.0, t(clock)),
+                    2 => lru.add_dirty(f, 30.0, t(clock)),
+                    3 => {
+                        lru.read_cached(&f, 40.0, t(clock));
+                    }
+                    4 => {
+                        lru.flush_lru(60.0, None);
+                    }
+                    _ => {
+                        lru.evict(80.0, None);
+                    }
+                }
+                lru.check_invariants()
+                    .unwrap_or_else(|e| panic!("{policy}: {e}"));
+            }
+        }
     }
 
     #[test]

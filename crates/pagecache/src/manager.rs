@@ -81,7 +81,7 @@ impl MemoryManager {
             disk,
             config,
             state: Rc::new(RefCell::new(MmState {
-                lru: LruLists::new(),
+                lru: LruLists::with_policy(config.eviction_policy),
                 anonymous: 0.0,
                 trace: MemoryTrace::new(),
                 counters: MemoryManagerCounters::default(),

@@ -643,3 +643,583 @@ fn arena_lru_matches_naive_scan_model_over_10k_random_ops() {
         naive_blocks
     );
 }
+
+// ---------------------------------------------------------------------------
+// Differential policy oracles: arena under each eviction policy vs a naive
+// generalized tier model driving its own copy of the same policy state.
+// ---------------------------------------------------------------------------
+
+use pagecache::{EvictionPolicy, ReplacementPolicy, MAX_TIERS};
+
+/// A block plus its CLOCK reference bit — the naive model keeps the bit per
+/// block, exactly like the arena's `Node`.
+struct NBlock {
+    block: DataBlock,
+    referenced: bool,
+}
+
+/// A generalized scan-based model of `LruLists` under any
+/// [`ReplacementPolicy`]: up to [`MAX_TIERS`] `VecDeque` tiers sorted by last
+/// access, no incremental counters, no coalescing. It owns its own copy of
+/// the policy state and calls the tier hooks in exactly the sequence the
+/// arena does (one `insert_tier` per add, one `promote_tier` per cached
+/// read, `on_evict` per reclaimed block), so stateful policies (2Q's ghost
+/// FIFO, MGLRU's aging ring) evolve identically on both sides. `on_evict`
+/// call counts may differ where the arena coalesced adjacent blocks, which
+/// is safe because 2Q's ghost insert is push-if-absent.
+struct NaivePolicy {
+    tiers: [VecDeque<NBlock>; MAX_TIERS],
+    policy: Box<dyn ReplacementPolicy>,
+    evictable_mask: [bool; MAX_TIERS],
+}
+
+impl NaivePolicy {
+    fn new(kind: EvictionPolicy) -> Self {
+        let policy = kind.build();
+        let evictable_mask = policy.evictable_tiers();
+        NaivePolicy {
+            tiers: std::array::from_fn(|_| VecDeque::new()),
+            policy,
+            evictable_mask,
+        }
+    }
+
+    fn tier_bytes(&self) -> [f64; MAX_TIERS] {
+        std::array::from_fn(|t| self.tiers[t].iter().map(|n| n.block.size).sum())
+    }
+
+    fn tier_lens(&self) -> [usize; MAX_TIERS] {
+        std::array::from_fn(|t| self.tiers[t].len())
+    }
+
+    fn blocks(&self) -> impl Iterator<Item = &DataBlock> {
+        self.tiers.iter().flatten().map(|n| &n.block)
+    }
+
+    fn total_cached(&self) -> f64 {
+        self.blocks().map(|b| b.size).sum()
+    }
+
+    fn total_dirty(&self) -> f64 {
+        self.blocks().filter(|b| b.dirty).map(|b| b.size).sum()
+    }
+
+    fn inactive_bytes(&self) -> f64 {
+        (0..MAX_TIERS)
+            .filter(|&t| self.evictable_mask[t])
+            .flat_map(|t| &self.tiers[t])
+            .map(|n| n.block.size)
+            .sum()
+    }
+
+    fn active_bytes(&self) -> f64 {
+        (0..MAX_TIERS)
+            .filter(|&t| !self.evictable_mask[t])
+            .flat_map(|t| &self.tiers[t])
+            .map(|n| n.block.size)
+            .sum()
+    }
+
+    fn cached_amount(&self, file: &FileId) -> f64 {
+        self.blocks()
+            .filter(|b| &b.file == file)
+            .map(|b| b.size)
+            .sum()
+    }
+
+    fn dirty_amount(&self, file: &FileId) -> f64 {
+        self.blocks()
+            .filter(|b| b.dirty && &b.file == file)
+            .map(|b| b.size)
+            .sum()
+    }
+
+    fn evictable(&self, exclude: Option<&FileId>) -> f64 {
+        (0..MAX_TIERS)
+            .filter(|&t| self.evictable_mask[t])
+            .flat_map(|t| &self.tiers[t])
+            .filter(|n| !n.block.dirty && exclude != Some(&n.block.file))
+            .map(|n| n.block.size)
+            .sum()
+    }
+
+    fn insert_sorted(list: &mut VecDeque<NBlock>, node: NBlock) {
+        match list.back() {
+            None => list.push_back(node),
+            Some(b) if b.block.last_access <= node.block.last_access => list.push_back(node),
+            _ => {
+                let pos = list.partition_point(|b| b.block.last_access <= node.block.last_access);
+                list.insert(pos, node);
+            }
+        }
+    }
+
+    fn add_clean(&mut self, file: FileId, size: f64, now: SimTime) {
+        if size <= EPSILON {
+            return;
+        }
+        let bytes = self.tier_bytes();
+        let tier = self.policy.insert_tier(&file, &bytes);
+        Self::insert_sorted(
+            &mut self.tiers[tier],
+            NBlock {
+                block: DataBlock::clean(file, size, now),
+                referenced: false,
+            },
+        );
+        self.balance();
+    }
+
+    fn add_dirty(&mut self, file: FileId, size: f64, now: SimTime) {
+        if size <= EPSILON {
+            return;
+        }
+        let bytes = self.tier_bytes();
+        let tier = self.policy.insert_tier(&file, &bytes);
+        Self::insert_sorted(
+            &mut self.tiers[tier],
+            NBlock {
+                block: DataBlock::dirty(file, size, now),
+                referenced: false,
+            },
+        );
+        self.balance();
+    }
+
+    fn read_cached(&mut self, file: &FileId, amount: f64, now: SimTime) -> f64 {
+        if amount <= EPSILON || self.cached_amount(file) <= EPSILON {
+            return 0.0;
+        }
+        let bytes = self.tier_bytes();
+        let dest = self.policy.promote_tier(file, &bytes);
+        let referenced = self.policy.uses_reference_bits();
+        let taken = self.take_for_read(file, amount);
+        let mut clean_total = 0.0;
+        let mut read_total = 0.0;
+        for blk in taken {
+            read_total += blk.size;
+            if blk.dirty {
+                let promoted = DataBlock {
+                    file: blk.file,
+                    size: blk.size,
+                    entry_time: blk.entry_time,
+                    last_access: now,
+                    dirty: true,
+                };
+                Self::insert_sorted(
+                    &mut self.tiers[dest],
+                    NBlock {
+                        block: promoted,
+                        referenced,
+                    },
+                );
+            } else {
+                clean_total += blk.size;
+            }
+        }
+        if clean_total > EPSILON {
+            let merged = DataBlock::clean(file.clone(), clean_total, now);
+            Self::insert_sorted(
+                &mut self.tiers[dest],
+                NBlock {
+                    block: merged,
+                    referenced,
+                },
+            );
+        }
+        read_total
+    }
+
+    fn take_for_read(&mut self, file: &FileId, amount: f64) -> Vec<DataBlock> {
+        let mut taken = Vec::new();
+        let mut remaining = amount;
+        for tier in self.policy.tier_order() {
+            if remaining <= EPSILON {
+                break;
+            }
+            let list = &mut self.tiers[tier];
+            let mut i = 0;
+            while i < list.len() && remaining > EPSILON {
+                if &list[i].block.file == file {
+                    if list[i].block.size <= remaining + EPSILON {
+                        let n = list.remove(i).expect("index checked above");
+                        remaining -= n.block.size;
+                        taken.push(n.block);
+                        continue;
+                    } else {
+                        let head = list[i].block.split_off(remaining);
+                        taken.push(head);
+                        remaining = 0.0;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+        taken
+    }
+
+    fn flush_lru(&mut self, amount: f64, exclude: Option<&FileId>) -> f64 {
+        if amount <= EPSILON || self.total_dirty() <= EPSILON {
+            return 0.0;
+        }
+        let mut flushed = 0.0;
+        for t in self.policy.tier_order() {
+            let tier_dirty: f64 = self.tiers[t]
+                .iter()
+                .filter(|n| n.block.dirty)
+                .map(|n| n.block.size)
+                .sum();
+            if tier_dirty <= EPSILON {
+                continue;
+            }
+            let mut i = 0;
+            while i < self.tiers[t].len() {
+                if flushed >= amount - EPSILON {
+                    return flushed;
+                }
+                let is_candidate =
+                    self.tiers[t][i].block.dirty && exclude != Some(&self.tiers[t][i].block.file);
+                if is_candidate {
+                    let need = amount - flushed;
+                    let size = self.tiers[t][i].block.size;
+                    if size <= need + EPSILON {
+                        self.tiers[t][i].block.dirty = false;
+                        flushed += size;
+                    } else {
+                        let referenced = self.tiers[t][i].referenced;
+                        let mut head = self.tiers[t][i].block.split_off(need);
+                        head.dirty = false;
+                        flushed += head.size;
+                        self.tiers[t].insert(
+                            i,
+                            NBlock {
+                                block: head,
+                                referenced,
+                            },
+                        );
+                        return flushed;
+                    }
+                }
+                i += 1;
+            }
+        }
+        flushed
+    }
+
+    fn evict(&mut self, amount: f64, exclude: Option<&FileId>) -> f64 {
+        if amount <= EPSILON {
+            return 0.0;
+        }
+        self.balance();
+        let available = self.evictable(exclude);
+        if available <= EPSILON {
+            return 0.0;
+        }
+        let target = amount.min(available);
+        let mut evicted = 0.0;
+        let order = self.policy.tier_order();
+        let use_ref = self.policy.uses_reference_bits();
+        let passes = if use_ref { 2 } else { 1 };
+        'reclaim: for pass in 0..passes {
+            for t in order {
+                if !self.evictable_mask[t] {
+                    continue;
+                }
+                let mut i = 0;
+                while i < self.tiers[t].len() && evicted < target - EPSILON {
+                    let is_candidate = {
+                        let b = &self.tiers[t][i].block;
+                        !b.dirty && exclude != Some(&b.file)
+                    };
+                    if is_candidate {
+                        if pass == 0 && use_ref && self.tiers[t][i].referenced {
+                            // Second chance: spare the block once.
+                            self.tiers[t][i].referenced = false;
+                        } else {
+                            let need = amount - evicted;
+                            let size = self.tiers[t][i].block.size;
+                            if size <= need + EPSILON {
+                                let n = self.tiers[t].remove(i).expect("index checked above");
+                                evicted += n.block.size;
+                                self.policy.on_evict(&n.block.file, t);
+                                continue;
+                            } else {
+                                self.tiers[t][i].block.size -= need;
+                                let file = self.tiers[t][i].block.file.clone();
+                                evicted += need;
+                                self.policy.on_evict(&file, t);
+                                break 'reclaim;
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                if evicted >= target - EPSILON {
+                    break 'reclaim;
+                }
+            }
+        }
+        evicted
+    }
+
+    fn flush_expired(&mut self, now: SimTime, expire: f64) -> f64 {
+        if self.total_dirty() <= EPSILON {
+            return 0.0;
+        }
+        let mut flushed = 0.0;
+        for list in &mut self.tiers {
+            for n in list.iter_mut() {
+                if n.block.is_expired(now, expire) {
+                    n.block.dirty = false;
+                    flushed += n.block.size;
+                }
+            }
+        }
+        flushed
+    }
+
+    fn flush_file(&mut self, file: &FileId) -> f64 {
+        let mut flushed = 0.0;
+        for list in &mut self.tiers {
+            for n in list.iter_mut() {
+                if n.block.dirty && &n.block.file == file {
+                    n.block.dirty = false;
+                    flushed += n.block.size;
+                }
+            }
+        }
+        flushed
+    }
+
+    fn invalidate_file(&mut self, file: &FileId) -> f64 {
+        let mut removed = 0.0;
+        for list in &mut self.tiers {
+            list.retain(|n| {
+                if &n.block.file == file {
+                    removed += n.block.size;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        removed
+    }
+
+    fn balance(&mut self) {
+        loop {
+            let bytes = self.tier_bytes();
+            let lens = self.tier_lens();
+            let Some((from, to)) = self.policy.demotion(&bytes, &lens) else {
+                break;
+            };
+            let demoted = self.tiers[from]
+                .pop_front()
+                .expect("demotion from empty tier");
+            Self::insert_sorted(
+                &mut self.tiers[to],
+                NBlock {
+                    block: demoted.block,
+                    referenced: false,
+                },
+            );
+        }
+    }
+}
+
+/// Drives the arena under `kind` and the naive generalized model through the
+/// same 10k random operations, asserting after every single one that the
+/// operation results and every byte aggregate — including the per-tier byte
+/// and dirty totals, which pin down identical victim selection — agree
+/// within `EPSILON`.
+fn arena_matches_naive_policy_model(kind: EvictionPolicy, seed: u64) {
+    const OPS: usize = 10_000;
+    const FILES: usize = 8;
+    let files: Vec<FileId> = (0..FILES)
+        .map(|i| FileId::new(format!("file_{i}")))
+        .collect();
+    let mut rng = Rng(seed);
+    let mut arena = LruLists::with_policy(kind);
+    let mut naive = NaivePolicy::new(kind);
+    let mut clock = 0.0;
+    for op in 0..OPS {
+        // Same timestamp-coincidence mix as the 2-list differential test:
+        // equal timestamps arm the arena's coalescing paths.
+        if rng.usize(0, 8) != 0 {
+            clock += rng.f64(0.01, 1.0);
+        }
+        let now = SimTime::from_secs(clock);
+        let file = &files[rng.usize(0, FILES)];
+        let (what, a, b) = match rng.usize(0, 10) {
+            0..=2 => {
+                let size = rng.f64(0.5, 400.0);
+                arena.add_clean(file.clone(), size, now);
+                naive.add_clean(file.clone(), size, now);
+                ("add_clean", 0.0, 0.0)
+            }
+            3 | 4 => {
+                let size = rng.f64(0.5, 400.0);
+                arena.add_dirty(file.clone(), size, now);
+                naive.add_dirty(file.clone(), size, now);
+                ("add_dirty", 0.0, 0.0)
+            }
+            5 | 6 => {
+                let amount = rng.f64(1.0, 900.0);
+                (
+                    "read_cached",
+                    arena.read_cached(file, amount, now),
+                    naive.read_cached(file, amount, now),
+                )
+            }
+            7 => {
+                let amount = rng.f64(0.0, 900.0);
+                let exclude = (rng.usize(0, 3) == 0).then_some(file);
+                (
+                    "flush_lru",
+                    arena.flush_lru(amount, exclude),
+                    naive.flush_lru(amount, exclude),
+                )
+            }
+            8 => {
+                let amount = rng.f64(0.0, 900.0);
+                let exclude = (rng.usize(0, 3) == 0).then_some(file);
+                (
+                    "evict",
+                    arena.evict(amount, exclude),
+                    naive.evict(amount, exclude),
+                )
+            }
+            _ => match rng.usize(0, 3) {
+                0 => (
+                    "flush_expired",
+                    arena.flush_expired(now, 5.0),
+                    naive.flush_expired(now, 5.0),
+                ),
+                1 => {
+                    arena.balance();
+                    naive.balance();
+                    ("balance", 0.0, 0.0)
+                }
+                2 => ("flush_file", arena.flush_file(file), naive.flush_file(file)),
+                _ => (
+                    "invalidate_file",
+                    arena.invalidate_file(file),
+                    naive.invalidate_file(file),
+                ),
+            },
+        };
+        assert_close(&format!("{kind}: {what} result"), a, b, op);
+        // Per-tier totals, not just the evictable/protected split: stateful
+        // policies (MGLRU's ring, 2Q's ghosts) take per-tier bytes as their
+        // decision input, so any drift here would snowball into different
+        // victims.
+        for t in 0..MAX_TIERS {
+            let arena_bytes: f64 = arena.tier_blocks(t).map(|b| b.size).sum();
+            let arena_dirty: f64 = arena
+                .tier_blocks(t)
+                .filter(|b| b.dirty)
+                .map(|b| b.size)
+                .sum();
+            let naive_bytes: f64 = naive.tiers[t].iter().map(|n| n.block.size).sum();
+            let naive_dirty: f64 = naive.tiers[t]
+                .iter()
+                .filter(|n| n.block.dirty)
+                .map(|n| n.block.size)
+                .sum();
+            assert_close(
+                &format!("{kind}: tier {t} bytes"),
+                arena_bytes,
+                naive_bytes,
+                op,
+            );
+            assert_close(
+                &format!("{kind}: tier {t} dirty"),
+                arena_dirty,
+                naive_dirty,
+                op,
+            );
+        }
+        assert_close(
+            &format!("{kind}: total_cached"),
+            arena.total_cached(),
+            naive.total_cached(),
+            op,
+        );
+        assert_close(
+            &format!("{kind}: total_dirty"),
+            arena.total_dirty(),
+            naive.total_dirty(),
+            op,
+        );
+        assert_close(
+            &format!("{kind}: inactive_bytes"),
+            arena.inactive_bytes(),
+            naive.inactive_bytes(),
+            op,
+        );
+        assert_close(
+            &format!("{kind}: active_bytes"),
+            arena.active_bytes(),
+            naive.active_bytes(),
+            op,
+        );
+        assert_close(
+            &format!("{kind}: evictable"),
+            arena.evictable(None),
+            naive.evictable(None),
+            op,
+        );
+        let probe = &files[rng.usize(0, FILES)];
+        assert_close(
+            &format!("{kind}: cached_amount"),
+            arena.cached_amount(probe),
+            naive.cached_amount(probe),
+            op,
+        );
+        assert_close(
+            &format!("{kind}: dirty_amount"),
+            arena.dirty_amount(probe),
+            naive.dirty_amount(probe),
+            op,
+        );
+        assert_close(
+            &format!("{kind}: evictable(exclude)"),
+            arena.evictable(Some(probe)),
+            naive.evictable(Some(probe)),
+            op,
+        );
+        arena.check_invariants().unwrap();
+    }
+    assert!(arena.block_count() > 0);
+    // Coalescing can only reduce block granularity, never add to it.
+    let naive_blocks: usize = naive.tiers.iter().map(|l| l.len()).sum();
+    assert!(
+        arena.block_count() <= naive_blocks,
+        "{kind}: arena has {} blocks, naive {}",
+        arena.block_count(),
+        naive_blocks
+    );
+}
+
+#[test]
+fn arena_two_list_matches_generalized_naive_model_over_10k_random_ops() {
+    // The generalized model must reduce to the 2-list one when driven by the
+    // default policy; this also cross-checks the two naive models.
+    arena_matches_naive_policy_model(EvictionPolicy::TwoList, 0xBADC0FFEE);
+}
+
+#[test]
+fn arena_clock_matches_naive_model_over_10k_random_ops() {
+    arena_matches_naive_policy_model(EvictionPolicy::Clock, 0xC10C4);
+}
+
+#[test]
+fn arena_two_q_matches_naive_model_over_10k_random_ops() {
+    arena_matches_naive_policy_model(EvictionPolicy::TwoQ, 0x7707);
+}
+
+#[test]
+fn arena_mglru_matches_naive_model_over_10k_random_ops() {
+    arena_matches_naive_policy_model(EvictionPolicy::MglruGen, 0x91123);
+}

@@ -825,7 +825,8 @@ impl Backend {
             let mut cfg = PageCacheConfig::with_memory(total)
                 .with_dirty_ratio(platform.dirty_ratio)
                 .with_dirty_expire(platform.dirty_expire)
-                .with_flush_interval(platform.flush_interval);
+                .with_flush_interval(platform.flush_interval)
+                .with_eviction_policy(platform.eviction_policy);
             if write_through {
                 cfg = cfg.writethrough();
             }
@@ -855,6 +856,7 @@ impl Backend {
                 tuning.readahead_min = platform.readahead_min;
                 tuning.readahead_max = platform.readahead_max;
                 tuning.throttle_pacing = platform.throttle_pacing;
+                tuning.eviction_policy = platform.eviction_policy;
                 let cache = KernelCache::new(ctx, tuning, memory, disk.clone());
                 Ok(Backend::Kernel(
                     KernelFileSystem::new(ctx, cache, disk).with_request_size(platform.chunk_size),

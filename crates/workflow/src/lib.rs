@@ -88,6 +88,7 @@ pub use faults::{
     CrashReport, ErrorMode, FaultEvent, FaultPlan, FileDurability, InjectedFault,
     InjectedFaultKind, IoErrorSpec, OpClass, RetryPolicy, Trigger,
 };
+pub use pagecache::EvictionPolicy;
 pub use platform::{DeviceSet, PlatformSpec, StorageKind};
 pub use report::{
     absolute_relative_error_pct, InstanceReport, RunStats, ScenarioReport, TaskReport, TaskStatus,

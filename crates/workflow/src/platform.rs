@@ -73,6 +73,12 @@ pub struct PlatformSpec {
     /// (see [`kernel_emu::KernelTuning`]). **Zero — the default — disables
     /// pacing**; the hard throttle at the dirty ratio applies regardless.
     pub throttle_pacing: f64,
+    /// Replacement policy of the page cache, applied to both the simulators
+    /// and the kernel emulator. The default
+    /// [`TwoList`](pagecache::EvictionPolicy::TwoList) reproduces the
+    /// classic active/inactive behaviour (and the historical predictions)
+    /// exactly.
+    pub eviction_policy: pagecache::EvictionPolicy,
 }
 
 impl PlatformSpec {
@@ -100,7 +106,14 @@ impl PlatformSpec {
             readahead_min: 0.0,
             readahead_max: 0.0,
             throttle_pacing: 0.0,
+            eviction_policy: pagecache::EvictionPolicy::TwoList,
         }
+    }
+
+    /// Overrides the eviction policy of every cache in the platform.
+    pub fn with_eviction_policy(mut self, policy: pagecache::EvictionPolicy) -> Self {
+        self.eviction_policy = policy;
+        self
     }
 
     /// Enables the kernel emulator's readahead model with the given initial
@@ -234,9 +247,16 @@ mod tests {
             DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
             DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
         );
-        // Off by default.
+        // Off by default; the classic 2-list policy is the default too.
         assert_eq!(p.readahead_max, 0.0);
         assert_eq!(p.throttle_pacing, 0.0);
+        assert_eq!(p.eviction_policy, pagecache::EvictionPolicy::TwoList);
+        assert_eq!(
+            p.clone()
+                .with_eviction_policy(pagecache::EvictionPolicy::MglruGen)
+                .eviction_policy,
+            pagecache::EvictionPolicy::MglruGen
+        );
         assert!(p.validate().is_ok());
         let on = p
             .clone()

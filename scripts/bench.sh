@@ -5,14 +5,19 @@
 # (BENCH_PR1.json, BENCH_PR3.json, ...).
 #
 # Usage:
-#   scripts/bench.sh [output.json]        full run (default: BENCH_PR3.json)
+#   scripts/bench.sh [output.json]        full run (default: BENCH_PR7.json)
 #   BENCH_SMOKE=1 scripts/bench.sh out    one tiny sample per bench — fast CI
 #                                         smoke, numbers are noisy and must
 #                                         never be compared with full runs
+#
+# CI diffs a smoke run against baselines/bench_reference.json with
+# `cargo run -p harness --bin bench_trend`; regenerate that baseline with
+#   BENCH_SMOKE=1 scripts/bench.sh baselines/bench_reference.json
+# whenever benchmarks are added or intentionally change cost class.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR7.json}"
 
 BENCH_JSON="$(pwd)/$out" cargo bench -p bench --bench pagecache_micro
 echo "wrote $out"

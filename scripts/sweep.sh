@@ -10,10 +10,14 @@
 #   scripts/sweep.sh --update-golden  regenerate the golden baseline (do this
 #                                     in the same commit that legitimately
 #                                     changes predictions, and say why)
-#   scripts/sweep.sh --list           list registered scenarios
+#   scripts/sweep.sh --list           list registered scenarios; composes with
+#                                     --filter, e.g.
+#                                     scripts/sweep.sh --list --filter eviction
 #
 # All other flags (--threads, --seed, --filter, --out, --golden, --timings)
-# are forwarded to the sweep binary; see `sweep --help`.
+# are forwarded to the sweep binary; see `sweep --help`. --filter matches the
+# scenario name or group, so `--filter eviction` selects the whole
+# policy-comparison group.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
