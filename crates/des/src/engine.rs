@@ -360,6 +360,19 @@ impl Future for Sleep {
     }
 }
 
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        // A `Sleep` dropped before its deadline (e.g. the losing side of a
+        // `select2` timeout race) must not leave its timer armed: a live
+        // wake-up timer would still be "work" and drag the virtual clock to
+        // the abandoned deadline. Cancelled timers are skipped by the engine
+        // without advancing `now`, so cancellation here is free.
+        if let Some(t) = self.timer.take() {
+            self.ctx.cancel_timer(t);
+        }
+    }
+}
+
 /// Future returned by [`SimContext::yield_now`].
 pub struct YieldNow {
     polled: bool,
@@ -565,12 +578,20 @@ impl Simulation {
 impl Drop for Simulation {
     fn drop(&mut self) {
         // Break potential Rc cycles between the engine and callbacks/tasks
-        // that capture SimContext handles.
-        let mut eng = self.engine.borrow_mut();
-        eng.timers.clear();
-        eng.heap.clear();
-        eng.slots.clear();
-        eng.ready.clear();
+        // that capture SimContext handles. The contents are moved out and
+        // dropped *after* the borrow is released: dropping a task future can
+        // run `Drop` impls (e.g. `Sleep` cancelling its timer) that re-enter
+        // the engine.
+        let (timers, heap, slots, ready) = {
+            let mut eng = self.engine.borrow_mut();
+            (
+                std::mem::take(&mut eng.timers),
+                std::mem::take(&mut eng.heap),
+                std::mem::take(&mut eng.slots),
+                std::mem::take(&mut eng.ready),
+            )
+        };
+        drop((timers, heap, slots, ready));
     }
 }
 

@@ -35,8 +35,10 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod select;
 pub mod sync;
 mod time;
 
 pub use engine::{JoinHandle, SimContext, Simulation, Sleep, TaskId, TimerId, YieldNow};
+pub use select::{select2, Either, Select2};
 pub use time::SimTime;

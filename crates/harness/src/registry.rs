@@ -13,10 +13,11 @@
 use experiments::platform::scaled_platform;
 use experiments::{run_exp1_for_size, run_exp2, run_exp3, run_exp4};
 use storage_model::units::{GB, MB};
+use workflow::net::{primary_server, server_host, server_link};
 use workflow::{
-    run_scenario, ApplicationSpec, ErrorMode, EvictionPolicy, FaultEvent, FaultPlan, FileSpec,
-    IoErrorSpec, Op, OpClass, PlatformSpec, RetryPolicy, RunStats, Scenario as WorkflowScenario,
-    ScenarioReport, SimulatorKind, TaskSpec,
+    run_scenario, ApplicationSpec, ClientPolicy, ErrorMode, EvictionPolicy, FaultEvent, FaultPlan,
+    FileSpec, FleetSpec, IoErrorSpec, Op, OpClass, PlatformSpec, RetryPolicy, RunStats,
+    Scenario as WorkflowScenario, ScenarioReport, SimulatorKind, TaskSpec,
 };
 
 use crate::scenario::{FnScenario, Metrics, Scenario};
@@ -251,6 +252,24 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
             group: "faults",
             description: "one transient write error across exponential-backoff strengths",
             run: fault_retry_backoff_sweep,
+        },
+        FnScenario {
+            name: "netf_partition_stampede",
+            group: "net_faults",
+            description: "hot-file cache stampede while a partition cuts half the fleet's clients",
+            run: netf_partition_stampede,
+        },
+        FnScenario {
+            name: "netf_server_crash_failover",
+            group: "net_faults",
+            description: "a replica server crashes mid write-back storm; reads fail over",
+            run: netf_server_crash_failover,
+        },
+        FnScenario {
+            name: "netf_flapping_link_retry_storm",
+            group: "net_faults",
+            description: "flapping server links ridden out by timeout + backoff clients",
+            run: netf_flapping_link_retry_storm,
         },
     ];
     scenarios
@@ -1548,6 +1567,148 @@ fn fault_retry_backoff_sweep() -> Result<Metrics, String> {
     Ok(m)
 }
 
+// ---------------------------------------------------------------------------
+// Network-tier fault scenarios (replicated storage fleet)
+// ---------------------------------------------------------------------------
+
+/// Runs an application against the replicated storage fleet under a fault
+/// plan, with one application instance per fleet client.
+fn run_fleet(
+    platform: &PlatformSpec,
+    app: &ApplicationSpec,
+    plan: &FaultPlan,
+    instances: usize,
+) -> Result<ScenarioReport, String> {
+    let mut scenario =
+        WorkflowScenario::new(platform.clone(), app.clone(), SimulatorKind::PageCache)
+            .with_faults(plan.clone())
+            .with_sample_interval(None);
+    if instances > 1 {
+        scenario = scenario.with_instances(instances).map_err(err)?;
+    }
+    run_scenario(&scenario).map_err(err)
+}
+
+/// Records the network-tier counters of a fleet report under a prefix.
+fn push_net_stats(m: &mut Metrics, prefix: &str, report: &ScenarioReport) {
+    let net = report.net.clone().unwrap_or_default();
+    m.push(format!("{prefix}/stale_reads"), net.stale_reads);
+    m.push(format!("{prefix}/hedged_reads"), net.hedged_reads);
+    m.push(format!("{prefix}/failed_reads"), net.failed_reads);
+    m.push(format!("{prefix}/failed_writes"), net.failed_writes);
+    m.push(format!("{prefix}/net_retries"), net.net_retries);
+    m.push(format!("{prefix}/failovers"), net.failovers);
+}
+
+/// Six clients stampede on one hot shared file while a partition cuts three
+/// of them off from every server for a finite window. The cut clients ride
+/// the window out with timeout + backoff, then stampede the primary when it
+/// heals; nobody fails.
+fn netf_partition_stampede() -> Result<Metrics, String> {
+    let policy = ClientPolicy::default()
+        .with_timeout(4.0)
+        .with_retry(RetryPolicy::new(8, 0.5));
+    let platform = scaled_platform(8.0 * GB)
+        .with_chunk_size(32.0 * MB)
+        .with_fleet(FleetSpec::new(6, 3, 2).with_policy(policy));
+    let app = ApplicationSpec::new("netf-stampede")
+        .with_initial_file(FileSpec::new("shared/hot", 512.0 * MB))
+        .with_task(TaskSpec::program(
+            "stampede",
+            vec![Op::read("shared/hot"), Op::read("shared/hot")],
+        ));
+    let plan = FaultPlan::none().with_event(FaultEvent::Partition {
+        groups: vec![
+            (0..3).map(|i| format!("client{i:02}")).collect(),
+            (0..3).map(server_host).collect(),
+        ],
+        at: 0.5,
+        duration: 6.0,
+    });
+    let report = run_fleet(&platform, &app, &plan, 6)?;
+    let mut m = Metrics::new();
+    push_run_stats(&mut m, "fleet", &report.run_stats());
+    push_net_stats(&mut m, "fleet", &report);
+    m.push("fleet/failed_tasks", report.failed_tasks().len() as f64);
+    m.push("fleet/makespan_s", report.mean_makespan());
+    Ok(m)
+}
+
+/// Four clients each push a 256 MB file (write-back: the servers buffer it
+/// dirty) and read it back; the primary of the first client's file crashes
+/// mid-storm. Writes to the dead replica surface in the net report, reads
+/// fail over to the surviving replica, and the durability oracle records
+/// what the dead server's disk retained.
+fn netf_server_crash_failover() -> Result<Metrics, String> {
+    let platform = scaled_platform(8.0 * GB)
+        .with_chunk_size(32.0 * MB)
+        .with_fleet(FleetSpec::new(4, 3, 2));
+    let app = ApplicationSpec::new("netf-crash").with_task(TaskSpec::program(
+        "store-and-check",
+        vec![Op::write("out", 256.0 * MB), Op::read("out")],
+    ));
+    let victim = server_host(primary_server(3, "i00_out"));
+    let plan = FaultPlan::none().with_event(FaultEvent::ServerCrash {
+        host: victim,
+        at: 0.2,
+    });
+    let report = run_fleet(&platform, &app, &plan, 4)?;
+    let net = report.net.clone().unwrap_or_default();
+    let mut m = Metrics::new();
+    push_run_stats(&mut m, "fleet", &report.run_stats());
+    push_net_stats(&mut m, "fleet", &report);
+    m.push("fleet/server_crashes", net.server_crashes.len() as f64);
+    m.push(
+        "fleet/crashed_durable_bytes",
+        net.server_crashes
+            .iter()
+            .map(|(_, r)| r.durable_bytes())
+            .sum(),
+    );
+    m.push(
+        "fleet/crashed_lost_bytes",
+        net.server_crashes.iter().map(|(_, r)| r.lost_bytes()).sum(),
+    );
+    m.push("fleet/failed_tasks", report.failed_tasks().len() as f64);
+    m.push("fleet/makespan_s", report.mean_makespan());
+    Ok(m)
+}
+
+/// Replication 1 (no failover possible): the only path to each file flaps
+/// down and up three times. Timeout + exponential backoff absorb every
+/// outage window — a retry storm, but zero failures.
+fn netf_flapping_link_retry_storm() -> Result<Metrics, String> {
+    let policy = ClientPolicy::default()
+        .with_timeout(3.0)
+        .with_retry(RetryPolicy::new(8, 0.5));
+    let platform = scaled_platform(8.0 * GB)
+        .with_chunk_size(32.0 * MB)
+        .with_fleet(FleetSpec::new(4, 2, 1).with_policy(policy));
+    let app = ApplicationSpec::new("netf-flapping")
+        .with_initial_file(FileSpec::new("in", 256.0 * MB))
+        .with_task(TaskSpec::program(
+            "pass",
+            vec![Op::read("in"), Op::write("out", 128.0 * MB)],
+        ));
+    let mut plan = FaultPlan::none();
+    for server in 0..2 {
+        for flap in 0..3 {
+            plan = plan.with_event(FaultEvent::LinkDown {
+                link: server_link(server),
+                at: 0.3 + 2.5 * f64::from(flap),
+                duration: 0.8,
+            });
+        }
+    }
+    let report = run_fleet(&platform, &app, &plan, 4)?;
+    let mut m = Metrics::new();
+    push_run_stats(&mut m, "fleet", &report.run_stats());
+    push_net_stats(&mut m, "fleet", &report);
+    m.push("fleet/failed_tasks", report.failed_tasks().len() as f64);
+    m.push("fleet/makespan_s", report.mean_makespan());
+    Ok(m)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1566,7 +1727,13 @@ mod tests {
         dedup.dedup();
         assert_eq!(names.len(), dedup.len(), "duplicate scenario names");
         for group in [
-            "paper", "examples", "sweep", "programs", "eviction", "faults",
+            "paper",
+            "examples",
+            "sweep",
+            "programs",
+            "eviction",
+            "faults",
+            "net_faults",
         ] {
             assert!(
                 scenarios.iter().any(|s| s.group() == group),
@@ -1584,7 +1751,66 @@ mod tests {
         assert!(scenarios.iter().filter(|s| s.group() == "programs").count() >= 4);
         assert!(scenarios.iter().filter(|s| s.group() == "faults").count() >= 5);
         assert!(scenarios.iter().filter(|s| s.group() == "eviction").count() >= 3);
+        assert!(
+            scenarios
+                .iter()
+                .filter(|s| s.group() == "net_faults")
+                .count()
+                >= 3
+        );
         assert!(scenarios.iter().all(|s| !s.description().is_empty()));
+    }
+
+    #[test]
+    fn never_healing_partition_completes_degraded() {
+        // The acceptance criterion of the network tier: cut the clients off
+        // from every server forever and the run must still terminate — no
+        // hang, no panic — with the affected tasks failed degraded.
+        let platform = scaled_platform(8.0 * GB).with_fleet(FleetSpec::new(2, 2, 1));
+        let app = ApplicationSpec::new("netf-forever")
+            .with_initial_file(FileSpec::new("shared/hot", 128.0 * MB))
+            .with_task(TaskSpec::program("reader", vec![Op::read("shared/hot")]));
+        let plan = FaultPlan::none().with_event(FaultEvent::Partition {
+            groups: vec![
+                vec!["client00".into(), "client01".into()],
+                vec![server_host(0), server_host(1)],
+            ],
+            at: 0.0,
+            duration: f64::INFINITY,
+        });
+        let report = run_fleet(&platform, &app, &plan, 2).unwrap();
+        assert!(report.simulated_duration.is_finite());
+        assert_eq!(report.failed_tasks().len(), 2);
+        assert!(report.net.as_ref().unwrap().failed_reads >= 2.0);
+    }
+
+    #[test]
+    fn stampede_retries_through_the_partition_window() {
+        let m = netf_partition_stampede().unwrap();
+        // The cut clients must have retried (the window forces backoff) and
+        // nobody may fail: the finite partition heals before the retry
+        // budget runs out.
+        assert!(metric(&m, "fleet/net_retries") > 0.0);
+        assert_eq!(metric(&m, "fleet/failed_tasks"), 0.0);
+    }
+
+    #[test]
+    fn crashed_primary_surfaces_failed_writes_and_failovers() {
+        let m = netf_server_crash_failover().unwrap();
+        assert_eq!(metric(&m, "fleet/server_crashes"), 1.0);
+        // The crash happens mid-storm: later writes to the dead replica are
+        // surfaced, and at least one read fails over to a survivor.
+        assert!(metric(&m, "fleet/failed_writes") > 0.0);
+        assert!(metric(&m, "fleet/failovers") > 0.0);
+        assert_eq!(metric(&m, "fleet/failed_tasks"), 0.0);
+    }
+
+    #[test]
+    fn flapping_links_cause_retries_but_no_failures() {
+        let m = netf_flapping_link_retry_storm().unwrap();
+        assert!(metric(&m, "fleet/net_retries") > 0.0);
+        assert_eq!(metric(&m, "fleet/failed_tasks"), 0.0);
+        assert_eq!(metric(&m, "fleet/failed_reads"), 0.0);
     }
 
     #[test]

@@ -288,6 +288,13 @@ impl NetworkLink {
         }
     }
 
+    /// Wraps an existing shared channel as a link. Used by the network
+    /// fabric to hand out `NetworkLink` views of fabric-owned links (e.g.
+    /// the degenerate one-client/one-server NFS fabric).
+    pub fn from_channel(link: SharedResource) -> Self {
+        NetworkLink { link }
+    }
+
     /// Sends `bytes` across the link.
     pub async fn transfer(&self, bytes: f64) {
         self.link.transfer(bytes).await;

@@ -33,4 +33,6 @@ mod resource;
 pub mod units;
 
 pub use device::{DeviceSpec, Disk, DiskFullError, MemoryDevice, NetworkLink};
-pub use resource::{SharedResource, SharingPolicy};
+pub use resource::{
+    AbortHandle, AbortableTransfer, SharedResource, SharingPolicy, TransferOutcome,
+};

@@ -375,6 +375,29 @@ impl SharedResource {
         .await
     }
 
+    /// Like [`SharedResource::transfer`], but returns an [`AbortHandle`]
+    /// alongside the transfer future. Aborting removes the flow from the
+    /// device mid-transfer — exactly what a dying network link does to the
+    /// flows crossing it — and resolves the future with
+    /// [`TransferOutcome::Aborted`]. Aborting a completed transfer is a
+    /// no-op.
+    pub fn transfer_abortable(&self, bytes: f64) -> (AbortableTransfer, AbortHandle) {
+        let state = Rc::new(AbortState {
+            aborted: std::cell::Cell::new(false),
+            waker: RefCell::new(None),
+        });
+        let this = self.clone();
+        let inner: Pin<Box<dyn Future<Output = ()>>> =
+            Box::pin(async move { this.transfer(bytes).await });
+        (
+            AbortableTransfer {
+                inner: Some(inner),
+                state: Rc::clone(&state),
+            },
+            AbortHandle { state },
+        )
+    }
+
     fn add_flow(&self, bytes: f64) -> u64 {
         let id = {
             let mut inner = self.inner.borrow_mut();
@@ -494,6 +517,78 @@ impl Drop for FlowDone {
         };
         if removed {
             self.resource.reschedule();
+        }
+    }
+}
+
+/// How an [`AbortableTransfer`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// All bytes were transferred.
+    Completed,
+    /// The transfer was aborted mid-flight; its remaining bytes were never
+    /// served and its flow no longer consumes bandwidth.
+    Aborted,
+}
+
+struct AbortState {
+    aborted: std::cell::Cell<bool>,
+    waker: RefCell<Option<Waker>>,
+}
+
+/// Handle to abort one in-flight [`SharedResource::transfer_abortable`].
+/// Cloning yields another handle to the same transfer.
+#[derive(Clone)]
+pub struct AbortHandle {
+    state: Rc<AbortState>,
+}
+
+impl AbortHandle {
+    /// Aborts the transfer. Idempotent; a no-op once the transfer completed.
+    pub fn abort(&self) {
+        if !self.state.aborted.replace(true) {
+            if let Some(w) = self.state.waker.borrow_mut().take() {
+                w.wake();
+            }
+        }
+    }
+
+    /// Whether [`AbortHandle::abort`] has been called.
+    pub fn is_aborted(&self) -> bool {
+        self.state.aborted.get()
+    }
+}
+
+/// Future returned by [`SharedResource::transfer_abortable`].
+pub struct AbortableTransfer {
+    /// The plain transfer; dropped on abort, which removes the flow (see
+    /// [`FlowDone`]'s `Drop`).
+    inner: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    state: Rc<AbortState>,
+}
+
+impl Future for AbortableTransfer {
+    type Output = TransferOutcome;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<TransferOutcome> {
+        if self.state.aborted.get() {
+            // Dropping the inner future cancels the latency sleep and/or
+            // removes the flow from the resource.
+            self.inner = None;
+            return Poll::Ready(TransferOutcome::Aborted);
+        }
+        let Some(inner) = self.inner.as_mut() else {
+            return Poll::Ready(TransferOutcome::Aborted);
+        };
+        match inner.as_mut().poll(cx) {
+            Poll::Ready(()) => {
+                self.inner = None;
+                Poll::Ready(TransferOutcome::Completed)
+            }
+            Poll::Pending => {
+                *self.state.waker.borrow_mut() = Some(cx.waker().clone());
+                Poll::Pending
+            }
         }
     }
 }
@@ -887,5 +982,269 @@ mod float_robustness_tests {
             "end {end}, expected {expected}"
         );
         assert_eq!(res.completed_flows(), n as u64);
+    }
+}
+
+#[cfg(test)]
+mod abort_tests {
+    use super::*;
+    use des::Simulation;
+
+    fn approx(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() < 1e-6 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
+    }
+
+    #[test]
+    fn aborting_mid_transfer_frees_bandwidth_for_other_flows() {
+        // Two 1000 B flows on 100 B/s share 50 B/s each. Aborting one at
+        // t=5 leaves the survivor alone: 750 B left at 100 B/s => t=12.5.
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "link", 100.0, 0.0);
+        let survivor = sim.spawn({
+            let res = res.clone();
+            let ctx = ctx.clone();
+            async move {
+                res.transfer(1000.0).await;
+                ctx.now().as_secs()
+            }
+        });
+        let victim = sim.spawn({
+            let res = res.clone();
+            let ctx = ctx.clone();
+            async move {
+                let (fut, handle) = res.transfer_abortable(1000.0);
+                ctx.schedule_callback(des::SimTime::from_secs(5.0), move |_| handle.abort());
+                (fut.await, ctx.now().as_secs())
+            }
+        });
+        sim.run();
+        let (outcome, at) = victim.try_take_result().unwrap();
+        assert_eq!(outcome, TransferOutcome::Aborted);
+        approx(at, 5.0);
+        approx(survivor.try_take_result().unwrap(), 12.5);
+        assert_eq!(res.active_flows(), 0);
+        assert_eq!(res.completed_flows(), 1);
+    }
+
+    #[test]
+    fn abort_after_completion_is_a_no_op() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "link", 100.0, 0.0);
+        let h = sim.spawn({
+            let res = res.clone();
+            async move {
+                let (fut, handle) = res.transfer_abortable(100.0);
+                let out = fut.await;
+                handle.abort(); // transfer already done
+                handle.abort(); // idempotent
+                (out, handle.is_aborted())
+            }
+        });
+        sim.run();
+        let (out, flagged) = h.try_take_result().unwrap();
+        assert_eq!(out, TransferOutcome::Completed);
+        assert!(flagged);
+        approx(res.total_bytes(), 100.0);
+    }
+
+    #[test]
+    fn abort_during_latency_phase_costs_nothing() {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "link", 100.0, 10.0);
+        let h = sim.spawn({
+            let res = res.clone();
+            let ctx = ctx.clone();
+            async move {
+                let (fut, handle) = res.transfer_abortable(500.0);
+                ctx.schedule_callback(des::SimTime::from_secs(2.0), move |_| handle.abort());
+                (fut.await, ctx.now().as_secs())
+            }
+        });
+        sim.run();
+        let (out, at) = h.try_take_result().unwrap();
+        assert_eq!(out, TransferOutcome::Aborted);
+        approx(at, 2.0);
+        // The flow never entered the device; nothing was transferred and the
+        // abandoned latency timer must not drag the clock to t=10.
+        approx(res.total_bytes(), 0.0);
+        assert_eq!(sim.now().as_secs(), 2.0);
+    }
+}
+
+/// Randomized differential test for fair sharing under dynamic flow churn:
+/// the heap-based "fast algorithm" against a naive model that re-syncs every
+/// flow's residual bytes at every event, including flows force-removed
+/// mid-transfer the way a dying link removes the flows crossing it.
+#[cfg(test)]
+mod churn_differential_tests {
+    use super::*;
+    use des::Simulation;
+
+    /// Deterministic in-repo PRNG (xorshift64*), no external crates.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn new(seed: u64) -> Self {
+            XorShift(seed.max(1))
+        }
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+        /// Uniform in [0, 1).
+        fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+        fn range(&mut self, lo: f64, hi: f64) -> f64 {
+            lo + (hi - lo) * self.next_f64()
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct FlowSpec {
+        start: f64,
+        bytes: f64,
+        abort_at: Option<f64>,
+    }
+
+    /// Naive reference: advance every flow's residual bytes at every
+    /// breakpoint (flow start, completion, or forced removal) at the current
+    /// fair share. O(n) per event — correct by construction.
+    fn naive_completions(bandwidth: f64, specs: &[FlowSpec]) -> Vec<Option<f64>> {
+        #[derive(Clone, Copy)]
+        enum Ev {
+            Add(usize),
+            Remove(usize),
+        }
+        let mut events: Vec<(f64, Ev)> = Vec::new();
+        for (i, s) in specs.iter().enumerate() {
+            events.push((s.start, Ev::Add(i)));
+            if let Some(at) = s.abort_at {
+                events.push((at, Ev::Remove(i)));
+            }
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut remaining: Vec<Option<f64>> = vec![None; specs.len()];
+        let mut done: Vec<Option<f64>> = vec![None; specs.len()];
+        let mut t = 0.0_f64;
+        let mut idx = 0;
+        loop {
+            let active: Vec<usize> = remaining
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.map(|_| i))
+                .collect();
+            let next_ev = events.get(idx).map(|e| e.0).unwrap_or(f64::INFINITY);
+            if active.is_empty() {
+                if idx >= events.len() {
+                    break;
+                }
+                t = next_ev;
+            } else {
+                let rate = bandwidth / active.len() as f64;
+                let min_rem = active
+                    .iter()
+                    .map(|&i| remaining[i].unwrap())
+                    .fold(f64::INFINITY, f64::min);
+                let tc = t + min_rem / rate;
+                if tc <= next_ev {
+                    for &i in &active {
+                        let r = remaining[i].unwrap() - (tc - t) * rate;
+                        if r <= 1e-6 {
+                            remaining[i] = None;
+                            done[i] = Some(tc);
+                        } else {
+                            remaining[i] = Some(r);
+                        }
+                    }
+                    t = tc;
+                    continue;
+                }
+                for &i in &active {
+                    remaining[i] = Some(remaining[i].unwrap() - (next_ev - t) * rate);
+                }
+                t = next_ev;
+            }
+            match events[idx].1 {
+                Ev::Add(i) => remaining[i] = Some(specs[i].bytes),
+                Ev::Remove(i) => remaining[i] = None, // force-removed, never completes
+            }
+            idx += 1;
+        }
+        done
+    }
+
+    fn sim_completions(bandwidth: f64, specs: &[FlowSpec]) -> Vec<Option<f64>> {
+        let sim = Simulation::new();
+        let ctx = sim.context();
+        let res = SharedResource::new(&ctx, "churn", bandwidth, 0.0);
+        let mut handles = Vec::new();
+        for spec in specs.iter().copied() {
+            let res = res.clone();
+            let ctx = ctx.clone();
+            handles.push(sim.spawn(async move {
+                ctx.sleep_until(des::SimTime::from_secs(spec.start)).await;
+                let (fut, handle) = res.transfer_abortable(spec.bytes);
+                if let Some(at) = spec.abort_at {
+                    ctx.schedule_callback(des::SimTime::from_secs(at), move |_| handle.abort());
+                }
+                match fut.await {
+                    TransferOutcome::Completed => Some(ctx.now().as_secs()),
+                    TransferOutcome::Aborted => None,
+                }
+            }));
+        }
+        sim.run();
+        assert_eq!(res.active_flows(), 0, "flows left active after churn");
+        handles
+            .into_iter()
+            .map(|h| h.try_take_result().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fast_algorithm_matches_naive_resync_under_flow_churn() {
+        let bandwidth = 97.3e6;
+        for seed in 1..=25u64 {
+            let mut rng = XorShift::new(seed.wrapping_mul(0x9E3779B97F4A7C15));
+            let n = 10 + (rng.next_u64() % 30) as usize;
+            let specs: Vec<FlowSpec> = (0..n)
+                .map(|_| {
+                    let start = rng.range(0.0, 8.0);
+                    let bytes = rng.range(0.1e6, 80.0e6);
+                    // A third of the flows are force-removed mid-transfer,
+                    // some so late the abort is a no-op (flow already done).
+                    let abort_at = (rng.next_f64() < 0.33)
+                        .then(|| start + rng.range(0.01, 1.5 * bytes / bandwidth * n as f64));
+                    FlowSpec {
+                        start,
+                        bytes,
+                        abort_at,
+                    }
+                })
+                .collect();
+            let expected = naive_completions(bandwidth, &specs);
+            let got = sim_completions(bandwidth, &specs);
+            for (i, (e, g)) in expected.iter().zip(got.iter()).enumerate() {
+                match (e, g) {
+                    (None, None) => {}
+                    (Some(te), Some(tg)) => assert!(
+                        (te - tg).abs() < 1e-6 * te.max(1.0),
+                        "seed {seed} flow {i}: naive {te}, fast {tg}"
+                    ),
+                    _ => panic!("seed {seed} flow {i}: naive {e:?} but fast {g:?}"),
+                }
+            }
+        }
     }
 }

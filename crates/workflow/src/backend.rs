@@ -8,14 +8,21 @@
 //! | [`SimulatorKind::PageCache`] | WRENCH-cache | simulated (symmetric) | macroscopic model |
 //! | [`SimulatorKind::KernelEmu`] | the real cluster | measured (asymmetric) | page-granularity emulator |
 //!
-//! Five concrete filesystems implement [`IoBackend`]: the three `simfs`
+//! Six concrete filesystems implement [`IoBackend`]: the three `simfs`
 //! filesystems ([`CachedFileSystem`], [`DirectFileSystem`],
-//! [`NfsFileSystem`]), the kernel emulator ([`KernelFileSystem`]), and the
-//! cacheless NFS mount ([`DirectNfs`]). [`Backend::build`] picks and
+//! [`NfsFileSystem`]), the kernel emulator ([`KernelFileSystem`]), the
+//! cacheless NFS mount ([`DirectNfs`]), and the replicated storage fleet
+//! ([`crate::net::FleetClient`], for
+//! [`StorageKind::Fleet`] platforms). [`Backend::build`] picks and
 //! constructs the right one for a platform/simulator combination; the
 //! [`Backend`] enum it returns forwards every trait method to the inner
 //! filesystem through a single dispatch macro, so the scenario runner stays
 //! monomorphic (no `dyn`, no per-method match duplication).
+//!
+//! The legacy NFS back-ends build their single client–server link as a
+//! *degenerate fabric* (two hosts, one link) of the network tier; the
+//! link's shared channel is constructed with identical parameters, so
+//! historical NFS predictions are bit-identical.
 //!
 //! ## `fsync` semantics per back-end
 //!
@@ -26,6 +33,7 @@
 //! | NFS | no-op (no client write cache; writethrough server) | no-op |
 //! | kernel emulator | per-file dirty-page writeback, counted as throttled writeback | flush all dirty pages |
 //! | direct NFS | no-op (writes are synchronous) | no-op |
+//! | fleet | flush the file on every reachable replica (write-back servers) | flush all reachable servers |
 
 use std::collections::BTreeMap;
 
@@ -40,6 +48,7 @@ use simfs::{
 use storage_model::{Disk, MemoryDevice, NetworkLink};
 
 use crate::faults::{CrashReport, FileDurability, InjectedFault};
+use crate::net::{Fabric, FleetClient, NetReport};
 use crate::platform::{DeviceSet, PlatformSpec, StorageKind};
 use crate::report::WritebackCounters;
 
@@ -701,6 +710,8 @@ pub enum Backend {
     Kernel(KernelFileSystem),
     /// Cacheless remote storage.
     DirectNfs(DirectNfs),
+    /// One client's view of a replicated storage fleet (see [`crate::net`]).
+    Fleet(FleetClient),
 }
 
 /// Forwards one method call to whichever filesystem the back-end holds.
@@ -712,6 +723,7 @@ macro_rules! dispatch {
             Backend::Nfs($b) => $body,
             Backend::Kernel($b) => $body,
             Backend::DirectNfs($b) => $body,
+            Backend::Fleet($b) => $body,
         }
     };
 }
@@ -863,12 +875,8 @@ impl Backend {
                 ))
             }
             (StorageKind::Nfs, SimulatorKind::Cacheless) => {
-                let link = NetworkLink::new(
-                    ctx,
-                    "nfs-link",
-                    devices.network_bandwidth,
-                    devices.network_latency,
-                );
+                let link =
+                    degenerate_nfs_link(ctx, devices.network_bandwidth, devices.network_latency);
                 let server_disk = Disk::new(ctx, "nfs-server-disk", devices.remote_disk);
                 Ok(Backend::DirectNfs(DirectNfs::new(ctx, link, server_disk)))
             }
@@ -892,12 +900,8 @@ impl Backend {
                     server_memory,
                     server_disk.clone(),
                 );
-                let link = NetworkLink::new(
-                    ctx,
-                    "nfs-link",
-                    devices.network_bandwidth,
-                    devices.network_latency,
-                );
+                let link =
+                    degenerate_nfs_link(ctx, devices.network_bandwidth, devices.network_latency);
                 let server = NfsServer::new(server_mm, server_disk);
                 Ok(Backend::Nfs(
                     NfsFileSystem::new(ctx, client_mm, link, server)
@@ -907,8 +911,58 @@ impl Backend {
             (StorageKind::Nfs, SimulatorKind::Prototype) => Err(ScenarioError::Unsupported(
                 "the Python prototype does not simulate network filesystems".to_string(),
             )),
+            (StorageKind::Fleet, SimulatorKind::PageCache) => {
+                let spec = platform.fleet.as_ref().ok_or_else(|| {
+                    ScenarioError::InvalidPlatform(
+                        "fleet storage requires a fleet spec (see with_fleet)".to_string(),
+                    )
+                })?;
+                Ok(Backend::Fleet(FleetClient::build(
+                    ctx, platform, &devices, spec,
+                )?))
+            }
+            (StorageKind::Fleet, _) => Err(ScenarioError::Unsupported(
+                "the replicated storage fleet is modelled only by the page-cache simulator"
+                    .to_string(),
+            )),
         }
     }
+
+    /// The back-end view for application instance `instance`: the fleet
+    /// homes instances on client hosts round-robin; every other back-end is
+    /// host-wide shared state and is returned as a plain clone.
+    pub fn for_instance(&self, instance: usize) -> Backend {
+        match self {
+            Backend::Fleet(fleet) => Backend::Fleet(fleet.for_client(instance)),
+            other => other.clone(),
+        }
+    }
+
+    /// The storage fleet behind this back-end, if it is a fleet.
+    pub fn fleet(&self) -> Option<&FleetClient> {
+        match self {
+            Backend::Fleet(fleet) => Some(fleet),
+            _ => None,
+        }
+    }
+
+    /// The network-tier statistics, if this back-end has a network tier.
+    pub fn net_report(&self) -> Option<NetReport> {
+        self.fleet().map(FleetClient::net_report)
+    }
+}
+
+/// The legacy one-client/one-server NFS topology, expressed as a degenerate
+/// fabric: two hosts joined by one link. The link's shared channel is
+/// constructed with exactly the same parameters as the historical
+/// `NetworkLink`, so NFS predictions are bit-identical.
+fn degenerate_nfs_link(ctx: &SimContext, bandwidth: f64, latency: f64) -> NetworkLink {
+    let fabric = Fabric::new(ctx);
+    fabric.add_host("client");
+    fabric.add_host("server");
+    fabric.add_link("nfs-link", bandwidth, latency);
+    fabric.add_route("client", "server", "nfs-link");
+    NetworkLink::from_channel(fabric.link_channel("nfs-link").expect("link just added"))
 }
 
 #[cfg(test)]

@@ -28,6 +28,13 @@
 //!   starting at `at`: every operation of an NFS-backed scenario issued in
 //!   the window fails transiently (a retry after the window succeeds).
 //!   No-op on local-storage scenarios.
+//! * [`FaultEvent::LinkDown`], [`FaultEvent::Partition`],
+//!   [`FaultEvent::ServerCrash`] — network-tier faults for fleet scenarios
+//!   (see [`crate::net`]): a fabric link dies (in-flight flows force-drained),
+//!   host groups are partitioned, or one storage server crashes for good
+//!   (its durability recorded by the per-server crash oracle). Outage
+//!   durations may be `f64::INFINITY`; clients are expected to complete
+//!   degraded, not hang. Inert on non-fleet scenarios.
 //!
 //! ## Durability guarantees per back-end
 //!
@@ -163,6 +170,41 @@ pub enum FaultEvent {
         /// Length of the outage, seconds.
         duration: f64,
     },
+    /// One fabric link goes down for `duration` seconds starting at `at`:
+    /// in-flight flows on the link are force-drained (aborted) and new
+    /// transfers fail until the link heals. `duration` may be
+    /// `f64::INFINITY` for a link that never comes back. Fleet scenarios
+    /// only; inert elsewhere.
+    LinkDown {
+        /// Name of the fabric link.
+        link: String,
+        /// Simulated instant the link dies, seconds.
+        at: f64,
+        /// Length of the outage, seconds (may be infinite).
+        duration: f64,
+    },
+    /// A network partition from `at` for `duration` seconds: hosts in
+    /// different groups cannot reach each other (hosts absent from every
+    /// group are unaffected). `duration` may be `f64::INFINITY` for a
+    /// partition that never heals. Fleet scenarios only; inert elsewhere.
+    Partition {
+        /// The host groups; traffic between different groups is cut.
+        groups: Vec<Vec<String>>,
+        /// Simulated instant the partition forms, seconds.
+        at: f64,
+        /// Length of the partition, seconds (may be infinite).
+        duration: f64,
+    },
+    /// A storage server host crashes at `at`: its page cache is lost (the
+    /// per-server durability oracle records what survived on its disk) and
+    /// it never comes back; clients fail over to the surviving replicas.
+    /// Fleet scenarios only; inert elsewhere.
+    ServerCrash {
+        /// Name of the server host (e.g. `"server00"`).
+        host: String,
+        /// Simulated instant of the crash, seconds.
+        at: f64,
+    },
 }
 
 /// A deterministic, validated schedule of injected faults. Empty by default:
@@ -203,8 +245,24 @@ impl FaultPlan {
         })
     }
 
+    /// Whether the plan contains network fault events ([`FaultEvent::LinkDown`],
+    /// [`FaultEvent::Partition`], [`FaultEvent::ServerCrash`]). These drive
+    /// the fleet fabric and are inert on non-fleet scenarios.
+    pub fn has_net_events(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                FaultEvent::LinkDown { .. }
+                    | FaultEvent::Partition { .. }
+                    | FaultEvent::ServerCrash { .. }
+            )
+        })
+    }
+
     /// Validates the plan: all instants finite and non-negative, durations
-    /// positive, operation counts 1-based, at most one crash.
+    /// positive (network outage durations may be infinite — a fault that
+    /// never heals), `NfsOutage` windows non-overlapping, operation counts
+    /// 1-based, at most one crash.
     pub fn validate(&self) -> Result<(), String> {
         let finite_instant = |what: &str, at: f64| {
             if !at.is_finite() || at < 0.0 {
@@ -213,7 +271,16 @@ impl FaultPlan {
                 Ok(())
             }
         };
+        // Positive, non-NaN duration; infinity allowed (never heals).
+        let positive_duration = |what: &str, duration: f64| {
+            if duration.is_nan() || duration <= 0.0 {
+                Err(format!("{what}: duration {duration} must be > 0"))
+            } else {
+                Ok(())
+            }
+        };
         let mut crashes = 0;
+        let mut outages: Vec<(f64, f64)> = Vec::new();
         for event in &self.events {
             match event {
                 FaultEvent::Crash { at } => {
@@ -241,7 +308,49 @@ impl FaultPlan {
                             "nfs outage: duration {duration} must be finite and > 0"
                         ));
                     }
+                    outages.push((*at, *at + *duration));
                 }
+                FaultEvent::LinkDown { link, at, duration } => {
+                    if link.is_empty() {
+                        return Err("link down: link name must not be empty".to_string());
+                    }
+                    finite_instant("link down", *at)?;
+                    positive_duration("link down", *duration)?;
+                }
+                FaultEvent::Partition {
+                    groups,
+                    at,
+                    duration,
+                } => {
+                    finite_instant("partition", *at)?;
+                    positive_duration("partition", *duration)?;
+                    if groups.len() < 2 {
+                        return Err("partition: need at least two host groups".to_string());
+                    }
+                    if groups.iter().any(|g| g.is_empty()) {
+                        return Err("partition: host groups must not be empty".to_string());
+                    }
+                    if groups.iter().flatten().any(|h| h.is_empty()) {
+                        return Err("partition: host names must not be empty".to_string());
+                    }
+                }
+                FaultEvent::ServerCrash { host, at } => {
+                    if host.is_empty() {
+                        return Err("server crash: host name must not be empty".to_string());
+                    }
+                    finite_instant("server crash", *at)?;
+                }
+            }
+        }
+        // Overlapping NfsOutage windows would double-inject and make the
+        // "retry after the window" semantics ambiguous; reject them.
+        outages.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in outages.windows(2) {
+            if pair[1].0 < pair[0].1 {
+                return Err(format!(
+                    "nfs outage windows overlap: [{}, {}) and [{}, {})",
+                    pair[0].0, pair[0].1, pair[1].0, pair[1].1
+                ));
             }
         }
         Ok(())
@@ -293,13 +402,29 @@ impl RetryPolicy {
         self
     }
 
+    /// Ceiling on any single retry delay, seconds (one simulated day).
+    /// Exponential backoff saturates here instead of overflowing to
+    /// `inf` — a retry loop must never schedule a sleep at an infinite (or
+    /// NaN) simulated instant, no matter the attempt count.
+    pub const MAX_DELAY: f64 = 86_400.0;
+
     /// The simulated delay before retrying after `failed_attempts` failures
-    /// (1-based): `backoff * factor^(failed_attempts - 1)`.
+    /// (1-based): `backoff * factor^(failed_attempts - 1)`, saturating at
+    /// [`RetryPolicy::MAX_DELAY`]. Always finite and non-negative, even for
+    /// attempt counts where the exponential overflows `f64`.
     pub fn delay(&self, failed_attempts: u32) -> f64 {
-        self.backoff
-            * self
-                .backoff_factor
-                .powi(failed_attempts.saturating_sub(1) as i32)
+        if self.backoff.is_nan() || self.backoff <= 0.0 {
+            // Covers backoff == 0 (no delay), negative and NaN backoffs:
+            // never produce 0 * inf = NaN.
+            return 0.0;
+        }
+        let exponent = failed_attempts.saturating_sub(1).min(i32::MAX as u32) as i32;
+        let d = self.backoff * self.backoff_factor.powi(exponent);
+        if d.is_finite() {
+            d.clamp(0.0, Self::MAX_DELAY)
+        } else {
+            Self::MAX_DELAY
+        }
     }
 }
 
@@ -312,6 +437,10 @@ pub enum InjectedFaultKind {
     DiskFull,
     /// A [`FaultEvent::NfsOutage`] window was active.
     NfsOutage,
+    /// A network-tier failure: the request could not reach (or complete
+    /// against) any replica — link down, partition, server loss, or
+    /// timeouts exhausting the retry budget.
+    Network,
 }
 
 /// The payload of an injected operation failure.
@@ -335,6 +464,7 @@ impl std::fmt::Display for InjectedFault {
             InjectedFaultKind::Io => "EIO",
             InjectedFaultKind::DiskFull => "ENOSPC",
             InjectedFaultKind::NfsOutage => "NFS outage",
+            InjectedFaultKind::Network => "network failure",
         };
         let mode = if self.transient {
             "transient"
@@ -595,6 +725,12 @@ impl FaultState {
                         return fault(InjectedFaultKind::NfsOutage, true);
                     }
                 }
+                // Network events are driven by the fleet fabric (timers
+                // flipping link/partition/host state), not by the per-op
+                // fault gate: the backend itself fails the operation.
+                FaultEvent::LinkDown { .. }
+                | FaultEvent::Partition { .. }
+                | FaultEvent::ServerCrash { .. } => {}
             }
         }
         None
@@ -649,6 +785,186 @@ mod tests {
         assert_eq!(linear.delay(1), 0.1);
         assert_eq!(linear.delay(3), 0.1);
         assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn retry_backoff_saturates_at_extreme_attempt_counts() {
+        let p = RetryPolicy::new(u32::MAX, 0.5);
+        // 0.5 * 2^(n-1) overflows f64 past n ≈ 1075; every delay must stay
+        // finite and capped regardless.
+        for attempts in [1u32, 10, 100, 1_075, 10_000, 1_000_000, u32::MAX] {
+            let d = p.delay(attempts);
+            assert!(d.is_finite(), "delay({attempts}) = {d}");
+            assert!(d <= RetryPolicy::MAX_DELAY, "delay({attempts}) = {d}");
+            assert!(d >= 0.0);
+        }
+        assert_eq!(p.delay(10_000), RetryPolicy::MAX_DELAY);
+        assert_eq!(p.delay(u32::MAX), RetryPolicy::MAX_DELAY);
+        // Monotone non-decreasing up to the cap.
+        assert!(p.delay(2) >= p.delay(1));
+        assert!(p.delay(1_000) >= p.delay(999));
+    }
+
+    #[test]
+    fn retry_backoff_degenerate_parameters_never_produce_nan() {
+        // Zero backoff stays zero (0 * inf would be NaN).
+        let zero = RetryPolicy {
+            max_attempts: 5,
+            backoff: 0.0,
+            backoff_factor: f64::INFINITY,
+        };
+        assert_eq!(zero.delay(u32::MAX), 0.0);
+        // Hand-built hostile values through the public fields.
+        let hostile = RetryPolicy {
+            max_attempts: 5,
+            backoff: f64::NAN,
+            backoff_factor: 2.0,
+        };
+        assert_eq!(hostile.delay(3), 0.0);
+        let neg = RetryPolicy {
+            max_attempts: 5,
+            backoff: -1.0,
+            backoff_factor: 2.0,
+        };
+        assert_eq!(neg.delay(3), 0.0);
+        let inf_backoff = RetryPolicy {
+            max_attempts: 5,
+            backoff: f64::INFINITY,
+            backoff_factor: 2.0,
+        };
+        assert_eq!(inf_backoff.delay(1), RetryPolicy::MAX_DELAY);
+        // A shrinking factor (only reachable through the public fields — the
+        // builder clamps to >= 1) underflows toward zero, not NaN.
+        let shrink = RetryPolicy {
+            max_attempts: 5,
+            backoff: 1.0,
+            backoff_factor: 0.5,
+        };
+        let d = shrink.delay(10_000);
+        assert!(d.is_finite() && (0.0..1e-300).contains(&d), "delay = {d}");
+    }
+
+    #[test]
+    fn overlapping_nfs_outage_windows_are_rejected() {
+        let overlapping = FaultPlan::none()
+            .with_event(FaultEvent::NfsOutage {
+                at: 1.0,
+                duration: 5.0,
+            })
+            .with_event(FaultEvent::NfsOutage {
+                at: 4.0,
+                duration: 2.0,
+            });
+        assert!(overlapping.validate().is_err());
+        // Order in the plan does not matter.
+        let reversed = FaultPlan::none()
+            .with_event(FaultEvent::NfsOutage {
+                at: 4.0,
+                duration: 2.0,
+            })
+            .with_event(FaultEvent::NfsOutage {
+                at: 1.0,
+                duration: 5.0,
+            });
+        assert!(reversed.validate().is_err());
+        // Back-to-back windows (second starts exactly where the first ends)
+        // are allowed.
+        let adjacent = FaultPlan::none()
+            .with_event(FaultEvent::NfsOutage {
+                at: 1.0,
+                duration: 3.0,
+            })
+            .with_event(FaultEvent::NfsOutage {
+                at: 4.0,
+                duration: 2.0,
+            });
+        assert!(adjacent.validate().is_ok());
+        assert!(FaultPlan::none()
+            .with_event(FaultEvent::NfsOutage {
+                at: f64::NAN,
+                duration: 1.0,
+            })
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_event(FaultEvent::NfsOutage {
+                at: -2.0,
+                duration: 1.0,
+            })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn network_event_validation() {
+        let ok = FaultPlan::none()
+            .with_event(FaultEvent::LinkDown {
+                link: "srv0-link".into(),
+                at: 2.0,
+                duration: 3.0,
+            })
+            .with_event(FaultEvent::Partition {
+                groups: vec![vec!["client00".into()], vec!["server0".into()]],
+                at: 5.0,
+                duration: f64::INFINITY, // never heals: allowed
+            })
+            .with_event(FaultEvent::ServerCrash {
+                host: "server0".into(),
+                at: 8.0,
+            });
+        assert!(ok.validate().is_ok());
+        assert!(ok.has_net_events());
+        assert!(!FaultPlan::crash_at(1.0).has_net_events());
+        assert!(FaultPlan::none()
+            .with_event(FaultEvent::LinkDown {
+                link: String::new(),
+                at: 2.0,
+                duration: 3.0,
+            })
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_event(FaultEvent::LinkDown {
+                link: "l".into(),
+                at: 2.0,
+                duration: 0.0,
+            })
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_event(FaultEvent::LinkDown {
+                link: "l".into(),
+                at: f64::NAN,
+                duration: 1.0,
+            })
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_event(FaultEvent::Partition {
+                groups: vec![vec!["a".into()]],
+                at: 0.0,
+                duration: 1.0,
+            })
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_event(FaultEvent::Partition {
+                groups: vec![vec!["a".into()], vec![]],
+                at: 0.0,
+                duration: 1.0,
+            })
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_event(FaultEvent::ServerCrash {
+                host: "server0".into(),
+                at: -1.0,
+            })
+            .validate()
+            .is_err());
+        // Network events never trip the per-op fault gate.
+        let state = FaultState::new(ok, false);
+        assert!(state.check(10.0, OpClass::Read, None, None, 1).is_none());
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //! * **KernelEmu** — the page-granularity kernel emulator with measured
 //!   bandwidths, standing in for the real cluster.
 //!
-//! All four live behind the [`IoBackend`] trait, whose primitives are
+//! The [`net`] module adds a distributed tier on top: a simulated link
+//! fabric with partitions and a replicated storage fleet
+//! ([`PlatformSpec::with_fleet`]) whose clients ride out faults with
+//! timeouts, backoff retries, hedged reads, and failover.
+//!
+//! All back-ends live behind the [`IoBackend`] trait, whose primitives are
 //! **offset-granular**: `read_range`, `write_range`, `fsync`, `sync`.
 //! Whole-file operations are corollaries (`read_file ≡ read_range(0, size)`),
 //! not primitives.
@@ -78,6 +83,7 @@
 
 mod backend;
 pub mod faults;
+pub mod net;
 mod platform;
 mod report;
 mod runner;
@@ -88,6 +94,7 @@ pub use faults::{
     CrashReport, ErrorMode, FaultEvent, FaultPlan, FileDurability, InjectedFault,
     InjectedFaultKind, IoErrorSpec, OpClass, RetryPolicy, Trigger,
 };
+pub use net::{ClientNetStats, ClientPolicy, Fabric, FleetClient, FleetSpec, NetError, NetReport};
 pub use pagecache::EvictionPolicy;
 pub use platform::{DeviceSet, PlatformSpec, StorageKind};
 pub use report::{

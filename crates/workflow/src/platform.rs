@@ -33,6 +33,9 @@ pub enum StorageKind {
     Local,
     /// All I/O goes to an NFS mount backed by a remote disk (Exp 3).
     Nfs,
+    /// All I/O goes to a replicated storage fleet over a simulated network
+    /// fabric (see [`crate::net`]). Requires [`PlatformSpec::fleet`].
+    Fleet,
 }
 
 /// A complete platform description.
@@ -79,6 +82,10 @@ pub struct PlatformSpec {
     /// classic active/inactive behaviour (and the historical predictions)
     /// exactly.
     pub eviction_policy: pagecache::EvictionPolicy,
+    /// Shape and client policy of the replicated storage fleet. `None` —
+    /// the default — means no fleet; required (and only used) when
+    /// `storage` is [`StorageKind::Fleet`].
+    pub fleet: Option<crate::net::FleetSpec>,
 }
 
 impl PlatformSpec {
@@ -107,6 +114,7 @@ impl PlatformSpec {
             readahead_max: 0.0,
             throttle_pacing: 0.0,
             eviction_policy: pagecache::EvictionPolicy::TwoList,
+            fleet: None,
         }
     }
 
@@ -137,6 +145,14 @@ impl PlatformSpec {
     /// Switches the platform to NFS storage.
     pub fn with_nfs(mut self) -> Self {
         self.storage = StorageKind::Nfs;
+        self
+    }
+
+    /// Switches the platform to a replicated storage fleet with the given
+    /// shape and client policy (see [`crate::net`]).
+    pub fn with_fleet(mut self, fleet: crate::net::FleetSpec) -> Self {
+        self.storage = StorageKind::Fleet;
+        self.fleet = Some(fleet);
         self
     }
 
@@ -193,6 +209,13 @@ impl PlatformSpec {
         }
         if !(self.throttle_pacing >= 0.0 && self.throttle_pacing.is_finite()) {
             return Err("throttle pacing must be finite and non-negative".to_string());
+        }
+        match (&self.storage, &self.fleet) {
+            (StorageKind::Fleet, None) => {
+                return Err("fleet storage requires a fleet spec (see with_fleet)".to_string());
+            }
+            (StorageKind::Fleet, Some(fleet)) => fleet.validate()?,
+            _ => {}
         }
         Ok(())
     }

@@ -4,6 +4,7 @@ use pagecache::{CacheContentSnapshot, IoOpStats, MemoryTrace};
 
 use crate::backend::SimulatorKind;
 use crate::faults::{CrashReport, InjectedFault};
+use crate::net::NetReport;
 
 /// How a task ended.
 ///
@@ -139,6 +140,12 @@ pub struct RunStats {
     pub lost_bytes: f64,
     /// Number of files that lost at least one byte in a simulated crash.
     pub lost_files: f64,
+    /// Reads served by a stale replica on the network tier (0 without a
+    /// fleet back-end).
+    pub stale_reads: f64,
+    /// Per-replica writes the network tier gave up on (0 without a fleet
+    /// back-end; the write as a whole may still have succeeded elsewhere).
+    pub failed_writes: f64,
 }
 
 /// Full result of one scenario run.
@@ -167,6 +174,9 @@ pub struct ScenarioReport {
     /// restart-after-crash and a crash fired. The restarted program runs
     /// against the post-crash durable state with all faults disarmed.
     pub restart_reports: Vec<InstanceReport>,
+    /// Network-tier statistics (stale/hedged/degraded reads, failovers,
+    /// per-server crash reports), present only for fleet back-ends.
+    pub net: Option<NetReport>,
 }
 
 impl ScenarioReport {
@@ -225,6 +235,11 @@ impl ScenarioReport {
             .as_ref()
             .map(|c| (c.durable_bytes(), c.lost_bytes(), c.lost_files() as f64))
             .unwrap_or((0.0, 0.0, 0.0));
+        let (stale_reads, failed_writes) = self
+            .net
+            .as_ref()
+            .map(|n| (n.stale_reads, n.failed_writes))
+            .unwrap_or((0.0, 0.0));
         RunStats {
             bytes_from_disk: io.bytes_from_disk,
             bytes_from_cache: io.bytes_from_cache,
@@ -238,6 +253,8 @@ impl ScenarioReport {
             durable_bytes,
             lost_bytes,
             lost_files,
+            stale_reads,
+            failed_writes,
         }
     }
 
@@ -323,6 +340,7 @@ mod tests {
             writeback: None,
             crash: None,
             restart_reports: Vec::new(),
+            net: None,
         }
     }
 

@@ -18,7 +18,7 @@ use des::Simulation;
 use pagecache::FileId;
 
 use crate::backend::{Backend, IoBackend, ScenarioError, SimulatorKind};
-use crate::faults::{FaultPlan, FaultState, InjectedFault, OpClass};
+use crate::faults::{FaultEvent, FaultPlan, FaultState, InjectedFault, OpClass};
 use crate::platform::{PlatformSpec, StorageKind};
 use crate::report::{InstanceReport, ScenarioReport, TaskReport, TaskStatus};
 use crate::spec::{flatten_program, ApplicationSpec, Op};
@@ -97,9 +97,11 @@ impl Scenario {
 
 /// Scopes a file name to an instance so concurrent instances operate on
 /// different files (paper Exp 2: "all application instances operating on
-/// different files").
+/// different files"). Names starting with `shared/` escape scoping: every
+/// instance sees the same file (e.g. a hot file all fleet clients stampede
+/// on).
 pub fn scoped_file(name: &str, instance: usize, instances: usize) -> FileId {
-    if instances <= 1 {
+    if instances <= 1 || name.starts_with("shared/") {
         FileId::new(name)
     } else {
         FileId::new(format!("i{instance:02}_{name}"))
@@ -131,12 +133,15 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
     );
 
     // Initial files of every instance exist before the applications start.
+    // `shared/` files scope to the same id for every instance and are
+    // created once.
+    let mut created = std::collections::BTreeSet::new();
     for instance in 0..scenario.instances {
         for file in &scenario.application.initial_files {
-            backend.create_file(
-                &scoped_file(&file.name, instance, scenario.instances),
-                file.size,
-            )?;
+            let id = scoped_file(&file.name, instance, scenario.instances);
+            if created.insert(id.clone()) {
+                backend.create_file(&id, file.size)?;
+            }
         }
     }
 
@@ -173,6 +178,67 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         });
     }
 
+    // Network fault driver: at each planned instant, apply the fabric
+    // mutation; events with a finite duration heal afterwards. Events that
+    // never heal (infinite duration) cannot hang the run: path checks fail
+    // fast and the client retry budget is bounded, so affected operations
+    // complete degraded.
+    if let Some(fleet) = backend.fleet() {
+        for event in &scenario.faults.events {
+            let net_event = matches!(
+                event,
+                FaultEvent::LinkDown { .. }
+                    | FaultEvent::Partition { .. }
+                    | FaultEvent::ServerCrash { .. }
+            );
+            if !net_event {
+                continue;
+            }
+            let event = event.clone();
+            let fleet = fleet.clone();
+            let done = Rc::clone(&done);
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                match event {
+                    FaultEvent::LinkDown { link, at, duration } => {
+                        ctx2.sleep(at).await;
+                        if done.get() {
+                            return;
+                        }
+                        fleet.fabric().set_link_down(&link);
+                        if duration.is_finite() {
+                            ctx2.sleep(duration).await;
+                            fleet.fabric().set_link_up(&link);
+                        }
+                    }
+                    FaultEvent::Partition {
+                        groups,
+                        at,
+                        duration,
+                    } => {
+                        ctx2.sleep(at).await;
+                        if done.get() {
+                            return;
+                        }
+                        let id = fleet.fabric().apply_partition(groups);
+                        if duration.is_finite() {
+                            ctx2.sleep(duration).await;
+                            fleet.fabric().heal_partition(id);
+                        }
+                    }
+                    FaultEvent::ServerCrash { host, at } => {
+                        ctx2.sleep(at).await;
+                        if done.get() {
+                            return;
+                        }
+                        fleet.crash_server(&host);
+                    }
+                    _ => {}
+                }
+            });
+        }
+    }
+
     // Coordinator: spawns one process per instance, awaits them all, then
     // stops the background threads so the simulation can terminate. If the
     // planned crash fired and a restart was requested, a second pass re-runs
@@ -189,7 +255,8 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
             let spawn_pass = |faults: Rc<FaultState>| {
                 let mut handles = Vec::new();
                 for instance in 0..instances {
-                    let backend = backend.clone();
+                    // Fleet back-ends home each instance on a client host.
+                    let backend = backend.for_instance(instance);
                     let ctx = ctx.clone();
                     let app = app.clone();
                     let faults = Rc::clone(&faults);
@@ -252,6 +319,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         writeback: backend.writeback_counters(),
         crash: faults.take_crash_report(),
         restart_reports,
+        net: backend.net_report(),
     })
 }
 
@@ -342,18 +410,26 @@ async fn run_instance(
                         }
                         break IoOutcome::Faulted(fault);
                     }
-                    let stats = match op {
+                    let result = match op {
                         Op::Read { file, offset, len } => {
-                            backend.read_range(&scoped(file), *offset, *len).await?
+                            backend.read_range(&scoped(file), *offset, *len).await
                         }
                         Op::Write { file, offset, len } => {
-                            backend.write_range(&scoped(file), *offset, *len).await?
+                            backend.write_range(&scoped(file), *offset, *len).await
                         }
-                        Op::Fsync(file) => backend.fsync(&scoped(file)).await?,
-                        Op::Sync => backend.sync().await?,
+                        Op::Fsync(file) => backend.fsync(&scoped(file)).await,
+                        Op::Sync => backend.sync().await,
                         _ => unreachable!("gated ops are I/O ops"),
                     };
-                    break IoOutcome::Done(stats);
+                    match result {
+                        Ok(stats) => break IoOutcome::Done(stats),
+                        // Back-ends with their own robustness layer (the
+                        // fleet) surface exhausted-policy failures as
+                        // injected faults: the task fails degraded, the run
+                        // continues.
+                        Err(ScenarioError::Injected(fault)) => break IoOutcome::Faulted(fault),
+                        Err(error) => return Err(error),
+                    }
                 };
                 match outcome {
                     IoOutcome::Done(stats) => {

@@ -53,8 +53,9 @@ pub mod prelude {
     pub use storage_model::units::{GB, GIB, MB};
     pub use storage_model::{DeviceSpec, Disk, MemoryDevice, NetworkLink, SharedResource};
     pub use workflow::{
-        run_scenario, ApplicationSpec, CrashReport, ErrorMode, FaultEvent, FaultPlan, FileSpec,
-        IoBackend, IoErrorSpec, Op, OpClass, PlatformSpec, RetryPolicy, RunStats, Scenario,
-        ScenarioReport, SimulatorKind, TaskSpec, TaskStatus, Trigger, WritebackCounters,
+        run_scenario, ApplicationSpec, ClientPolicy, CrashReport, ErrorMode, FaultEvent, FaultPlan,
+        FileSpec, FleetSpec, IoBackend, IoErrorSpec, NetReport, Op, OpClass, PlatformSpec,
+        RetryPolicy, RunStats, Scenario, ScenarioReport, SimulatorKind, StorageKind, TaskSpec,
+        TaskStatus, Trigger, WritebackCounters,
     };
 }
