@@ -265,6 +265,44 @@ fn bench_des_engine(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_traffic_generate(c: &mut Criterion) {
+    use workflow::{
+        run_scenario, ApplicationSpec, PlatformSpec, Scenario, SimulatorKind, TrafficSpec,
+    };
+    let mut group = c.benchmark_group("traffic");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &requests in &[200usize, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("generate", requests),
+            &requests,
+            |b, &requests| {
+                let platform = PlatformSpec::uniform(
+                    8.0 * GB,
+                    DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+                    DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+                );
+                b.iter(|| {
+                    let spec = TrafficSpec::open("bench", 500.0, requests)
+                        .with_catalog(64, 8.0 * MB)
+                        .with_request_bytes(1.0 * MB)
+                        .with_seed(7);
+                    let scenario = Scenario::new(
+                        platform.clone(),
+                        ApplicationSpec::new("bench"),
+                        SimulatorKind::PageCache,
+                    )
+                    .with_sample_interval(None)
+                    .with_traffic(vec![spec]);
+                    run_scenario(&scenario).unwrap().simulated_duration
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_lru_operations,
@@ -272,6 +310,7 @@ criterion_group!(
     bench_lru_policies,
     bench_shared_resource,
     bench_io_controller,
-    bench_des_engine
+    bench_des_engine,
+    bench_traffic_generate
 );
 criterion_main!(benches);

@@ -782,6 +782,47 @@ mod tests {
     }
 
     #[test]
+    fn high_fan_out_timer_load_fires_in_order() {
+        // An open-loop traffic generator spawns one task per request: tens
+        // of thousands of timers live in the wheel at once. Spawn 20k
+        // sleepers with scrambled durations and verify they fire in exact
+        // virtual-time order with ties broken deterministically.
+        const N: u64 = 20_000;
+        let sim = Simulation::new();
+        let fired = Rc::new(RefCell::new(Vec::with_capacity(N as usize)));
+        let peak = Rc::new(Cell::new(0u64));
+        let live = Rc::new(Cell::new(0u64));
+        for i in 0..N {
+            let ctx = sim.context();
+            let fired = Rc::clone(&fired);
+            let peak = Rc::clone(&peak);
+            let live = Rc::clone(&live);
+            // Scrambled, collision-heavy durations in [0.1, 500].
+            let delay = ((i.wrapping_mul(2654435761)) % 5000 + 1) as f64 / 10.0;
+            sim.spawn(async move {
+                live.set(live.get() + 1);
+                peak.set(peak.get().max(live.get()));
+                ctx.sleep(delay).await;
+                live.set(live.get() - 1);
+                fired.borrow_mut().push((ctx.now().as_secs(), i));
+            });
+        }
+        sim.run();
+        let fired = fired.borrow();
+        assert_eq!(fired.len(), N as usize);
+        assert_eq!(peak.get(), N, "all sleepers were concurrently in flight");
+        for pair in fired.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "timers fired out of order");
+            if pair[0].0 == pair[1].0 {
+                // Equal deadlines fire in spawn order: determinism under
+                // heavy timer collisions.
+                assert!(pair[0].1 < pair[1].1);
+            }
+        }
+        assert_eq!(sim.now().as_secs(), 500.0);
+    }
+
+    #[test]
     fn determinism_same_program_same_trace() {
         fn trace() -> Vec<(u32, f64)> {
             let sim = Simulation::new();

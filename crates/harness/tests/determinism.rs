@@ -44,6 +44,36 @@ fn full_sweep_is_bit_identical_across_thread_counts_and_seeds() {
 }
 
 #[test]
+fn traffic_group_is_bit_identical_across_threads_and_seeds() {
+    // The traffic tier's determinism obligation: latency percentiles,
+    // throughput and tenant-enforcement byte counts of every traffic
+    // scenario must not depend on harness thread count or dispatch seed
+    // (every random draw comes from generator-local seeded streams).
+    let scenarios = registry();
+    let cfg = |threads: usize, seed: u64| SweepConfig {
+        threads,
+        seed,
+        filter: Some("traffic_".to_string()),
+    };
+    let reference = run_sweep(&scenarios, &cfg(1, 0));
+    assert!(reference.all_ok(), "{:?}", reference.failures());
+    assert!(
+        reference.scenarios.len() >= 3,
+        "expected >= 3 traffic scenarios"
+    );
+    let reference = reference.to_json(false).render_pretty();
+    for (threads, seed) in [(1, 1), (1, 42), (4, 0), (4, 1), (4, 42)] {
+        let run = run_sweep(&scenarios, &cfg(threads, seed));
+        assert!(run.all_ok(), "{:?}", run.failures());
+        assert_eq!(
+            run.to_json(false).render_pretty(),
+            reference,
+            "traffic output differs for threads={threads} seed={seed}"
+        );
+    }
+}
+
+#[test]
 fn sweep_results_pass_their_own_golden_and_catch_injected_drift() {
     // A filtered sub-sweep keeps this test fast while exercising the whole
     // pipeline: run → serialize → golden → parse → compare.

@@ -1,20 +1,20 @@
 //! The proof obligation of a scenario-adding PR: regenerating
 //! `baselines/golden.json` (new scenarios add metrics) must not move any
-//! **pre-existing** prediction. `baselines/golden_pr7.json` is the frozen
-//! snapshot of the baseline as it stood before the network tier (and is
-//! itself a superset of the pre-fault-injection `golden_pr5.json` and the
-//! pre-readahead `golden_pr4.json`); every metric it pins must come out of
-//! today's registry bit-identical — in particular, fault plans and the
-//! replicated storage fleet are **off by default** and must not move
-//! anything.
+//! **pre-existing** prediction. `baselines/golden_pr8.json` is the frozen
+//! snapshot of the baseline as it stood before the traffic tier (and is
+//! itself a superset of the pre-network-tier `golden_pr7.json`, the
+//! pre-fault-injection `golden_pr5.json` and the pre-readahead
+//! `golden_pr4.json`); every metric it pins must come out of today's
+//! registry bit-identical — in particular, traffic generation and tenant
+//! cache groups are **off by default** and must not move anything.
 //!
 //! CI runs the same check via `sweep --check --check-frozen
-//! baselines/golden_pr7.json`; this test keeps it enforced under plain
+//! baselines/golden_pr8.json`; this test keeps it enforced under plain
 //! `cargo test` too.
 
 use harness::{compare_intersection_exact, parse, registry, run_sweep, SweepConfig};
 
-const FROZEN: &str = include_str!("../../../baselines/golden_pr7.json");
+const FROZEN: &str = include_str!("../../../baselines/golden_pr8.json");
 
 #[test]
 fn pre_existing_golden_metrics_are_bit_identical() {

@@ -38,7 +38,7 @@
 //! exactly.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use des::{JoinHandle, SimContext, SimTime};
@@ -304,6 +304,14 @@ struct FileSlot {
     linked: [bool; 2],
 }
 
+/// Incrementally maintained byte totals of one cache group (tenant) — the
+/// emulator-side memcg analogue of `pagecache`'s group aggregates.
+#[derive(Debug, Default, Clone, Copy)]
+struct GroupBytes {
+    cached: f64,
+    dirty: f64,
+}
+
 struct State {
     /// File name -> slab slot. The sorted index is kept for
     /// [`KernelCache::cached_per_file`] snapshots; per-page-state traversal
@@ -323,6 +331,12 @@ struct State {
     cached_total: f64,
     /// Incrementally maintained sum of `FilePages::dirty` over all files.
     dirty_total: f64,
+    /// Cache-group (tenant) assignment per file. Configuration, not cache
+    /// state: assignments survive eviction and crashes.
+    group_of: HashMap<FileId, u32>,
+    /// Per-group byte totals, mirrored at every site that moves
+    /// `cached_total` / `dirty_total` (verified by the debug oracle).
+    group_bytes: HashMap<u32, GroupBytes>,
     trace: MemoryTrace,
     counters: KernelCacheCounters,
     /// Replacement policy: decides victim-file ordering, second chances and
@@ -437,6 +451,18 @@ impl State {
         out
     }
 
+    /// Applies byte deltas to the cache-group aggregates of `file` (no-op
+    /// for ungrouped files). Negative deltas saturate at zero, matching the
+    /// clamping of the global totals.
+    fn group_adjust(&mut self, file: &FileId, d_cached: f64, d_dirty: f64) {
+        let Some(&g) = self.group_of.get(file) else {
+            return;
+        };
+        let gb = self.group_bytes.entry(g).or_default();
+        gb.cached = (gb.cached + d_cached).max(0.0);
+        gb.dirty = (gb.dirty + d_dirty).max(0.0);
+    }
+
     /// Scan-based oracle for the incremental totals and the membership
     /// chains; compiled into debug builds only.
     #[inline]
@@ -459,6 +485,30 @@ impl State {
                 dirty
             );
             debug_assert_eq!(self.index.len() + self.free_slots.len(), self.slots.len());
+            // Group aggregates must match a scan through the assignment map.
+            let mut group_scan: HashMap<u32, GroupBytes> = HashMap::new();
+            for slot in live() {
+                if let Some(&g) = self.group_of.get(&slot.file) {
+                    let gb = group_scan.entry(g).or_default();
+                    gb.cached += slot.pages.cached();
+                    gb.dirty += slot.pages.dirty();
+                }
+            }
+            for (&g, gb) in &self.group_bytes {
+                let sc = group_scan.get(&g).copied().unwrap_or_default();
+                debug_assert!(
+                    (gb.cached - sc.cached).abs() <= EPS + 1e-9 * sc.cached.abs(),
+                    "group {g} cached {} != scan {}",
+                    gb.cached,
+                    sc.cached
+                );
+                debug_assert!(
+                    (gb.dirty - sc.dirty).abs() <= EPS + 1e-9 * sc.dirty.abs(),
+                    "group {g} dirty {} != scan {}",
+                    gb.dirty,
+                    sc.dirty
+                );
+            }
             // The per-file resident ranges and the float aggregates must
             // describe the same number of bytes, and the spans must be
             // sorted and disjoint.
@@ -542,6 +592,8 @@ impl KernelCache {
                 anonymous: 0.0,
                 cached_total: 0.0,
                 dirty_total: 0.0,
+                group_of: HashMap::new(),
+                group_bytes: HashMap::new(),
                 trace: MemoryTrace::new(),
                 counters: KernelCacheCounters::default(),
                 policy: tuning.eviction_policy.build(),
@@ -666,8 +718,191 @@ impl KernelCache {
         s.free_slots.push(i);
         s.cached_total = (s.cached_total - pages.cached()).max(0.0);
         s.dirty_total = (s.dirty_total - pages.dirty()).max(0.0);
+        s.group_adjust(file, -pages.cached(), -pages.dirty());
         s.debug_validate();
         pages.cached()
+    }
+
+    /// Assigns `file` to cache group `group` (a tenant, in memcg terms), or
+    /// clears the assignment with `None`. The file's resident and dirty
+    /// bytes move to the new group's aggregates; future cache traffic for
+    /// the file is attributed there. Assignments survive eviction and
+    /// crashes — they are configuration, not cache state.
+    pub fn set_file_group(&self, file: &FileId, group: Option<u32>) {
+        let mut s = self.state.borrow_mut();
+        let (cached, dirty) = s
+            .pages(file)
+            .map(|p| (p.cached(), p.dirty()))
+            .unwrap_or((0.0, 0.0));
+        if let Some(&old) = s.group_of.get(file) {
+            if let Some(gb) = s.group_bytes.get_mut(&old) {
+                gb.cached = (gb.cached - cached).max(0.0);
+                gb.dirty = (gb.dirty - dirty).max(0.0);
+            }
+        }
+        match group {
+            Some(g) => {
+                s.group_of.insert(file.clone(), g);
+                let gb = s.group_bytes.entry(g).or_default();
+                gb.cached += cached;
+                gb.dirty += dirty;
+            }
+            None => {
+                s.group_of.remove(file);
+            }
+        }
+        s.debug_validate();
+    }
+
+    /// Cached bytes (clean + dirty) currently attributed to a cache group.
+    pub fn group_cached(&self, group: u32) -> f64 {
+        self.state
+            .borrow()
+            .group_bytes
+            .get(&group)
+            .map_or(0.0, |gb| gb.cached)
+    }
+
+    /// Dirty bytes currently attributed to a cache group.
+    pub fn group_dirty(&self, group: u32) -> f64 {
+        self.state
+            .borrow()
+            .group_bytes
+            .get(&group)
+            .map_or(0.0, |gb| gb.dirty)
+    }
+
+    /// Evicts up to `amount` bytes of clean pages belonging to one cache
+    /// group. Same victim ordering and protection passes as
+    /// [`KernelCache::evict`], restricted to the group's files.
+    pub fn evict_group(&self, amount: f64, group: u32) -> f64 {
+        if amount <= EPS {
+            return 0.0;
+        }
+        let mut s = self.state.borrow_mut();
+        let mut order = s.chain_candidates(CLEAN, |p| p.clean() > EPS);
+        order.retain(|&i| s.group_of.get(&s.slot(i).file) == Some(&group));
+        order.sort_by(|&a, &b| {
+            let ka = s.policy.file_rank(&s.slot(a).meta);
+            let kb = s.policy.file_rank(&s.slot(b).meta);
+            (ka, s.slot(a).pages.last_access, &s.slot(a).file).cmp(&(
+                kb,
+                s.slot(b).pages.last_access,
+                &s.slot(b).file,
+            ))
+        });
+        let use_ref = s.policy.uses_reference_bits();
+        let mut evicted = 0.0;
+        for respect_protection in [true, false] {
+            for &i in &order {
+                if evicted >= amount - EPS {
+                    break;
+                }
+                let st = &mut *s;
+                let slot = st.slots[i as usize].as_mut().expect("vacant file slot");
+                if respect_protection
+                    && self.tuning.protect_files_being_written
+                    && slot.pages.write_open
+                {
+                    continue;
+                }
+                if respect_protection && use_ref && st.policy.file_second_chance(&mut slot.meta) {
+                    continue;
+                }
+                let removed = slot.pages.evict_clean(amount - evicted);
+                if removed > EPS {
+                    slot.resident.trim_front(removed);
+                    if slot.pages.cached() <= EPS {
+                        st.policy.file_on_evict(&slot.file, &slot.meta);
+                    }
+                    let f = slot.file.clone();
+                    st.group_adjust(&f, -removed, 0.0);
+                }
+                evicted += removed;
+            }
+            if evicted >= amount - EPS || (!self.tuning.protect_files_being_written && !use_ref) {
+                break;
+            }
+        }
+        s.counters.evicted += evicted;
+        s.cached_total = (s.cached_total - evicted).max(0.0);
+        s.debug_validate();
+        evicted
+    }
+
+    /// Writes back up to `amount` bytes of one cache group's dirty pages,
+    /// oldest dirty file first, simulating the disk writes. Counted as
+    /// throttled (synchronous) writeback. Returns the amount written back.
+    pub async fn write_back_group(&self, amount: f64, group: u32) -> f64 {
+        if amount <= EPS {
+            return 0.0;
+        }
+        let flushed = {
+            let mut s = self.state.borrow_mut();
+            let mut order = s.chain_candidates(DIRTY, |p| p.dirty() > EPS);
+            order.retain(|&i| s.group_of.get(&s.slot(i).file) == Some(&group));
+            let key = |s: &State, i: u32| {
+                let slot = s.slot(i);
+                slot.pages.oldest_dirty.unwrap_or(slot.pages.last_access)
+            };
+            order.sort_by(|&a, &b| {
+                (key(&s, a), &s.slot(a).file).cmp(&(key(&s, b), &s.slot(b).file))
+            });
+            let mut flushed = 0.0;
+            for &i in &order {
+                if flushed >= amount - EPS {
+                    break;
+                }
+                let cleaned = s.slot_mut(i).pages.clean_dirty(amount - flushed);
+                flushed += cleaned;
+                if cleaned > 0.0 {
+                    s.slot_mut(i).dirty.trim_front(cleaned);
+                    s.link(i, CLEAN);
+                    let f = s.slot(i).file.clone();
+                    s.group_adjust(&f, 0.0, -cleaned);
+                }
+            }
+            s.counters.throttled_writeback += flushed;
+            s.dirty_total = (s.dirty_total - flushed).max(0.0);
+            s.debug_validate();
+            flushed
+        };
+        if flushed > EPS {
+            self.disk.write(flushed).await;
+        }
+        flushed
+    }
+
+    /// Enforces memcg-style limits on one cache group: writes back the
+    /// group's dirty pages above `max_dirty`, evicts its clean pages above
+    /// `max_bytes`, and — if the group still exceeds its cap because the
+    /// overflow is dirty — flushes and evicts that remainder too. Disk write
+    /// time is simulated. Returns `(evicted, flushed)` byte totals.
+    pub async fn enforce_group_limits(
+        &self,
+        group: u32,
+        max_bytes: f64,
+        max_dirty: f64,
+    ) -> (f64, f64) {
+        let mut flushed = 0.0;
+        let over_dirty = self.group_dirty(group) - max_dirty;
+        if over_dirty > EPS {
+            flushed += self.write_back_group(over_dirty, group).await;
+        }
+        let mut evicted = 0.0;
+        let over = self.group_cached(group) - max_bytes;
+        if over > EPS {
+            evicted += self.evict_group(over, group);
+        }
+        let still_over = self.group_cached(group) - max_bytes;
+        if still_over > EPS {
+            flushed += self.write_back_group(still_over, group).await;
+            let rest = self.group_cached(group) - max_bytes;
+            if rest > EPS {
+                evicted += self.evict_group(rest, group);
+            }
+        }
+        (evicted, flushed)
     }
 
     /// Evicts up to `amount` bytes of clean pages, lowest-ranked and
@@ -730,6 +965,8 @@ impl KernelCache {
                     if slot.pages.cached() <= EPS {
                         st.policy.file_on_evict(&slot.file, &slot.meta);
                     }
+                    let f = slot.file.clone();
+                    st.group_adjust(&f, -removed, 0.0);
                 }
                 evicted += removed;
             }
@@ -776,6 +1013,8 @@ impl KernelCache {
                     // The cleaned pages are now clean cache: make sure the
                     // file is reachable by the eviction pass.
                     s.link(i, CLEAN);
+                    let f = s.slot(i).file.clone();
+                    s.group_adjust(&f, 0.0, -cleaned);
                 }
             }
             if throttled {
@@ -888,6 +1127,7 @@ impl KernelCache {
         if added > EPS {
             s.link(i, CLEAN);
             s.cached_total += added;
+            s.group_adjust(file, added, 0.0);
         }
         s.debug_validate();
         added
@@ -932,6 +1172,7 @@ impl KernelCache {
         s.link(i, DIRTY);
         s.cached_total += added;
         s.dirty_total += added + redirtied;
+        s.group_adjust(file, added, added + redirtied);
         s.debug_validate();
     }
 
@@ -956,6 +1197,7 @@ impl KernelCache {
             s.slot_mut(i).dirty = RangeSet::default();
             s.counters.throttled_writeback += cleaned;
             s.dirty_total = (s.dirty_total - cleaned).max(0.0);
+            s.group_adjust(file, 0.0, -cleaned);
             s.debug_validate();
             cleaned
         };
@@ -996,6 +1238,9 @@ impl KernelCache {
         s.anonymous = 0.0;
         s.cached_total = 0.0;
         s.dirty_total = 0.0;
+        // Group *aggregates* are volatile cache state and reset with it; the
+        // group *assignments* are configuration and survive the crash.
+        s.group_bytes.clear();
         s.debug_validate();
         lost
     }
@@ -1135,6 +1380,68 @@ mod tests {
             disk,
         );
         (sim, cache)
+    }
+
+    #[test]
+    fn group_aggregates_follow_inserts_writeback_and_eviction() {
+        let (sim, cache) = setup(10_000.0);
+        cache.set_file_group(&"a".into(), Some(1));
+        cache.set_file_group(&"b".into(), Some(2));
+        cache.insert_clean(&"a".into(), 100.0 * MB);
+        cache.insert_clean(&"shared".into(), 50.0 * MB); // ungrouped
+        let c = cache.clone();
+        let h = sim.spawn(async move {
+            c.insert_dirty(&"b".into(), 80.0 * MB);
+            approx(c.group_cached(1), 100.0 * MB);
+            approx(c.group_cached(2), 80.0 * MB);
+            approx(c.group_dirty(2), 80.0 * MB);
+            // Group writeback cleans only group 2.
+            let flushed = c.write_back_group(f64::INFINITY, 2).await;
+            approx(flushed, 80.0 * MB);
+            approx(c.group_dirty(2), 0.0);
+            approx(c.group_cached(2), 80.0 * MB);
+            // Group eviction reclaims only group 1.
+            let evicted = c.evict_group(f64::INFINITY, 1);
+            approx(evicted, 100.0 * MB);
+            approx(c.group_cached(1), 0.0);
+            approx(c.cached_amount(&"shared".into()), 50.0 * MB);
+            approx(c.cached_amount(&"b".into()), 80.0 * MB);
+        });
+        sim.run();
+        assert!(h.is_finished());
+    }
+
+    #[test]
+    fn enforce_group_limits_caps_cached_and_dirty_bytes() {
+        let (sim, cache) = setup(10_000.0);
+        cache.set_file_group(&"t".into(), Some(9));
+        cache.insert_clean(&"t".into(), 300.0 * MB);
+        let c = cache.clone();
+        let h = sim.spawn(async move {
+            c.insert_dirty(&"t2".into(), 200.0 * MB);
+            c.set_file_group(&"t2".into(), Some(9));
+            // 500 MB cached / 200 MB dirty; cap at 250 / 50.
+            let (evicted, flushed) = c.enforce_group_limits(9, 250.0 * MB, 50.0 * MB).await;
+            approx(flushed, 150.0 * MB);
+            approx(evicted, 250.0 * MB);
+            approx(c.group_cached(9), 250.0 * MB);
+            approx(c.group_dirty(9), 50.0 * MB);
+        });
+        sim.run();
+        assert!(h.is_finished());
+    }
+
+    #[test]
+    fn group_assignment_survives_crash_but_aggregates_reset() {
+        let (_sim, cache) = setup(10_000.0);
+        cache.set_file_group(&"f".into(), Some(3));
+        cache.insert_clean(&"f".into(), 100.0 * MB);
+        approx(cache.group_cached(3), 100.0 * MB);
+        cache.crash_discard();
+        approx(cache.group_cached(3), 0.0);
+        // The file still belongs to group 3 after the crash.
+        cache.insert_clean(&"f".into(), 40.0 * MB);
+        approx(cache.group_cached(3), 40.0 * MB);
     }
 
     fn approx(a: f64, b: f64) {

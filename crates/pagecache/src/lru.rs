@@ -302,6 +302,17 @@ impl ListAgg {
     }
 }
 
+/// Incrementally maintained byte totals of one cache group (tenant). Memcg
+/// analogue: the per-cgroup page counters the kernel keeps next to the
+/// global LRU accounting.
+#[derive(Debug, Default, Clone, Copy)]
+struct GroupBytes {
+    /// Cached bytes of the group's files (all tiers, clean + dirty).
+    cached: f64,
+    /// Dirty bytes of the group's files (all tiers).
+    dirty: f64,
+}
+
 /// Incrementally maintained byte totals of one file.
 #[derive(Debug, Default, Clone, Copy)]
 struct FileBytes {
@@ -347,6 +358,15 @@ pub struct LruLists {
     /// inactive list and tier 1 the active list.
     lists: [ListState; MAX_TIERS],
     per_file: HashMap<FileId, FileState>,
+    /// Cache-group (tenant) assignment per file. Files without an entry
+    /// belong to no group; the assignment survives full eviction of the
+    /// file (it is configuration, not cache state).
+    group_of: HashMap<FileId, u32>,
+    /// Per-group byte aggregates, mirrored at the same four accounting
+    /// choke points as the per-file counters (`agg_insert`, `agg_remove`,
+    /// `agg_clean_in_place`, `agg_shrink`), so memcg-style limits are O(1)
+    /// to poll.
+    group_bytes: HashMap<u32, GroupBytes>,
     policy: Box<dyn ReplacementPolicy>,
     /// Cached [`ReplacementPolicy::evictable_tiers`] answer, so the hot
     /// aggregate paths never touch the policy object.
@@ -374,6 +394,8 @@ impl LruLists {
             free_head: NIL,
             lists: std::array::from_fn(|_| ListState::default()),
             per_file: HashMap::new(),
+            group_of: HashMap::new(),
+            group_bytes: HashMap::new(),
             policy,
             evictable_mask,
         }
@@ -477,6 +499,166 @@ impl LruLists {
         (total - excluded).max(0.0)
     }
 
+    /// Assigns `file` to cache group `group` (memcg-style tenant), or clears
+    /// the assignment with `None`. Any bytes of the file already cached move
+    /// between the group aggregates, so assignment order relative to I/O does
+    /// not matter. The assignment itself is configuration and survives full
+    /// eviction of the file.
+    pub fn set_file_group(&mut self, file: FileId, group: Option<u32>) {
+        let (cached, dirty) = self
+            .per_file
+            .get(&file)
+            .map_or((0.0, 0.0), |f| (f.bytes.cached, f.bytes.dirty));
+        if let Some(old) = self.group_of.get(&file).copied() {
+            if let Some(gb) = self.group_bytes.get_mut(&old) {
+                gb.cached = (gb.cached - cached).max(0.0);
+                gb.dirty = (gb.dirty - dirty).max(0.0);
+            }
+        }
+        match group {
+            Some(g) => {
+                self.group_of.insert(file, g);
+                let gb = self.group_bytes.entry(g).or_default();
+                gb.cached += cached;
+                gb.dirty += dirty;
+            }
+            None => {
+                self.group_of.remove(&file);
+            }
+        }
+        self.debug_validate();
+    }
+
+    /// The cache group `file` is assigned to, if any. O(1) expected.
+    pub fn file_group(&self, file: &FileId) -> Option<u32> {
+        self.group_of.get(file).copied()
+    }
+
+    /// Cached bytes of cache group `group` (clean + dirty, all tiers). O(1).
+    pub fn group_cached(&self, group: u32) -> f64 {
+        self.group_bytes.get(&group).map_or(0.0, |g| g.cached)
+    }
+
+    /// Dirty bytes of cache group `group` (all tiers). O(1).
+    pub fn group_dirty(&self, group: u32) -> f64 {
+        self.group_bytes.get(&group).map_or(0.0, |g| g.dirty)
+    }
+
+    /// Removes up to `amount` bytes of clean data belonging to cache group
+    /// `group` from the evictable tiers — the group-scoped analogue of
+    /// [`LruLists::evict`], same tier order, same LRU order, same
+    /// second-chance passes under reference-bit policies. Blocks of other
+    /// groups (or of no group) are skipped, so one tenant's overflow never
+    /// reclaims a neighbour's pages. Returns the number of bytes evicted.
+    pub fn evict_group(&mut self, amount: f64, group: u32) -> f64 {
+        if amount <= EPSILON || self.group_cached(group) <= EPSILON {
+            return 0.0;
+        }
+        self.balance();
+        let mut evicted = 0.0;
+        let order = self.policy.tier_order();
+        let use_ref = self.policy.uses_reference_bits();
+        let passes = if use_ref { 2 } else { 1 };
+        'reclaim: for pass in 0..passes {
+            for t in order {
+                if !self.evictable_mask[t] {
+                    continue;
+                }
+                let mut i = self.lists[t].recency.head;
+                while i != NIL && evicted < amount - EPSILON {
+                    let next = node_ref(&self.arena, i).links[RECENCY].next;
+                    let is_candidate = {
+                        let b = &node_ref(&self.arena, i).block;
+                        !b.dirty && self.group_of.get(&b.file) == Some(&group)
+                    };
+                    if is_candidate {
+                        if pass == 0 && use_ref && node_ref(&self.arena, i).referenced {
+                            // Second chance: spare the block once.
+                            node_mut(&mut self.arena, i).referenced = false;
+                        } else {
+                            let need = amount - evicted;
+                            let size = node_ref(&self.arena, i).block.size;
+                            if size <= need + EPSILON {
+                                let blk = self.remove_node(i);
+                                evicted += blk.size;
+                                self.policy.on_evict(&blk.file, t);
+                            } else {
+                                node_mut(&mut self.arena, i).block.size -= need;
+                                let file = node_ref(&self.arena, i).block.file.clone();
+                                self.agg_shrink(t, &file, need, false);
+                                evicted += need;
+                                self.policy.on_evict(&file, t);
+                                break 'reclaim;
+                            }
+                        }
+                    }
+                    i = next;
+                }
+                if evicted >= amount - EPSILON {
+                    break 'reclaim;
+                }
+            }
+        }
+        self.debug_validate();
+        evicted
+    }
+
+    /// Marks up to `amount` bytes of dirty data belonging to cache group
+    /// `group` as clean, least recently used first — the group-scoped
+    /// analogue of [`LruLists::flush_lru`], walking the per-tier dirty
+    /// chains and skipping other groups' blocks. Returns the number of bytes
+    /// flushed; the caller simulates the corresponding disk write.
+    pub fn flush_group(&mut self, amount: f64, group: u32) -> f64 {
+        if amount <= EPSILON || self.group_dirty(group) <= EPSILON {
+            return 0.0;
+        }
+        let mut flushed = 0.0;
+        for t in self.policy.tier_order() {
+            if self.lists[t].agg.dirty <= EPSILON {
+                continue;
+            }
+            let mut i = self.lists[t].dirty.head;
+            while i != NIL {
+                let next = node_ref(&self.arena, i).links[DIRTY].next;
+                if flushed >= amount - EPSILON {
+                    self.debug_validate();
+                    return flushed;
+                }
+                let is_candidate = {
+                    let b = &node_ref(&self.arena, i).block;
+                    self.group_of.get(&b.file) == Some(&group)
+                };
+                if is_candidate {
+                    let need = amount - flushed;
+                    let size = node_ref(&self.arena, i).block.size;
+                    if size <= need + EPSILON {
+                        node_mut(&mut self.arena, i).block.dirty = false;
+                        let file = node_ref(&self.arena, i).block.file.clone();
+                        self.unlink_dirty(i);
+                        flushed += size;
+                        self.agg_clean_in_place(t, &file, size);
+                        self.try_coalesce(i);
+                    } else {
+                        let mut head = node_mut(&mut self.arena, i).block.split_off(need);
+                        head.dirty = false;
+                        flushed += head.size;
+                        let file = head.file.clone();
+                        let head_size = head.size;
+                        let head_idx = self.insert_node_before(t, head, i);
+                        self.agg_clean_in_place(t, &file, head_size);
+                        self.agg_note_split(&file);
+                        self.try_coalesce(head_idx);
+                        self.debug_validate();
+                        return flushed;
+                    }
+                }
+                i = next;
+            }
+        }
+        self.debug_validate();
+        flushed
+    }
+
     /// Iterates over all blocks, tier 0 first, LRU first within each tier.
     pub fn iter_all(&self) -> impl Iterator<Item = &DataBlock> {
         (0..MAX_TIERS).flat_map(|t| self.tier_blocks(t))
@@ -540,6 +722,13 @@ impl LruLists {
     /// need its metadata; chain membership is handled separately.
     fn agg_insert(&mut self, tier: usize, block: &DataBlock) {
         self.lists[tier].agg.add(block.size, block.dirty);
+        if let Some(&g) = self.group_of.get(&block.file) {
+            let gb = self.group_bytes.entry(g).or_default();
+            gb.cached += block.size;
+            if block.dirty {
+                gb.dirty += block.size;
+            }
+        }
         let evictable = self.evictable_mask[tier];
         let f = &mut self.per_file.entry(block.file.clone()).or_default().bytes;
         f.cached += block.size;
@@ -559,6 +748,14 @@ impl LruLists {
     /// per-file entry once its last block is gone.
     fn agg_remove(&mut self, tier: usize, block: &DataBlock) {
         self.lists[tier].agg.sub(block.size, block.dirty);
+        if let Some(&g) = self.group_of.get(&block.file) {
+            if let Some(gb) = self.group_bytes.get_mut(&g) {
+                gb.cached = (gb.cached - block.size).max(0.0);
+                if block.dirty {
+                    gb.dirty = (gb.dirty - block.size).max(0.0);
+                }
+            }
+        }
         let evictable = self.evictable_mask[tier];
         if let Some(entry) = self.per_file.get_mut(&block.file) {
             let f = &mut entry.bytes;
@@ -588,6 +785,11 @@ impl LruLists {
     fn agg_clean_in_place(&mut self, tier: usize, file: &FileId, amount: f64) {
         let agg = &mut self.lists[tier].agg;
         agg.dirty = (agg.dirty - amount).max(0.0);
+        if let Some(&g) = self.group_of.get(file) {
+            if let Some(gb) = self.group_bytes.get_mut(&g) {
+                gb.dirty = (gb.dirty - amount).max(0.0);
+            }
+        }
         let evictable = self.evictable_mask[tier];
         if let Some(f) = self.per_file.get_mut(file) {
             f.bytes.dirty = (f.bytes.dirty - amount).max(0.0);
@@ -602,6 +804,14 @@ impl LruLists {
     /// head is accounted separately when it is re-inserted).
     fn agg_shrink(&mut self, tier: usize, file: &FileId, amount: f64, dirty: bool) {
         self.lists[tier].agg.sub(amount, dirty);
+        if let Some(&g) = self.group_of.get(file) {
+            if let Some(gb) = self.group_bytes.get_mut(&g) {
+                gb.cached = (gb.cached - amount).max(0.0);
+                if dirty {
+                    gb.dirty = (gb.dirty - amount).max(0.0);
+                }
+            }
+        }
         let evictable = self.evictable_mask[tier];
         if let Some(f) = self.per_file.get_mut(file) {
             let f = &mut f.bytes;
@@ -1341,6 +1551,44 @@ impl LruLists {
                 }
             }
         }
+        // Group aggregates: recompute each group's cached/dirty sums from a
+        // full block scan and compare; tracked groups absent from the scan
+        // must have (approximately) zero counters.
+        let mut group_scan: HashMap<u32, GroupBytes> = HashMap::new();
+        for t in 0..MAX_TIERS {
+            for b in self.tier_blocks(t) {
+                if let Some(&g) = self.group_of.get(&b.file) {
+                    let gb = group_scan.entry(g).or_default();
+                    gb.cached += b.size;
+                    if b.dirty {
+                        gb.dirty += b.size;
+                    }
+                }
+            }
+        }
+        for (&g, expected) in &group_scan {
+            let actual = self.group_bytes.get(&g).copied().unwrap_or_default();
+            if !close(actual.cached, expected.cached) {
+                return Err(format!(
+                    "group {g}: cached counter {} != scan {}",
+                    actual.cached, expected.cached
+                ));
+            }
+            if !close(actual.dirty, expected.dirty) {
+                return Err(format!(
+                    "group {g}: dirty counter {} != scan {}",
+                    actual.dirty, expected.dirty
+                ));
+            }
+        }
+        for (&g, gb) in &self.group_bytes {
+            if !group_scan.contains_key(&g) && (gb.cached > EPSILON || gb.dirty > EPSILON) {
+                return Err(format!(
+                    "group {g}: counters ({}, {}) but no blocks in the scan",
+                    gb.cached, gb.dirty
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -1449,6 +1697,92 @@ mod tests {
         approx(lru.total_dirty(), 50.0);
         approx(lru.cached_amount(&"f1".into()), 100.0);
         approx(lru.dirty_amount(&"f2".into()), 50.0);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn group_aggregates_track_all_mutation_paths() {
+        let mut lru = LruLists::new();
+        lru.set_file_group("a".into(), Some(1));
+        lru.set_file_group("b".into(), Some(2));
+        lru.add_clean("a".into(), 100.0, t(1.0));
+        lru.add_dirty("a".into(), 50.0, t(2.0));
+        lru.add_clean("b".into(), 70.0, t(3.0));
+        lru.add_clean("ungrouped".into(), 30.0, t(4.0));
+        approx(lru.group_cached(1), 150.0);
+        approx(lru.group_dirty(1), 50.0);
+        approx(lru.group_cached(2), 70.0);
+        // Flushing and evicting through the global paths keeps the group
+        // counters honest.
+        lru.flush_lru(20.0, None);
+        approx(lru.group_dirty(1), 30.0);
+        lru.flush_file(&"a".into());
+        approx(lru.group_dirty(1), 0.0);
+        lru.invalidate_file(&"a".into());
+        approx(lru.group_cached(1), 0.0);
+        approx(lru.group_cached(2), 70.0);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn group_assignment_after_io_moves_cached_bytes() {
+        let mut lru = LruLists::new();
+        lru.add_dirty("f".into(), 80.0, t(1.0));
+        assert_eq!(lru.file_group(&"f".into()), None);
+        lru.set_file_group("f".into(), Some(7));
+        assert_eq!(lru.file_group(&"f".into()), Some(7));
+        approx(lru.group_cached(7), 80.0);
+        approx(lru.group_dirty(7), 80.0);
+        // Reassignment moves the bytes; clearing removes them.
+        lru.set_file_group("f".into(), Some(8));
+        approx(lru.group_cached(7), 0.0);
+        approx(lru.group_cached(8), 80.0);
+        lru.set_file_group("f".into(), None);
+        approx(lru.group_cached(8), 0.0);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn evict_group_only_touches_the_groups_clean_blocks() {
+        let mut lru = LruLists::new();
+        lru.set_file_group("mine".into(), Some(1));
+        lru.set_file_group("dirty".into(), Some(1));
+        lru.set_file_group("theirs".into(), Some(2));
+        lru.add_clean("mine".into(), 100.0, t(1.0));
+        lru.add_dirty("dirty".into(), 40.0, t(2.0));
+        lru.add_clean("theirs".into(), 60.0, t(3.0));
+        lru.add_clean("shared".into(), 50.0, t(4.0));
+        let evicted = lru.evict_group(300.0, 1);
+        // Only group 1's clean bytes go; dirty, other-group and ungrouped
+        // blocks stay.
+        approx(evicted, 100.0);
+        approx(lru.group_cached(1), 40.0);
+        approx(lru.group_cached(2), 60.0);
+        approx(lru.cached_amount(&"shared".into()), 50.0);
+        // Partial eviction splits the block.
+        let evicted = lru.evict_group(30.0, 2);
+        approx(evicted, 30.0);
+        approx(lru.group_cached(2), 30.0);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn flush_group_cleans_only_the_groups_dirty_data() {
+        let mut lru = LruLists::new();
+        lru.set_file_group("mine".into(), Some(1));
+        lru.set_file_group("theirs".into(), Some(2));
+        lru.add_dirty("mine".into(), 100.0, t(1.0));
+        lru.add_dirty("theirs".into(), 60.0, t(2.0));
+        // Partial flush splits; the neighbour's dirty data is untouched.
+        let flushed = lru.flush_group(30.0, 1);
+        approx(flushed, 30.0);
+        approx(lru.group_dirty(1), 70.0);
+        approx(lru.group_dirty(2), 60.0);
+        let flushed = lru.flush_group(1000.0, 1);
+        approx(flushed, 70.0);
+        approx(lru.group_dirty(1), 0.0);
+        approx(lru.group_cached(1), 100.0);
+        approx(lru.group_dirty(2), 60.0);
         lru.check_invariants().unwrap();
     }
 

@@ -291,6 +291,89 @@ impl MemoryManager {
         self.state.borrow_mut().lru.invalidate_file(file)
     }
 
+    /// Assigns `file` to cache group `group` (a tenant, in memcg terms), or
+    /// clears the assignment with `None`. The file's cached and dirty bytes
+    /// move to the new group's aggregates; future cache traffic for the file
+    /// is attributed there. Assignments survive eviction and crashes — they
+    /// are configuration, not cache state.
+    pub fn set_file_group(&self, file: &FileId, group: Option<u32>) {
+        self.state
+            .borrow_mut()
+            .lru
+            .set_file_group(file.clone(), group);
+    }
+
+    /// Cached bytes (clean + dirty) currently attributed to a cache group.
+    pub fn group_cached(&self, group: u32) -> f64 {
+        self.state.borrow().lru.group_cached(group)
+    }
+
+    /// Dirty bytes currently attributed to a cache group.
+    pub fn group_dirty(&self, group: u32) -> f64 {
+        self.state.borrow().lru.group_dirty(group)
+    }
+
+    /// Evicts up to `amount` bytes of clean data belonging to one cache
+    /// group, least recently used first. Like [`MemoryManager::evict`] it
+    /// takes no simulated time. Returns the number of bytes evicted.
+    pub fn evict_group(&self, amount: f64, group: u32) -> f64 {
+        let mut s = self.state.borrow_mut();
+        let evicted = s.lru.evict_group(amount, group);
+        s.counters.evicted += evicted;
+        evicted
+    }
+
+    /// Flushes up to `amount` bytes of one cache group's dirty data to disk,
+    /// least recently used first. The disk write time is simulated; the bytes
+    /// are counted as synchronous (on-demand) flushing. Returns the number of
+    /// bytes written back.
+    pub async fn flush_group(&self, amount: f64, group: u32) -> f64 {
+        let flushed = {
+            let mut s = self.state.borrow_mut();
+            let flushed = s.lru.flush_group(amount, group);
+            s.counters.flushed_on_demand += flushed;
+            flushed
+        };
+        if flushed > EPSILON {
+            self.disk.write(flushed).await;
+        }
+        flushed
+    }
+
+    /// Enforces memcg-style limits on one cache group: first writes back the
+    /// group's dirty data above `max_dirty`, then evicts the group's clean
+    /// data above `max_bytes`; if the group still exceeds its cap because the
+    /// overflow is dirty, that remainder is flushed and evicted too. Disk
+    /// write time is simulated. Returns `(evicted, flushed)` byte totals.
+    pub async fn enforce_group_limits(
+        &self,
+        group: u32,
+        max_bytes: f64,
+        max_dirty: f64,
+    ) -> (f64, f64) {
+        let mut flushed = 0.0;
+        let over_dirty = self.group_dirty(group) - max_dirty;
+        if over_dirty > EPSILON {
+            flushed += self.flush_group(over_dirty, group).await;
+        }
+        let mut evicted = 0.0;
+        let over = self.group_cached(group) - max_bytes;
+        if over > EPSILON {
+            evicted += self.evict_group(over, group);
+        }
+        // Whatever is still above the cap must be dirty: clean it, then
+        // evict again.
+        let still_over = self.group_cached(group) - max_bytes;
+        if still_over > EPSILON {
+            flushed += self.flush_group(still_over, group).await;
+            let rest = self.group_cached(group) - max_bytes;
+            if rest > EPSILON {
+                evicted += self.evict_group(rest, group);
+            }
+        }
+        (evicted, flushed)
+    }
+
     /// Simulated power loss: drops the entire page cache (clean and dirty)
     /// and all anonymous memory, and returns the dirty bytes each file lost
     /// — the data that had not reached stable storage. Takes no simulated
@@ -614,6 +697,33 @@ mod tests {
         let removed = mm.invalidate_file(&"f1".into());
         approx(removed, 200.0 * MB);
         approx(mm.cached(), 100.0 * MB);
+    }
+
+    #[test]
+    fn enforce_group_limits_flushes_and_evicts_only_the_group() {
+        let (sim, mm) = setup(10_000.0 * MB);
+        mm.set_file_group(&"tenant".into(), Some(7));
+        mm.add_to_cache(&"tenant".into(), 300.0 * MB);
+        mm.add_to_cache(&"other".into(), 400.0 * MB);
+        let h = sim.spawn({
+            let mm = mm.clone();
+            async move {
+                mm.write_to_cache(&"tenant".into(), 200.0 * MB).await;
+                // Group 7 holds 500 MB cached / 200 MB dirty. Cap it at
+                // 250 MB cached and 50 MB dirty.
+                mm.enforce_group_limits(7, 250.0 * MB, 50.0 * MB).await
+            }
+        });
+        sim.run();
+        let (evicted, flushed) = h.try_take_result().unwrap();
+        approx(flushed, 150.0 * MB);
+        approx(evicted, 250.0 * MB);
+        approx(mm.group_cached(7), 250.0 * MB);
+        approx(mm.group_dirty(7), 50.0 * MB);
+        // The other file (no group) is untouched.
+        approx(mm.cached_amount(&"other".into()), 400.0 * MB);
+        approx(mm.cached(), 650.0 * MB);
+        mm.check_invariants().unwrap();
     }
 
     #[test]

@@ -236,6 +236,23 @@ pub trait IoBackend {
         None
     }
 
+    /// Assigns `file` to a cache group (tenant) for memcg-style accounting.
+    /// No-op on back-ends without a cache model.
+    fn set_file_group(&self, _file: &FileId, _group: u32) {}
+
+    /// Enforces per-group cache limits: writes back the group's dirty bytes
+    /// above `max_dirty` and evicts its cached bytes above `max_bytes`.
+    /// Returns `(evicted, flushed)`; `(0.0, 0.0)` on back-ends without a
+    /// cache model (nothing is cached, so every limit trivially holds).
+    async fn enforce_group_limits(
+        &self,
+        _group: u32,
+        _max_bytes: f64,
+        _max_dirty: f64,
+    ) -> (f64, f64) {
+        (0.0, 0.0)
+    }
+
     /// Simulated power loss: discards all volatile state (page cache,
     /// anonymous memory) and reports the per-file durability of what
     /// remains on stable storage. Back-ends whose writes are synchronous or
@@ -322,6 +339,16 @@ impl IoBackend for CachedFileSystem {
             synchronous_flushed: c.flushed_on_demand,
             evicted: c.evicted,
         })
+    }
+
+    fn set_file_group(&self, file: &FileId, group: u32) {
+        self.memory_manager().set_file_group(file, Some(group));
+    }
+
+    async fn enforce_group_limits(&self, group: u32, max_bytes: f64, max_dirty: f64) -> (f64, f64) {
+        self.memory_manager()
+            .enforce_group_limits(group, max_bytes, max_dirty)
+            .await
     }
 
     fn crash(&self) -> CrashReport {
@@ -555,6 +582,16 @@ impl IoBackend for KernelFileSystem {
             synchronous_flushed: c.throttled_writeback,
             evicted: c.evicted,
         })
+    }
+
+    fn set_file_group(&self, file: &FileId, group: u32) {
+        self.cache().set_file_group(file, Some(group));
+    }
+
+    async fn enforce_group_limits(&self, group: u32, max_bytes: f64, max_dirty: f64) -> (f64, f64) {
+        self.cache()
+            .enforce_group_limits(group, max_bytes, max_dirty)
+            .await
     }
 
     fn crash(&self) -> CrashReport {
@@ -796,6 +833,14 @@ impl IoBackend for Backend {
 
     fn writeback_counters(&self) -> Option<WritebackCounters> {
         dispatch!(self, b => b.writeback_counters())
+    }
+
+    fn set_file_group(&self, file: &FileId, group: u32) {
+        dispatch!(self, b => IoBackend::set_file_group(b, file, group))
+    }
+
+    async fn enforce_group_limits(&self, group: u32, max_bytes: f64, max_dirty: f64) -> (f64, f64) {
+        dispatch!(self, b => IoBackend::enforce_group_limits(b, group, max_bytes, max_dirty).await)
     }
 
     fn crash(&self) -> CrashReport {

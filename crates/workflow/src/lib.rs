@@ -88,6 +88,7 @@ mod platform;
 mod report;
 mod runner;
 mod spec;
+pub mod traffic;
 
 pub use backend::{Backend, DirectNfs, IoBackend, ScenarioError, SimulatorKind};
 pub use faults::{
@@ -105,4 +106,8 @@ pub use runner::{run_scenario, scoped_file, Scenario};
 pub use spec::{
     flatten_program, ApplicationSpec, FileSpec, Op, ProgramError, TaskSpec, MAX_PROGRAM_OPS,
     MAX_REPEAT_DEPTH,
+};
+pub use traffic::{
+    LatencyHistogram, LatencySummary, LoopMode, TenantSpec, TrafficGenReport, TrafficReport,
+    TrafficSpec, ZipfSampler,
 };

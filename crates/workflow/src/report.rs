@@ -177,6 +177,10 @@ pub struct ScenarioReport {
     /// Network-tier statistics (stale/hedged/degraded reads, failovers,
     /// per-server crash reports), present only for fleet back-ends.
     pub net: Option<NetReport>,
+    /// Per-generator traffic results (latency percentiles, throughput,
+    /// tenant-limit enforcement), present only when the scenario carries
+    /// traffic specs.
+    pub traffic: Option<crate::traffic::TrafficReport>,
 }
 
 impl ScenarioReport {
@@ -341,6 +345,7 @@ mod tests {
             crash: None,
             restart_reports: Vec::new(),
             net: None,
+            traffic: None,
         }
     }
 

@@ -22,6 +22,7 @@ use crate::faults::{FaultEvent, FaultPlan, FaultState, InjectedFault, OpClass};
 use crate::platform::{PlatformSpec, StorageKind};
 use crate::report::{InstanceReport, ScenarioReport, TaskReport, TaskStatus};
 use crate::spec::{flatten_program, ApplicationSpec, Op};
+use crate::traffic::{run_generator, TrafficReport, TrafficSpec};
 
 /// A complete experiment configuration: platform + application + back-end.
 #[derive(Debug, Clone)]
@@ -46,6 +47,10 @@ pub struct Scenario {
     /// re-run against the post-crash durable state with faults disarmed; the
     /// second pass is reported in [`ScenarioReport::restart_reports`].
     pub restart_after_crash: bool,
+    /// Traffic generators running alongside the application instances (see
+    /// [`crate::traffic`]). Empty by default: scenarios without traffic are
+    /// bit-identical to what they were before the traffic tier existed.
+    pub traffic: Vec<TrafficSpec>,
 }
 
 impl Scenario {
@@ -59,7 +64,16 @@ impl Scenario {
             sample_interval: Some(2.0),
             faults: FaultPlan::none(),
             restart_after_crash: false,
+            traffic: Vec::new(),
         }
+    }
+
+    /// Attaches traffic generators that run alongside the application
+    /// instances. Generator `i` uses cache group `i` when its spec carries a
+    /// [`crate::TenantSpec`].
+    pub fn with_traffic(mut self, traffic: Vec<TrafficSpec>) -> Self {
+        self.traffic = traffic;
+        self
     }
 
     /// Attaches a fault plan. The plan is validated by [`run_scenario`].
@@ -123,6 +137,19 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         .faults
         .validate()
         .map_err(ScenarioError::InvalidScenario)?;
+    for spec in &scenario.traffic {
+        spec.validate().map_err(ScenarioError::InvalidScenario)?;
+    }
+    {
+        let mut names: Vec<&str> = scenario.traffic.iter().map(|t| t.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != scenario.traffic.len() {
+            return Err(ScenarioError::InvalidScenario(
+                "traffic generator names must be unique".to_string(),
+            ));
+        }
+    }
     let wall_start = Instant::now();
     let sim = Simulation::new();
     let ctx = sim.context();
@@ -251,6 +278,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         let done = Rc::clone(&done);
         let faults = Rc::clone(&faults);
         let restart = scenario.restart_after_crash;
+        let traffic = scenario.traffic.clone();
         sim.spawn(async move {
             let spawn_pass = |faults: Rc<FaultState>| {
                 let mut handles = Vec::new();
@@ -266,9 +294,28 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
                 }
                 handles
             };
+            // Traffic generators run concurrently with the main instance
+            // pass (they are load, not tasks: the restart pass re-runs the
+            // application only).
+            let traffic_handles: Vec<_> = traffic
+                .into_iter()
+                .enumerate()
+                .map(|(index, spec)| {
+                    let ctx = ctx.clone();
+                    let backend = backend.for_instance(index);
+                    let faults = Rc::clone(&faults);
+                    ctx.clone().spawn(async move {
+                        run_generator(&ctx, &backend, &spec, index as u32, &faults).await
+                    })
+                })
+                .collect();
             let mut reports = Vec::new();
             for handle in spawn_pass(Rc::clone(&faults)) {
                 reports.push(handle.await);
+            }
+            let mut traffic_results = Vec::new();
+            for handle in traffic_handles {
+                traffic_results.push(handle.await);
             }
             let mut restart_results = Vec::new();
             if faults.crashed() && restart {
@@ -283,12 +330,12 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
             }
             done.set(true);
             backend.stop_background();
-            (reports, restart_results)
+            (reports, restart_results, traffic_results)
         })
     };
 
     sim.run();
-    let (instance_results, restart_results) = coordinator
+    let (instance_results, restart_results, traffic_results) = coordinator
         .try_take_result()
         .expect("coordinator did not finish: simulation deadlocked");
     let mut instance_reports = Vec::new();
@@ -307,6 +354,15 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         restart_reports.push(report);
     }
     restart_reports.sort_by_key(|r| r.instance);
+    let traffic = if traffic_results.is_empty() {
+        None
+    } else {
+        let mut generators = Vec::new();
+        for result in traffic_results {
+            generators.push(result?);
+        }
+        Some(TrafficReport { generators })
+    };
 
     Ok(ScenarioReport {
         kind: scenario.kind,
@@ -320,6 +376,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         crash: faults.take_crash_report(),
         restart_reports,
         net: backend.net_report(),
+        traffic,
     })
 }
 
@@ -882,5 +939,179 @@ mod tests {
         assert!(tasks[0].read_stats.bytes_from_disk > 0.9 * GB);
         assert!((tasks[1].read_stats.bytes_from_cache - 200.0 * MB).abs() < MB);
         assert!(tasks[1].read_time < 0.1 * tasks[0].read_time);
+    }
+
+    // --- Traffic tier ---
+
+    use crate::traffic::{TenantSpec, TrafficSpec};
+
+    /// An application with no tasks: the scenario is pure traffic.
+    fn no_app() -> ApplicationSpec {
+        ApplicationSpec::new("traffic only")
+    }
+
+    #[test]
+    fn traffic_only_scenario_serves_all_requests() {
+        let spec = TrafficSpec::open("serve", 200.0, 400)
+            .with_catalog(20, 4.0 * MB)
+            .with_request_bytes(2.0 * MB)
+            .with_seed(3);
+        let scenario =
+            Scenario::new(platform(), no_app(), SimulatorKind::PageCache).with_traffic(vec![spec]);
+        let report = run_scenario(&scenario).unwrap();
+        let traffic = report.traffic.expect("traffic report present");
+        let gen = traffic.generator("serve").unwrap();
+        assert_eq!(gen.issued, 400);
+        assert_eq!(gen.completed, 400);
+        assert_eq!(gen.failed, 0);
+        assert_eq!(gen.read_latency.count + gen.write_latency.count, 400);
+        assert!(gen.read_latency.p50 > 0.0);
+        assert!(gen.read_latency.p99 >= gen.read_latency.p50);
+        assert!(gen.read_latency.max >= gen.read_latency.p999);
+        assert!(gen.throughput_rps > 0.0);
+        assert!(gen.peak_in_flight >= 1);
+        assert!(gen.mean_in_flight > 0.0);
+        assert!(gen.bytes_read > 0.0 && gen.bytes_written > 0.0);
+        // The Zipf(1) hot set of a 50-file catalog fits an 8 GB cache: most
+        // read bytes come from memory.
+        assert!(gen.cache_hit_ratio > 0.5, "{}", gen.cache_hit_ratio);
+        assert_eq!(gen.limit_evicted, 0.0);
+        assert!(report.simulated_duration > 0.0);
+    }
+
+    #[test]
+    fn traffic_reports_are_bit_reproducible() {
+        let scenario = || {
+            Scenario::new(platform(), no_app(), SimulatorKind::KernelEmu).with_traffic(vec![
+                TrafficSpec::open("a", 150.0, 200).with_seed(11),
+                TrafficSpec::closed("b", 8, 0.002, 200).with_seed(12),
+            ])
+        };
+        let r1 = run_scenario(&scenario()).unwrap().traffic.unwrap();
+        let r2 = run_scenario(&scenario()).unwrap().traffic.unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn closed_loop_concurrency_is_bounded_by_clients() {
+        let clients = 4;
+        let spec = TrafficSpec::closed("closed", clients, 0.001, 300).with_seed(5);
+        let scenario =
+            Scenario::new(platform(), no_app(), SimulatorKind::PageCache).with_traffic(vec![spec]);
+        let gen_report = run_scenario(&scenario).unwrap().traffic.unwrap();
+        let gen = gen_report.generator("closed").unwrap();
+        assert_eq!(gen.completed, 300);
+        assert!(gen.peak_in_flight <= clients as u64);
+        assert!(gen.mean_in_flight <= clients as f64 + 1e-9);
+    }
+
+    #[test]
+    fn open_loop_outruns_closed_loop_under_saturation() {
+        // An open loop keeps issuing at its target rate even when the system
+        // falls behind, so queueing piles into its latency tail; a closed
+        // loop with one client can never have more than one request in
+        // flight.
+        let open = TrafficSpec::open("open", 2000.0, 300).with_seed(7);
+        let closed = TrafficSpec::closed("closed", 1, 0.0, 300).with_seed(7);
+        let scenario = Scenario::new(platform(), no_app(), SimulatorKind::PageCache)
+            .with_traffic(vec![open, closed]);
+        let traffic = run_scenario(&scenario).unwrap().traffic.unwrap();
+        let open = traffic.generator("open").unwrap();
+        let closed = traffic.generator("closed").unwrap();
+        assert!(open.peak_in_flight > 1);
+        assert_eq!(closed.peak_in_flight, 1);
+        // Queueing delay shows up only in the open loop's percentiles.
+        assert!(open.read_latency.p99 > closed.read_latency.p99);
+    }
+
+    #[test]
+    fn tenant_limits_cap_the_generators_cache_footprint() {
+        let run = |tenant: Option<TenantSpec>| {
+            let mut spec = TrafficSpec::open("tenant", 300.0, 400)
+                .with_catalog(64, 32.0 * MB)
+                .with_request_bytes(4.0 * MB)
+                .with_read_fraction(0.5)
+                .with_seed(21);
+            if let Some(t) = tenant {
+                spec = spec.with_tenant(t);
+            }
+            let scenario = Scenario::new(platform(), no_app(), SimulatorKind::PageCache)
+                .with_traffic(vec![spec]);
+            run_scenario(&scenario).unwrap().traffic.unwrap()
+        };
+        let unlimited = run(None);
+        let limited = run(Some(TenantSpec::capped(64.0 * MB)));
+        let u = unlimited.generator("tenant").unwrap();
+        let l = limited.generator("tenant").unwrap();
+        assert_eq!(u.limit_evicted + u.limit_flushed, 0.0);
+        // The limit forced evictions/flushes and cost cache hits.
+        assert!(l.limit_evicted > 0.0);
+        assert!(l.cache_hit_ratio < u.cache_hit_ratio);
+    }
+
+    #[test]
+    fn tenant_limits_work_on_the_kernel_emu_backend_too() {
+        let spec = TrafficSpec::open("kt", 300.0, 300)
+            .with_catalog(64, 32.0 * MB)
+            .with_request_bytes(4.0 * MB)
+            .with_read_fraction(0.5)
+            .with_seed(22)
+            .with_tenant(TenantSpec::capped(64.0 * MB));
+        let scenario =
+            Scenario::new(platform(), no_app(), SimulatorKind::KernelEmu).with_traffic(vec![spec]);
+        let traffic = run_scenario(&scenario).unwrap().traffic.unwrap();
+        let gen = traffic.generator("kt").unwrap();
+        assert_eq!(gen.completed, 300);
+        assert!(gen.limit_evicted > 0.0 || gen.limit_flushed > 0.0);
+    }
+
+    #[test]
+    fn traffic_failures_are_counted_not_fatal() {
+        use crate::faults::{ErrorMode, FaultEvent, FaultPlan, IoErrorSpec, OpClass};
+        let spec = TrafficSpec::open("faulty", 200.0, 200)
+            .with_read_fraction(0.5)
+            .with_seed(9);
+        let plan = FaultPlan::none().with_event(FaultEvent::IoError(IoErrorSpec::at(
+            OpClass::Write,
+            0.0,
+            ErrorMode::Persistent,
+        )));
+        let scenario = Scenario::new(platform(), no_app(), SimulatorKind::PageCache)
+            .with_traffic(vec![spec])
+            .with_faults(plan);
+        let traffic = run_scenario(&scenario).unwrap().traffic.unwrap();
+        let gen = traffic.generator("faulty").unwrap();
+        assert_eq!(gen.issued, 200);
+        assert!(gen.failed > 0, "writes should be killed by the fault gate");
+        assert!(gen.completed > 0, "reads are unaffected");
+        assert_eq!(gen.completed + gen.failed, 200);
+        assert_eq!(gen.write_latency.count, 0);
+    }
+
+    #[test]
+    fn traffic_runs_alongside_application_tasks() {
+        let spec = TrafficSpec::open("bg", 50.0, 100).with_seed(4);
+        let scenario = Scenario::new(platform(), small_app(), SimulatorKind::PageCache)
+            .with_traffic(vec![spec]);
+        let report = run_scenario(&scenario).unwrap();
+        assert!(report.instance_reports[0]
+            .tasks
+            .iter()
+            .all(|t| t.status.is_completed()));
+        let gen_report = report.traffic.unwrap();
+        assert_eq!(gen_report.generator("bg").unwrap().completed, 100);
+    }
+
+    #[test]
+    fn duplicate_traffic_names_are_rejected() {
+        let scenario =
+            Scenario::new(platform(), no_app(), SimulatorKind::PageCache).with_traffic(vec![
+                TrafficSpec::open("dup", 10.0, 10),
+                TrafficSpec::open("dup", 20.0, 10),
+            ]);
+        assert!(matches!(
+            run_scenario(&scenario),
+            Err(ScenarioError::InvalidScenario(_))
+        ));
     }
 }

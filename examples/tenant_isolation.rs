@@ -1,0 +1,84 @@
+//! Two tenants on one 512 MB host: a latency-sensitive Zipf logger and a
+//! bulk ingest scan. Without cache isolation the scan's dirty pages drive
+//! the host to its `dirty_ratio` throttle threshold and every writer — the
+//! logger included — stalls in synchronous writeback; with memcg-style
+//! group limits on the scan the logger's tail latency recovers.
+//!
+//! Run with: `cargo run --release --example tenant_isolation`
+
+use linux_pagecache_sim::prelude::*;
+
+fn report(label: &str, gen: &TrafficGenReport) {
+    println!(
+        "  {label:<8} p50 {:>8.3} ms   p99 {:>8.3} ms   {:>6.1} req/s   hit {:>5.1}%   evicted-by-limit {:>6.1} MB",
+        1e3 * gen.read_latency.p50.max(gen.write_latency.p50),
+        1e3 * gen.read_latency.p99.max(gen.write_latency.p99),
+        gen.throughput_rps,
+        100.0 * gen.cache_hit_ratio,
+        gen.limit_evicted / MB,
+    );
+}
+
+fn main() {
+    let platform = PlatformSpec::uniform(
+        0.5 * GB,
+        DeviceSpec::symmetric(4812.0 * MB, 0.0, f64::INFINITY),
+        DeviceSpec::symmetric(465.0 * MB, 0.0, f64::INFINITY),
+    );
+
+    println!("two tenants, 512 MB host, isolation off vs on\n");
+    for isolated in [false, true] {
+        // Tenant 1: a closed-loop Zipf(1.1) logger — 4 clients rewriting a
+        // small hot catalog. Warmup excludes the cold start from the
+        // percentiles.
+        let server = TrafficSpec::closed("server", 4, 0.005, 1500)
+            .with_catalog(8, 4.0 * MB)
+            .with_request_bytes(1.0 * MB)
+            .with_zipf(1.1)
+            .with_read_fraction(0.0)
+            .with_seed(31)
+            .with_warmup(200);
+        // Tenant 2: a bulk ingest stream — 8 clients pushing 8 MB writes
+        // over a catalog far larger than memory.
+        let mut scan = TrafficSpec::closed("scan", 8, 0.0, 600)
+            .with_catalog(48, 64.0 * MB)
+            .with_request_bytes(8.0 * MB)
+            .with_zipf(0.0)
+            .with_read_fraction(0.0)
+            .with_seed(32);
+        if isolated {
+            scan = scan.with_tenant(TenantSpec {
+                max_cache_bytes: 192.0 * MB,
+                max_dirty_bytes: 48.0 * MB,
+            });
+        }
+
+        let scenario = Scenario::new(
+            platform.clone(),
+            ApplicationSpec::new("tenants"),
+            SimulatorKind::PageCache,
+        )
+        .with_sample_interval(None)
+        .with_traffic(vec![server, scan]);
+        let traffic = run_scenario(&scenario)
+            .expect("scenario runs")
+            .traffic
+            .expect("traffic report");
+
+        println!(
+            "isolation {}:",
+            if isolated {
+                "ON  (scan capped at 192 MB cache / 48 MB dirty)"
+            } else {
+                "OFF"
+            }
+        );
+        report("server", traffic.generator("server").unwrap());
+        report("scan", traffic.generator("scan").unwrap());
+        println!();
+    }
+    println!(
+        "the capped scan keeps global dirty below the host's throttle threshold,\n\
+         so the server's writes never stall in synchronous writeback."
+    );
+}

@@ -56,6 +56,7 @@ pub mod prelude {
         run_scenario, ApplicationSpec, ClientPolicy, CrashReport, ErrorMode, FaultEvent, FaultPlan,
         FileSpec, FleetSpec, IoBackend, IoErrorSpec, NetReport, Op, OpClass, PlatformSpec,
         RetryPolicy, RunStats, Scenario, ScenarioReport, SimulatorKind, StorageKind, TaskSpec,
-        TaskStatus, Trigger, WritebackCounters,
+        TaskStatus, TenantSpec, TrafficGenReport, TrafficReport, TrafficSpec, Trigger,
+        WritebackCounters,
     };
 }
