@@ -173,6 +173,27 @@ fn smoke_mode() -> bool {
     std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// Positional CLI arguments act as substring filters on benchmark ids,
+/// mirroring real criterion: `cargo bench -- des_engine` runs only the
+/// benchmarks whose id contains `des_engine`. Flags (`--bench`, `--test`,
+/// ...) and their values are not filters. With no positional arguments,
+/// everything runs.
+fn filters() -> &'static [String] {
+    use std::sync::OnceLock;
+    static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
+fn selected(id: &str) -> bool {
+    let filters = filters();
+    filters.is_empty() || filters.iter().any(|f| id.contains(f))
+}
+
 fn run_benchmark(
     id: &str,
     sample_size: usize,
@@ -180,6 +201,9 @@ fn run_benchmark(
     measurement: Duration,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    if !selected(id) {
+        return;
+    }
     let (sample_size, warm_up, measurement) = if smoke_mode() {
         (1, Duration::from_millis(5), Duration::from_millis(20))
     } else {
@@ -197,6 +221,19 @@ fn run_benchmark(
         .lock()
         .unwrap()
         .push((id.to_string(), bencher.median_ns));
+}
+
+/// Hint for `iter_batched` input sizing. The shim always regenerates the
+/// input once per iteration, so the variants only exist for API parity with
+/// real criterion.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap; criterion would batch many per allocation.
+    SmallInput,
+    /// Inputs are expensive; criterion would batch few per allocation.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
 }
 
 /// Times a closure, criterion-style.
@@ -232,6 +269,45 @@ impl Bencher {
                 black_box(f());
             }
             samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+
+    /// Runs `routine` on inputs produced by `setup`, timing only `routine` —
+    /// criterion's API for excluding per-iteration construction cost (e.g.
+    /// building a populated data structure the routine then consumes) from
+    /// the measurement. The timer starts after each `setup` call returns and
+    /// stops before the routine's output is dropped.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_up_end = Instant::now() + self.warm_up;
+        let mut estimate_ns = f64::INFINITY;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(black_box(input)));
+            estimate_ns = estimate_ns.min(t0.elapsed().as_nanos().max(1) as f64);
+            if Instant::now() >= warm_up_end {
+                break;
+            }
+        }
+        let per_sample_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = (per_sample_ns / estimate_ns).clamp(1.0, 1e7) as u64;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut total_ns: u128 = 0;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(black_box(input)));
+                total_ns += t0.elapsed().as_nanos();
+            }
+            samples.push(total_ns as f64 / iters as f64);
         }
         samples.sort_by(|a, b| a.total_cmp(b));
         self.median_ns = samples[samples.len() / 2];

@@ -16,6 +16,9 @@
 //! * **Determinism**: processes are resumed in FIFO order and simultaneous
 //!   events fire in scheduling order, so a given program always produces the
 //!   same trace.
+//! * **Speed**: timers live in a hierarchical timer wheel (O(1) amortized
+//!   schedule/cancel/pop; see the [`scheduler`] module) rather than a binary
+//!   heap, while preserving the exact `(time, seq)` firing order.
 //!
 //! ## Example
 //!
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod scheduler;
 mod select;
 pub mod sync;
 mod time;

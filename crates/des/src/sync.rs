@@ -231,7 +231,16 @@ impl<T> Clone for Queue<T> {
 
 struct QueueInner<T> {
     items: VecDeque<T>,
-    waiters: VecDeque<Waker>,
+    waiters: VecDeque<PopWaiter>,
+}
+
+/// One parked consumer. `notified` is the waiter's identity (for removal on
+/// drop) *and* its hand-off flag: a `push` sets it before waking, so a
+/// [`Pop`] dropped after being chosen can tell it still owes the wake-up to
+/// the next waiter.
+struct PopWaiter {
+    notified: Rc<Cell<bool>>,
+    waker: Waker,
 }
 
 impl<T> Default for Queue<T> {
@@ -251,12 +260,16 @@ impl<T> Queue<T> {
         }
     }
 
-    /// Appends an item and wakes one waiting consumer, if any.
+    /// Appends an item and wakes one waiting consumer, if any. The chosen
+    /// waiter is marked as notified: if its `Pop` future is dropped before
+    /// consuming the item (a lost `select2` race), the drop forwards the
+    /// notification to the next waiter instead of swallowing it.
     pub fn push(&self, item: T) {
         let mut inner = self.inner.borrow_mut();
         inner.items.push_back(item);
         if let Some(w) = inner.waiters.pop_front() {
-            w.wake();
+            w.notified.set(true);
+            w.waker.wake();
         }
     }
 
@@ -274,7 +287,13 @@ impl<T> Queue<T> {
     pub fn pop(&self) -> Pop<T> {
         Pop {
             queue: self.clone(),
+            ticket: None,
         }
+    }
+
+    /// Number of consumers currently parked in [`Queue::pop`].
+    pub fn waiters(&self) -> usize {
+        self.inner.borrow().waiters.len()
     }
 
     /// Removes and returns the front item without waiting.
@@ -284,21 +303,88 @@ impl<T> Queue<T> {
 }
 
 /// Future returned by [`Queue::pop`].
+///
+/// Dropping a pending `Pop` is safe: it unregisters itself, and if it had
+/// already been chosen by a [`Queue::push`] it forwards that notification to
+/// the next waiter — the losing side of a `select2` timeout race can never
+/// strand an item in the queue while live waiters sleep.
 pub struct Pop<T> {
     queue: Queue<T>,
+    /// `Some` while registered in `waiters`; the cell is set by `push` when
+    /// this waiter is chosen.
+    ticket: Option<Rc<Cell<bool>>>,
 }
 
 impl<T> Future for Pop<T> {
     type Output = T;
 
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
-        let mut inner = self.queue.inner.borrow_mut();
-        match inner.items.pop_front() {
-            Some(item) => Poll::Ready(item),
-            None => {
-                inner.waiters.push_back(cx.waker().clone());
-                Poll::Pending
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let queue = self.queue.clone();
+        let mut inner = queue.inner.borrow_mut();
+        if let Some(item) = inner.items.pop_front() {
+            if let Some(ticket) = self.ticket.take() {
+                if !ticket.get() {
+                    // Took an item without having been chosen: leave the
+                    // waiter queue so a future push doesn't pick a ghost.
+                    inner.waiters.retain(|w| !Rc::ptr_eq(&w.notified, &ticket));
+                }
             }
+            return Poll::Ready(item);
+        }
+        match &self.ticket {
+            Some(ticket) if ticket.get() => {
+                // Chosen by a push, but the item was consumed by someone else
+                // (try_pop or a fresh pop) before this poll ran: re-park at
+                // the front — this waiter is still the oldest.
+                ticket.set(false);
+                let notified = Rc::clone(ticket);
+                inner.waiters.push_front(PopWaiter {
+                    notified,
+                    waker: cx.waker().clone(),
+                });
+            }
+            Some(ticket) => {
+                // Still parked: refresh the waker in place (no duplicate
+                // registrations across polls, e.g. from select2 re-polls).
+                for w in inner.waiters.iter_mut() {
+                    if Rc::ptr_eq(&w.notified, ticket) {
+                        w.waker = cx.waker().clone();
+                        break;
+                    }
+                }
+            }
+            None => {
+                let ticket = Rc::new(Cell::new(false));
+                inner.waiters.push_back(PopWaiter {
+                    notified: Rc::clone(&ticket),
+                    waker: cx.waker().clone(),
+                });
+                drop(inner);
+                self.ticket = Some(ticket);
+            }
+        }
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for Pop<T> {
+    fn drop(&mut self) {
+        let Some(ticket) = self.ticket.take() else {
+            return;
+        };
+        let mut inner = self.queue.inner.borrow_mut();
+        if ticket.get() {
+            // A push chose this waiter but the item was never collected.
+            // Forward the notification so the item isn't stranded while
+            // other waiters sleep forever in virtual time.
+            if !inner.items.is_empty() {
+                if let Some(w) = inner.waiters.pop_front() {
+                    w.notified.set(true);
+                    w.waker.wake();
+                }
+            }
+        } else {
+            inner.waiters.retain(|w| !Rc::ptr_eq(&w.notified, &ticket));
         }
     }
 }
@@ -445,5 +531,81 @@ mod tests {
         queue.push(7);
         assert_eq!(queue.len(), 1);
         assert_eq!(queue.try_pop(), Some(7));
+    }
+
+    /// Regression test for the `Queue::pop` lost wakeup: a `Pop` dropped by
+    /// the losing side of a `select2` timeout race used to leave its stale
+    /// waker queued, so a later `push` woke the dead consumer and the live
+    /// one slept forever with the item stranded.
+    #[test]
+    fn dropped_pop_from_select2_race_does_not_swallow_the_item() {
+        let sim = Simulation::new();
+        let queue: Queue<u32> = Queue::new();
+        let timed_out = Rc::new(Cell::new(false));
+        let received = Rc::new(Cell::new(0u32));
+        // Consumer A: races pop against a 1s timeout; the queue stays empty
+        // until t=2, so A loses and its Pop is dropped while registered.
+        {
+            let ctx = sim.context();
+            let queue = queue.clone();
+            let timed_out = Rc::clone(&timed_out);
+            sim.spawn(async move {
+                match crate::select2(queue.pop(), ctx.sleep(1.0)).await {
+                    crate::Either::Left(_) => panic!("pop should time out"),
+                    crate::Either::Right(()) => timed_out.set(true),
+                }
+            });
+        }
+        // Consumer B: parks right behind A and must receive the item.
+        {
+            let queue = queue.clone();
+            let received = Rc::clone(&received);
+            sim.spawn(async move {
+                received.set(queue.pop().await);
+            });
+        }
+        {
+            let ctx = sim.context();
+            let queue = queue.clone();
+            sim.spawn(async move {
+                ctx.sleep(2.0).await;
+                queue.push(42);
+            });
+        }
+        sim.run();
+        assert!(timed_out.get());
+        assert_eq!(received.get(), 42);
+        assert!(queue.is_empty());
+        assert_eq!(queue.waiters(), 0);
+        assert_eq!(sim.pending_tasks(), 0);
+    }
+
+    /// A `Pop` that was already chosen by a `push` but is dropped before it
+    /// can collect the item must forward the notification to the next waiter
+    /// instead of swallowing it.
+    #[test]
+    fn dropped_notified_pop_forwards_the_wakeup() {
+        use std::task::Waker;
+
+        let queue: Queue<u32> = Queue::new();
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+
+        let mut a = Box::pin(queue.pop());
+        let mut b = Box::pin(queue.pop());
+        assert!(a.as_mut().poll(&mut cx).is_pending());
+        assert!(b.as_mut().poll(&mut cx).is_pending());
+        assert_eq!(queue.waiters(), 2);
+
+        // The push chooses A (the oldest waiter) and marks it notified.
+        queue.push(9);
+        assert_eq!(queue.waiters(), 1);
+
+        // A dies before polling again — e.g. its task was cancelled. The
+        // notification must be handed to B, not dropped on the floor.
+        drop(a);
+        assert_eq!(queue.waiters(), 0);
+        assert_eq!(b.as_mut().poll(&mut cx), Poll::Ready(9));
+        assert!(queue.is_empty());
     }
 }

@@ -11,6 +11,14 @@
 //! count. The seed only shuffles the *dispatch order* (via a xorshift
 //! Fisher–Yates pass), which lets the test suite prove order independence:
 //! any `(threads, seed)` combination must produce the same bytes.
+//!
+//! With `shards > 0` the cursor pool is replaced by the sharded executor
+//! ([`crate::shard::run_sharded`]): a *static* round-robin partition of
+//! scenarios over threads with an index-keyed merge, and the same shard count
+//! is propagated to intra-scenario point sweeps
+//! ([`crate::shard::set_point_shards`]). The output is byte-identical either
+//! way — the determinism suite proves `--shards 1/2/8` all match the thread
+//! pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -18,6 +26,7 @@ use std::time::Instant;
 
 use crate::json::Json;
 use crate::scenario::{Metrics, Scenario};
+use crate::shard;
 
 /// Configuration of one sweep run.
 #[derive(Debug, Clone)]
@@ -29,6 +38,11 @@ pub struct SweepConfig {
     /// Only run scenarios whose name or group contains this substring
     /// (`eviction` selects the whole policy-comparison group).
     pub filter: Option<String>,
+    /// When non-zero, run scenarios on the sharded executor with this many
+    /// shards (static round-robin partition) instead of the work-stealing
+    /// thread pool, and let registry point sweeps shard internally by the
+    /// same count. Must not change the output.
+    pub shards: usize,
 }
 
 impl Default for SweepConfig {
@@ -39,6 +53,7 @@ impl Default for SweepConfig {
                 .unwrap_or(1),
             seed: 0,
             filter: None,
+            shards: 0,
         }
     }
 }
@@ -169,36 +184,48 @@ pub fn run_sweep(registry: &[Box<dyn Scenario>], config: &SweepConfig) -> SweepR
 
     // (registry index, outcome, wall-clock seconds) of one finished scenario.
     type Slot = (usize, Result<Metrics, String>, f64);
-    let cursor = AtomicUsize::new(0);
-    let collected: Mutex<Vec<Slot>> = Mutex::new(Vec::with_capacity(order.len()));
-    let workers = config.threads.max(1).min(order.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&idx) = order.get(slot) else {
-                    break;
-                };
-                let start = Instant::now();
-                // A panicking scenario must fail *that scenario*, not tear
-                // down the whole sweep with it.
-                let outcome =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| registry[idx].run()))
-                        .unwrap_or_else(|panic| {
-                            let msg = panic
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| panic.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "scenario panicked".to_string());
-                            Err(format!("panic: {msg}"))
-                        });
-                let elapsed = start.elapsed().as_secs_f64();
-                collected.lock().unwrap().push((idx, outcome, elapsed));
-            });
-        }
-    });
+    let run_one = |idx: usize| -> Slot {
+        let start = Instant::now();
+        // A panicking scenario must fail *that scenario*, not tear down the
+        // whole sweep with it.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| registry[idx].run()))
+                .unwrap_or_else(|panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "scenario panicked".to_string());
+                    Err(format!("panic: {msg}"))
+                });
+        (idx, outcome, start.elapsed().as_secs_f64())
+    };
 
-    let mut collected = collected.into_inner().unwrap();
+    let mut collected: Vec<Slot> = if config.shards > 0 {
+        // Sharded executor: static round-robin partition, index-keyed merge.
+        // Propagate the shard count to intra-scenario point sweeps.
+        shard::set_point_shards(config.shards);
+        let out = shard::run_sharded(order.len(), config.shards, |slot| run_one(order[slot]));
+        shard::set_point_shards(1);
+        out
+    } else {
+        // Classic pool: workers steal the next index off a shared cursor.
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<Slot>> = Mutex::new(Vec::with_capacity(order.len()));
+        let workers = config.threads.max(1).min(order.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&idx) = order.get(slot) else {
+                        break;
+                    };
+                    collected.lock().unwrap().push(run_one(idx));
+                });
+            }
+        });
+        collected.into_inner().unwrap()
+    };
     collected.sort_by_key(|(idx, _, _)| *idx);
     SweepResults {
         scenarios: collected
@@ -265,6 +292,7 @@ mod tests {
                     threads,
                     seed,
                     filter: None,
+                    shards: 0,
                 },
             );
             let names: Vec<&str> = results.scenarios.iter().map(|s| s.name.as_str()).collect();
@@ -318,6 +346,7 @@ mod tests {
                 threads: 2,
                 seed: 0,
                 filter: Some("alpha".to_string()),
+                shards: 0,
             },
         );
         assert_eq!(results.scenarios.len(), 1);
@@ -336,9 +365,44 @@ mod tests {
                 threads: 2,
                 seed: 0,
                 filter: Some("sweep".to_string()),
+                shards: 0,
             },
         );
         assert_eq!(results.scenarios.len(), 3);
+    }
+
+    #[test]
+    fn sharded_executor_matches_the_thread_pool_bytes() {
+        let registry = fake_registry();
+        let reference = run_sweep(
+            &registry,
+            &SweepConfig {
+                threads: 1,
+                seed: 0,
+                filter: None,
+                shards: 0,
+            },
+        )
+        .to_json(false)
+        .render_pretty();
+        for (shards, seed) in [(1, 0), (2, 99), (8, 7)] {
+            let sharded = run_sweep(
+                &registry,
+                &SweepConfig {
+                    threads: 1,
+                    seed,
+                    filter: None,
+                    shards,
+                },
+            );
+            let names: Vec<&str> = sharded.scenarios.iter().map(|s| s.name.as_str()).collect();
+            assert_eq!(names, ["alpha", "beta", "gamma_fails"]);
+            assert_eq!(
+                sharded.to_json(false).render_pretty(),
+                reference,
+                "shards={shards} seed={seed}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Sharded parallel execution of independent simulation instances.
+//!
+//! The DES engine is single-threaded by design (`Rc`/`RefCell`, `!Send`), so
+//! all parallelism lives *between* engine instances. This module is the
+//! executor for that: [`run_sharded`] partitions `jobs` indices round-robin
+//! across `shards` OS threads — shard `k` runs jobs `k, k+shards, 2k+shards…`
+//! — and merges the results **keyed by job index**, so the output `Vec` is
+//! identical for any shard count. Unlike the runner's work-stealing cursor
+//! pool, the partition is *static*: which thread runs which job is a pure
+//! function of `(jobs, shards)`, never of timing.
+//!
+//! Two layers use it:
+//!
+//! * the sweep runner (`--shards N`) runs whole registry scenarios as jobs;
+//! * registry sweep scenarios run their own *sweep points* (independent
+//!   simulation instances differing only in one parameter) as jobs via
+//!   [`run_points`], which parallelizes inside a single scenario.
+//!
+//! The intra-scenario shard count is a process-wide knob
+//! ([`set_point_shards`], default 1 = sequential) so scenario code stays
+//! oblivious to how the harness was invoked.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide shard count for *intra-scenario* point sweeps. 1 = run
+/// points sequentially (the default, and the behavior under the classic
+/// thread-pool runner).
+static POINT_SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the shard count used by [`run_points`] when scenarios sweep their
+/// parameter points. The sweep CLI sets this from `--shards`.
+pub fn set_point_shards(shards: usize) {
+    POINT_SHARDS.store(shards.max(1), Ordering::Relaxed);
+}
+
+/// The current intra-scenario shard count (≥ 1).
+pub fn point_shards() -> usize {
+    POINT_SHARDS.load(Ordering::Relaxed).max(1)
+}
+
+/// Runs `jobs` independent jobs across `shards` threads with a static
+/// round-robin partition and an index-keyed merge.
+///
+/// `job(i)` is called exactly once for every `i in 0..jobs`; the returned
+/// `Vec` holds the results in job-index order regardless of the shard count
+/// or thread interleaving — byte-identical output is a structural property,
+/// not a scheduling accident. `shards` is clamped to `[1, jobs]`; with one
+/// shard (or one job) everything runs on the calling thread.
+///
+/// A panicking job aborts the whole run by propagating the panic — callers
+/// that need per-job fault isolation wrap `job` in `catch_unwind` themselves
+/// (the sweep runner does).
+pub fn run_sharded<T, F>(jobs: usize, shards: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let shards = shards.max(1).min(jobs.max(1));
+    if shards == 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let job = &job;
+    let partials: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|k| {
+                scope.spawn(move || {
+                    (k..jobs)
+                        .step_by(shards)
+                        .map(|i| (i, job(i)))
+                        .collect::<Vec<(usize, T)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    let mut out: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    for partial in partials {
+        for (i, v) in partial {
+            debug_assert!(out[i].is_none(), "job {i} ran twice");
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("static partition covers every job"))
+        .collect()
+}
+
+/// Runs one independent simulation per point of a parameter sweep, sharded
+/// per the process-wide [`point_shards`] setting, and returns the results in
+/// point order. The first error (in point order, not completion order) wins,
+/// keeping failure reporting deterministic too.
+pub fn run_points<P, T, F>(points: &[P], f: F) -> Result<Vec<T>, String>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P) -> Result<T, String> + Sync,
+{
+    run_sharded(points.len(), point_shards(), |i| f(&points[i]))
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_in_job_index_order_for_any_shard_count() {
+        let expected: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for shards in [1, 2, 3, 8, 36, 37, 64] {
+            let got = run_sharded(37, shards, |i| i * i);
+            assert_eq!(got, expected, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        // 0 shards behaves like 1; more shards than jobs is fine.
+        assert_eq!(run_sharded(3, 0, |i| i), vec![0, 1, 2]);
+        assert_eq!(run_sharded(3, 100, |i| i), vec![0, 1, 2]);
+        let empty: Vec<usize> = run_sharded(0, 4, |i| i);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        use std::sync::Mutex;
+        let counts = Mutex::new(vec![0u32; 100]);
+        run_sharded(100, 7, |i| {
+            counts.lock().unwrap()[i] += 1;
+        });
+        assert!(counts.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn run_points_collects_in_point_order_and_first_error_wins() {
+        let points = [1u32, 2, 3, 4];
+        let ok: Result<Vec<u32>, String> = run_points(&points, |&p| Ok(p * 10));
+        assert_eq!(ok.unwrap(), vec![10, 20, 30, 40]);
+
+        let err: Result<Vec<u32>, String> = run_points(&points, |&p| {
+            if p % 2 == 0 {
+                Err(format!("bad point {p}"))
+            } else {
+                Ok(p)
+            }
+        });
+        // Point 2 fails before point 4 in point order.
+        assert_eq!(err.unwrap_err(), "bad point 2");
+    }
+
+    #[test]
+    fn point_shards_setting_round_trips_and_clamps() {
+        let prev = point_shards();
+        set_point_shards(5);
+        assert_eq!(point_shards(), 5);
+        set_point_shards(0);
+        assert_eq!(point_shards(), 1);
+        set_point_shards(prev);
+    }
+}

@@ -12,6 +12,7 @@ fn config(threads: usize, seed: u64) -> SweepConfig {
         threads,
         seed,
         filter: None,
+        shards: 0,
     }
 }
 
@@ -44,6 +45,44 @@ fn full_sweep_is_bit_identical_across_thread_counts_and_seeds() {
 }
 
 #[test]
+fn full_sweep_is_bit_identical_across_shard_counts() {
+    // The sharded executor's determinism obligation, mirroring the
+    // thread-count test: `--shards 1/2/8` (× dispatch seeds) must produce
+    // byte-identical RESULTS.json — the static round-robin partition and
+    // index-keyed merge may change *where* a scenario runs, never what the
+    // output contains. Intra-scenario point sweeps shard too.
+    let scenarios = registry();
+    let sharded = |shards: usize, seed: u64| SweepConfig {
+        threads: 1,
+        seed,
+        filter: None,
+        shards,
+    };
+    let reference = run_sweep(&scenarios, &sharded(1, 7));
+    assert!(
+        reference.all_ok(),
+        "scenario failures: {:?}",
+        reference.failures()
+    );
+    let reference = reference.to_json(false).render_pretty();
+
+    for (shards, seed) in [(2, 7), (8, 987654321), (8, 0)] {
+        let run = run_sweep(&scenarios, &sharded(shards, seed));
+        assert!(run.all_ok(), "{:?}", run.failures());
+        assert_eq!(
+            run.to_json(false).render_pretty(),
+            reference,
+            "output differs for shards={shards} seed={seed}"
+        );
+    }
+
+    // And the sharded executor agrees byte-for-byte with the thread pool.
+    let pooled = run_sweep(&scenarios, &config(4, 7));
+    assert!(pooled.all_ok(), "{:?}", pooled.failures());
+    assert_eq!(pooled.to_json(false).render_pretty(), reference);
+}
+
+#[test]
 fn traffic_group_is_bit_identical_across_threads_and_seeds() {
     // The traffic tier's determinism obligation: latency percentiles,
     // throughput and tenant-enforcement byte counts of every traffic
@@ -54,6 +93,7 @@ fn traffic_group_is_bit_identical_across_threads_and_seeds() {
         threads,
         seed,
         filter: Some("traffic_".to_string()),
+        shards: 0,
     };
     let reference = run_sweep(&scenarios, &cfg(1, 0));
     assert!(reference.all_ok(), "{:?}", reference.failures());
@@ -82,6 +122,7 @@ fn sweep_results_pass_their_own_golden_and_catch_injected_drift() {
         threads: 2,
         seed: 0,
         filter: Some("sweep_".to_string()),
+        shards: 0,
     };
     let results = run_sweep(&scenarios, &cfg);
     assert!(results.all_ok(), "{:?}", results.failures());

@@ -25,6 +25,7 @@ fn pre_existing_golden_metrics_are_bit_identical() {
             threads: 4,
             seed: 0,
             filter: None,
+            shards: 0,
         },
     );
     assert!(results.all_ok(), "{:?}", results.failures());
